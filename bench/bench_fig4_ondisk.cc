@@ -1,0 +1,92 @@
+// Figure 4 — On-disk efficiency vs accuracy (100-NN): the disk-resident
+// methods (DSTree, iSAX2+, VA+file, IMI, SRS) on Rand/Sift/Deep analogs
+// served through the LRU buffer manager with a deliberately small memory
+// budget, so raw-series refinement pays real (counted) I/O. HNSW, QALSH
+// and Flann are excluded, as in the paper (in-memory only).
+
+#include <filesystem>
+
+#include "bench/bench_common.h"
+#include "storage/series_file.h"
+
+namespace hydra::bench {
+namespace {
+
+void RunDataset(const std::string& kind, size_t n, size_t len,
+                const std::filesystem::path& dir, Table* table) {
+  NamedDataset ds = MakeBenchDataset(kind, n, len, /*num_queries=*/20);
+  const size_t k = 100 <= ds.data.size() ? 100 : ds.data.size();
+  auto truth = ExactKnnWorkload(ds.data, ds.queries, k);
+
+  std::string path = (dir / (kind + ".hsf")).string();
+  if (!WriteSeriesFile(path, ds.data).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  // Memory budget ~2% of the data: queries must hit the "disk".
+  auto bm = BufferManager::Open(path, /*page_series=*/16,
+                                /*capacity_pages=*/
+                                std::max<uint64_t>(2, n / 16 / 50));
+  if (!bm.ok()) return;
+  SeriesProvider* provider = bm.value().get();
+
+  struct Entry {
+    BuiltIndex built;
+    std::vector<size_t> ng_knob;
+    bool delta_eps;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({BuildDSTree(ds.data, provider), {1, 4, 16, 64}, true});
+  entries.push_back({BuildIsax(ds.data, provider), {1, 4, 16, 64}, true});
+  entries.push_back(
+      {BuildVaFile(ds.data, provider), {100, 400, 1600}, true});
+  entries.push_back({BuildImi(ds.data), {1, 8, 64}, false});
+  entries.push_back({BuildSrs(ds.data, provider), {}, true});
+
+  for (auto& e : entries) {
+    if (e.built.index == nullptr) continue;
+    if (!e.ng_knob.empty()) {
+      for (RunResult& r : RunSweep(*e.built.index, ds.queries, truth,
+                                   NgSweep(k, e.ng_knob))) {
+        r.setting = "ng," + r.setting;
+        AddResultRow(table, ds.name, r, e.built.build_seconds,
+                     ds.data.size());
+      }
+    }
+    if (e.delta_eps) {
+      double delta = e.built.name == "srs" ? 0.99 : 1.0;
+      for (RunResult& r :
+           RunSweep(*e.built.index, ds.queries, truth,
+                    EpsilonSweep(k, {0.0, 1.0, 2.0}, delta))) {
+        r.setting = "de," + r.setting;
+        AddResultRow(table, ds.name, r, e.built.build_seconds,
+                     ds.data.size());
+      }
+    }
+  }
+}
+
+void Run() {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "hydra_bench_fig4";
+  fs::create_directories(dir);
+
+  Table table(ResultHeaders());
+  RunDataset("rand", 8000, 128, dir, &table);
+  RunDataset("sift", 8000, 128, dir, &table);
+  RunDataset("deep", 8000, 96, dir, &table);
+  PrintFigure("Figure 4: on-disk efficiency vs accuracy (100-NN)", table);
+  std::printf(
+      "\nPaper shape check: DSTree and iSAX2+ dominate both frontiers;\n"
+      "IMI is fast but accuracy collapses (MAP << 1); SRS degrades\n"
+      "on-disk.\n");
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hydra::bench
+
+int main() {
+  hydra::bench::Run();
+  return 0;
+}

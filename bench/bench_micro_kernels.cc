@@ -1,0 +1,104 @@
+// Micro-benchmarks of the hot kernels (google-benchmark): distance
+// computations, summarization transforms, and lower-bound evaluations.
+// These are the inner loops whose cost the figure benches aggregate.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "distance/euclidean.h"
+#include "transform/dft.h"
+#include "transform/eapca.h"
+#include "transform/paa.h"
+#include "transform/sax.h"
+
+namespace hydra {
+namespace {
+
+Dataset BenchData(size_t n, size_t len) {
+  Rng rng(42);
+  return MakeRandomWalk(n, len, rng);
+}
+
+void BM_SquaredEuclidean(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Dataset ds = BenchData(2, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquaredEuclidean(ds.series(0), ds.series(1)));
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(BM_SquaredEuclidean)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_EuclideanEarlyAbandon(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Dataset ds = BenchData(2, len);
+  // A tight threshold forces abandonment almost immediately.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SquaredEuclideanEarlyAbandon(ds.series(0), ds.series(1), 1.0));
+  }
+}
+BENCHMARK(BM_EuclideanEarlyAbandon)->Arg(256)->Arg(1024);
+
+void BM_PaaTransform(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Dataset ds = BenchData(1, len);
+  Paa paa(len, 16);
+  std::vector<double> out(16);
+  for (auto _ : state) {
+    paa.Transform(ds.series(0), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PaaTransform)->Arg(256)->Arg(1024);
+
+void BM_SaxEncode(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Dataset ds = BenchData(1, len);
+  SaxEncoder enc(len, 16, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.Encode(ds.series(0)));
+  }
+}
+BENCHMARK(BM_SaxEncode)->Arg(256)->Arg(1024);
+
+void BM_SaxMinDist(benchmark::State& state) {
+  const size_t len = 256;
+  Dataset ds = BenchData(2, len);
+  SaxEncoder enc(len, 16, 8);
+  auto paa = enc.paa().Transform(ds.series(0));
+  auto word = enc.Encode(ds.series(1));
+  std::vector<uint8_t> bits(16, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.MinDistSqPaaToSax(paa, word, bits));
+  }
+}
+BENCHMARK(BM_SaxMinDist);
+
+void BM_EapcaTransform(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Dataset ds = BenchData(1, len);
+  Segmentation seg = UniformSegmentation(len, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EapcaTransform(ds.series(0), seg));
+  }
+}
+BENCHMARK(BM_EapcaTransform)->Arg(256)->Arg(1024);
+
+void BM_DftTransform(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Dataset ds = BenchData(1, len);
+  DftFeatures dft(len, 16);
+  std::vector<double> out(16);
+  for (auto _ : state) {
+    dft.Transform(ds.series(0), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DftTransform)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace hydra
+
+BENCHMARK_MAIN();

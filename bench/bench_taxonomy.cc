@@ -1,0 +1,52 @@
+// Table 1 / Figure 1 — taxonomy of the evaluated methods, generated from
+// code introspection (IndexCapabilities) rather than hand-written, so it
+// cannot drift from the implementations.
+
+#include "bench/bench_common.h"
+
+namespace hydra::bench {
+namespace {
+
+void Run() {
+  Rng rng(1);
+  Dataset data = MakeRandomWalk(300, 64, rng);
+  InMemoryProvider provider(&data);
+
+  std::vector<std::unique_ptr<Index>> indexes;
+  auto push = [&](BuiltIndex b) {
+    if (b.index != nullptr) indexes.push_back(std::move(b.index));
+  };
+  push(BuildDSTree(data, &provider));
+  push(BuildIsax(data, &provider));
+  push(BuildAdsPlus(data, &provider));
+  push(BuildSfa(data, &provider));
+  push(BuildVaFile(data, &provider));
+  push(BuildMTree(data, &provider));
+  push(BuildHnsw(data));
+  push(BuildImi(data));
+  push(BuildSrs(data, &provider));
+  push(BuildQalsh(data, &provider));
+  push(BuildFlann(data));
+  indexes.push_back(std::make_unique<LinearScanIndex>(&provider));
+
+  Table table({"method", "exact", "ng-approx", "eps-approx",
+               "delta-eps-approx", "disk-resident", "summarization"});
+  auto mark = [](bool b) { return b ? std::string("x") : std::string(""); };
+  for (const auto& idx : indexes) {
+    IndexCapabilities c = idx->capabilities();
+    table.AddRow({idx->name(), mark(c.exact), mark(c.ng_approximate),
+                  mark(c.epsilon_approximate),
+                  mark(c.delta_epsilon_approximate),
+                  mark(c.disk_resident), c.summarization});
+  }
+  PrintFigure("Table 1 / Figure 1: taxonomy of similarity search methods",
+              table);
+}
+
+}  // namespace
+}  // namespace hydra::bench
+
+int main() {
+  hydra::bench::Run();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Out-of-core search scenario: the collection lives in a series file on
+// disk and the buffer manager enforces a small memory budget, as when a
+// 250 GB archive meets a 75 GB machine (the paper's on-disk regime). The
+// example shows the I/O counters that drive the paper's disk analysis:
+// % of data accessed and random I/Os per query.
+//
+//   ./examples/out_of_core_search
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "index/dstree/dstree.h"
+#include "index/vafile/vafile.h"
+#include "storage/buffer_manager.h"
+#include "storage/series_file.h"
+
+int main() {
+  using namespace hydra;
+  namespace fs = std::filesystem;
+
+  fs::path dir = fs::temp_directory_path() / "hydra_out_of_core_example";
+  fs::create_directories(dir);
+  std::string path = (dir / "archive.hsf").string();
+
+  // Write a 20,000-series archive to disk.
+  Rng rng(11);
+  Dataset data = MakeRandomWalk(20000, 256, rng);
+  if (!WriteSeriesFile(path, data).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("archive: %s (%.1f MB)\n", path.c_str(),
+              static_cast<double>(data.SizeBytes()) / (1024 * 1024));
+
+  // Memory budget: 64 pages of 16 series — about 5%% of the archive.
+  auto bm = BufferManager::Open(path, /*page_series=*/16,
+                                /*capacity_pages=*/64);
+  if (!bm.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 bm.status().ToString().c_str());
+    return 1;
+  }
+
+  auto dstree = DSTreeIndex::Build(data, bm.value().get());
+  auto vafile = VaFileIndex::Build(data, bm.value().get());
+  if (!dstree.ok() || !vafile.ok()) {
+    std::fprintf(stderr, "index build failed\n");
+    return 1;
+  }
+
+  Dataset queries = MakeNoiseQueries(data, 5, 0.3, rng);
+  std::printf(
+      "\nquery  method  mode          kth_dist  %%data_read  random_io\n");
+  for (size_t q = 0; q < queries.size(); ++q) {
+    for (const Index* index :
+         {static_cast<const Index*>(dstree.value().get()),
+          static_cast<const Index*>(vafile.value().get())}) {
+      for (auto [label, eps] : {std::pair{"exact    ", 0.0},
+                                std::pair{"eps=1.0  ", 1.0}}) {
+        SearchParams params;
+        params.mode = SearchMode::kDeltaEpsilon;
+        params.k = 10;
+        params.epsilon = eps;
+        params.delta = 1.0;
+        QueryCounters c;
+        bm.value()->DropCache();  // cold cache per run, like the paper
+        auto ans = index->Search(queries.series(q), params, &c);
+        if (!ans.ok()) continue;
+        std::printf(
+            "%5zu  %-6s  %s  %8.3f  %9.2f%%  %9llu\n", q,
+            index->name().c_str(), label, ans.value().distances.back(),
+            100.0 * static_cast<double>(c.series_accessed) /
+                static_cast<double>(data.size()),
+            static_cast<unsigned long long>(c.random_ios));
+      }
+    }
+  }
+
+  std::printf(
+      "\nThe eps=1 runs answer from a sliver of the archive; the exact\n"
+      "runs show why guarantees matter when data does not fit in RAM.\n");
+  fs::remove_all(dir);
+  return 0;
+}

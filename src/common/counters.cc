@@ -1,0 +1,16 @@
+#include "common/counters.h"
+
+namespace hydra {
+
+QueryCounters& QueryCounters::operator+=(const QueryCounters& other) {
+  full_distances += other.full_distances;
+  lb_distances += other.lb_distances;
+  series_accessed += other.series_accessed;
+  bytes_read += other.bytes_read;
+  random_ios += other.random_ios;
+  leaves_visited += other.leaves_visited;
+  nodes_pushed += other.nodes_pushed;
+  return *this;
+}
+
+}  // namespace hydra

@@ -1,0 +1,30 @@
+#ifndef HYDRA_COMMON_COUNTERS_H_
+#define HYDRA_COMMON_COUNTERS_H_
+
+#include <cstdint>
+
+namespace hydra {
+
+// Implementation-independent cost counters, mirroring the measures the
+// paper reports alongside wall-clock time: number of full-resolution
+// distance computations, raw series touched, bytes read from storage, and
+// random (non-sequential) storage accesses.
+//
+// Counters are plain value objects owned by whoever runs a query; indexes
+// receive a pointer and bump the fields. No global mutable state.
+struct QueryCounters {
+  uint64_t full_distances = 0;     // Euclidean computations on raw series
+  uint64_t lb_distances = 0;       // lower-bound computations on summaries
+  uint64_t series_accessed = 0;    // raw series fetched from storage
+  uint64_t bytes_read = 0;         // payload bytes fetched from storage
+  uint64_t random_ios = 0;         // seeks: fetches not contiguous with prev
+  uint64_t leaves_visited = 0;     // tree leaves (or cells/lists) opened
+  uint64_t nodes_pushed = 0;       // priority-queue pushes
+
+  void Reset() { *this = QueryCounters(); }
+  QueryCounters& operator+=(const QueryCounters& other);
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_COMMON_COUNTERS_H_

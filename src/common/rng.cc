@@ -1,0 +1,15 @@
+#include "common/rng.h"
+
+namespace hydra {
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  std::uniform_int_distribution<uint64_t> dist(0, bound - 1);
+  return dist(engine_);
+}
+
+double Rng::NextExponential(double lambda) {
+  std::exponential_distribution<double> dist(lambda);
+  return dist(engine_);
+}
+
+}  // namespace hydra

@@ -1,0 +1,45 @@
+#ifndef HYDRA_COMMON_RNG_H_
+#define HYDRA_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace hydra {
+
+// Deterministic random number generator used by every stochastic component
+// (data generators, k-means seeding, LSH projections, HNSW level draws).
+// Centralizing on one engine keeps experiments reproducible: the same seed
+// yields the same dataset, index and query workload on every platform that
+// implements std::mt19937_64 (the standard fixes its output sequence).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform in [0, 1).
+  double NextDouble() { return unit_(engine_); }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  // Standard normal N(0, 1).
+  double NextGaussian() { return gauss_(engine_); }
+
+  // Uniform in [lo, hi).
+  double NextUniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Exponential with rate lambda.
+  double NextExponential(double lambda);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> gauss_{0.0, 1.0};
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_COMMON_RNG_H_

@@ -1,0 +1,110 @@
+#ifndef HYDRA_COMMON_STATUS_H_
+#define HYDRA_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hydra {
+
+// Error codes used across the library. Modeled after the small, flat set of
+// codes used by production storage engines: a Status is cheap to construct
+// and copy in the OK case, and carries a message only on failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+// Plain-value error type: no exceptions cross the public API.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> is either a value or a Status error. Accessing value() on an
+// error result aborts: callers must check ok() first (enforced in tests).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : value_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+// Propagate errors up the stack without exceptions.
+#define HYDRA_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::hydra::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#define HYDRA_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+#define HYDRA_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define HYDRA_ASSIGN_OR_RETURN_NAME(x, y) HYDRA_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define HYDRA_ASSIGN_OR_RETURN(lhs, rexpr) \
+  HYDRA_ASSIGN_OR_RETURN_IMPL(             \
+      HYDRA_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, rexpr)
+
+}  // namespace hydra
+
+#endif  // HYDRA_COMMON_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef HYDRA_COMMON_TIMER_H_
+#define HYDRA_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace hydra {
+
+// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_COMMON_TIMER_H_

@@ -1,0 +1,32 @@
+#include "core/dataset.h"
+
+#include <utility>
+
+namespace hydra {
+
+Result<Dataset> Dataset::FromValues(size_t num_series, size_t length,
+                                    std::vector<float> values) {
+  if (values.size() != num_series * length) {
+    return Status::InvalidArgument(
+        "FromValues: buffer size does not equal num_series * length");
+  }
+  Dataset ds;
+  ds.num_series_ = num_series;
+  ds.length_ = length;
+  ds.values_ = std::move(values);
+  return ds;
+}
+
+Status Dataset::Append(std::span<const float> series) {
+  if (num_series_ == 0 && length_ == 0) {
+    length_ = series.size();
+  }
+  if (series.size() != length_) {
+    return Status::InvalidArgument("Append: series length mismatch");
+  }
+  values_.insert(values_.end(), series.begin(), series.end());
+  ++num_series_;
+  return Status::OK();
+}
+
+}  // namespace hydra

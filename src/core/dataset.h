@@ -1,0 +1,63 @@
+#ifndef HYDRA_CORE_DATASET_H_
+#define HYDRA_CORE_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hydra {
+
+// A collection of equal-length data series stored contiguously in
+// row-major float32, the layout every index in this library consumes and
+// the same layout the on-disk format (storage/series_file.h) uses.
+//
+// Within similarity search a series of length n is interchangeable with an
+// n-dimensional vector (paper §2), so Dataset serves both the data-series
+// methods (DSTree, iSAX2+, VA+file) and the vector methods (HNSW, IMI, ...).
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(size_t num_series, size_t length)
+      : num_series_(num_series),
+        length_(length),
+        values_(num_series * length, 0.0f) {}
+
+  // Takes ownership of a pre-filled row-major buffer.
+  // values.size() must equal num_series * length.
+  static Result<Dataset> FromValues(size_t num_series, size_t length,
+                                    std::vector<float> values);
+
+  size_t size() const { return num_series_; }
+  size_t length() const { return length_; }
+  bool empty() const { return num_series_ == 0; }
+
+  std::span<const float> series(size_t i) const {
+    return {values_.data() + i * length_, length_};
+  }
+  std::span<float> mutable_series(size_t i) {
+    return {values_.data() + i * length_, length_};
+  }
+
+  const std::vector<float>& values() const { return values_; }
+  const float* data() const { return values_.data(); }
+
+  // Appends one series; its size must match length() (or define the
+  // length when the dataset is still empty).
+  Status Append(std::span<const float> series);
+
+  // Total payload bytes (what the paper calls the "dataset size").
+  size_t SizeBytes() const { return values_.size() * sizeof(float); }
+
+ private:
+  size_t num_series_ = 0;
+  size_t length_ = 0;
+  std::vector<float> values_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_CORE_DATASET_H_

@@ -1,0 +1,157 @@
+#include "core/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace hydra {
+
+Dataset MakeRandomWalk(size_t num_series, size_t length, Rng& rng) {
+  Dataset ds(num_series, length);
+  for (size_t i = 0; i < num_series; ++i) {
+    auto s = ds.mutable_series(i);
+    double level = 0.0;
+    for (size_t t = 0; t < length; ++t) {
+      level += rng.NextGaussian();
+      s[t] = static_cast<float>(level);
+    }
+  }
+  return ds;
+}
+
+Dataset MakeSiftAnalog(size_t num_series, size_t length, Rng& rng,
+                       size_t num_clusters) {
+  // Cluster centers themselves look like sparse gradient histograms: most
+  // bins small, a few dominant orientations.
+  std::vector<float> centers(num_clusters * length);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    for (size_t d = 0; d < length; ++d) {
+      double base = std::abs(rng.NextGaussian()) * 10.0;
+      if (rng.NextDouble() < 0.1) base += 60.0 + 40.0 * rng.NextDouble();
+      centers[c * length + d] = static_cast<float>(base);
+    }
+  }
+  Dataset ds(num_series, length);
+  for (size_t i = 0; i < num_series; ++i) {
+    size_t c = rng.NextUint64(num_clusters);
+    auto s = ds.mutable_series(i);
+    for (size_t d = 0; d < length; ++d) {
+      double v = centers[c * length + d] + 8.0 * rng.NextGaussian();
+      // SIFT bins are non-negative and saturated at 255 by convention.
+      s[d] = static_cast<float>(std::clamp(v, 0.0, 255.0));
+    }
+  }
+  return ds;
+}
+
+Dataset MakeDeepAnalog(size_t num_series, size_t length, Rng& rng,
+                       size_t num_clusters, size_t rank) {
+  // Each cluster: center + low-rank factor loadings, so dimensions are
+  // correlated (as in CNN embeddings) and intrinsic dimensionality ~ rank.
+  std::vector<float> centers(num_clusters * length);
+  std::vector<float> factors(num_clusters * rank * length);
+  for (float& v : centers) v = static_cast<float>(rng.NextGaussian());
+  for (float& v : factors) v = static_cast<float>(rng.NextGaussian() * 0.7);
+
+  Dataset ds(num_series, length);
+  std::vector<double> z(rank);
+  for (size_t i = 0; i < num_series; ++i) {
+    size_t c = rng.NextUint64(num_clusters);
+    for (size_t r = 0; r < rank; ++r) z[r] = rng.NextGaussian();
+    auto s = ds.mutable_series(i);
+    double norm2 = 0.0;
+    for (size_t d = 0; d < length; ++d) {
+      double v = centers[c * length + d];
+      for (size_t r = 0; r < rank; ++r) {
+        v += z[r] * factors[(c * rank + r) * length + d];
+      }
+      v += 0.05 * rng.NextGaussian();  // isotropic residual
+      s[d] = static_cast<float>(v);
+      norm2 += v * v;
+    }
+    // Deep descriptors are L2-normalized in the public Deep1B release.
+    double inv = norm2 > 0 ? 1.0 / std::sqrt(norm2) : 0.0;
+    for (size_t d = 0; d < length; ++d) {
+      s[d] = static_cast<float>(s[d] * inv);
+    }
+  }
+  return ds;
+}
+
+Dataset MakeSeismicAnalog(size_t num_series, size_t length, Rng& rng) {
+  Dataset ds(num_series, length);
+  for (size_t i = 0; i < num_series; ++i) {
+    auto s = ds.mutable_series(i);
+    // AR(2) background noise with mild oscillation.
+    double x1 = 0.0, x2 = 0.0;
+    // Random event: onset, duration, dominant frequency, amplitude.
+    size_t onset = rng.NextUint64(length);
+    size_t duration = 8 + rng.NextUint64(std::max<size_t>(1, length / 2));
+    double freq = 0.05 + 0.20 * rng.NextDouble();  // cycles per sample
+    double amp = 4.0 + 12.0 * rng.NextDouble();
+    for (size_t t = 0; t < length; ++t) {
+      double x = 1.6 * x1 - 0.9 * x2 + 0.3 * rng.NextGaussian();
+      x2 = x1;
+      x1 = x;
+      double v = x;
+      if (t >= onset && t < onset + duration) {
+        double phase = 2.0 * std::numbers::pi * freq *
+                       static_cast<double>(t - onset);
+        double decay =
+            std::exp(-3.0 * static_cast<double>(t - onset) / duration);
+        v += amp * decay * std::sin(phase);
+      }
+      s[t] = static_cast<float>(v);
+    }
+  }
+  return ds;
+}
+
+Dataset MakeSaldAnalog(size_t num_series, size_t length, Rng& rng) {
+  Dataset ds(num_series, length);
+  for (size_t i = 0; i < num_series; ++i) {
+    auto s = ds.mutable_series(i);
+    // 3 damped low-frequency harmonics + linear drift + tiny noise.
+    double a1 = rng.NextGaussian(), a2 = 0.5 * rng.NextGaussian(),
+           a3 = 0.25 * rng.NextGaussian();
+    double f1 = 0.5 + rng.NextDouble(), f2 = 1.0 + rng.NextDouble(),
+           f3 = 2.0 + rng.NextDouble();  // cycles over the whole series
+    double drift = 0.3 * rng.NextGaussian();
+    for (size_t t = 0; t < length; ++t) {
+      double u = static_cast<double>(t) / static_cast<double>(length);
+      double v = a1 * std::sin(2.0 * std::numbers::pi * f1 * u) +
+                 a2 * std::sin(2.0 * std::numbers::pi * f2 * u + 1.3) +
+                 a3 * std::sin(2.0 * std::numbers::pi * f3 * u + 0.7) +
+                 drift * u + 0.02 * rng.NextGaussian();
+      s[t] = static_cast<float>(v);
+    }
+  }
+  return ds;
+}
+
+Dataset MakeNoiseQueries(const Dataset& base, size_t num_queries,
+                         double noise_fraction, Rng& rng) {
+  Dataset queries(num_queries, base.length());
+  if (base.empty()) return queries;
+  for (size_t q = 0; q < num_queries; ++q) {
+    size_t pick = rng.NextUint64(base.size());
+    auto src = base.series(pick);
+    // Noise scale relative to the picked series' own dispersion, so
+    // "difficulty" is comparable across heterogeneous datasets.
+    double mean = 0.0;
+    for (float v : src) mean += v;
+    mean /= static_cast<double>(src.size());
+    double var = 0.0;
+    for (float v : src) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(src.size());
+    double sigma = noise_fraction * std::sqrt(std::max(var, 1e-12));
+    auto dst = queries.mutable_series(q);
+    for (size_t t = 0; t < src.size(); ++t) {
+      dst[t] = static_cast<float>(src[t] + sigma * rng.NextGaussian());
+    }
+  }
+  return queries;
+}
+
+}  // namespace hydra

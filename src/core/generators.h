@@ -1,0 +1,51 @@
+#ifndef HYDRA_CORE_GENERATORS_H_
+#define HYDRA_CORE_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/dataset.h"
+
+namespace hydra {
+
+// Synthetic dataset generators. MakeRandomWalk reproduces the paper's Rand
+// generator exactly (cumulative sum of N(0,1) steps); the *Analog
+// generators are documented substitutions for the paper's real datasets
+// (Sift1B, Deep1B, Seismic, SALD), engineered to exercise the same index
+// code paths: cluster structure, value correlation, spectral energy
+// concentration. See DESIGN.md §3 for the substitution rationale.
+
+// Random-walk series: S[0] = N(0,1), S[i] = S[i-1] + N(0,1).
+Dataset MakeRandomWalk(size_t num_series, size_t length, Rng& rng);
+
+// SIFT-like vectors: non-negative, cluster-structured, bounded magnitude.
+// Drawn as |N(c_j, sigma)| around k cluster centers with sparse large bins,
+// mimicking gradient-histogram descriptors.
+Dataset MakeSiftAnalog(size_t num_series, size_t length, Rng& rng,
+                       size_t num_clusters = 64);
+
+// Deep-embedding-like vectors: unit-normalized mixture of Gaussians with
+// low-rank covariance (correlated dimensions), like CNN feature layers.
+Dataset MakeDeepAnalog(size_t num_series, size_t length, Rng& rng,
+                       size_t num_clusters = 32, size_t rank = 8);
+
+// Seismic-like series: quiet AR(2) background with random high-energy
+// oscillatory event bursts (earthquake arrivals).
+Dataset MakeSeismicAnalog(size_t num_series, size_t length, Rng& rng);
+
+// SALD(MRI)-like series: smooth sums of few damped low-frequency sinusoids
+// plus slow drift; spectral energy concentrated in leading coefficients.
+Dataset MakeSaldAnalog(size_t num_series, size_t length, Rng& rng);
+
+// Query workloads. For the synthetic datasets the paper draws queries from
+// the same generator with a different seed; for real datasets it perturbs
+// held-out series with progressively larger noise to control difficulty
+// (following Zoumpatianos et al., "Generating data series query
+// workloads"). noise_fraction is the std of the added Gaussian noise
+// relative to the std of the series.
+Dataset MakeNoiseQueries(const Dataset& base, size_t num_queries,
+                         double noise_fraction, Rng& rng);
+
+}  // namespace hydra
+
+#endif  // HYDRA_CORE_GENERATORS_H_

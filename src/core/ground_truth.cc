@@ -1,0 +1,49 @@
+#include "core/ground_truth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "distance/euclidean.h"
+
+namespace hydra {
+
+KnnAnswer ExactKnn(const Dataset& data, std::span<const float> query,
+                   size_t k) {
+  // Max-heap of the best k (squared distance, id) pairs seen so far.
+  std::priority_queue<std::pair<double, int64_t>> heap;
+  for (size_t i = 0; i < data.size(); ++i) {
+    double threshold = heap.size() == k
+                           ? heap.top().first
+                           : std::numeric_limits<double>::infinity();
+    double d2 =
+        SquaredEuclideanEarlyAbandon(query, data.series(i), threshold);
+    if (heap.size() < k) {
+      heap.emplace(d2, static_cast<int64_t>(i));
+    } else if (d2 < heap.top().first) {
+      heap.pop();
+      heap.emplace(d2, static_cast<int64_t>(i));
+    }
+  }
+  KnnAnswer ans;
+  ans.ids.resize(heap.size());
+  ans.distances.resize(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    ans.ids[i] = heap.top().second;
+    ans.distances[i] = std::sqrt(heap.top().first);
+    heap.pop();
+  }
+  return ans;
+}
+
+std::vector<KnnAnswer> ExactKnnWorkload(const Dataset& data,
+                                        const Dataset& queries, size_t k) {
+  std::vector<KnnAnswer> out;
+  out.reserve(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    out.push_back(ExactKnn(data, queries.series(q), k));
+  }
+  return out;
+}
+
+}  // namespace hydra

@@ -1,0 +1,21 @@
+#ifndef HYDRA_CORE_GROUND_TRUTH_H_
+#define HYDRA_CORE_GROUND_TRUTH_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/metrics.h"
+
+namespace hydra {
+
+// Exact k-NN by brute force over the full dataset; the reference answers
+// against which every approximate method is scored. O(N·n) per query.
+KnnAnswer ExactKnn(const Dataset& data, std::span<const float> query,
+                   size_t k);
+
+std::vector<KnnAnswer> ExactKnnWorkload(const Dataset& data,
+                                        const Dataset& queries, size_t k);
+
+}  // namespace hydra
+
+#endif  // HYDRA_CORE_GROUND_TRUTH_H_

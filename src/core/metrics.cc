@@ -1,0 +1,81 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hydra {
+namespace {
+
+std::unordered_set<int64_t> TrueSet(const KnnAnswer& exact, size_t k) {
+  std::unordered_set<int64_t> s;
+  size_t n = std::min(exact.size(), k);
+  s.reserve(n);
+  for (size_t i = 0; i < n; ++i) s.insert(exact.ids[i]);
+  return s;
+}
+
+}  // namespace
+
+double RecallAt(const KnnAnswer& exact, const KnnAnswer& approx, size_t k) {
+  if (k == 0) return 0.0;
+  auto truth = TrueSet(exact, k);
+  size_t hits = 0;
+  size_t n = std::min(approx.size(), k);
+  for (size_t i = 0; i < n; ++i) {
+    if (truth.count(approx.ids[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double AveragePrecisionAt(const KnnAnswer& exact, const KnnAnswer& approx,
+                          size_t k) {
+  if (k == 0) return 0.0;
+  auto truth = TrueSet(exact, k);
+  size_t hits = 0;
+  double sum = 0.0;
+  size_t n = std::min(approx.size(), k);
+  for (size_t r = 1; r <= n; ++r) {
+    bool rel = truth.count(approx.ids[r - 1]) > 0;
+    if (rel) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(r);
+    }
+  }
+  return sum / static_cast<double>(k);
+}
+
+double RelativeErrorAt(const KnnAnswer& exact, const KnnAnswer& approx,
+                       size_t k) {
+  if (k == 0) return 0.0;
+  size_t n = std::min(exact.size(), k);
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  size_t counted = 0;
+  for (size_t r = 0; r < n; ++r) {
+    double d_true = exact.distances[r];
+    if (d_true <= 0.0) continue;  // paper excludes zero-distance NNs
+    if (r >= approx.size()) continue;  // missing ranks: recall/MAP penalize
+    sum += (approx.distances[r] - d_true) / d_true;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+WorkloadAccuracy AggregateAccuracy(const std::vector<KnnAnswer>& exact,
+                                   const std::vector<KnnAnswer>& approx,
+                                   size_t k) {
+  WorkloadAccuracy acc;
+  size_t n = std::min(exact.size(), approx.size());
+  if (n == 0) return acc;
+  for (size_t i = 0; i < n; ++i) {
+    acc.avg_recall += RecallAt(exact[i], approx[i], k);
+    acc.map += AveragePrecisionAt(exact[i], approx[i], k);
+    acc.mre += RelativeErrorAt(exact[i], approx[i], k);
+  }
+  acc.avg_recall /= static_cast<double>(n);
+  acc.map /= static_cast<double>(n);
+  acc.mre /= static_cast<double>(n);
+  return acc;
+}
+
+}  // namespace hydra

@@ -1,0 +1,55 @@
+#ifndef HYDRA_CORE_METRICS_H_
+#define HYDRA_CORE_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hydra {
+
+// One exact (ground-truth) or approximate k-NN answer: ids sorted by
+// increasing distance, distances in true (not squared) Euclidean space.
+// An approximate method may return fewer than k entries (paper §5 notes
+// ng-approximate methods can return incomplete result sets).
+struct KnnAnswer {
+  std::vector<int64_t> ids;
+  std::vector<double> distances;
+
+  size_t size() const { return ids.size(); }
+};
+
+// Per-query accuracy measures, defined exactly as in paper §4.1.
+//
+// Recall(Q)     = |returned ∩ true-k| / k.
+// AP(Q)         = (1/k) Σ_{r=1..k} P(Q,r) · rel(r), where P(Q,r) is the
+//                 precision among the first r returned and rel(r)=1 iff the
+//                 r-th returned item is one of the true k neighbors.
+// RE(Q)         = (1/k) Σ_{r=1..k} (d(Q,C_r) − d(Q,C*_r)) / d(Q,C*_r),
+//                 the mean relative error of the r-th approximate distance
+//                 against the r-th exact distance.
+//
+// `approx` entries beyond k are ignored; missing entries count as misses
+// for Recall and AP. RE is computed over the returned ranks only (an
+// incomplete set is penalized by Recall/MAP, not by a synthetic
+// distance), and is always >= 0 because the r-th approximate distance
+// can never beat the r-th exact distance.
+double RecallAt(const KnnAnswer& exact, const KnnAnswer& approx, size_t k);
+double AveragePrecisionAt(const KnnAnswer& exact, const KnnAnswer& approx,
+                          size_t k);
+double RelativeErrorAt(const KnnAnswer& exact, const KnnAnswer& approx,
+                       size_t k);
+
+// Workload-level aggregates (paper: Avg Recall, MAP, MRE).
+struct WorkloadAccuracy {
+  double avg_recall = 0.0;
+  double map = 0.0;
+  double mre = 0.0;
+};
+
+WorkloadAccuracy AggregateAccuracy(const std::vector<KnnAnswer>& exact,
+                                   const std::vector<KnnAnswer>& approx,
+                                   size_t k);
+
+}  // namespace hydra
+
+#endif  // HYDRA_CORE_METRICS_H_

@@ -1,0 +1,32 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hydra {
+
+WorkloadTiming SummarizeWorkload(const std::vector<double>& per_query_seconds,
+                                 size_t extrapolate_to,
+                                 size_t trim_each_side) {
+  WorkloadTiming t;
+  if (per_query_seconds.empty()) return t;
+  t.total_seconds = std::accumulate(per_query_seconds.begin(),
+                                    per_query_seconds.end(), 0.0);
+  if (t.total_seconds > 0.0) {
+    t.throughput_per_min =
+        static_cast<double>(per_query_seconds.size()) / t.total_seconds * 60.0;
+  }
+
+  std::vector<double> sorted = per_query_seconds;
+  std::sort(sorted.begin(), sorted.end());
+  size_t trim = trim_each_side;
+  if (sorted.size() <= 2 * trim) trim = 0;  // workload too small to trim
+  double trimmed_sum = std::accumulate(sorted.begin() + trim,
+                                       sorted.end() - trim, 0.0);
+  double trimmed_mean =
+      trimmed_sum / static_cast<double>(sorted.size() - 2 * trim);
+  t.extrapolated_10k_sec = trimmed_mean * static_cast<double>(extrapolate_to);
+  return t;
+}
+
+}  // namespace hydra

@@ -1,0 +1,26 @@
+#ifndef HYDRA_CORE_WORKLOAD_H_
+#define HYDRA_CORE_WORKLOAD_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hydra {
+
+// Workload timing protocol from paper §4.1:
+//  * workloads consist of 100 queries, run one at a time;
+//  * results for 10K-query workloads are extrapolated by dropping the 5
+//    best and 5 worst queries (by total execution time) and multiplying
+//    the mean of the remaining 90 by 10,000.
+struct WorkloadTiming {
+  double total_seconds = 0.0;         // sum over all queries, as measured
+  double throughput_per_min = 0.0;    // queries per minute
+  double extrapolated_10k_sec = 0.0;  // trimmed-mean protocol, see above
+};
+
+WorkloadTiming SummarizeWorkload(const std::vector<double>& per_query_seconds,
+                                 size_t extrapolate_to = 10000,
+                                 size_t trim_each_side = 5);
+
+}  // namespace hydra
+
+#endif  // HYDRA_CORE_WORKLOAD_H_

@@ -1,0 +1,26 @@
+#ifndef HYDRA_DISTANCE_EUCLIDEAN_H_
+#define HYDRA_DISTANCE_EUCLIDEAN_H_
+
+#include <cstddef>
+#include <span>
+
+namespace hydra {
+
+// Squared Euclidean distance. All indexes compare and prune in squared
+// space (avoids sqrt on the hot path) and take the root only for reported
+// distances and for the epsilon/delta arithmetic, which the paper defines
+// on true distances.
+double SquaredEuclidean(std::span<const float> a, std::span<const float> b);
+
+// Early-abandoning variant: returns a value > threshold (not necessarily
+// the exact distance) as soon as the running sum exceeds `threshold`.
+// Used by leaf scans where bsf gives a cutoff.
+double SquaredEuclideanEarlyAbandon(std::span<const float> a,
+                                    std::span<const float> b,
+                                    double threshold);
+
+double Euclidean(std::span<const float> a, std::span<const float> b);
+
+}  // namespace hydra
+
+#endif  // HYDRA_DISTANCE_EUCLIDEAN_H_

@@ -1,0 +1,94 @@
+#include "harness/experiment.h"
+
+#include <cstdio>
+
+#include "common/timer.h"
+
+namespace hydra {
+
+double RunResult::DataAccessedFraction(size_t collection_size) const {
+  if (collection_size == 0 || num_queries == 0) return 0.0;
+  double per_query = static_cast<double>(counters.series_accessed) /
+                     static_cast<double>(num_queries);
+  return per_query / static_cast<double>(collection_size);
+}
+
+double RunResult::RandomIosPerQuery() const {
+  if (num_queries == 0) return 0.0;
+  return static_cast<double>(counters.random_ios) /
+         static_cast<double>(num_queries);
+}
+
+RunResult RunWorkload(const Index& index, const Dataset& queries,
+                      const std::vector<KnnAnswer>& ground_truth,
+                      const SearchParams& params,
+                      const std::string& setting) {
+  RunResult result;
+  result.method = index.name();
+  result.setting = setting;
+  result.index_bytes = index.MemoryBytes();
+
+  std::vector<double> per_query_seconds;
+  per_query_seconds.reserve(queries.size());
+  std::vector<KnnAnswer> answers;
+  answers.reserve(queries.size());
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryCounters counters;
+    Timer timer;
+    Result<KnnAnswer> ans = index.Search(queries.series(q), params, &counters);
+    per_query_seconds.push_back(timer.ElapsedSeconds());
+    answers.push_back(ans.ok() ? std::move(ans).value() : KnnAnswer{});
+    result.counters += counters;
+  }
+  result.timing = SummarizeWorkload(per_query_seconds);
+  result.accuracy = AggregateAccuracy(ground_truth, answers, params.k);
+  result.num_queries = queries.size();
+  return result;
+}
+
+std::vector<RunResult> RunSweep(const Index& index, const Dataset& queries,
+                                const std::vector<KnnAnswer>& ground_truth,
+                                const std::vector<SweepPoint>& points) {
+  std::vector<RunResult> results;
+  results.reserve(points.size());
+  for (const SweepPoint& p : points) {
+    results.push_back(
+        RunWorkload(index, queries, ground_truth, p.params, p.setting));
+  }
+  return results;
+}
+
+std::vector<SweepPoint> NgSweep(size_t k, const std::vector<size_t>& nprobes) {
+  std::vector<SweepPoint> out;
+  for (size_t np : nprobes) {
+    SweepPoint p;
+    p.params.mode = SearchMode::kNgApproximate;
+    p.params.k = k;
+    p.params.nprobe = np;
+    p.params.efs = np;  // HNSW interprets the knob as efs
+    p.setting = "nprobe=" + std::to_string(np);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<SweepPoint> EpsilonSweep(size_t k,
+                                     const std::vector<double>& epsilons,
+                                     double delta) {
+  std::vector<SweepPoint> out;
+  for (double eps : epsilons) {
+    SweepPoint p;
+    p.params.mode = SearchMode::kDeltaEpsilon;
+    p.params.k = k;
+    p.params.epsilon = eps;
+    p.params.delta = delta;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "eps=%.2f,delta=%.2f", eps, delta);
+    p.setting = buf;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace hydra

@@ -1,0 +1,61 @@
+#ifndef HYDRA_HARNESS_EXPERIMENT_H_
+#define HYDRA_HARNESS_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/counters.h"
+#include "core/dataset.h"
+#include "core/metrics.h"
+#include "core/workload.h"
+#include "index/index.h"
+
+namespace hydra {
+
+// One (method, parameter point) measurement over a query workload:
+// timing under the paper's protocol plus accuracy against ground truth
+// and the aggregated implementation-independent counters.
+struct RunResult {
+  std::string method;
+  std::string setting;  // human-readable knob, e.g. "nprobe=4" or "eps=1"
+  WorkloadTiming timing;
+  WorkloadAccuracy accuracy;
+  QueryCounters counters;  // summed over the workload
+  double index_build_seconds = 0.0;
+  size_t index_bytes = 0;
+
+  size_t num_queries = 0;
+
+  // Fraction of the collection's raw series touched per query on average.
+  double DataAccessedFraction(size_t collection_size) const;
+  // Random I/Os per query on average.
+  double RandomIosPerQuery() const;
+};
+
+// Runs `params` over every query in `queries` against `index`, scoring
+// each answer against `ground_truth` (exact k-NN for the same workload).
+RunResult RunWorkload(const Index& index, const Dataset& queries,
+                      const std::vector<KnnAnswer>& ground_truth,
+                      const SearchParams& params, const std::string& setting);
+
+// Sweep helper: the efficiency/accuracy frontier of one method, produced
+// by varying a knob (nprobe, efs, epsilon...). Used by the figure benches.
+struct SweepPoint {
+  SearchParams params;
+  std::string setting;
+};
+
+std::vector<RunResult> RunSweep(const Index& index, const Dataset& queries,
+                                const std::vector<KnnAnswer>& ground_truth,
+                                const std::vector<SweepPoint>& points);
+
+// Canonical knob sweeps used across figures.
+std::vector<SweepPoint> NgSweep(size_t k, const std::vector<size_t>& nprobes);
+std::vector<SweepPoint> EpsilonSweep(size_t k,
+                                     const std::vector<double>& epsilons,
+                                     double delta = 1.0);
+
+}  // namespace hydra
+
+#endif  // HYDRA_HARNESS_EXPERIMENT_H_

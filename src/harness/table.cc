@@ -1,0 +1,65 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hydra {
+
+std::string Table::ToAlignedText() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      out += cell;
+      out.append(widths[c] - cell.size() + 2, ' ');
+    }
+    // Trim trailing spaces for clean diffs.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit_row(headers_);
+  std::vector<std::string> rule(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule[c].assign(widths[c], '-');
+  }
+  emit_row(rule);
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += row[c];
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace hydra

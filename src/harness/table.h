@@ -1,0 +1,35 @@
+#ifndef HYDRA_HARNESS_TABLE_H_
+#define HYDRA_HARNESS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace hydra {
+
+// Minimal aligned-text table for the benchmark binaries: each bench prints
+// the rows/series of one paper figure in a stable, diffable format, plus a
+// CSV form for plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  std::string ToAlignedText() const;
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision float formatting helpers for table cells.
+std::string FormatDouble(double v, int precision = 3);
+std::string FormatPercent(double fraction, int precision = 2);
+
+}  // namespace hydra
+
+#endif  // HYDRA_HARNESS_TABLE_H_

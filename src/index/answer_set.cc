@@ -1,0 +1,38 @@
+#include "index/answer_set.h"
+
+#include <cmath>
+#include <limits>
+
+namespace hydra {
+
+bool AnswerSet::Offer(double dist_sq, int64_t id) {
+  if (heap_.size() < k_) {
+    heap_.emplace(dist_sq, id);
+    return true;
+  }
+  if (dist_sq < heap_.top().first) {
+    heap_.pop();
+    heap_.emplace(dist_sq, id);
+    return true;
+  }
+  return false;
+}
+
+double AnswerSet::KthDistanceSq() const {
+  if (heap_.size() < k_) return std::numeric_limits<double>::infinity();
+  return heap_.top().first;
+}
+
+KnnAnswer AnswerSet::Finish() {
+  KnnAnswer ans;
+  ans.ids.resize(heap_.size());
+  ans.distances.resize(heap_.size());
+  for (size_t i = heap_.size(); i-- > 0;) {
+    ans.ids[i] = heap_.top().second;
+    ans.distances[i] = std::sqrt(heap_.top().first);
+    heap_.pop();
+  }
+  return ans;
+}
+
+}  // namespace hydra

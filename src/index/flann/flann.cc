@@ -1,0 +1,90 @@
+#include "index/flann/flann.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "index/answer_set.h"
+
+namespace hydra {
+
+Result<std::unique_ptr<FlannIndex>> FlannIndex::Build(
+    const Dataset& data, const FlannOptions& options) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  std::unique_ptr<FlannIndex> index(new FlannIndex(data, options));
+  index->series_length_ = data.length();
+
+  switch (options.algorithm) {
+    case FlannOptions::Algorithm::kKdForest:
+      index->kd_ = std::make_unique<KdForest>(data, options.kd);
+      return index;
+    case FlannOptions::Algorithm::kKmeansTree:
+      index->kmeans_ = std::make_unique<KmeansTree>(data, options.kmeans);
+      return index;
+    case FlannOptions::Algorithm::kAuto:
+      break;
+  }
+
+  // Auto-selection bake-off: time a sample of self-queries on both
+  // structures at the default checks budget and keep the faster.
+  auto kd = std::make_unique<KdForest>(data, options.kd);
+  auto km = std::make_unique<KmeansTree>(data, options.kmeans);
+  Rng rng(options.kd.seed ^ options.kmeans.seed);
+  size_t trials = std::max<size_t>(options.autotune_queries, 1);
+
+  double kd_time = 0.0, km_time = 0.0;
+  for (size_t t = 0; t < trials; ++t) {
+    auto q = data.series(rng.NextUint64(data.size()));
+    {
+      Timer timer;
+      AnswerSet a(1);
+      kd->Search(q, options.default_checks, &a, nullptr);
+      kd_time += timer.ElapsedSeconds();
+    }
+    {
+      Timer timer;
+      AnswerSet a(1);
+      km->Search(q, options.default_checks, &a, nullptr);
+      km_time += timer.ElapsedSeconds();
+    }
+  }
+  if (kd_time <= km_time) {
+    index->kd_ = std::move(kd);
+  } else {
+    index->kmeans_ = std::move(km);
+  }
+  return index;
+}
+
+Result<KnnAnswer> FlannIndex::Search(std::span<const float> query,
+                                     const SearchParams& params,
+                                     QueryCounters* counters) const {
+  if (params.k == 0) return Status::InvalidArgument("k must be > 0");
+  if (params.mode != SearchMode::kNgApproximate) {
+    return Status::Unimplemented(
+        "flann supports ng-approximate search only");
+  }
+  if (query.size() != series_length_) {
+    return Status::InvalidArgument("query length mismatch");
+  }
+  size_t checks = params.nprobe > 0 ? params.nprobe : options_.default_checks;
+  checks = std::max(checks, params.k);
+  AnswerSet answers(params.k);
+  if (kd_ != nullptr) {
+    kd_->Search(query, checks, &answers, counters);
+  } else {
+    kmeans_->Search(query, checks, &answers, counters);
+  }
+  return answers.Finish();
+}
+
+size_t FlannIndex::MemoryBytes() const {
+  size_t total = sizeof(*this);
+  if (kd_ != nullptr) total += kd_->MemoryBytes();
+  if (kmeans_ != nullptr) total += kmeans_->MemoryBytes();
+  // Flann keeps raw vectors resident for refinement.
+  total += data_->SizeBytes();
+  return total;
+}
+
+}  // namespace hydra

@@ -1,0 +1,87 @@
+#ifndef HYDRA_INDEX_HNSW_HNSW_H_
+#define HYDRA_INDEX_HNSW_HNSW_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "index/index.h"
+
+namespace hydra {
+
+// Hierarchical Navigable Small World graph (Malkov & Yashunin 2016).
+// Multi-layer proximity graph: layer assignment is geometric with scale
+// 1/ln(M); search greedily descends from the top layer to layer 0 and runs
+// a best-first beam of width ef there. Neighbor sets are pruned with the
+// original heuristic (keep a candidate only if it is closer to the new
+// element than to any already-selected neighbor), which preserves graph
+// navigability on clustered data.
+//
+// In-memory only and ng-approximate only, exactly as evaluated in the
+// paper (the efs knob trades accuracy for speed at query time).
+struct HnswOptions {
+  size_t M = 16;                // bidirectional links per node (layer > 0)
+  size_t ef_construction = 200;
+  size_t default_ef_search = 64;
+  uint64_t seed = 7;
+};
+
+class HnswIndex : public Index {
+ public:
+  static Result<std::unique_ptr<HnswIndex>> Build(
+      const Dataset& data, const HnswOptions& options = {});
+
+  std::string name() const override { return "hnsw"; }
+  IndexCapabilities capabilities() const override {
+    IndexCapabilities c;
+    c.ng_approximate = true;
+    c.disk_resident = false;
+    c.summarization = "graph";
+    return c;
+  }
+  size_t MemoryBytes() const override;
+
+  Result<KnnAnswer> Search(std::span<const float> query,
+                           const SearchParams& params,
+                           QueryCounters* counters) const override;
+
+  // Introspection for tests.
+  size_t max_level() const { return max_level_; }
+  size_t NumNeighbors(size_t node, size_t level) const;
+
+ private:
+  HnswIndex(const Dataset& data, const HnswOptions& options)
+      : data_(&data), options_(options) {}
+
+  // Greedy single-entry descent used above the beam layer.
+  size_t GreedyClosest(std::span<const float> query, size_t entry,
+                       size_t level, QueryCounters* counters) const;
+  // Best-first beam search on one layer; returns up to ef closest
+  // (dist_sq, id), ascending.
+  std::vector<std::pair<double, size_t>> SearchLayer(
+      std::span<const float> query, size_t entry, size_t level, size_t ef,
+      QueryCounters* counters) const;
+  // The paper-original neighbor selection heuristic.
+  std::vector<size_t> SelectNeighbors(
+      size_t node, std::vector<std::pair<double, size_t>> candidates,
+      size_t m) const;
+
+  std::vector<size_t>& Neighbors(size_t node, size_t level) {
+    return links_[node][level];
+  }
+  const std::vector<size_t>& Neighbors(size_t node, size_t level) const {
+    return links_[node][level];
+  }
+
+  const Dataset* data_;  // HNSW keeps raw vectors resident (paper §4.2.3)
+  HnswOptions options_;
+  std::vector<std::vector<std::vector<size_t>>> links_;  // node→level→ids
+  std::vector<size_t> levels_;
+  size_t entry_point_ = 0;
+  size_t max_level_ = 0;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_INDEX_HNSW_HNSW_H_

@@ -1,0 +1,78 @@
+#ifndef HYDRA_INDEX_IMI_IMI_H_
+#define HYDRA_INDEX_IMI_IMI_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "index/index.h"
+#include "transform/opq.h"
+#include "transform/product_quantizer.h"
+
+namespace hydra {
+
+// Inverted Multi-Index (Babenko & Lempitsky 2015) with an OPQ front-end,
+// the configuration the paper evaluates via Faiss.
+//
+// The vector space is split into two halves, each clustered into K coarse
+// codewords; the index is the K×K grid of inverted lists. A query ranks
+// cells with the multi-sequence algorithm (cells enumerated in increasing
+// summed half-distance order) and visits up to nprobe non-empty lists.
+// Candidates are re-ranked with in-memory PQ codes of the residuals —
+// like the paper's setup, IMI never touches raw series at query time,
+// which is why its MAP can fall well below recall (Fig. 5a).
+struct ImiOptions {
+  size_t coarse_k = 64;         // codewords per half (K)
+  size_t pq_subquantizers = 8;  // residual PQ m
+  size_t pq_codebook = 256;     // residual PQ codebook size
+  size_t train_sample = 4096;   // series used to train codebooks
+  size_t train_iterations = 20;
+  bool use_opq = true;
+  size_t opq_iterations = 4;
+  uint64_t seed = 11;
+};
+
+class ImiIndex : public Index {
+ public:
+  static Result<std::unique_ptr<ImiIndex>> Build(const Dataset& data,
+                                                 const ImiOptions& options =
+                                                     {});
+
+  std::string name() const override { return "imi"; }
+  IndexCapabilities capabilities() const override {
+    IndexCapabilities c;
+    c.ng_approximate = true;
+    c.disk_resident = true;  // lists + codes can live out of core
+    c.summarization = "OPQ";
+    return c;
+  }
+  size_t MemoryBytes() const override;
+
+  Result<KnnAnswer> Search(std::span<const float> query,
+                           const SearchParams& params,
+                           QueryCounters* counters) const override;
+
+  // Introspection for tests.
+  size_t num_nonempty_cells() const;
+  size_t coarse_k() const { return coarse_k_; }
+
+ private:
+  ImiIndex() = default;
+
+  size_t CellIndex(size_t c1, size_t c2) const { return c1 * coarse_k_ + c2; }
+
+  size_t dim_ = 0;
+  size_t half_ = 0;  // dimensions in the first half
+  size_t coarse_k_ = 0;
+  bool use_opq_ = false;
+  std::unique_ptr<OptimizedProductQuantizer> opq_;  // rotation + unused pq
+  std::vector<float> centroids1_;  // K × half_
+  std::vector<float> centroids2_;  // K × (dim_ − half_)
+  std::unique_ptr<ProductQuantizer> residual_pq_;
+  std::vector<std::vector<int64_t>> lists_;    // K×K inverted lists
+  std::vector<std::vector<uint16_t>> codes_;   // parallel residual codes
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_INDEX_IMI_IMI_H_

@@ -1,0 +1,5 @@
+#include "index/index.h"
+
+// Index is an interface; this translation unit anchors its vtable.
+
+namespace hydra {}  // namespace hydra

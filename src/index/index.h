@@ -1,0 +1,73 @@
+#ifndef HYDRA_INDEX_INDEX_H_
+#define HYDRA_INDEX_INDEX_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+
+#include "common/counters.h"
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/metrics.h"
+
+namespace hydra {
+
+// Accuracy contract of a search call, following the paper's taxonomy
+// (Fig. 1): exact ⊂ ε-approximate ⊂ δ-ε-approximate; ng-approximate makes
+// no guarantee. For tree methods, ng-approximate visits up to `nprobe`
+// leaves; for IMI, `nprobe` is the number of inverted lists; for HNSW,
+// `efs` bounds the candidate set; for VA+file, `nprobe` is the number of
+// raw series refined.
+enum class SearchMode {
+  kExact,
+  kNgApproximate,
+  kDeltaEpsilon,  // δ = 1 makes it ε-approximate; δ = 1, ε = 0 exact
+};
+
+struct SearchParams {
+  SearchMode mode = SearchMode::kExact;
+  size_t k = 1;
+  // ng-approximate knobs.
+  size_t nprobe = 1;
+  size_t efs = 0;  // HNSW candidate-list width; 0 = use index default
+  // δ-ε knobs (paper Definition 6; epsilon is the relative distance error,
+  // delta the success probability of the guarantee).
+  double epsilon = 0.0;
+  double delta = 1.0;
+};
+
+// Capability flags for the taxonomy table (paper Table 1 / Fig. 1).
+struct IndexCapabilities {
+  bool exact = false;
+  bool ng_approximate = false;
+  bool epsilon_approximate = false;
+  bool delta_epsilon_approximate = false;
+  bool disk_resident = false;
+  std::string summarization;  // e.g. "EAPCA", "iSAX", "OPQ"
+};
+
+// Common interface of the ten methods under evaluation. Indexes are built
+// once over a dataset and then serve any number of queries; Search is
+// const so one index can serve different modes without rebuilding (the
+// paper highlights this as a key advantage of the extended data-series
+// methods over accuracy-at-build-time methods like QALSH/HNSW/IMI).
+class Index {
+ public:
+  virtual ~Index() = default;
+
+  virtual std::string name() const = 0;
+  virtual IndexCapabilities capabilities() const = 0;
+
+  // Approximate main-memory footprint of the index structure in bytes
+  // (excluding the raw data unless the method stores it internally).
+  virtual size_t MemoryBytes() const = 0;
+
+  virtual Result<KnnAnswer> Search(std::span<const float> query,
+                                   const SearchParams& params,
+                                   QueryCounters* counters) const = 0;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_INDEX_INDEX_H_

@@ -1,0 +1,39 @@
+#ifndef HYDRA_INDEX_ISAX_ISAX_NODE_H_
+#define HYDRA_INDEX_ISAX_ISAX_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hydra {
+
+// One iSAX tree node. A node is identified by an iSAX word: one symbol
+// per segment at full cardinality plus the number of leading bits of that
+// symbol the node actually constrains. The root constrains 0 bits; its
+// children constrain 1 bit in every segment; deeper nodes are produced by
+// binary splits that add one bit to a single segment.
+struct IsaxNode {
+  std::vector<uint16_t> word;  // full-cardinality symbols (segment count)
+  std::vector<uint8_t> bits;   // constrained leading bits per segment
+
+  bool is_leaf = true;
+  uint8_t split_segment = 0;  // internal: which segment gained a bit
+  int32_t left = -1;          // next bit 0
+  int32_t right = -1;         // next bit 1
+  size_t count = 0;           // series in subtree
+
+  // Leaf payload: dataset positions and their full-cardinality words
+  // (kept so splits re-route without recomputing summaries — the in-core
+  // analog of iSAX2+'s bulk-load buffers).
+  std::vector<int64_t> series_ids;
+  std::vector<uint16_t> leaf_words;  // series_ids.size() × segments
+
+  size_t ApproxBytes() const {
+    return sizeof(IsaxNode) + word.size() * sizeof(uint16_t) +
+           bits.size() + series_ids.size() * sizeof(int64_t) +
+           leaf_words.size() * sizeof(uint16_t);
+  }
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_INDEX_ISAX_ISAX_NODE_H_

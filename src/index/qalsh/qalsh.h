@@ -1,0 +1,71 @@
+#ifndef HYDRA_INDEX_QALSH_QALSH_H_
+#define HYDRA_INDEX_QALSH_QALSH_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "index/index.h"
+#include "storage/buffer_manager.h"
+
+namespace hydra {
+
+// QALSH (Huang et al. 2015): query-aware locality-sensitive hashing.
+// Each of m hash functions is a 1-D Gaussian projection h_i(x) = <a_i, x>
+// kept as a sorted array (the in-memory stand-in for the original's
+// B+-trees). No random shift is applied at build time: the *query* value
+// h_i(q) anchors the bucket, which is what "query-aware" means.
+//
+// Search expands a window of half-width w·c^r / 2 around each anchor
+// (virtual rehashing doubles the radius c each round), counts collisions,
+// and refines any point that collides in at least l of the m projections.
+// Termination: either enough refined candidates (β·n + k − 1) or the
+// bsf is within the current search radius guarantee (bsf <= c^r ·
+// base radius), yielding the δ-ε contract.
+struct QalshOptions {
+  size_t num_hashes = 32;        // m
+  double collision_ratio = 0.4;  // l = ceil(ratio · m)
+  double bucket_width = 1.0;     // w, in units of projection std
+  double approximation_c = 2.0;  // radius growth per virtual rehash
+  double beta = 0.05;            // candidate budget fraction
+  uint64_t seed = 31;
+};
+
+class QalshIndex : public Index {
+ public:
+  static Result<std::unique_ptr<QalshIndex>> Build(
+      const Dataset& data, SeriesProvider* provider,
+      const QalshOptions& options = {});
+
+  std::string name() const override { return "qalsh"; }
+  IndexCapabilities capabilities() const override {
+    IndexCapabilities c;
+    c.ng_approximate = true;
+    c.delta_epsilon_approximate = true;
+    c.disk_resident = false;  // evaluated in-memory only, as in the paper
+    c.summarization = "LSH signatures";
+    return c;
+  }
+  size_t MemoryBytes() const override;
+
+  Result<KnnAnswer> Search(std::span<const float> query,
+                           const SearchParams& params,
+                           QueryCounters* counters) const override;
+
+ private:
+  QalshIndex(SeriesProvider* provider, const QalshOptions& options)
+      : provider_(provider), options_(options) {}
+
+  SeriesProvider* provider_;  // not owned
+  QalshOptions options_;
+  std::vector<std::vector<float>> hash_dirs_;  // m × dim projection rows
+  // Per hash: (projection value, id) sorted by value.
+  std::vector<std::vector<std::pair<float, int64_t>>> tables_;
+  double projection_scale_ = 1.0;  // normalizes w across dimensionalities
+  size_t series_length_ = 0;
+  size_t num_series_ = 0;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_INDEX_QALSH_QALSH_H_

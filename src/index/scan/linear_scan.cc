@@ -1,0 +1,25 @@
+#include "index/scan/linear_scan.h"
+
+#include "distance/euclidean.h"
+#include "index/answer_set.h"
+
+namespace hydra {
+
+Result<KnnAnswer> LinearScanIndex::Search(std::span<const float> query,
+                                          const SearchParams& params,
+                                          QueryCounters* counters) const {
+  if (params.k == 0) return Status::InvalidArgument("k must be > 0");
+  AnswerSet answers(params.k);
+  const uint64_t n = provider_->num_series();
+  for (uint64_t i = 0; i < n; ++i) {
+    std::span<const float> s = provider_->GetSeries(i, counters);
+    if (s.empty()) return Status::IoError("series fetch failed");
+    double d2 =
+        SquaredEuclideanEarlyAbandon(query, s, answers.KthDistanceSq());
+    if (counters != nullptr) ++counters->full_distances;
+    answers.Offer(d2, static_cast<int64_t>(i));
+  }
+  return answers.Finish();
+}
+
+}  // namespace hydra

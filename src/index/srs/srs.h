@@ -1,0 +1,68 @@
+#ifndef HYDRA_INDEX_SRS_SRS_H_
+#define HYDRA_INDEX_SRS_SRS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "index/index.h"
+#include "storage/buffer_manager.h"
+#include "transform/random_projection.h"
+
+namespace hydra {
+
+// SRS (Sun et al. 2014): δ-ε-approximate nearest neighbor with a tiny
+// index. All points are projected to m Gaussian dimensions (m = 16 in the
+// paper's configuration, "so the representations of all datasets fit in
+// memory"); a query walks candidates in increasing *projected* distance,
+// refines them against the raw data, and stops when either
+//  (a) the early-termination test fires: the probability that a point
+//      with true distance <= bsf/(1+ε) has projected distance larger than
+//      the current frontier exceeds the confidence derived from δ
+//      (projected squared distances are ||x−q||²·χ²_m distributed), or
+//  (b) a budget of t·n candidates has been refined.
+struct SrsOptions {
+  size_t projections = 16;  // m
+  // Maximum fraction of the dataset refined before forcing termination
+  // (the SRS paper's t parameter; it bounds both time and I/O).
+  double max_candidate_fraction = 0.15;
+  uint64_t seed = 23;
+};
+
+class SrsIndex : public Index {
+ public:
+  static Result<std::unique_ptr<SrsIndex>> Build(
+      const Dataset& data, SeriesProvider* provider,
+      const SrsOptions& options = {});
+
+  std::string name() const override { return "srs"; }
+  IndexCapabilities capabilities() const override {
+    IndexCapabilities c;
+    c.ng_approximate = true;
+    c.epsilon_approximate = false;  // guarantees only hold with δ < 1
+    c.delta_epsilon_approximate = true;
+    c.disk_resident = true;
+    c.summarization = "random projection";
+    return c;
+  }
+  size_t MemoryBytes() const override;
+
+  Result<KnnAnswer> Search(std::span<const float> query,
+                           const SearchParams& params,
+                           QueryCounters* counters) const override;
+
+ private:
+  SrsIndex(SeriesProvider* provider, const SrsOptions& options)
+      : provider_(provider), options_(options) {}
+
+  SeriesProvider* provider_;  // not owned
+  SrsOptions options_;
+  std::unique_ptr<RandomProjection> projection_;
+  std::vector<float> projected_;  // n × m, the whole index
+  size_t series_length_ = 0;
+  size_t num_series_ = 0;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_INDEX_SRS_SRS_H_

@@ -1,0 +1,184 @@
+#ifndef HYDRA_INDEX_TREE_SEARCH_H_
+#define HYDRA_INDEX_TREE_SEARCH_H_
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "common/counters.h"
+#include "index/answer_set.h"
+#include "index/index.h"
+
+namespace hydra {
+
+// Index-invariant best-first k-NN over a hierarchical index, implementing
+// the paper's Algorithm 1 (exact), its ng-approximate restriction (visit
+// at most nprobe leaves), and Algorithm 2 (δ-ε-approximate: prune against
+// bsf/(1+ε) and stop early once bsf <= (1+ε)·r_δ). One code path serves
+// all modes: exact is δ = 1, ε = 0; ng-approximate is the same loop with
+// a leaf budget instead of guarantee-based pruning relaxation.
+//
+// `Tree` must provide:
+//   using NodeId = int64_t (or convertible);
+//   std::vector<NodeId> SearchRoots() const;
+//   bool IsLeaf(NodeId) const;
+//   std::vector<NodeId> NodeChildren(NodeId) const;
+//   double MinDistSq(const Ctx&, NodeId) const;       // admissible LB²
+//   void ScanLeaf(NodeId, std::span<const float> query, AnswerSet*,
+//                 QueryCounters*) const;
+//
+// `Ctx` is whatever per-query precomputation the index needs (query PAA,
+// prefix sums, ...), built by the caller.
+template <typename Tree, typename Ctx>
+KnnAnswer TreeKnnSearch(const Tree& tree, const Ctx& ctx,
+                        std::span<const float> query,
+                        const SearchParams& params, double delta_radius,
+                        QueryCounters* counters) {
+  struct Entry {
+    double lb_sq;
+    typename std::decay_t<decltype(tree.SearchRoots())>::value_type node;
+    bool operator>(const Entry& o) const { return lb_sq > o.lb_sq; }
+  };
+  using NodeId = decltype(Entry::node);
+
+  AnswerSet answers(params.k);
+  const bool ng = params.mode == SearchMode::kNgApproximate;
+  const double one_plus_eps =
+      params.mode == SearchMode::kDeltaEpsilon ? 1.0 + params.epsilon : 1.0;
+  const double prune_shrink = 1.0 / (one_plus_eps * one_plus_eps);
+  // Early-stop threshold from the δ-radius: ((1+ε)·r_δ)².
+  const double stop_sq = params.mode == SearchMode::kDeltaEpsilon
+                             ? (one_plus_eps * delta_radius) *
+                                   (one_plus_eps * delta_radius)
+                             : 0.0;
+  const size_t leaf_budget =
+      ng ? (params.nprobe == 0 ? 1 : params.nprobe)
+         : std::numeric_limits<size_t>::max();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pqueue;
+  for (NodeId root : tree.SearchRoots()) {
+    double lb = tree.MinDistSq(ctx, root);
+    if (counters != nullptr) {
+      ++counters->lb_distances;
+      ++counters->nodes_pushed;
+    }
+    pqueue.push({lb, root});
+  }
+
+  // Initial ng-approximate descent (paper Algorithm 1, line 6): greedily
+  // follow the min-LB child to one leaf to obtain a baseline bsf.
+  size_t leaves_visited = 0;
+  NodeId descent_leaf = NodeId{-1};
+  if (!pqueue.empty()) {
+    NodeId node = pqueue.top().node;
+    while (!tree.IsLeaf(node)) {
+      double best = std::numeric_limits<double>::infinity();
+      NodeId best_child = NodeId{-1};
+      for (NodeId child : tree.NodeChildren(node)) {
+        double lb = tree.MinDistSq(ctx, child);
+        if (counters != nullptr) ++counters->lb_distances;
+        if (lb < best) {
+          best = lb;
+          best_child = child;
+        }
+      }
+      if (best_child == NodeId{-1}) break;  // childless internal node
+      node = best_child;
+    }
+    if (tree.IsLeaf(node)) {
+      tree.ScanLeaf(node, query, &answers, counters);
+      if (counters != nullptr) ++counters->leaves_visited;
+      ++leaves_visited;
+      descent_leaf = node;
+    }
+  }
+
+  while (!pqueue.empty() && leaves_visited < leaf_budget) {
+    Entry top = pqueue.top();
+    pqueue.pop();
+    // Algorithm 2 line 10: stop when the closest unexplored region cannot
+    // improve the (ε-relaxed) bsf.
+    if (top.lb_sq > answers.KthDistanceSq() * prune_shrink) break;
+    // The descent leaf was fully scanned before the loop. Checked before
+    // IsLeaf: an adaptive index (ADS+) may have refined it into an
+    // internal node since, and re-expanding it would rescan its series.
+    if (top.node == descent_leaf) continue;
+    if (tree.IsLeaf(top.node)) {
+      tree.ScanLeaf(top.node, query, &answers, counters);
+      if (counters != nullptr) ++counters->leaves_visited;
+      ++leaves_visited;
+      // Algorithm 2 line 16: the δ-radius stopping condition.
+      if (params.mode == SearchMode::kDeltaEpsilon && answers.full() &&
+          answers.KthDistanceSq() <= stop_sq) {
+        break;
+      }
+    } else {
+      for (NodeId child : tree.NodeChildren(top.node)) {
+        double lb = tree.MinDistSq(ctx, child);
+        if (counters != nullptr) ++counters->lb_distances;
+        if (lb <= answers.KthDistanceSq() * prune_shrink) {
+          pqueue.push({lb, child});
+          if (counters != nullptr) ++counters->nodes_pushed;
+        }
+      }
+    }
+  }
+  return answers.Finish();
+}
+
+}  // namespace hydra
+
+namespace hydra {
+
+// Index-invariant r-range search (paper Definition 2): returns the series
+// within distance `radius` of the query, ids sorted by distance.
+//
+// epsilon > 0 gives the ε-approximate variant of Definition 5: every
+// returned series still satisfies d <= radius, but subtrees whose lower
+// bound exceeds radius/(1+ε) are pruned, so borderline members in
+// (radius/(1+ε), radius] may be missed — completeness is traded for
+// speed, while the distance guarantee on returned results stays exact.
+template <typename Tree, typename Ctx>
+KnnAnswer TreeRangeSearch(const Tree& tree, const Ctx& ctx,
+                          std::span<const float> query, double radius,
+                          double epsilon, QueryCounters* counters) {
+  using NodeId =
+      typename std::decay_t<decltype(tree.SearchRoots())>::value_type;
+  const double radius_sq = radius * radius;
+  const double prune_sq =
+      (radius / (1.0 + epsilon)) * (radius / (1.0 + epsilon));
+
+  // Range search has no bsf to improve, so plain DFS (no ordering) is
+  // optimal: every surviving node must be visited anyway.
+  std::vector<NodeId> stack = tree.SearchRoots();
+  // An unbounded AnswerSet collects every member; the radius filter is
+  // applied when the set is finished.
+  AnswerSet collector(std::numeric_limits<size_t>::max() / 2);
+  while (!stack.empty()) {
+    NodeId node = stack.back();
+    stack.pop_back();
+    double lb = tree.MinDistSq(ctx, node);
+    if (counters != nullptr) ++counters->lb_distances;
+    if (lb > prune_sq) continue;
+    if (tree.IsLeaf(node)) {
+      tree.ScanLeaf(node, query, &collector, counters);
+      if (counters != nullptr) ++counters->leaves_visited;
+    } else {
+      for (NodeId child : tree.NodeChildren(node)) stack.push_back(child);
+    }
+  }
+  KnnAnswer all = collector.Finish();
+  KnnAnswer result;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all.distances[i] > radius) break;  // sorted ascending
+    result.ids.push_back(all.ids[i]);
+    result.distances.push_back(all.distances[i]);
+  }
+  return result;
+}
+
+}  // namespace hydra
+
+#endif  // HYDRA_INDEX_TREE_SEARCH_H_

@@ -1,0 +1,168 @@
+#include "index/vafile/vafile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/rng.h"
+#include "distance/euclidean.h"
+#include "index/answer_set.h"
+
+namespace hydra {
+
+Result<std::unique_ptr<VaFileIndex>> VaFileIndex::Build(
+    const Dataset& data, SeriesProvider* provider,
+    const VaFileOptions& options) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  if (provider == nullptr || provider->num_series() != data.size() ||
+      provider->series_length() != data.length()) {
+    return Status::InvalidArgument("provider does not match dataset");
+  }
+  if (options.num_features == 0) {
+    return Status::InvalidArgument("num_features must be > 0");
+  }
+  std::unique_ptr<VaFileIndex> index(new VaFileIndex(provider, options));
+  index->series_length_ = data.length();
+  index->num_series_ = data.size();
+  index->dft_ =
+      std::make_unique<DftFeatures>(data.length(), options.num_features);
+  const size_t f = index->dft_->num_features();
+
+  // One pass: features of every series (kept transiently; only the cells
+  // survive, that is the VA+ "approximation file").
+  std::vector<double> features(data.size() * f);
+  for (size_t i = 0; i < data.size(); ++i) {
+    index->dft_->Transform(data.series(i),
+                           std::span<double>(features.data() + i * f, f));
+  }
+
+  // Variance-driven bit allocation.
+  std::vector<double> variances(f, 0.0);
+  {
+    std::vector<double> means(f, 0.0);
+    for (size_t i = 0; i < data.size(); ++i) {
+      for (size_t d = 0; d < f; ++d) means[d] += features[i * f + d];
+    }
+    for (double& m : means) m /= static_cast<double>(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+      for (size_t d = 0; d < f; ++d) {
+        double x = features[i * f + d] - means[d];
+        variances[d] += x * x;
+      }
+    }
+    for (double& v : variances) v /= static_cast<double>(data.size());
+  }
+  index->bits_ =
+      AllocateBits(variances, options.total_bits, options.max_bits_per_dim);
+
+  // Lloyd-Max quantizer per allocated dimension, trained on a sample.
+  Rng rng(options.seed);
+  size_t sample_n = std::min<size_t>(options.quantizer_sample, data.size());
+  std::vector<size_t> sample_ids(data.size());
+  std::iota(sample_ids.begin(), sample_ids.end(), 0);
+  for (size_t i = 0; i < sample_n; ++i) {
+    std::swap(sample_ids[i],
+              sample_ids[i + rng.NextUint64(data.size() - i)]);
+  }
+  for (size_t d = 0; d < f; ++d) {
+    if (index->bits_[d] == 0) continue;
+    std::vector<double> sample(sample_n);
+    for (size_t i = 0; i < sample_n; ++i) {
+      sample[i] = features[sample_ids[i] * f + d];
+    }
+    index->quantized_dims_.push_back(d);
+    index->quantizers_.push_back(
+        std::make_unique<LloydQuantizer>(std::move(sample), index->bits_[d]));
+  }
+
+  // Encode the approximation file.
+  const size_t qd = index->quantized_dims_.size();
+  index->cells_.resize(data.size() * qd);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t j = 0; j < qd; ++j) {
+      size_t d = index->quantized_dims_[j];
+      index->cells_[i * qd + j] =
+          index->quantizers_[j]->Quantize(features[i * f + d]);
+    }
+  }
+
+  index->histogram_ = std::make_unique<DistanceHistogram>(
+      data, options.histogram_pairs, options.histogram_bins, rng);
+  return index;
+}
+
+double VaFileIndex::LowerBoundSq(std::span<const double> query_features,
+                                 size_t i) const {
+  const size_t qd = quantized_dims_.size();
+  double sum = 0.0;
+  for (size_t j = 0; j < qd; ++j) {
+    size_t d = quantized_dims_[j];
+    sum += quantizers_[j]->MinDistSqToCell(query_features[d],
+                                           cells_[i * qd + j]);
+  }
+  return sum;
+}
+
+Result<KnnAnswer> VaFileIndex::Search(std::span<const float> query,
+                                      const SearchParams& params,
+                                      QueryCounters* counters) const {
+  if (params.k == 0) return Status::InvalidArgument("k must be > 0");
+  if (query.size() != series_length_) {
+    return Status::InvalidArgument("query length mismatch");
+  }
+  std::vector<double> qf = dft_->Transform(query);
+
+  // Phase 1: lower bound for every series from the approximation file.
+  std::vector<std::pair<double, int64_t>> order(num_series_);
+  for (size_t i = 0; i < num_series_; ++i) {
+    order[i] = {LowerBoundSq(qf, i), static_cast<int64_t>(i)};
+    if (counters != nullptr) ++counters->lb_distances;
+  }
+  std::sort(order.begin(), order.end());
+
+  const double one_plus_eps =
+      params.mode == SearchMode::kDeltaEpsilon ? 1.0 + params.epsilon : 1.0;
+  const double prune_shrink = 1.0 / (one_plus_eps * one_plus_eps);
+  double stop_sq = 0.0;
+  if (params.mode == SearchMode::kDeltaEpsilon && params.delta < 1.0) {
+    double r_delta = histogram_->DeltaRadius(params.delta, num_series_);
+    stop_sq = (one_plus_eps * r_delta) * (one_plus_eps * r_delta);
+  }
+  const size_t probe_budget = params.mode == SearchMode::kNgApproximate
+                                  ? std::max<size_t>(params.nprobe, params.k)
+                                  : std::numeric_limits<size_t>::max();
+
+  // Phase 2: refine candidates in ascending lower-bound order.
+  AnswerSet answers(params.k);
+  size_t probed = 0;
+  for (const auto& [lb_sq, id] : order) {
+    if (probed >= probe_budget) break;
+    if (lb_sq > answers.KthDistanceSq() * prune_shrink) break;
+    std::span<const float> s =
+        provider_->GetSeries(static_cast<uint64_t>(id), counters);
+    if (s.empty()) return Status::IoError("series fetch failed");
+    double d2 =
+        SquaredEuclideanEarlyAbandon(query, s, answers.KthDistanceSq());
+    if (counters != nullptr) ++counters->full_distances;
+    answers.Offer(d2, id);
+    ++probed;
+    if (params.mode == SearchMode::kDeltaEpsilon && answers.full() &&
+        answers.KthDistanceSq() <= stop_sq) {
+      break;
+    }
+  }
+  return answers.Finish();
+}
+
+size_t VaFileIndex::MemoryBytes() const {
+  size_t total = sizeof(*this);
+  total += cells_.size() * sizeof(uint32_t);
+  total += bits_.size();
+  for (const auto& q : quantizers_) {
+    total += sizeof(LloydQuantizer) + (size_t{2} << q->bits()) * sizeof(double);
+  }
+  return total;
+}
+
+}  // namespace hydra

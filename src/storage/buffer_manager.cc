@@ -1,0 +1,66 @@
+#include "storage/buffer_manager.h"
+
+#include <algorithm>
+
+namespace hydra {
+
+Result<std::unique_ptr<BufferManager>> BufferManager::Open(
+    const std::string& path, uint64_t page_series, uint64_t capacity_pages) {
+  if (page_series == 0 || capacity_pages == 0) {
+    return Status::InvalidArgument("page_series and capacity must be > 0");
+  }
+  HYDRA_ASSIGN_OR_RETURN(auto reader, SeriesFileReader::Open(path));
+  return std::unique_ptr<BufferManager>(
+      new BufferManager(std::move(reader), page_series, capacity_pages));
+}
+
+std::span<const float> BufferManager::GetSeries(uint64_t i,
+                                                QueryCounters* counters) {
+  const uint64_t len = reader_->series_length();
+  const uint64_t page_id = i / page_series_;
+  if (counters != nullptr) ++counters->series_accessed;
+
+  auto it = map_.find(page_id);
+  if (it != map_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    const Page& page = *it->second;
+    return {page.data.data() + (i - page_id * page_series_) * len, len};
+  }
+
+  ++misses_;
+  uint64_t first = page_id * page_series_;
+  uint64_t count = std::min(page_series_, reader_->num_series() - first);
+  Page page;
+  page.id = page_id;
+  page.data.resize(count * len);
+  // A failed read returns an empty span; callers treat that as a missing
+  // series (it cannot occur for indexes built over the same file).
+  // The reader is charged through a scratch counter: a page fill costs
+  // bytes and (possibly) a seek, but only the one series the caller asked
+  // for counts as a logical access — prefetched page neighbors do not.
+  QueryCounters io;
+  Status st = reader_->ReadSeries(first, count, page.data.data(),
+                                  counters != nullptr ? &io : nullptr);
+  if (!st.ok()) return {};
+  if (counters != nullptr) {
+    counters->bytes_read += io.bytes_read;
+    counters->random_ios += io.random_ios;
+  }
+
+  lru_.push_front(std::move(page));
+  map_[page_id] = lru_.begin();
+  if (lru_.size() > capacity_pages_) {
+    map_.erase(lru_.back().id);
+    lru_.pop_back();
+  }
+  const Page& stored = lru_.front();
+  return {stored.data.data() + (i - first) * len, len};
+}
+
+void BufferManager::DropCache() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace hydra

@@ -1,0 +1,54 @@
+#include "storage/serialize.h"
+
+namespace hydra {
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : file_(std::fopen(path.c_str(), "wb")), path_(path) {}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t bytes) {
+  if (file_ == nullptr || !good_) return;
+  if (std::fwrite(data, 1, bytes, file_) != bytes) good_ = false;
+}
+
+Status BinaryWriter::Close() {
+  if (file_ == nullptr) return Status::IoError("cannot open " + path_);
+  bool flushed = std::fflush(file_) == 0;
+  std::fclose(file_);
+  file_ = nullptr;
+  if (!good_ || !flushed) return Status::IoError("short write: " + path_);
+  return Status::OK();
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : file_(std::fopen(path.c_str(), "rb")), path_(path) {}
+
+BinaryReader::~BinaryReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryReader::ReadRaw(void* data, size_t bytes) {
+  if (file_ == nullptr || !good_) return;
+  if (std::fread(data, 1, bytes, file_) != bytes) good_ = false;
+}
+
+uint64_t BinaryReader::RemainingBytes() {
+  if (file_ == nullptr) return 0;
+  long pos = std::ftell(file_);
+  if (pos < 0) return 0;
+  if (std::fseek(file_, 0, SEEK_END) != 0) return 0;
+  long end = std::ftell(file_);
+  std::fseek(file_, pos, SEEK_SET);
+  return end >= pos ? static_cast<uint64_t>(end - pos) : 0;
+}
+
+Status BinaryReader::status() const {
+  if (file_ == nullptr) return Status::IoError("cannot open " + path_);
+  if (!good_) return Status::IoError("short or corrupt read: " + path_);
+  return Status::OK();
+}
+
+}  // namespace hydra

@@ -1,0 +1,107 @@
+#ifndef HYDRA_STORAGE_SERIALIZE_H_
+#define HYDRA_STORAGE_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hydra {
+
+// Minimal binary (de)serialization for index persistence: fixed-width
+// little-endian primitives and length-prefixed vectors, with explicit
+// error propagation — no exceptions, short reads surface as IoError.
+//
+// Index files start with a per-index magic and version so that loading a
+// file into the wrong index type fails fast instead of misparsing.
+class BinaryWriter {
+ public:
+  // Opens `path` for writing; check ok() before use.
+  explicit BinaryWriter(const std::string& path);
+  ~BinaryWriter();
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr && good_; }
+
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+  void WriteBool(bool v) {
+    uint8_t b = v ? 1 : 0;
+    WriteRaw(&b, 1);
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(v.size());
+    if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  // Flushes and closes; returns the accumulated status.
+  Status Close();
+
+ private:
+  void WriteRaw(const void* data, size_t bytes);
+
+  std::FILE* file_;
+  bool good_ = true;
+  std::string path_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+  ~BinaryReader();
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  bool ok() const { return file_ != nullptr && good_; }
+
+  uint32_t ReadU32() { return ReadScalar<uint32_t>(); }
+  uint64_t ReadU64() { return ReadScalar<uint64_t>(); }
+  int64_t ReadI64() { return ReadScalar<int64_t>(); }
+  int32_t ReadI32() { return ReadScalar<int32_t>(); }
+  double ReadDouble() { return ReadScalar<double>(); }
+  bool ReadBool() { return ReadScalar<uint8_t>() != 0; }
+
+  template <typename T>
+  std::vector<T> ReadVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = ReadU64();
+    // Guard against corrupt lengths blowing up memory: cap at the bytes
+    // actually remaining in the file.
+    if (!good_ || n > RemainingBytes() / sizeof(T)) {
+      good_ = false;
+      return {};
+    }
+    std::vector<T> v(n);
+    if (n > 0) ReadRaw(v.data(), n * sizeof(T));
+    return v;
+  }
+
+  Status status() const;
+
+ private:
+  template <typename T>
+  T ReadScalar() {
+    T v{};
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  void ReadRaw(void* data, size_t bytes);
+  uint64_t RemainingBytes();
+
+  std::FILE* file_;
+  bool good_ = true;
+  std::string path_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_STORAGE_SERIALIZE_H_

@@ -1,0 +1,95 @@
+#include "storage/series_file.h"
+
+#include <cstring>
+
+namespace hydra {
+namespace {
+
+constexpr size_t kHeaderBytes = 4 * sizeof(uint64_t);  // magic+ver+n+len
+
+}  // namespace
+
+Status WriteSeriesFile(const std::string& path, const Dataset& dataset) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for write: " + path);
+  }
+  uint64_t head[4] = {SeriesFileHeader::kMagic, SeriesFileHeader::kVersion,
+                      dataset.size(), dataset.length()};
+  bool ok = std::fwrite(head, sizeof(head), 1, f) == 1;
+  if (ok && !dataset.values().empty()) {
+    ok = std::fwrite(dataset.values().data(), sizeof(float),
+                     dataset.values().size(),
+                     f) == dataset.values().size();
+  }
+  std::fclose(f);
+  if (!ok) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SeriesFileReader>> SeriesFileReader::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for read: " + path);
+  }
+  uint64_t head[4];
+  if (std::fread(head, sizeof(head), 1, f) != 1) {
+    std::fclose(f);
+    return Status::IoError("short header read: " + path);
+  }
+  if (head[0] != SeriesFileHeader::kMagic) {
+    std::fclose(f);
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  if (head[1] != SeriesFileHeader::kVersion) {
+    std::fclose(f);
+    return Status::InvalidArgument("unsupported version in " + path);
+  }
+  SeriesFileHeader header;
+  header.num_series = head[2];
+  header.length = head[3];
+  return std::unique_ptr<SeriesFileReader>(
+      new SeriesFileReader(f, header));
+}
+
+SeriesFileReader::~SeriesFileReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SeriesFileReader::ReadSeries(uint64_t first, uint64_t count,
+                                    float* out, QueryCounters* counters) {
+  if (first + count > header_.num_series) {
+    return Status::OutOfRange("read past end of series file");
+  }
+  const uint64_t stride = header_.length * sizeof(float);
+  const uint64_t offset = kHeaderBytes + first * stride;
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  size_t want = static_cast<size_t>(count * header_.length);
+  if (std::fread(out, sizeof(float), want, file_) != want) {
+    return Status::IoError("short payload read");
+  }
+  if (counters != nullptr) {
+    counters->bytes_read += count * stride;
+    counters->series_accessed += count;
+    if (!any_read_ || first != next_sequential_) {
+      ++counters->random_ios;
+    }
+  }
+  any_read_ = true;
+  next_sequential_ = first + count;
+  return Status::OK();
+}
+
+Result<Dataset> SeriesFileReader::ReadAll(QueryCounters* counters) {
+  Dataset ds(header_.num_series, header_.length);
+  if (header_.num_series > 0) {
+    HYDRA_RETURN_IF_ERROR(ReadSeries(0, header_.num_series,
+                                     ds.mutable_series(0).data(), counters));
+  }
+  return ds;
+}
+
+}  // namespace hydra

@@ -1,0 +1,67 @@
+#ifndef HYDRA_STORAGE_SERIES_FILE_H_
+#define HYDRA_STORAGE_SERIES_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/counters.h"
+#include "common/status.h"
+#include "core/dataset.h"
+
+namespace hydra {
+
+// Flat binary dataset file: a small fixed header (magic, version,
+// num_series, length) followed by the row-major float32 payload — the
+// layout the original data-series tools consume, with an explicit header
+// so files are self-describing.
+//
+// All reads funnel through SeriesFileReader, which charges bytes and
+// random-I/O counts to the caller's QueryCounters. A read is "random"
+// when it is not contiguous with the previous read, matching how the
+// paper counts disk seeks.
+struct SeriesFileHeader {
+  static constexpr uint32_t kMagic = 0x48594452;  // "HYDR"
+  static constexpr uint32_t kVersion = 1;
+  uint64_t num_series = 0;
+  uint64_t length = 0;
+};
+
+// Writes `dataset` to `path`, overwriting any existing file.
+Status WriteSeriesFile(const std::string& path, const Dataset& dataset);
+
+class SeriesFileReader {
+ public:
+  static Result<std::unique_ptr<SeriesFileReader>> Open(
+      const std::string& path);
+  ~SeriesFileReader();
+
+  SeriesFileReader(const SeriesFileReader&) = delete;
+  SeriesFileReader& operator=(const SeriesFileReader&) = delete;
+
+  uint64_t num_series() const { return header_.num_series; }
+  uint64_t series_length() const { return header_.length; }
+
+  // Reads series [first, first + count) into `out` (count × length
+  // floats). Charges bytes_read always, and one random_ios when the range
+  // does not start where the previous read ended.
+  Status ReadSeries(uint64_t first, uint64_t count, float* out,
+                    QueryCounters* counters);
+
+  // Convenience: whole file into a Dataset (sequential, one seek).
+  Result<Dataset> ReadAll(QueryCounters* counters);
+
+ private:
+  SeriesFileReader(std::FILE* file, SeriesFileHeader header)
+      : file_(file), header_(header) {}
+
+  std::FILE* file_;
+  SeriesFileHeader header_;
+  uint64_t next_sequential_ = 0;  // series index right after the last read
+  bool any_read_ = false;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_STORAGE_SERIES_FILE_H_

@@ -1,0 +1,122 @@
+#include "transform/apca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <queue>
+
+namespace hydra {
+namespace {
+
+// Doubly linked segment list entry used during greedy merging.
+struct Piece {
+  size_t begin;
+  size_t end;   // exclusive
+  double sum;
+  double sum2;
+  int prev;
+  int next;
+  bool alive;
+};
+
+double Sse(const Piece& p) {
+  double n = static_cast<double>(p.end - p.begin);
+  return p.sum2 - p.sum * p.sum / n;
+}
+
+double MergeCost(const Piece& a, const Piece& b) {
+  Piece m{a.begin, b.end, a.sum + b.sum, a.sum2 + b.sum2, -1, -1, true};
+  return Sse(m) - Sse(a) - Sse(b);
+}
+
+}  // namespace
+
+std::vector<ApcaSegment> ApcaTransform(std::span<const float> series,
+                                       size_t segments) {
+  size_t n = series.size();
+  if (segments == 0) segments = 1;
+  if (segments >= n) {
+    std::vector<ApcaSegment> out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = {i + 1, series[i]};
+    return out;
+  }
+
+  std::vector<Piece> pieces(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = series[i];
+    pieces[i] = {i, i + 1, v, v * v, static_cast<int>(i) - 1,
+                 i + 1 < n ? static_cast<int>(i) + 1 : -1, true};
+  }
+
+  // Lazy-deletion priority queue of candidate merges (cost, left piece,
+  // version stamps guard against stale entries).
+  struct Cand {
+    double cost;
+    int left;
+    uint64_t lver, rver;
+    bool operator>(const Cand& o) const { return cost > o.cost; }
+  };
+  std::vector<uint64_t> version(n, 0);
+  std::priority_queue<Cand, std::vector<Cand>, std::greater<Cand>> pq;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    pq.push({MergeCost(pieces[i], pieces[i + 1]), static_cast<int>(i), 0, 0});
+  }
+
+  size_t alive = n;
+  while (alive > segments && !pq.empty()) {
+    Cand c = pq.top();
+    pq.pop();
+    int li = c.left;
+    if (!pieces[li].alive || version[li] != c.lver) continue;
+    int ri = pieces[li].next;
+    if (ri < 0 || !pieces[ri].alive || version[ri] != c.rver) continue;
+
+    // Merge right into left.
+    pieces[li].end = pieces[ri].end;
+    pieces[li].sum += pieces[ri].sum;
+    pieces[li].sum2 += pieces[ri].sum2;
+    pieces[li].next = pieces[ri].next;
+    if (pieces[ri].next >= 0) pieces[pieces[ri].next].prev = li;
+    pieces[ri].alive = false;
+    ++version[li];
+    --alive;
+
+    if (pieces[li].prev >= 0) {
+      int pi = pieces[li].prev;
+      pq.push({MergeCost(pieces[pi], pieces[li]), pi, version[pi],
+               version[li]});
+    }
+    if (pieces[li].next >= 0) {
+      int ni = pieces[li].next;
+      pq.push({MergeCost(pieces[li], pieces[ni]), li, version[li],
+               version[ni]});
+    }
+  }
+
+  std::vector<ApcaSegment> out;
+  out.reserve(segments);
+  for (int i = 0; i >= 0 && i < static_cast<int>(n);
+       i = pieces[i].alive ? pieces[i].next : i + 1) {
+    if (!pieces[i].alive) continue;
+    double len = static_cast<double>(pieces[i].end - pieces[i].begin);
+    out.push_back({pieces[i].end, pieces[i].sum / len});
+    if (pieces[i].next < 0) break;
+  }
+  return out;
+}
+
+std::vector<float> ApcaReconstruct(const std::vector<ApcaSegment>& apca,
+                                   size_t series_length) {
+  std::vector<float> out(series_length, 0.0f);
+  size_t begin = 0;
+  for (const ApcaSegment& seg : apca) {
+    for (size_t t = begin; t < seg.end && t < series_length; ++t) {
+      out[t] = static_cast<float>(seg.value);
+    }
+    begin = seg.end;
+  }
+  return out;
+}
+
+}  // namespace hydra

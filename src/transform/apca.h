@@ -1,0 +1,30 @@
+#ifndef HYDRA_TRANSFORM_APCA_H_
+#define HYDRA_TRANSFORM_APCA_H_
+
+#include <span>
+#include <vector>
+
+namespace hydra {
+
+// Adaptive Piecewise Constant Approximation (Chakrabarti et al. 2002):
+// approximates a series with `segments` constant pieces of *arbitrary*
+// lengths, chosen to minimize reconstruction error. We use the standard
+// greedy merge formulation: start from unit segments and repeatedly merge
+// the adjacent pair with the smallest merge cost (SSE increase), which is
+// the practical O(n log n) construction the APCA authors recommend over
+// exact dynamic programming.
+struct ApcaSegment {
+  size_t end;    // exclusive end index of the segment
+  double value;  // mean of the points in the segment
+};
+
+std::vector<ApcaSegment> ApcaTransform(std::span<const float> series,
+                                       size_t segments);
+
+// Reconstructs a series of the original length from its APCA image.
+std::vector<float> ApcaReconstruct(const std::vector<ApcaSegment>& apca,
+                                   size_t series_length);
+
+}  // namespace hydra
+
+#endif  // HYDRA_TRANSFORM_APCA_H_

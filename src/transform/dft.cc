@@ -1,0 +1,47 @@
+#include "transform/dft.h"
+
+#include <cmath>
+
+#include "transform/fft.h"
+
+namespace hydra {
+
+DftFeatures::DftFeatures(size_t series_length, size_t num_features)
+    : series_length_(series_length), num_features_(num_features) {
+  if (num_features_ > series_length_) num_features_ = series_length_;
+  if (num_features_ == 0) num_features_ = 1;
+}
+
+void DftFeatures::Transform(std::span<const float> series,
+                            std::span<double> out) const {
+  std::vector<double> x(series.begin(), series.end());
+  std::vector<std::complex<double>> spectrum = RealDftOrthonormal(x);
+
+  // Real-input spectra satisfy X[n-k] = conj(X[k]); coefficients k in
+  // (0, n/2) therefore carry their twin's energy too and get weight
+  // sqrt(2) so that the truncated feature distance stays a lower bound of
+  // (and for num_features == series_length, exactly equals) the raw
+  // distance. k = 0 and k = n/2 (even n) are self-conjugate: weight 1.
+  const size_t n = series_length_;
+  size_t written = 0;
+  size_t k = 0;
+  while (written < num_features_) {
+    bool self_conjugate = (k == 0) || (2 * k == n);
+    double w = self_conjugate ? 1.0 : std::numbers::sqrt2;
+    out[written++] = w * spectrum[k].real();
+    if (written >= num_features_) break;
+    if (!self_conjugate) {
+      out[written++] = w * spectrum[k].imag();
+    }
+    ++k;
+  }
+}
+
+std::vector<double> DftFeatures::Transform(
+    std::span<const float> series) const {
+  std::vector<double> out(num_features_);
+  Transform(series, out);
+  return out;
+}
+
+}  // namespace hydra

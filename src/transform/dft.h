@@ -1,0 +1,38 @@
+#ifndef HYDRA_TRANSFORM_DFT_H_
+#define HYDRA_TRANSFORM_DFT_H_
+
+#include <span>
+#include <vector>
+
+namespace hydra {
+
+// Truncated real DFT feature extractor, the decorrelating front-end of our
+// VA+file (the paper replaces the original VA+file's KLT with DFT for
+// efficiency; we do the same).
+//
+// A real series of length n maps to `num_features` real values laid out as
+// [re(0), re(1), im(1), re(2), im(2), ...] with orthonormal scaling and a
+// sqrt(2) weight on coefficients whose conjugate twin is dropped by
+// symmetry. With that layout the squared Euclidean distance between two
+// feature vectors never exceeds the squared distance between the raw
+// series (Parseval + truncation), so per-dimension interval bounds on the
+// features remain admissible lower bounds for the raw distance.
+class DftFeatures {
+ public:
+  DftFeatures(size_t series_length, size_t num_features);
+
+  size_t num_features() const { return num_features_; }
+  size_t series_length() const { return series_length_; }
+
+  // out.size() must equal num_features().
+  void Transform(std::span<const float> series, std::span<double> out) const;
+  std::vector<double> Transform(std::span<const float> series) const;
+
+ private:
+  size_t series_length_;
+  size_t num_features_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_TRANSFORM_DFT_H_

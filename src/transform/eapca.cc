@@ -1,0 +1,78 @@
+#include "transform/eapca.h"
+
+#include <cmath>
+
+namespace hydra {
+
+EapcaFeature ComputeSegmentFeature(std::span<const float> series,
+                                   size_t start, size_t end) {
+  EapcaFeature f;
+  if (end <= start) return f;
+  double sum = 0.0, sum2 = 0.0;
+  for (size_t t = start; t < end; ++t) {
+    sum += series[t];
+    sum2 += static_cast<double>(series[t]) * series[t];
+  }
+  double n = static_cast<double>(end - start);
+  f.mean = sum / n;
+  double var = sum2 / n - f.mean * f.mean;
+  f.std = var > 0.0 ? std::sqrt(var) : 0.0;
+  return f;
+}
+
+Segmentation UniformSegmentation(size_t length, size_t segments) {
+  if (segments == 0) segments = 1;
+  if (segments > length) segments = length;
+  Segmentation seg(segments);
+  size_t base = length / segments;
+  size_t extra = length % segments;
+  size_t pos = 0;
+  for (size_t s = 0; s < segments; ++s) {
+    pos += base + (s < extra ? 1 : 0);
+    seg[s] = pos;
+  }
+  return seg;
+}
+
+std::vector<EapcaFeature> EapcaTransform(std::span<const float> series,
+                                         const Segmentation& segmentation) {
+  std::vector<EapcaFeature> out(segmentation.size());
+  size_t start = 0;
+  for (size_t s = 0; s < segmentation.size(); ++s) {
+    out[s] = ComputeSegmentFeature(series, start, segmentation[s]);
+    start = segmentation[s];
+  }
+  return out;
+}
+
+double EapcaLowerBoundSq(const std::vector<EapcaFeature>& a,
+                         const std::vector<EapcaFeature>& b,
+                         const Segmentation& segmentation) {
+  double sum = 0.0;
+  size_t start = 0;
+  for (size_t s = 0; s < segmentation.size(); ++s) {
+    double w = static_cast<double>(segmentation[s] - start);
+    double dm = a[s].mean - b[s].mean;
+    double ds = a[s].std - b[s].std;
+    sum += w * (dm * dm + ds * ds);
+    start = segmentation[s];
+  }
+  return sum;
+}
+
+double EapcaUpperBoundSq(const std::vector<EapcaFeature>& a,
+                         const std::vector<EapcaFeature>& b,
+                         const Segmentation& segmentation) {
+  double sum = 0.0;
+  size_t start = 0;
+  for (size_t s = 0; s < segmentation.size(); ++s) {
+    double w = static_cast<double>(segmentation[s] - start);
+    double dm = a[s].mean - b[s].mean;
+    double ss = a[s].std + b[s].std;
+    sum += w * (dm * dm + ss * ss);
+    start = segmentation[s];
+  }
+  return sum;
+}
+
+}  // namespace hydra

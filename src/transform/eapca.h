@@ -1,0 +1,50 @@
+#ifndef HYDRA_TRANSFORM_EAPCA_H_
+#define HYDRA_TRANSFORM_EAPCA_H_
+
+#include <span>
+#include <vector>
+
+namespace hydra {
+
+// Extended APCA (Wang et al. 2013, the DSTree summarization): a series is
+// represented per segment by both the mean and the standard deviation of
+// its points. For any two series x, y restricted to a segment of length w:
+//
+//   ||x − y||² >= w · ((μx − μy)² + (σx − σy)²)   (lower bound)
+//   ||x − y||² <= w · ((μx − μy)² + (σx + σy)²)   (upper bound)
+//
+// both following from |cov(x, y)| <= σx·σy. The DSTree uses the lower
+// bound against node synopses for pruning and the upper bound in its
+// split-quality heuristic.
+struct EapcaFeature {
+  double mean = 0.0;
+  double std = 0.0;
+};
+
+// Mean/std of series[start, end).
+EapcaFeature ComputeSegmentFeature(std::span<const float> series,
+                                   size_t start, size_t end);
+
+// A segmentation is the sorted list of exclusive end offsets; e.g. for a
+// length-8 series, {4, 8} is two halves. DSTree nodes each own one.
+using Segmentation = std::vector<size_t>;
+
+// Equal-width segmentation with `segments` pieces over `length` points.
+Segmentation UniformSegmentation(size_t length, size_t segments);
+
+// EAPCA image of `series` under `segmentation`.
+std::vector<EapcaFeature> EapcaTransform(std::span<const float> series,
+                                         const Segmentation& segmentation);
+
+// Squared lower / upper bounds between two EAPCA images that share a
+// segmentation (segment lengths derived from `segmentation`).
+double EapcaLowerBoundSq(const std::vector<EapcaFeature>& a,
+                         const std::vector<EapcaFeature>& b,
+                         const Segmentation& segmentation);
+double EapcaUpperBoundSq(const std::vector<EapcaFeature>& a,
+                         const std::vector<EapcaFeature>& b,
+                         const Segmentation& segmentation);
+
+}  // namespace hydra
+
+#endif  // HYDRA_TRANSFORM_EAPCA_H_

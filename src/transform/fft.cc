@@ -1,0 +1,95 @@
+#include "transform/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace hydra {
+namespace {
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void FftRadix2(std::vector<std::complex<double>>& a, bool inverse) {
+  const size_t n = a.size();
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    double ang =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        std::complex<double> u = a[i + j];
+        std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Bluestein's algorithm: expresses a length-n DFT as a convolution, which
+// is evaluated with power-of-two FFTs. Handles arbitrary n.
+void FftBluestein(std::vector<std::complex<double>>& a, bool inverse) {
+  const size_t n = a.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  // Chirp factors w_k = exp(sign * i * pi * k^2 / n).
+  std::vector<std::complex<double>> w(n);
+  for (size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n avoids precision loss for large k.
+    uint64_t k2 = (static_cast<uint64_t>(k) * k) % (2 * n);
+    double ang = std::numbers::pi * static_cast<double>(k2) /
+                 static_cast<double>(n);
+    w[k] = std::complex<double>(std::cos(ang), sign * std::sin(ang));
+  }
+  const size_t m = NextPowerOfTwo(2 * n - 1);
+  std::vector<std::complex<double>> x(m, {0.0, 0.0}), y(m, {0.0, 0.0});
+  for (size_t k = 0; k < n; ++k) x[k] = a[k] * w[k];
+  y[0] = std::conj(w[0]);
+  for (size_t k = 1; k < n; ++k) {
+    y[k] = y[m - k] = std::conj(w[k]);
+  }
+  FftRadix2(x, false);
+  FftRadix2(y, false);
+  for (size_t k = 0; k < m; ++k) x[k] *= y[k];
+  FftRadix2(x, true);
+  double inv_m = 1.0 / static_cast<double>(m);
+  for (size_t k = 0; k < n; ++k) {
+    a[k] = x[k] * inv_m * w[k];
+  }
+}
+
+}  // namespace
+
+void Fft(std::vector<std::complex<double>>& a, bool inverse) {
+  if (a.size() <= 1) return;
+  if (IsPowerOfTwo(a.size())) {
+    FftRadix2(a, inverse);
+  } else {
+    FftBluestein(a, inverse);
+  }
+}
+
+std::vector<std::complex<double>> RealDftOrthonormal(
+    const std::vector<double>& x) {
+  std::vector<std::complex<double>> a(x.size());
+  for (size_t i = 0; i < x.size(); ++i) a[i] = {x[i], 0.0};
+  Fft(a, false);
+  double scale = x.empty() ? 1.0 : 1.0 / std::sqrt(static_cast<double>(x.size()));
+  for (auto& v : a) v *= scale;
+  return a;
+}
+
+}  // namespace hydra

@@ -1,0 +1,25 @@
+#ifndef HYDRA_TRANSFORM_FFT_H_
+#define HYDRA_TRANSFORM_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace hydra {
+
+// In-place complex FFT. Power-of-two sizes use iterative radix-2
+// Cooley-Tukey; other sizes fall back to Bluestein's chirp-z algorithm
+// (which internally pads to a power of two), so any length is supported.
+// inverse=true computes the unscaled inverse transform; callers divide by
+// n to invert exactly.
+void Fft(std::vector<std::complex<double>>& a, bool inverse);
+
+// Forward DFT of a real sequence, orthonormal scaling (1/sqrt(n)): with
+// this scaling the transform is an isometry, so Euclidean distances are
+// exactly preserved and truncation yields lower bounds (Parseval).
+std::vector<std::complex<double>> RealDftOrthonormal(
+    const std::vector<double>& x);
+
+}  // namespace hydra
+
+#endif  // HYDRA_TRANSFORM_FFT_H_

@@ -1,0 +1,132 @@
+#include "transform/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "distance/euclidean.h"
+
+namespace hydra {
+namespace {
+
+std::span<const float> Row(std::span<const float> data, size_t dim,
+                           size_t i) {
+  return data.subspan(i * dim, dim);
+}
+
+}  // namespace
+
+uint32_t NearestCentroid(std::span<const float> centroids, size_t dim,
+                         std::span<const float> v) {
+  size_t k = centroids.size() / dim;
+  uint32_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < k; ++c) {
+    double d = SquaredEuclideanEarlyAbandon(Row(centroids, dim, c), v, best_d);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<uint32_t>(c);
+    }
+  }
+  return best;
+}
+
+KmeansResult Kmeans(std::span<const float> data, size_t dim,
+                    const KmeansOptions& options, Rng& rng) {
+  KmeansResult result;
+  const size_t n = data.size() / dim;
+  size_t k = std::min<size_t>(options.num_clusters, n);
+  if (k == 0) return result;
+
+  // k-means++ seeding: first center uniform, each next proportional to
+  // squared distance from the nearest chosen center.
+  result.centroids.resize(k * dim);
+  std::vector<double> dist2(n, std::numeric_limits<double>::infinity());
+  size_t first = rng.NextUint64(n);
+  std::copy_n(data.begin() + first * dim, dim, result.centroids.begin());
+  for (size_t c = 1; c < k; ++c) {
+    auto prev = Row(result.centroids, dim, c - 1);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double d = SquaredEuclidean(Row(data, dim, i), prev);
+      dist2[i] = std::min(dist2[i], d);
+      total += dist2[i];
+    }
+    double target = rng.NextDouble() * total;
+    size_t pick = n - 1;
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += dist2[i];
+      if (acc >= target) {
+        pick = i;
+        break;
+      }
+    }
+    std::copy_n(data.begin() + pick * dim,
+                dim, result.centroids.begin() + c * dim);
+  }
+
+  result.assignments.assign(n, 0);
+  std::vector<double> sums(k * dim);
+  std::vector<size_t> counts(k);
+  double prev_distortion = std::numeric_limits<double>::infinity();
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    double distortion = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      auto v = Row(data, dim, i);
+      uint32_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        double d =
+            SquaredEuclideanEarlyAbandon(Row(result.centroids, dim, c), v,
+                                         best_d);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<uint32_t>(c);
+        }
+      }
+      result.assignments[i] = best;
+      distortion += best_d;
+    }
+    result.distortion = distortion;
+
+    // Update step.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t c = result.assignments[i];
+      ++counts[c];
+      for (size_t d = 0; d < dim; ++d) {
+        sums[c * dim + d] += data[i * dim + d];
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster with a random point: keeps all k
+        // codewords live, which matters for small PQ codebooks.
+        size_t pick = rng.NextUint64(n);
+        std::copy_n(data.begin() + pick * dim, dim,
+                    result.centroids.begin() + c * dim);
+        continue;
+      }
+      double inv = 1.0 / static_cast<double>(counts[c]);
+      for (size_t d = 0; d < dim; ++d) {
+        result.centroids[c * dim + d] = static_cast<float>(sums[c * dim + d] * inv);
+      }
+    }
+
+    if (prev_distortion < std::numeric_limits<double>::infinity()) {
+      double rel = prev_distortion > 0.0
+                       ? (prev_distortion - distortion) / prev_distortion
+                       : 0.0;
+      if (rel >= 0.0 && rel < options.tolerance) break;
+    }
+    prev_distortion = distortion;
+  }
+  return result;
+}
+
+}  // namespace hydra

@@ -1,0 +1,40 @@
+#ifndef HYDRA_TRANSFORM_KMEANS_H_
+#define HYDRA_TRANSFORM_KMEANS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hydra {
+
+// Lloyd's k-means with k-means++ seeding on row-major float data.
+// The shared clustering substrate of IMI's codebooks, PQ subquantizers,
+// and Flann's hierarchical k-means tree.
+struct KmeansOptions {
+  size_t num_clusters = 8;
+  size_t max_iterations = 25;
+  // Relative improvement in total distortion below which we stop early.
+  double tolerance = 1e-4;
+};
+
+struct KmeansResult {
+  std::vector<float> centroids;     // num_clusters × dim, row-major
+  std::vector<uint32_t> assignments;  // one per input row
+  double distortion = 0.0;          // final sum of squared distances
+  size_t iterations = 0;
+};
+
+// data: n × dim row-major. Requires n >= 1 and dim >= 1; if
+// options.num_clusters > n it is clamped to n.
+KmeansResult Kmeans(std::span<const float> data, size_t dim,
+                    const KmeansOptions& options, Rng& rng);
+
+// Index of the centroid closest to `v` (squared Euclidean).
+uint32_t NearestCentroid(std::span<const float> centroids, size_t dim,
+                         std::span<const float> v);
+
+}  // namespace hydra
+
+#endif  // HYDRA_TRANSFORM_KMEANS_H_

@@ -1,0 +1,68 @@
+#ifndef HYDRA_TRANSFORM_OPQ_H_
+#define HYDRA_TRANSFORM_OPQ_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "transform/product_quantizer.h"
+
+namespace hydra {
+
+// Optimized Product Quantization (Ge et al. 2014), non-parametric variant:
+// learns an orthogonal rotation R jointly with the PQ codebooks by
+// alternating (1) PQ training/encoding in the rotated space and
+// (2) solving the orthogonal Procrustes problem
+//       min_R ||R·X − X̂||_F  s.t.  RᵀR = I
+// whose solution is R = V·Uᵀ for the SVD X·X̂ᵀ = U·S·Vᵀ. The SVD is
+// computed with a cyclic one-sided Jacobi routine (dimensions here are
+// small: d <= a few hundred).
+struct OpqOptions {
+  PqOptions pq;
+  size_t outer_iterations = 8;
+};
+
+class OptimizedProductQuantizer {
+ public:
+  static Result<OptimizedProductQuantizer> Train(std::span<const float> train,
+                                                 size_t dim,
+                                                 const OpqOptions& options,
+                                                 Rng& rng);
+
+  size_t dim() const { return dim_; }
+  const ProductQuantizer& pq() const { return pq_; }
+
+  // Applies the learned rotation: out = R · v.
+  void Rotate(std::span<const float> v, std::span<float> out) const;
+  std::vector<float> Rotate(std::span<const float> v) const;
+
+  // Encode/ADC on rotated vectors (rotation applied internally).
+  std::vector<uint16_t> Encode(std::span<const float> v) const;
+  std::vector<double> AdcTable(std::span<const float> query) const;
+  double AdcDistanceSq(std::span<const double> table,
+                       std::span<const uint16_t> codes) const {
+    return pq_.AdcDistanceSq(table, codes);
+  }
+
+  // Row-major d×d rotation matrix (orthogonal; exposed for tests).
+  const std::vector<double>& rotation() const { return rotation_; }
+
+ private:
+  size_t dim_ = 0;
+  std::vector<double> rotation_;  // R, row-major
+  ProductQuantizer pq_;
+};
+
+namespace matrix_internal {
+
+// Thin SVD A = U·S·Vᵀ of a row-major n×n matrix by one-sided Jacobi.
+// Exposed for unit testing.
+void JacobiSvd(const std::vector<double>& a, size_t n, std::vector<double>* u,
+               std::vector<double>* s, std::vector<double>* vt);
+
+}  // namespace matrix_internal
+
+}  // namespace hydra
+
+#endif  // HYDRA_TRANSFORM_OPQ_H_

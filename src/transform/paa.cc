@@ -1,0 +1,49 @@
+#include "transform/paa.h"
+
+#include <cmath>
+
+namespace hydra {
+
+Paa::Paa(size_t series_length, size_t segments)
+    : series_length_(series_length),
+      segments_(segments == 0 ? 1 : segments) {
+  if (segments_ > series_length_) segments_ = series_length_;
+  starts_.resize(segments_ + 1);
+  // Distribute the remainder one extra point per leading segment, the
+  // canonical equal-as-possible partition.
+  size_t base = series_length_ / segments_;
+  size_t extra = series_length_ % segments_;
+  size_t pos = 0;
+  for (size_t s = 0; s < segments_; ++s) {
+    starts_[s] = pos;
+    pos += base + (s < extra ? 1 : 0);
+  }
+  starts_[segments_] = series_length_;
+}
+
+void Paa::Transform(std::span<const float> series,
+                    std::span<double> out) const {
+  for (size_t s = 0; s < segments_; ++s) {
+    double sum = 0.0;
+    for (size_t t = starts_[s]; t < starts_[s + 1]; ++t) sum += series[t];
+    out[s] = sum / static_cast<double>(starts_[s + 1] - starts_[s]);
+  }
+}
+
+std::vector<double> Paa::Transform(std::span<const float> series) const {
+  std::vector<double> out(segments_);
+  Transform(series, out);
+  return out;
+}
+
+double Paa::LowerBoundDistance(std::span<const double> a,
+                               std::span<const double> b) const {
+  double sum = 0.0;
+  for (size_t s = 0; s < segments_; ++s) {
+    double d = a[s] - b[s];
+    sum += static_cast<double>(SegmentLength(s)) * d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace hydra

@@ -1,0 +1,42 @@
+#ifndef HYDRA_TRANSFORM_PAA_H_
+#define HYDRA_TRANSFORM_PAA_H_
+
+#include <span>
+#include <vector>
+
+namespace hydra {
+
+// Piecewise Aggregate Approximation (Keogh et al. 2001): splits a series
+// into `segments` pieces (as equal as possible) and represents each piece
+// by its mean. The PAA distance scaled by segment lengths lower-bounds the
+// Euclidean distance, which is what makes SAX-family indexes admissible.
+class Paa {
+ public:
+  Paa(size_t series_length, size_t segments);
+
+  size_t segments() const { return segments_; }
+  size_t series_length() const { return series_length_; }
+
+  // Start offset of segment s (end is start(s + 1)); lengths differ by at
+  // most one when series_length is not divisible by segments.
+  size_t SegmentStart(size_t s) const { return starts_[s]; }
+  size_t SegmentLength(size_t s) const { return starts_[s + 1] - starts_[s]; }
+
+  // out.size() must equal segments().
+  void Transform(std::span<const float> series, std::span<double> out) const;
+  std::vector<double> Transform(std::span<const float> series) const;
+
+  // Lower bound on Euclidean(a_raw, b_raw) given their PAA images:
+  // sqrt(Σ_s len_s · (a_s − b_s)²) <= d(a_raw, b_raw).
+  double LowerBoundDistance(std::span<const double> a,
+                            std::span<const double> b) const;
+
+ private:
+  size_t series_length_;
+  size_t segments_;
+  std::vector<size_t> starts_;  // segments_ + 1 boundaries
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_TRANSFORM_PAA_H_

@@ -1,0 +1,120 @@
+#include "transform/product_quantizer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "distance/euclidean.h"
+#include "transform/kmeans.h"
+
+namespace hydra {
+
+Result<ProductQuantizer> ProductQuantizer::Train(std::span<const float> train,
+                                                 size_t dim,
+                                                 const PqOptions& options,
+                                                 Rng& rng) {
+  if (dim == 0 || train.size() % dim != 0 || train.empty()) {
+    return Status::InvalidArgument("PQ train data shape invalid");
+  }
+  if (options.num_subquantizers == 0 || options.num_subquantizers > dim) {
+    return Status::InvalidArgument("PQ m must be in [1, dim]");
+  }
+  if (options.codebook_size == 0 || options.codebook_size > 65536) {
+    return Status::InvalidArgument("PQ codebook size must be in [1, 65536]");
+  }
+  const size_t n = train.size() / dim;
+
+  ProductQuantizer pq;
+  pq.dim_ = dim;
+  pq.m_ = options.num_subquantizers;
+  pq.ks_ = std::min(options.codebook_size, n);
+  pq.starts_.resize(pq.m_ + 1);
+  size_t base = dim / pq.m_, extra = dim % pq.m_, pos = 0;
+  for (size_t j = 0; j < pq.m_; ++j) {
+    pq.starts_[j] = pos;
+    pos += base + (j < extra ? 1 : 0);
+  }
+  pq.starts_[pq.m_] = dim;
+
+  pq.cb_offsets_.resize(pq.m_ + 1);
+  size_t total = 0;
+  for (size_t j = 0; j < pq.m_; ++j) {
+    pq.cb_offsets_[j] = total;
+    total += pq.ks_ * pq.SubDim(j);
+  }
+  pq.cb_offsets_[pq.m_] = total;
+  pq.codebooks_.resize(total);
+
+  std::vector<float> sub;
+  for (size_t j = 0; j < pq.m_; ++j) {
+    const size_t sd = pq.SubDim(j);
+    sub.resize(n * sd);
+    for (size_t i = 0; i < n; ++i) {
+      std::copy_n(train.begin() + i * dim + pq.starts_[j], sd,
+                  sub.begin() + i * sd);
+    }
+    KmeansOptions ko;
+    ko.num_clusters = pq.ks_;
+    ko.max_iterations = options.train_iterations;
+    KmeansResult km = Kmeans(sub, sd, ko, rng);
+    std::copy(km.centroids.begin(), km.centroids.end(),
+              pq.codebooks_.begin() + pq.cb_offsets_[j]);
+  }
+  return pq;
+}
+
+std::span<const float> ProductQuantizer::Codebook(size_t j) const {
+  return std::span<const float>(codebooks_.data() + cb_offsets_[j],
+                                cb_offsets_[j + 1] - cb_offsets_[j]);
+}
+
+void ProductQuantizer::Encode(std::span<const float> v,
+                              std::span<uint16_t> codes) const {
+  for (size_t j = 0; j < m_; ++j) {
+    auto subv = v.subspan(starts_[j], SubDim(j));
+    codes[j] = static_cast<uint16_t>(
+        NearestCentroid(Codebook(j), SubDim(j), subv));
+  }
+}
+
+std::vector<uint16_t> ProductQuantizer::Encode(
+    std::span<const float> v) const {
+  std::vector<uint16_t> codes(m_);
+  Encode(v, codes);
+  return codes;
+}
+
+void ProductQuantizer::Decode(std::span<const uint16_t> codes,
+                              std::span<float> out) const {
+  for (size_t j = 0; j < m_; ++j) {
+    auto cb = Codebook(j);
+    size_t sd = SubDim(j);
+    std::copy_n(cb.begin() + static_cast<size_t>(codes[j]) * sd, sd,
+                out.begin() + starts_[j]);
+  }
+}
+
+std::vector<double> ProductQuantizer::AdcTable(
+    std::span<const float> query) const {
+  std::vector<double> table(m_ * ks_);
+  for (size_t j = 0; j < m_; ++j) {
+    auto cb = Codebook(j);
+    size_t sd = SubDim(j);
+    auto subq = query.subspan(starts_[j], sd);
+    for (size_t c = 0; c < ks_; ++c) {
+      table[j * ks_ + c] =
+          SquaredEuclidean(subq, cb.subspan(c * sd, sd));
+    }
+  }
+  return table;
+}
+
+double ProductQuantizer::AdcDistanceSq(std::span<const double> table,
+                                       std::span<const uint16_t> codes) const {
+  double sum = 0.0;
+  for (size_t j = 0; j < m_; ++j) {
+    sum += table[j * ks_ + codes[j]];
+  }
+  return sum;
+}
+
+}  // namespace hydra

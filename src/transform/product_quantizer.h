@@ -1,0 +1,66 @@
+#ifndef HYDRA_TRANSFORM_PRODUCT_QUANTIZER_H_
+#define HYDRA_TRANSFORM_PRODUCT_QUANTIZER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace hydra {
+
+// Product Quantization (Jégou et al. 2011): split a d-dimensional vector
+// into m contiguous subvectors and vector-quantize each against its own
+// codebook of `codebook_size` centroids. Scalar and full vector
+// quantization are the m = d and m = 1 special cases. The workhorse of
+// IMI's compressed re-ranking.
+struct PqOptions {
+  size_t num_subquantizers = 8;   // m
+  size_t codebook_size = 256;     // centroids per subquantizer (<= 65536)
+  size_t train_iterations = 25;
+};
+
+class ProductQuantizer {
+ public:
+  // Trains all m codebooks on `train` (n × dim row-major).
+  static Result<ProductQuantizer> Train(std::span<const float> train,
+                                        size_t dim, const PqOptions& options,
+                                        Rng& rng);
+
+  size_t dim() const { return dim_; }
+  size_t num_subquantizers() const { return m_; }
+  size_t codebook_size() const { return ks_; }
+  // Dimensions covered by subquantizer j: [SubStart(j), SubStart(j+1)).
+  size_t SubStart(size_t j) const { return starts_[j]; }
+  size_t SubDim(size_t j) const { return starts_[j + 1] - starts_[j]; }
+
+  // Encodes a vector into m codes.
+  void Encode(std::span<const float> v, std::span<uint16_t> codes) const;
+  std::vector<uint16_t> Encode(std::span<const float> v) const;
+
+  // Reconstructs the centroid concatenation for a code word.
+  void Decode(std::span<const uint16_t> codes, std::span<float> out) const;
+
+  // Asymmetric distance computation table: per (subquantizer, centroid)
+  // squared distances from the query's subvectors. ADC(query, codes) =
+  // Σ_j table[j * ks + codes[j]].
+  std::vector<double> AdcTable(std::span<const float> query) const;
+  double AdcDistanceSq(std::span<const double> table,
+                       std::span<const uint16_t> codes) const;
+
+  // Raw centroid storage for subquantizer j (codebook_size × SubDim(j)).
+  std::span<const float> Codebook(size_t j) const;
+
+ private:
+  size_t dim_ = 0;
+  size_t m_ = 0;
+  size_t ks_ = 0;
+  std::vector<size_t> starts_;      // m + 1 boundaries over dimensions
+  std::vector<float> codebooks_;    // concatenated per-subquantizer
+  std::vector<size_t> cb_offsets_;  // offset of codebook j in codebooks_
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_TRANSFORM_PRODUCT_QUANTIZER_H_

@@ -1,0 +1,78 @@
+#include "transform/random_projection.h"
+
+#include <cmath>
+
+namespace hydra {
+
+RandomProjection::RandomProjection(size_t in_dim, size_t out_dim, Rng& rng)
+    : in_dim_(in_dim), out_dim_(out_dim), matrix_(in_dim * out_dim) {
+  for (float& v : matrix_) v = static_cast<float>(rng.NextGaussian());
+}
+
+void RandomProjection::Project(std::span<const float> v,
+                               std::span<float> out) const {
+  for (size_t r = 0; r < out_dim_; ++r) {
+    const float* row = matrix_.data() + r * in_dim_;
+    double sum = 0.0;
+    for (size_t c = 0; c < in_dim_; ++c) {
+      sum += static_cast<double>(row[c]) * v[c];
+    }
+    out[r] = static_cast<float>(sum);
+  }
+}
+
+std::vector<float> RandomProjection::Project(std::span<const float> v) const {
+  std::vector<float> out(out_dim_);
+  Project(v, out);
+  return out;
+}
+
+namespace {
+
+// Regularized lower incomplete gamma P(a, x) via series (x < a + 1) or
+// continued fraction (otherwise). Standard Numerical-Recipes-style
+// formulation, accurate to ~1e-12 for the a, x ranges we use.
+double GammaP(double a, double x) {
+  if (x <= 0.0) return 0.0;
+  double gln = std::lgamma(a);
+  if (x < a + 1.0) {
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      del *= x / ap;
+      sum += del;
+      if (std::abs(del) < std::abs(sum) * 1e-15) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - gln);
+  }
+  // Continued fraction for Q(a, x); P = 1 − Q.
+  double b = x + 1.0 - a;
+  double c = 1e300;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::abs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-15) break;
+  }
+  double q = std::exp(-x + a * std::log(x) - gln) * h;
+  return 1.0 - q;
+}
+
+}  // namespace
+
+double ChiSquaredCdf(double x, double k) {
+  if (x <= 0.0) return 0.0;
+  return GammaP(k / 2.0, x / 2.0);
+}
+
+}  // namespace hydra

@@ -1,0 +1,43 @@
+#ifndef HYDRA_TRANSFORM_RANDOM_PROJECTION_H_
+#define HYDRA_TRANSFORM_RANDOM_PROJECTION_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hydra {
+
+// Gaussian random projection to `out_dim` dimensions (the 2-stable
+// projection family used by SRS and, per hash function, by QALSH).
+//
+// Each output coordinate is <v, g_i> with g_i ~ N(0, I). For such
+// projections ||proj(x) − proj(y)||² / ||x − y||² follows a chi-squared
+// distribution with out_dim degrees of freedom scaled by 1/||x−y||²...
+// more precisely, it is distributed as a χ²(out_dim) variable — the
+// property SRS' early-termination test is built on. No 1/sqrt(m) scaling
+// is applied here; consumers that need a JL-style unbiased estimate divide
+// by out_dim themselves.
+class RandomProjection {
+ public:
+  RandomProjection(size_t in_dim, size_t out_dim, Rng& rng);
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+
+  void Project(std::span<const float> v, std::span<float> out) const;
+  std::vector<float> Project(std::span<const float> v) const;
+
+ private:
+  size_t in_dim_;
+  size_t out_dim_;
+  std::vector<float> matrix_;  // out_dim × in_dim, row-major
+};
+
+// Chi-squared CDF with k degrees of freedom (regularized lower incomplete
+// gamma P(k/2, x/2)); the building block of SRS' early-stop predicate.
+double ChiSquaredCdf(double x, double k);
+
+}  // namespace hydra
+
+#endif  // HYDRA_TRANSFORM_RANDOM_PROJECTION_H_

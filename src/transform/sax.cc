@@ -1,0 +1,120 @@
+#include "transform/sax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hydra {
+
+double InverseNormalCdf(double p) {
+  // Acklam's algorithm: rational approximations in a central region and
+  // two tails, standard for breakpoint generation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+std::vector<double> SaxBreakpoints(size_t cardinality) {
+  std::vector<double> beta;
+  if (cardinality < 2) return beta;
+  beta.reserve(cardinality - 1);
+  for (size_t i = 1; i < cardinality; ++i) {
+    beta.push_back(InverseNormalCdf(static_cast<double>(i) /
+                                    static_cast<double>(cardinality)));
+  }
+  return beta;
+}
+
+SaxEncoder::SaxEncoder(size_t series_length, size_t segments, size_t max_bits)
+    : paa_(series_length, segments), max_bits_(std::min<size_t>(max_bits, 16)) {
+  if (max_bits_ == 0) max_bits_ = 1;
+  breakpoints_.resize(max_bits_);
+  for (size_t b = 0; b < max_bits_; ++b) {
+    breakpoints_[b] = SaxBreakpoints(size_t{1} << (b + 1));
+  }
+}
+
+std::vector<uint16_t> SaxEncoder::Encode(std::span<const float> series) const {
+  std::vector<double> paa = paa_.Transform(series);
+  return EncodePaa(paa);
+}
+
+std::vector<uint16_t> SaxEncoder::EncodePaa(
+    std::span<const double> paa) const {
+  const std::vector<double>& beta = breakpoints_[max_bits_ - 1];
+  std::vector<uint16_t> word(paa.size());
+  for (size_t s = 0; s < paa.size(); ++s) {
+    // Symbol = number of breakpoints strictly below the value.
+    word[s] = static_cast<uint16_t>(
+        std::upper_bound(beta.begin(), beta.end(), paa[s]) - beta.begin());
+  }
+  return word;
+}
+
+void SaxEncoder::SymbolRegion(uint16_t symbol, uint8_t used_bits, double* lo,
+                              double* hi) const {
+  if (used_bits == 0) {
+    *lo = -std::numeric_limits<double>::infinity();
+    *hi = std::numeric_limits<double>::infinity();
+    return;
+  }
+  size_t bits = std::min<size_t>(used_bits, max_bits_);
+  // Leading `bits` bits of the full-resolution symbol select a region of
+  // the 2^bits alphabet.
+  uint16_t coarse = static_cast<uint16_t>(symbol >> (max_bits_ - bits));
+  const std::vector<double>& beta = breakpoints_[bits - 1];
+  *lo = coarse == 0 ? -std::numeric_limits<double>::infinity()
+                    : beta[coarse - 1];
+  *hi = coarse == beta.size() ? std::numeric_limits<double>::infinity()
+                              : beta[coarse];
+}
+
+double SaxEncoder::MinDistSqPaaToSax(std::span<const double> query_paa,
+                                     std::span<const uint16_t> word,
+                                     std::span<const uint8_t> bits) const {
+  double sum = 0.0;
+  for (size_t s = 0; s < query_paa.size(); ++s) {
+    double lo, hi;
+    SymbolRegion(word[s], bits[s], &lo, &hi);
+    double d = 0.0;
+    if (query_paa[s] < lo) {
+      d = lo - query_paa[s];
+    } else if (query_paa[s] > hi) {
+      d = query_paa[s] - hi;
+    }
+    sum += static_cast<double>(paa_.SegmentLength(s)) * d * d;
+  }
+  return sum;
+}
+
+}  // namespace hydra

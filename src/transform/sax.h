@@ -1,0 +1,68 @@
+#ifndef HYDRA_TRANSFORM_SAX_H_
+#define HYDRA_TRANSFORM_SAX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "transform/paa.h"
+
+namespace hydra {
+
+// Symbolic Aggregate Approximation (Lin et al. 2003) and its indexable
+// variant iSAX (Shieh & Keogh 2008).
+//
+// SAX quantizes each PAA value into one of `a` symbols using breakpoints
+// chosen as standard-normal quantiles (z-normalized series make symbol
+// usage roughly uniform). iSAX stores symbols at a maximum cardinality
+// (2^max_bits) and lets a node address a coarser prefix of each symbol:
+// a symbol with b active bits denotes the region between breakpoints of
+// the cardinality-2^b alphabet. MinDist between a query PAA and an iSAX
+// word is the segment-weighted distance to those regions and lower-bounds
+// the true Euclidean distance.
+
+// Inverse standard normal CDF (Acklam's rational approximation, |rel err|
+// < 1.15e-9): the basis of the SAX breakpoint tables.
+double InverseNormalCdf(double p);
+
+// Breakpoints for an alphabet of `cardinality` symbols: cardinality − 1
+// ascending cut points; symbol s covers (beta[s-1], beta[s]].
+std::vector<double> SaxBreakpoints(size_t cardinality);
+
+class SaxEncoder {
+ public:
+  // max_bits: bits per symbol at full resolution (cardinality 2^max_bits).
+  SaxEncoder(size_t series_length, size_t segments, size_t max_bits);
+
+  size_t segments() const { return paa_.segments(); }
+  size_t max_bits() const { return max_bits_; }
+  const Paa& paa() const { return paa_; }
+
+  // Full-cardinality SAX word for a raw series (one byte-sized symbol per
+  // segment; max_bits <= 16 supported, symbols stored as uint16).
+  std::vector<uint16_t> Encode(std::span<const float> series) const;
+  // Quantizes an already-computed PAA image.
+  std::vector<uint16_t> EncodePaa(std::span<const double> paa) const;
+
+  // Squared MinDist from a query PAA image to an iSAX word whose segment s
+  // uses bits[s] leading bits of word[s]. Lower-bounds squared Euclidean.
+  double MinDistSqPaaToSax(std::span<const double> query_paa,
+                           std::span<const uint16_t> word,
+                           std::span<const uint8_t> bits) const;
+
+  // Breakpoint interval [lo, hi] covered by the `used_bits` leading bits
+  // of `symbol` (full-cardinality symbol).
+  void SymbolRegion(uint16_t symbol, uint8_t used_bits, double* lo,
+                    double* hi) const;
+
+ private:
+  Paa paa_;
+  size_t max_bits_;
+  // breakpoints_[b] holds the cut points of the 2^(b+1)-symbol alphabet,
+  // b in [0, max_bits).
+  std::vector<std::vector<double>> breakpoints_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_TRANSFORM_SAX_H_

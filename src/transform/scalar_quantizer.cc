@@ -1,0 +1,122 @@
+#include "transform/scalar_quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hydra {
+
+LloydQuantizer::LloydQuantizer(std::vector<double> samples, size_t bits,
+                               size_t max_iterations)
+    : bits_(std::clamp<size_t>(bits, 1, 16)) {
+  size_t cells = size_t{1} << bits_;
+  if (samples.empty()) samples.push_back(0.0);
+  std::sort(samples.begin(), samples.end());
+  sample_min_ = samples.front();
+  sample_max_ = samples.back();
+
+  // Initialize centroids at equi-probable sample quantiles (already a good
+  // quantizer for monotone densities; Lloyd iterations then refine).
+  centroids_.resize(cells);
+  for (size_t c = 0; c < cells; ++c) {
+    double q = (static_cast<double>(c) + 0.5) / static_cast<double>(cells);
+    size_t idx = std::min(samples.size() - 1,
+                          static_cast<size_t>(q * samples.size()));
+    centroids_[c] = samples[idx];
+  }
+
+  boundaries_.assign(cells - 1, 0.0);
+  std::vector<double> sums(cells), counts(cells);
+  for (size_t iter = 0; iter < max_iterations; ++iter) {
+    // Boundaries at centroid midpoints (nearest-neighbor condition).
+    for (size_t c = 0; c + 1 < cells; ++c) {
+      boundaries_[c] = 0.5 * (centroids_[c] + centroids_[c + 1]);
+    }
+    // Centroids at cell means (centroid condition).
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0.0);
+    size_t cell = 0;
+    for (double v : samples) {
+      while (cell + 1 < cells && v > boundaries_[cell]) ++cell;
+      sums[cell] += v;
+      counts[cell] += 1.0;
+    }
+    bool changed = false;
+    for (size_t c = 0; c < cells; ++c) {
+      if (counts[c] == 0.0) continue;  // keep previous centroid
+      double nc = sums[c] / counts[c];
+      if (std::abs(nc - centroids_[c]) > 1e-12) changed = true;
+      centroids_[c] = nc;
+    }
+    // Keep centroids sorted (ties/empty cells can disorder them).
+    std::sort(centroids_.begin(), centroids_.end());
+    if (!changed) break;
+  }
+  for (size_t c = 0; c + 1 < cells; ++c) {
+    boundaries_[c] = 0.5 * (centroids_[c] + centroids_[c + 1]);
+  }
+}
+
+uint32_t LloydQuantizer::Quantize(double v) const {
+  return static_cast<uint32_t>(
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), v) -
+      boundaries_.begin());
+}
+
+double LloydQuantizer::CellLower(uint32_t cell) const {
+  if (cell == 0) return -std::numeric_limits<double>::infinity();
+  return boundaries_[cell - 1];
+}
+
+double LloydQuantizer::CellUpper(uint32_t cell) const {
+  if (cell >= boundaries_.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return boundaries_[cell];
+}
+
+double LloydQuantizer::MinDistSqToCell(double v, uint32_t cell) const {
+  double lo = CellLower(cell), hi = CellUpper(cell);
+  double d = 0.0;
+  if (v < lo) {
+    d = lo - v;
+  } else if (v > hi) {
+    d = v - hi;
+  }
+  return d * d;
+}
+
+double LloydQuantizer::MaxDistSqToCell(double v, uint32_t cell) const {
+  // Unbounded outer cells are clipped to the training range: values ever
+  // quantized there during indexing lay inside it.
+  double lo = std::max(CellLower(cell), sample_min_);
+  double hi = std::min(CellUpper(cell), sample_max_);
+  double d = std::max(std::abs(v - lo), std::abs(v - hi));
+  return d * d;
+}
+
+std::vector<uint8_t> AllocateBits(const std::vector<double>& variances,
+                                  size_t total_bits,
+                                  size_t max_bits_per_dim) {
+  std::vector<uint8_t> bits(variances.size(), 0);
+  if (variances.empty()) return bits;
+  // Expected distortion of a b-bit quantizer scales as variance / 4^b.
+  std::vector<double> distortion = variances;
+  for (size_t allocated = 0; allocated < total_bits; ++allocated) {
+    size_t best = variances.size();
+    double best_d = -1.0;
+    for (size_t d = 0; d < variances.size(); ++d) {
+      if (bits[d] >= max_bits_per_dim) continue;
+      if (distortion[d] > best_d) {
+        best_d = distortion[d];
+        best = d;
+      }
+    }
+    if (best == variances.size()) break;  // all dims saturated
+    ++bits[best];
+    distortion[best] /= 4.0;
+  }
+  return bits;
+}
+
+}  // namespace hydra

@@ -1,0 +1,59 @@
+#ifndef HYDRA_TRANSFORM_SCALAR_QUANTIZER_H_
+#define HYDRA_TRANSFORM_SCALAR_QUANTIZER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hydra {
+
+// Lloyd-Max optimal scalar quantizer: given 1-D samples and a number of
+// intervals, iterates centroid / midpoint-boundary updates until the cells
+// stabilize. The VA+file uses one per retained DFT dimension, which is the
+// "+" over the uniform-grid VA-file: cell boundaries adapt to the actual
+// (non-uniform) coefficient distribution.
+class LloydQuantizer {
+ public:
+  // Trains on `samples` with 2^bits cells. bits in [1, 16].
+  LloydQuantizer(std::vector<double> samples, size_t bits,
+                 size_t max_iterations = 50);
+
+  size_t bits() const { return bits_; }
+  size_t num_cells() const { return boundaries_.size() + 1; }
+
+  // Cell index of a value: number of boundaries <= v.
+  uint32_t Quantize(double v) const;
+
+  // Interval covered by a cell; the first/last cells extend to ∓infinity.
+  double CellLower(uint32_t cell) const;
+  double CellUpper(uint32_t cell) const;
+
+  // Reproduction value (centroid) of a cell.
+  double CellCentroid(uint32_t cell) const { return centroids_[cell]; }
+
+  // Squared distance from `v` to the closest point of `cell`; zero when v
+  // lies inside. The per-dimension term of the VA+ lower bound.
+  double MinDistSqToCell(double v, uint32_t cell) const;
+  // Squared distance from `v` to the farthest point of `cell`, using the
+  // training sample range for the unbounded outer cells (upper bound term).
+  double MaxDistSqToCell(double v, uint32_t cell) const;
+
+ private:
+  size_t bits_;
+  std::vector<double> boundaries_;  // num_cells − 1 ascending cut points
+  std::vector<double> centroids_;  // num_cells reproduction values
+  double sample_min_ = 0.0;
+  double sample_max_ = 0.0;
+};
+
+// Greedy bit allocation across dimensions (used by VA+): repeatedly gives
+// one bit to the dimension with the largest current expected distortion
+// variance/4^bits, the classic high-rate approximation. Returns per-dim
+// bit counts summing to total_bits (dims with 0 bits are unquantized: the
+// whole real line is one cell).
+std::vector<uint8_t> AllocateBits(const std::vector<double>& variances,
+                                  size_t total_bits, size_t max_bits_per_dim);
+
+}  // namespace hydra
+
+#endif  // HYDRA_TRANSFORM_SCALAR_QUANTIZER_H_

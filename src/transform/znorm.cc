@@ -1,0 +1,40 @@
+#include "transform/znorm.h"
+
+#include <cmath>
+
+namespace hydra {
+
+MeanStd ComputeMeanStd(std::span<const float> series) {
+  MeanStd ms;
+  if (series.empty()) return ms;
+  double sum = 0.0, sum2 = 0.0;
+  for (float v : series) {
+    sum += v;
+    sum2 += static_cast<double>(v) * v;
+  }
+  double n = static_cast<double>(series.size());
+  ms.mean = sum / n;
+  double var = sum2 / n - ms.mean * ms.mean;
+  ms.std = var > 0.0 ? std::sqrt(var) : 0.0;
+  return ms;
+}
+
+void ZNormalize(std::span<float> series, double epsilon) {
+  MeanStd ms = ComputeMeanStd(series);
+  if (ms.std < epsilon) {
+    for (float& v : series) v = 0.0f;
+    return;
+  }
+  double inv = 1.0 / ms.std;
+  for (float& v : series) {
+    v = static_cast<float>((v - ms.mean) * inv);
+  }
+}
+
+void ZNormalizeDataset(Dataset& dataset, double epsilon) {
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    ZNormalize(dataset.mutable_series(i), epsilon);
+  }
+}
+
+}  // namespace hydra

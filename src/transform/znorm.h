@@ -1,0 +1,27 @@
+#ifndef HYDRA_TRANSFORM_ZNORM_H_
+#define HYDRA_TRANSFORM_ZNORM_H_
+
+#include <span>
+
+#include "core/dataset.h"
+
+namespace hydra {
+
+// Z-normalization: rescale a series to zero mean and unit variance.
+// Standard preprocessing in data-series similarity search; constant series
+// (variance below epsilon) are mapped to all zeros.
+void ZNormalize(std::span<float> series, double epsilon = 1e-10);
+
+// Normalizes every series of a dataset in place.
+void ZNormalizeDataset(Dataset& dataset, double epsilon = 1e-10);
+
+// Mean / standard deviation of a series (double precision accumulation).
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+MeanStd ComputeMeanStd(std::span<const float> series);
+
+}  // namespace hydra
+
+#endif  // HYDRA_TRANSFORM_ZNORM_H_

@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/dataset.h"
+#include "core/distance_histogram.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "core/metrics.h"
+#include "core/workload.h"
+#include "distance/euclidean.h"
+
+namespace hydra {
+namespace {
+
+TEST(Dataset, ConstructAndAccess) {
+  Dataset ds(3, 4);
+  EXPECT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds.length(), 4u);
+  EXPECT_EQ(ds.SizeBytes(), 3u * 4u * sizeof(float));
+  ds.mutable_series(1)[2] = 5.0f;
+  EXPECT_FLOAT_EQ(ds.series(1)[2], 5.0f);
+  EXPECT_FLOAT_EQ(ds.series(0)[0], 0.0f);
+}
+
+TEST(Dataset, FromValuesValidatesShape) {
+  std::vector<float> values = {1, 2, 3, 4, 5, 6};
+  auto ok = Dataset::FromValues(2, 3, values);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FLOAT_EQ(ok.value().series(1)[0], 4.0f);
+  auto bad = Dataset::FromValues(2, 4, values);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Dataset, AppendDefinesLengthThenEnforcesIt) {
+  Dataset ds;
+  std::vector<float> a = {1, 2, 3};
+  ASSERT_TRUE(ds.Append(a).ok());
+  EXPECT_EQ(ds.length(), 3u);
+  std::vector<float> wrong = {1, 2};
+  EXPECT_FALSE(ds.Append(wrong).ok());
+  ASSERT_TRUE(ds.Append(a).ok());
+  EXPECT_EQ(ds.size(), 2u);
+}
+
+TEST(Euclidean, MatchesNaive) {
+  Rng rng(1);
+  std::vector<float> a(37), b(37);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(rng.NextGaussian());
+    b[i] = static_cast<float>(rng.NextGaussian());
+  }
+  double naive = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    naive += d * d;
+  }
+  EXPECT_NEAR(SquaredEuclidean(a, b), naive, 1e-9);
+  EXPECT_NEAR(Euclidean(a, b), std::sqrt(naive), 1e-9);
+}
+
+TEST(Euclidean, ZeroForIdenticalInputs) {
+  std::vector<float> a = {1.5f, -2.0f, 0.25f};
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(a, a), 0.0);
+}
+
+TEST(Euclidean, EarlyAbandonReturnsExactWhenUnderThreshold) {
+  std::vector<float> a(64, 1.0f), b(64, 2.0f);
+  double exact = SquaredEuclidean(a, b);
+  EXPECT_DOUBLE_EQ(SquaredEuclideanEarlyAbandon(a, b, exact + 1.0), exact);
+}
+
+TEST(Euclidean, EarlyAbandonExceedsThresholdWhenAbandoning) {
+  std::vector<float> a(256, 0.0f), b(256, 3.0f);
+  double threshold = 10.0;
+  double d = SquaredEuclideanEarlyAbandon(a, b, threshold);
+  EXPECT_GT(d, threshold);
+}
+
+TEST(Generators, RandomWalkShapeAndSteps) {
+  Rng rng(3);
+  Dataset ds = MakeRandomWalk(50, 128, rng);
+  EXPECT_EQ(ds.size(), 50u);
+  EXPECT_EQ(ds.length(), 128u);
+  // Steps are N(0,1): check the aggregate step variance over all series.
+  double sum2 = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    auto s = ds.series(i);
+    for (size_t t = 1; t < s.size(); ++t) {
+      double step = static_cast<double>(s[t]) - s[t - 1];
+      sum2 += step * step;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(sum2 / static_cast<double>(count), 1.0, 0.05);
+}
+
+TEST(Generators, RandomWalkDeterministicPerSeed) {
+  Rng a(7), b(7);
+  Dataset da = MakeRandomWalk(5, 32, a);
+  Dataset db = MakeRandomWalk(5, 32, b);
+  EXPECT_EQ(da.values(), db.values());
+}
+
+TEST(Generators, SiftAnalogIsNonNegativeAndBounded) {
+  Rng rng(4);
+  Dataset ds = MakeSiftAnalog(200, 64, rng);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    for (float v : ds.series(i)) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 255.0f);
+    }
+  }
+}
+
+TEST(Generators, DeepAnalogIsUnitNorm) {
+  Rng rng(5);
+  Dataset ds = MakeDeepAnalog(100, 48, rng);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    double norm2 = 0.0;
+    for (float v : ds.series(i)) norm2 += static_cast<double>(v) * v;
+    EXPECT_NEAR(norm2, 1.0, 1e-3);
+  }
+}
+
+TEST(Generators, SeismicAnalogHasBurstEnergy) {
+  Rng rng(6);
+  Dataset ds = MakeSeismicAnalog(50, 256, rng);
+  // At least some series should show a clear burst: max |v| well above
+  // the series median |v|.
+  size_t bursty = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    auto s = ds.series(i);
+    std::vector<float> mags(s.size());
+    for (size_t t = 0; t < s.size(); ++t) mags[t] = std::abs(s[t]);
+    std::nth_element(mags.begin(), mags.begin() + mags.size() / 2,
+                     mags.end());
+    float median = mags[mags.size() / 2];
+    float peak = *std::max_element(mags.begin(), mags.end());
+    if (peak > 5.0f * (median + 0.1f)) ++bursty;
+  }
+  EXPECT_GT(bursty, ds.size() / 2);
+}
+
+TEST(Generators, SaldAnalogIsSmooth) {
+  Rng rng(7);
+  Dataset ds = MakeSaldAnalog(50, 128, rng);
+  // Smoothness: the mean absolute first difference is small relative to
+  // the series amplitude.
+  for (size_t i = 0; i < ds.size(); ++i) {
+    auto s = ds.series(i);
+    double amp = 0.0, diff = 0.0;
+    for (size_t t = 0; t < s.size(); ++t) {
+      amp = std::max(amp, static_cast<double>(std::abs(s[t])));
+    }
+    for (size_t t = 1; t < s.size(); ++t) {
+      diff += std::abs(static_cast<double>(s[t]) - s[t - 1]);
+    }
+    diff /= static_cast<double>(s.size() - 1);
+    if (amp > 0.1) EXPECT_LT(diff, amp * 0.5);
+  }
+}
+
+TEST(Generators, NoiseQueriesStayNearSource) {
+  Rng rng(8);
+  Dataset base = MakeRandomWalk(20, 64, rng);
+  Dataset queries = MakeNoiseQueries(base, 10, 0.05, rng);
+  EXPECT_EQ(queries.size(), 10u);
+  EXPECT_EQ(queries.length(), 64u);
+  // Each low-noise query must be very close to its source series (closer
+  // than to the typical random series).
+  for (size_t q = 0; q < queries.size(); ++q) {
+    double best = 1e300;
+    for (size_t i = 0; i < base.size(); ++i) {
+      best = std::min(best, SquaredEuclidean(queries.series(q),
+                                             base.series(i)));
+    }
+    auto exact = ExactKnn(base, queries.series(q), 1);
+    EXPECT_NEAR(exact.distances[0] * exact.distances[0], best, 1e-6);
+  }
+}
+
+TEST(Generators, NoiseLevelControlsDifficulty) {
+  Rng rng(9);
+  Dataset base = MakeRandomWalk(50, 64, rng);
+  Dataset easy = MakeNoiseQueries(base, 20, 0.01, rng);
+  Dataset hard = MakeNoiseQueries(base, 20, 1.0, rng);
+  auto avg_nn = [&](const Dataset& queries) {
+    double sum = 0.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      sum += ExactKnn(base, queries.series(q), 1).distances[0];
+    }
+    return sum / static_cast<double>(queries.size());
+  };
+  EXPECT_LT(avg_nn(easy), avg_nn(hard));
+}
+
+TEST(GroundTruth, ExactKnnFindsTrueNeighbors) {
+  Dataset ds(4, 2);
+  float raw[4][2] = {{0, 0}, {1, 0}, {0, 2}, {5, 5}};
+  for (size_t i = 0; i < 4; ++i) {
+    std::copy(raw[i], raw[i] + 2, ds.mutable_series(i).begin());
+  }
+  std::vector<float> q = {0.1f, 0.0f};
+  KnnAnswer ans = ExactKnn(ds, q, 3);
+  ASSERT_EQ(ans.size(), 3u);
+  EXPECT_EQ(ans.ids[0], 0);
+  EXPECT_EQ(ans.ids[1], 1);
+  EXPECT_EQ(ans.ids[2], 2);
+  EXPECT_LE(ans.distances[0], ans.distances[1]);
+  EXPECT_LE(ans.distances[1], ans.distances[2]);
+}
+
+TEST(GroundTruth, KLargerThanDatasetReturnsAll) {
+  Rng rng(10);
+  Dataset ds = MakeRandomWalk(5, 16, rng);
+  KnnAnswer ans = ExactKnn(ds, ds.series(0), 10);
+  EXPECT_EQ(ans.size(), 5u);
+  EXPECT_EQ(ans.ids[0], 0);  // query equals series 0
+  EXPECT_NEAR(ans.distances[0], 0.0, 1e-7);
+}
+
+TEST(GroundTruth, WorkloadMatchesPerQuery) {
+  Rng rng(11);
+  Dataset ds = MakeRandomWalk(40, 32, rng);
+  Dataset qs = MakeRandomWalk(5, 32, rng);
+  auto workload = ExactKnnWorkload(ds, qs, 3);
+  ASSERT_EQ(workload.size(), 5u);
+  for (size_t q = 0; q < qs.size(); ++q) {
+    KnnAnswer single = ExactKnn(ds, qs.series(q), 3);
+    EXPECT_EQ(workload[q].ids, single.ids);
+  }
+}
+
+KnnAnswer MakeAnswer(std::vector<int64_t> ids, std::vector<double> dists) {
+  KnnAnswer a;
+  a.ids = std::move(ids);
+  a.distances = std::move(dists);
+  return a;
+}
+
+TEST(Metrics, PerfectAnswerScoresOne) {
+  KnnAnswer exact = MakeAnswer({1, 2, 3}, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(RecallAt(exact, exact, 3), 1.0);
+  EXPECT_DOUBLE_EQ(AveragePrecisionAt(exact, exact, 3), 1.0);
+  EXPECT_DOUBLE_EQ(RelativeErrorAt(exact, exact, 3), 0.0);
+}
+
+TEST(Metrics, RecallCountsSetOverlapOnly) {
+  KnnAnswer exact = MakeAnswer({1, 2, 3}, {1.0, 2.0, 3.0});
+  // Same set, wrong order: recall 1, AP < 1 is not possible here since
+  // all are relevant; scrambled order still yields AP = 1 by definition.
+  KnnAnswer scrambled = MakeAnswer({3, 1, 2}, {3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(RecallAt(exact, scrambled, 3), 1.0);
+  EXPECT_DOUBLE_EQ(AveragePrecisionAt(exact, scrambled, 3), 1.0);
+}
+
+TEST(Metrics, ApPenalizesInterleavedMisses) {
+  KnnAnswer exact = MakeAnswer({1, 2, 3, 4}, {1, 2, 3, 4});
+  // Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 4.
+  KnnAnswer approx = MakeAnswer({1, 99, 2, 98}, {1, 1.5, 2, 2.5});
+  EXPECT_NEAR(AveragePrecisionAt(exact, approx, 4), (1.0 + 2.0 / 3.0) / 4.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(RecallAt(exact, approx, 4), 0.5);
+}
+
+TEST(Metrics, MapLessOrEqualRecall) {
+  // MAP can never exceed recall for the same answer.
+  KnnAnswer exact = MakeAnswer({1, 2, 3, 4, 5}, {1, 2, 3, 4, 5});
+  KnnAnswer approx = MakeAnswer({9, 1, 8, 2, 7}, {1, 1, 2, 2, 3});
+  EXPECT_LE(AveragePrecisionAt(exact, approx, 5),
+            RecallAt(exact, approx, 5) + 1e-12);
+}
+
+TEST(Metrics, MreMeasuresRelativeDistanceError) {
+  KnnAnswer exact = MakeAnswer({1, 2}, {1.0, 2.0});
+  KnnAnswer approx = MakeAnswer({7, 8}, {1.5, 3.0});
+  // ((1.5-1)/1 + (3-2)/2) / 2 = 0.5.
+  EXPECT_NEAR(RelativeErrorAt(exact, approx, 2), 0.5, 1e-12);
+}
+
+TEST(Metrics, MreSkipsZeroDistanceNeighbors) {
+  KnnAnswer exact = MakeAnswer({1, 2}, {0.0, 2.0});
+  KnnAnswer approx = MakeAnswer({1, 2}, {0.0, 2.0});
+  EXPECT_DOUBLE_EQ(RelativeErrorAt(exact, approx, 2), 0.0);
+}
+
+TEST(Metrics, IncompleteAnswersArePenalized) {
+  KnnAnswer exact = MakeAnswer({1, 2, 3, 4}, {1, 2, 3, 4});
+  KnnAnswer partial = MakeAnswer({1, 2}, {1, 2});
+  EXPECT_DOUBLE_EQ(RecallAt(exact, partial, 4), 0.5);
+  EXPECT_LT(AveragePrecisionAt(exact, partial, 4), 1.0);
+  // RE only scores the ranks actually returned (here: perfect).
+  EXPECT_DOUBLE_EQ(RelativeErrorAt(exact, partial, 4), 0.0);
+}
+
+TEST(Metrics, EmptyApproxYieldsZeroScores) {
+  KnnAnswer exact = MakeAnswer({1, 2}, {1.0, 2.0});
+  KnnAnswer empty;
+  EXPECT_DOUBLE_EQ(RecallAt(exact, empty, 2), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecisionAt(exact, empty, 2), 0.0);
+}
+
+TEST(Metrics, AggregateAveragesAcrossQueries) {
+  std::vector<KnnAnswer> exact = {MakeAnswer({1}, {1.0}),
+                                  MakeAnswer({2}, {1.0})};
+  std::vector<KnnAnswer> approx = {MakeAnswer({1}, {1.0}),
+                                   MakeAnswer({9}, {2.0})};
+  WorkloadAccuracy acc = AggregateAccuracy(exact, approx, 1);
+  EXPECT_DOUBLE_EQ(acc.avg_recall, 0.5);
+  EXPECT_DOUBLE_EQ(acc.map, 0.5);
+  EXPECT_DOUBLE_EQ(acc.mre, 0.5);  // (0 + 1.0) / 2
+}
+
+TEST(DistanceHistogram, CdfIsMonotoneAndNormalized) {
+  Rng rng(12);
+  Dataset ds = MakeRandomWalk(200, 32, rng);
+  DistanceHistogram hist(ds, 5000, 128, rng);
+  EXPECT_DOUBLE_EQ(hist.Cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Cdf(hist.max_distance() + 1.0), 1.0);
+  double prev = 0.0;
+  for (double r = 0.0; r < hist.max_distance();
+       r += hist.max_distance() / 50) {
+    double c = hist.Cdf(r);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+}
+
+TEST(DistanceHistogram, QuantileInvertsCdf) {
+  Rng rng(13);
+  Dataset ds = MakeRandomWalk(200, 32, rng);
+  DistanceHistogram hist(ds, 5000, 256, rng);
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    double r = hist.Quantile(p);
+    EXPECT_NEAR(hist.Cdf(r), p, 0.02);
+  }
+}
+
+TEST(DistanceHistogram, DeltaRadiusEdgeCases) {
+  Rng rng(14);
+  Dataset ds = MakeRandomWalk(100, 32, rng);
+  DistanceHistogram hist(ds, 2000, 128, rng);
+  EXPECT_DOUBLE_EQ(hist.DeltaRadius(1.0, 100), 0.0);
+  EXPECT_TRUE(std::isinf(hist.DeltaRadius(0.0, 100)));
+  double r_half = hist.DeltaRadius(0.5, 100);
+  EXPECT_GT(r_half, 0.0);
+  EXPECT_LT(r_half, hist.max_distance());
+}
+
+TEST(DistanceHistogram, DeltaRadiusDecreasesWithPopulation) {
+  Rng rng(15);
+  Dataset ds = MakeRandomWalk(200, 32, rng);
+  DistanceHistogram hist(ds, 5000, 256, rng);
+  // A larger collection has a closer expected 1-NN: the radius that is
+  // empty with probability δ shrinks.
+  EXPECT_GE(hist.DeltaRadius(0.5, 100), hist.DeltaRadius(0.5, 100000));
+}
+
+TEST(Workload, ThroughputAndTotal) {
+  std::vector<double> times(100, 0.5);
+  WorkloadTiming t = SummarizeWorkload(times);
+  EXPECT_NEAR(t.total_seconds, 50.0, 1e-9);
+  EXPECT_NEAR(t.throughput_per_min, 120.0, 1e-9);
+}
+
+TEST(Workload, ExtrapolationTrimsOutliers) {
+  // 90 queries at 1s plus 5 at ~0 and 5 at 100s: the trimmed mean must be
+  // exactly 1s, so the 10K extrapolation is 10,000s.
+  std::vector<double> times(90, 1.0);
+  times.insert(times.end(), 5, 1e-6);
+  times.insert(times.end(), 5, 100.0);
+  WorkloadTiming t = SummarizeWorkload(times);
+  EXPECT_NEAR(t.extrapolated_10k_sec, 10000.0, 1.0);
+}
+
+TEST(Workload, SmallWorkloadSkipsTrimming) {
+  std::vector<double> times = {1.0, 2.0, 3.0};
+  WorkloadTiming t = SummarizeWorkload(times);
+  EXPECT_NEAR(t.extrapolated_10k_sec, 2.0 * 10000, 1e-6);
+}
+
+TEST(Workload, EmptyWorkloadIsZero) {
+  WorkloadTiming t = SummarizeWorkload({});
+  EXPECT_DOUBLE_EQ(t.total_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(t.throughput_per_min, 0.0);
+}
+
+}  // namespace
+}  // namespace hydra

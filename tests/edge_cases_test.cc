@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "distance/euclidean.h"
+#include "index/dstree/dstree.h"
+#include "index/hnsw/hnsw.h"
+#include "index/isax/isax_index.h"
+#include "index/scan/linear_scan.h"
+#include "index/vafile/vafile.h"
+#include "storage/buffer_manager.h"
+#include "transform/paa.h"
+#include "transform/sax.h"
+
+namespace hydra {
+namespace {
+
+// Edge cases and determinism guarantees that the per-module suites do
+// not cover: single-element collections, k == n boundaries, extreme
+// values, repeated-build determinism.
+
+TEST(EdgeCases, SingleSeriesCollectionAllTreeMethods) {
+  Dataset ds(1, 32);
+  for (size_t t = 0; t < 32; ++t) {
+    ds.mutable_series(0)[t] = static_cast<float>(t);
+  }
+  InMemoryProvider provider(&ds);
+
+  DSTreeOptions dopts;
+  dopts.histogram_pairs = 10;
+  auto dstree = DSTreeIndex::Build(ds, &provider, dopts);
+  ASSERT_TRUE(dstree.ok());
+  IsaxOptions iopts;
+  iopts.segments = 8;
+  iopts.histogram_pairs = 10;
+  auto isax = IsaxIndex::Build(ds, &provider, iopts);
+  ASSERT_TRUE(isax.ok());
+  VaFileOptions vopts;
+  vopts.histogram_pairs = 10;
+  auto vafile = VaFileIndex::Build(ds, &provider, vopts);
+  ASSERT_TRUE(vafile.ok());
+
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 1;
+  for (const Index* index :
+       {static_cast<const Index*>(dstree.value().get()),
+        static_cast<const Index*>(isax.value().get()),
+        static_cast<const Index*>(vafile.value().get())}) {
+    auto ans = index->Search(ds.series(0), params, nullptr);
+    ASSERT_TRUE(ans.ok()) << index->name();
+    ASSERT_EQ(ans.value().size(), 1u);
+    EXPECT_EQ(ans.value().ids[0], 0);
+    EXPECT_NEAR(ans.value().distances[0], 0.0, 1e-9);
+  }
+}
+
+TEST(EdgeCases, KEqualsCollectionSizeIsCompleteAndSorted) {
+  Rng rng(1);
+  Dataset ds = MakeRandomWalk(37, 16, rng);
+  InMemoryProvider provider(&ds);
+  DSTreeOptions opts;
+  opts.leaf_capacity = 4;
+  opts.histogram_pairs = 50;
+  auto index = DSTreeIndex::Build(ds, &provider, opts);
+  ASSERT_TRUE(index.ok());
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 37;
+  auto ans = index.value()->Search(ds.series(5), params, nullptr);
+  ASSERT_TRUE(ans.ok());
+  ASSERT_EQ(ans.value().size(), 37u);
+  std::set<int64_t> ids(ans.value().ids.begin(), ans.value().ids.end());
+  EXPECT_EQ(ids.size(), 37u);  // no duplicates, all members
+  for (size_t i = 1; i < 37; ++i) {
+    EXPECT_GE(ans.value().distances[i], ans.value().distances[i - 1]);
+  }
+}
+
+TEST(EdgeCases, ExtremeValuedSeriesDoNotBreakBounds) {
+  Dataset ds(4, 8);
+  float big = 1e18f;
+  for (size_t t = 0; t < 8; ++t) {
+    ds.mutable_series(0)[t] = big;
+    ds.mutable_series(1)[t] = -big;
+    ds.mutable_series(2)[t] = 0.0f;
+    ds.mutable_series(3)[t] = (t % 2 == 0) ? big : -big;
+  }
+  InMemoryProvider provider(&ds);
+  DSTreeOptions opts;
+  opts.leaf_capacity = 2;
+  opts.histogram_pairs = 10;
+  auto index = DSTreeIndex::Build(ds, &provider, opts);
+  ASSERT_TRUE(index.ok());
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 1;
+  auto ans = index.value()->Search(ds.series(2), params, nullptr);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().ids[0], 2);
+}
+
+TEST(EdgeCases, IdenticalBuildsAreDeterministic) {
+  Rng rng_a(9), rng_b(9);
+  Dataset da = MakeRandomWalk(200, 32, rng_a);
+  Dataset db = MakeRandomWalk(200, 32, rng_b);
+  ASSERT_EQ(da.values(), db.values());
+
+  InMemoryProvider pa(&da), pb(&db);
+  DSTreeOptions opts;
+  opts.leaf_capacity = 8;
+  opts.histogram_pairs = 100;
+  auto ia = DSTreeIndex::Build(da, &pa, opts);
+  auto ib = DSTreeIndex::Build(db, &pb, opts);
+  ASSERT_TRUE(ia.ok());
+  ASSERT_TRUE(ib.ok());
+  EXPECT_EQ(ia.value()->num_nodes(), ib.value()->num_nodes());
+
+  Rng qrng(10);
+  Dataset queries = MakeRandomWalk(5, 32, qrng);
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 5;
+  params.nprobe = 3;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto ra = ia.value()->Search(queries.series(q), params, nullptr);
+    auto rb = ib.value()->Search(queries.series(q), params, nullptr);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_EQ(ra.value().ids, rb.value().ids);
+  }
+}
+
+TEST(EdgeCases, HnswDeterministicForFixedSeed) {
+  Rng rng(11);
+  Dataset ds = MakeDeepAnalog(300, 24, rng);
+  HnswOptions opts;
+  opts.seed = 77;
+  auto a = HnswIndex::Build(ds, opts);
+  auto b = HnswIndex::Build(ds, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 5;
+  params.efs = 32;
+  for (size_t q = 0; q < 10; ++q) {
+    auto ra = a.value()->Search(ds.series(q), params, nullptr);
+    auto rb = b.value()->Search(ds.series(q), params, nullptr);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_EQ(ra.value().ids, rb.value().ids);
+  }
+}
+
+TEST(EdgeCases, ScanHandlesKOne) {
+  Rng rng(12);
+  Dataset ds = MakeRandomWalk(10, 8, rng);
+  InMemoryProvider provider(&ds);
+  LinearScanIndex scan(&provider);
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 1;
+  auto ans = scan.Search(ds.series(3), params, nullptr);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().ids[0], 3);
+}
+
+TEST(EdgeCases, PaaSingleSegmentIsGlobalMean) {
+  std::vector<float> s = {2, 4, 6, 8};
+  Paa paa(4, 1);
+  auto out = paa.Transform(s);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 5.0);
+}
+
+TEST(EdgeCases, SaxEncoderHandlesInfinityGracefully) {
+  SaxEncoder enc(8, 4, 8);
+  std::vector<float> s(8, std::numeric_limits<float>::max());
+  auto word = enc.Encode(s);
+  for (uint16_t sym : word) EXPECT_EQ(sym, 255);  // top symbol
+  std::vector<float> neg(8, -std::numeric_limits<float>::max());
+  auto low = enc.Encode(neg);
+  for (uint16_t sym : low) EXPECT_EQ(sym, 0);
+}
+
+TEST(EdgeCases, EarlyAbandonWithZeroThresholdStillValidPredicate) {
+  std::vector<float> a(32, 1.0f), b(32, 1.0f);
+  EXPECT_DOUBLE_EQ(SquaredEuclideanEarlyAbandon(a, b, 0.0), 0.0);
+  b[31] = 2.0f;
+  EXPECT_GT(SquaredEuclideanEarlyAbandon(a, b, 0.0), 0.0);
+}
+
+TEST(EdgeCases, NgApproximateNprobeZeroTreatedAsOne) {
+  Rng rng(13);
+  Dataset ds = MakeRandomWalk(100, 16, rng);
+  InMemoryProvider provider(&ds);
+  DSTreeOptions opts;
+  opts.leaf_capacity = 8;
+  opts.histogram_pairs = 20;
+  auto index = DSTreeIndex::Build(ds, &provider, opts);
+  ASSERT_TRUE(index.ok());
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 1;
+  params.nprobe = 0;
+  QueryCounters c;
+  auto ans = index.value()->Search(ds.series(0), params, &c);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(c.leaves_visited, 1u);
+  EXPECT_EQ(ans.value().size(), 1u);
+}
+
+TEST(EdgeCases, DeltaEpsilonWithHugeEpsilonStillReturnsKAnswers) {
+  Rng rng(14);
+  Dataset ds = MakeRandomWalk(100, 16, rng);
+  InMemoryProvider provider(&ds);
+  DSTreeOptions opts;
+  opts.histogram_pairs = 20;
+  auto index = DSTreeIndex::Build(ds, &provider, opts);
+  ASSERT_TRUE(index.ok());
+  SearchParams params;
+  params.mode = SearchMode::kDeltaEpsilon;
+  params.k = 5;
+  params.epsilon = 1e6;
+  auto ans = index.value()->Search(ds.series(0), params, nullptr);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().size(), 5u);  // never returns fewer than k
+}
+
+TEST(EdgeCases, GroundTruthTiesAreStable) {
+  // Several equidistant points: ExactKnn must still return exactly k
+  // answers with consistent distances.
+  Dataset ds(6, 2);
+  float coords[6][2] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}, {3, 0}, {0, 3}};
+  for (size_t i = 0; i < 6; ++i) {
+    std::copy(coords[i], coords[i] + 2, ds.mutable_series(i).begin());
+  }
+  std::vector<float> origin = {0.0f, 0.0f};
+  KnnAnswer ans = ExactKnn(ds, origin, 4);
+  ASSERT_EQ(ans.size(), 4u);
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(ans.distances[r], 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace hydra

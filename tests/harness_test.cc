@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "index/dstree/dstree.h"
+#include "index/scan/linear_scan.h"
+#include "storage/buffer_manager.h"
+
+namespace hydra {
+namespace {
+
+TEST(Table, AlignedTextHasHeaderRuleRows) {
+  Table t({"method", "MAP"});
+  t.AddRow({"dstree", "0.95"});
+  t.AddRow({"isax2plus", "0.90"});
+  std::string text = t.ToAlignedText();
+  EXPECT_NE(text.find("method"), std::string::npos);
+  EXPECT_NE(text.find("------"), std::string::npos);
+  EXPECT_NE(text.find("isax2plus"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(Table, CsvIsCommaSeparated) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatPercent(0.5, 1), "50.0%");
+}
+
+TEST(Harness, RunWorkloadScoresExactScanPerfectly) {
+  Rng rng(1);
+  Dataset data = MakeRandomWalk(200, 32, rng);
+  Dataset queries = MakeNoiseQueries(data, 10, 0.2, rng);
+  auto truth = ExactKnnWorkload(data, queries, 5);
+
+  InMemoryProvider provider(&data);
+  LinearScanIndex scan(&provider);
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 5;
+  RunResult r = RunWorkload(scan, queries, truth, params, "exact");
+  EXPECT_EQ(r.method, "scan");
+  EXPECT_EQ(r.setting, "exact");
+  EXPECT_EQ(r.num_queries, 10u);
+  EXPECT_DOUBLE_EQ(r.accuracy.avg_recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.accuracy.map, 1.0);
+  EXPECT_NEAR(r.accuracy.mre, 0.0, 1e-12);
+  // A scan touches every series for every query.
+  EXPECT_DOUBLE_EQ(r.DataAccessedFraction(data.size()), 1.0);
+}
+
+TEST(Harness, SweepProducesOnePointPerSetting) {
+  Rng rng(2);
+  Dataset data = MakeRandomWalk(300, 32, rng);
+  Dataset queries = MakeNoiseQueries(data, 5, 0.2, rng);
+  auto truth = ExactKnnWorkload(data, queries, 10);
+
+  InMemoryProvider provider(&data);
+  DSTreeOptions opts;
+  opts.histogram_pairs = 200;
+  auto index = DSTreeIndex::Build(data, &provider, opts);
+  ASSERT_TRUE(index.ok());
+
+  auto points = NgSweep(10, {1, 2, 4});
+  auto results = RunSweep(*index.value(), queries, truth, points);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].setting, "nprobe=1");
+  EXPECT_EQ(results[2].setting, "nprobe=4");
+  // Accuracy is monotone (within tolerance) along the nprobe sweep.
+  EXPECT_LE(results[0].accuracy.map, results[2].accuracy.map + 0.05);
+}
+
+TEST(Harness, EpsilonSweepSettingsEncodeParameters) {
+  auto points = EpsilonSweep(1, {0.0, 2.0}, 0.9);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].params.mode, SearchMode::kDeltaEpsilon);
+  EXPECT_DOUBLE_EQ(points[1].params.epsilon, 2.0);
+  EXPECT_DOUBLE_EQ(points[0].params.delta, 0.9);
+  EXPECT_NE(points[1].setting.find("eps=2.00"), std::string::npos);
+}
+
+TEST(Harness, RandomIosPerQueryAveragesCounters) {
+  RunResult r;
+  r.num_queries = 4;
+  r.counters.random_ios = 12;
+  EXPECT_DOUBLE_EQ(r.RandomIosPerQuery(), 3.0);
+  RunResult empty;
+  EXPECT_DOUBLE_EQ(empty.RandomIosPerQuery(), 0.0);
+}
+
+}  // namespace
+}  // namespace hydra

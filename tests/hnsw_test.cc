@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "index/hnsw/hnsw.h"
+
+namespace hydra {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  std::unique_ptr<HnswIndex> index;
+
+  explicit Fixture(size_t n = 500, size_t len = 32, size_t M = 8,
+                   size_t efc = 100)
+      : data([&] {
+          Rng rng(55);
+          return MakeDeepAnalog(n, len, rng);
+        }()) {
+    HnswOptions opts;
+    opts.M = M;
+    opts.ef_construction = efc;
+    auto built = HnswIndex::Build(data, opts);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    index = std::move(built).value();
+  }
+};
+
+TEST(Hnsw, BuildValidation) {
+  Dataset empty;
+  EXPECT_FALSE(HnswIndex::Build(empty).ok());
+  Rng rng(1);
+  Dataset ds = MakeRandomWalk(10, 16, rng);
+  HnswOptions opts;
+  opts.M = 1;
+  EXPECT_FALSE(HnswIndex::Build(ds, opts).ok());
+}
+
+TEST(Hnsw, OnlyNgApproximateSupported) {
+  Fixture f(100, 16);
+  std::vector<float> q(16, 0.0f);
+  SearchParams params;
+  params.k = 1;
+  params.mode = SearchMode::kExact;
+  EXPECT_EQ(f.index->Search(q, params, nullptr).status().code(),
+            StatusCode::kUnimplemented);
+  params.mode = SearchMode::kDeltaEpsilon;
+  EXPECT_EQ(f.index->Search(q, params, nullptr).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(Hnsw, HighEfReachesNearPerfectRecall) {
+  Fixture f;
+  Rng rng(2);
+  Dataset queries = MakeDeepAnalog(20, 32, rng);
+  auto truth = ExactKnnWorkload(f.data, queries, 10);
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 10;
+  params.efs = 400;
+  double recall = 0.0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto ans = f.index->Search(queries.series(q), params, nullptr);
+    ASSERT_TRUE(ans.ok());
+    recall += RecallAt(truth[q], ans.value(), 10);
+  }
+  recall /= static_cast<double>(queries.size());
+  EXPECT_GT(recall, 0.9);
+}
+
+TEST(Hnsw, RecallImprovesWithEf) {
+  Fixture f;
+  Rng rng(3);
+  Dataset queries = MakeDeepAnalog(20, 32, rng);
+  auto truth = ExactKnnWorkload(f.data, queries, 10);
+  auto recall_at = [&](size_t efs) {
+    SearchParams params;
+    params.mode = SearchMode::kNgApproximate;
+    params.k = 10;
+    params.efs = efs;
+    double sum = 0.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      auto ans = f.index->Search(queries.series(q), params, nullptr);
+      EXPECT_TRUE(ans.ok());
+      sum += RecallAt(truth[q], ans.value(), 10);
+    }
+    return sum / static_cast<double>(queries.size());
+  };
+  EXPECT_LE(recall_at(10), recall_at(200) + 0.05);
+}
+
+TEST(Hnsw, SelfQueryFindsSelf) {
+  Fixture f;
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 1;
+  params.efs = 50;
+  for (size_t i = 0; i < f.data.size(); i += 71) {
+    auto ans = f.index->Search(f.data.series(i), params, nullptr);
+    ASSERT_TRUE(ans.ok());
+    ASSERT_EQ(ans.value().size(), 1u);
+    EXPECT_NEAR(ans.value().distances[0], 0.0, 1e-6);
+  }
+}
+
+TEST(Hnsw, LayerDegreesRespectLimits) {
+  Fixture f(600, 32, 8, 100);
+  for (size_t i = 0; i < f.data.size(); ++i) {
+    EXPECT_LE(f.index->NumNeighbors(i, 0), 2 * 8u);
+    for (size_t l = 1; l <= f.index->max_level(); ++l) {
+      EXPECT_LE(f.index->NumNeighbors(i, l), 8u);
+    }
+  }
+}
+
+TEST(Hnsw, HierarchyExistsForLargeEnoughData) {
+  Fixture f(2000, 16, 8, 60);
+  // With 2000 points and M=8, P(level >= 1) = 1/8: virtually certain.
+  EXPECT_GE(f.index->max_level(), 1u);
+}
+
+TEST(Hnsw, CountsDistanceComputations) {
+  Fixture f;
+  std::vector<float> q(32, 0.1f);
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 5;
+  params.efs = 50;
+  QueryCounters c;
+  ASSERT_TRUE(f.index->Search(q, params, &c).ok());
+  EXPECT_GT(c.full_distances, 0u);
+  EXPECT_LT(c.full_distances, f.data.size());  // sub-linear probing
+}
+
+TEST(Hnsw, QueryValidation) {
+  Fixture f(100, 16);
+  std::vector<float> bad(8, 0.0f);
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 1;
+  EXPECT_FALSE(f.index->Search(bad, params, nullptr).ok());
+  std::vector<float> good(16, 0.0f);
+  params.k = 0;
+  EXPECT_FALSE(f.index->Search(good, params, nullptr).ok());
+}
+
+TEST(Hnsw, MemoryIncludesRawVectors) {
+  Fixture f(500, 32);
+  EXPECT_GT(f.index->MemoryBytes(), f.data.SizeBytes());
+}
+
+TEST(Hnsw, WorksOnRandomWalksToo) {
+  Rng rng(4);
+  Dataset ds = MakeRandomWalk(300, 64, rng);
+  auto index = HnswIndex::Build(ds);
+  ASSERT_TRUE(index.ok());
+  Dataset queries = MakeRandomWalk(5, 64, rng);
+  auto truth = ExactKnnWorkload(ds, queries, 5);
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 5;
+  params.efs = 200;
+  double recall = 0.0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto ans = index.value()->Search(queries.series(q), params, nullptr);
+    ASSERT_TRUE(ans.ok());
+    recall += RecallAt(truth[q], ans.value(), 5);
+  }
+  EXPECT_GT(recall / 5.0, 0.8);
+}
+
+}  // namespace
+}  // namespace hydra

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "distance/euclidean.h"
+#include "index/imi/imi.h"
+
+namespace hydra {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  std::unique_ptr<ImiIndex> index;
+
+  explicit Fixture(size_t n = 600, size_t len = 32, size_t coarse_k = 16,
+                   bool opq = true)
+      : data([&] {
+          Rng rng(33);
+          return MakeSiftAnalog(n, len, rng);
+        }()) {
+    ImiOptions opts;
+    opts.coarse_k = coarse_k;
+    opts.use_opq = opq;
+    opts.train_sample = 512;
+    auto built = ImiIndex::Build(data, opts);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    index = std::move(built).value();
+  }
+};
+
+TEST(Imi, BuildValidation) {
+  Dataset empty;
+  EXPECT_FALSE(ImiIndex::Build(empty).ok());
+  Dataset tiny(3, 1);
+  EXPECT_FALSE(ImiIndex::Build(tiny).ok());
+}
+
+TEST(Imi, OnlyNgApproximateSupported) {
+  Fixture f(200, 16, 8);
+  std::vector<float> q(16, 0.0f);
+  SearchParams params;
+  params.k = 1;
+  params.mode = SearchMode::kExact;
+  EXPECT_EQ(f.index->Search(q, params, nullptr).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(Imi, InvertedListsPartitionTheData) {
+  Fixture f;
+  EXPECT_GT(f.index->num_nonempty_cells(), 1u);
+  EXPECT_LE(f.index->num_nonempty_cells(),
+            f.index->coarse_k() * f.index->coarse_k());
+}
+
+TEST(Imi, RecallImprovesWithNprobe) {
+  Fixture f;
+  Rng rng(2);
+  Dataset queries = MakeSiftAnalog(20, 32, rng);
+  auto truth = ExactKnnWorkload(f.data, queries, 10);
+  auto recall_at = [&](size_t nprobe) {
+    SearchParams params;
+    params.mode = SearchMode::kNgApproximate;
+    params.k = 10;
+    params.nprobe = nprobe;
+    double sum = 0.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      auto ans = f.index->Search(queries.series(q), params, nullptr);
+      EXPECT_TRUE(ans.ok());
+      sum += RecallAt(truth[q], ans.value(), 10);
+    }
+    return sum / static_cast<double>(queries.size());
+  };
+  double r1 = recall_at(1);
+  double r_all = recall_at(1u << 20);
+  EXPECT_LE(r1, r_all + 0.05);
+  EXPECT_GT(r_all, 0.5);  // ADC ranking finds most true neighbors
+}
+
+TEST(Imi, VisitsAtMostNprobeNonEmptyLists) {
+  Fixture f;
+  Rng rng(3);
+  Dataset queries = MakeSiftAnalog(5, 32, rng);
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 1;
+  params.nprobe = 4;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryCounters c;
+    ASSERT_TRUE(f.index->Search(queries.series(q), params, &c).ok());
+    EXPECT_LE(c.leaves_visited, 4u);
+  }
+}
+
+TEST(Imi, NeverTouchesRawSeries) {
+  // IMI re-ranks on compressed codes only (the paper's explanation for
+  // its MAP-vs-recall gap); the raw-series counters must stay zero.
+  Fixture f;
+  Rng rng(4);
+  Dataset queries = MakeSiftAnalog(5, 32, rng);
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 10;
+  params.nprobe = 16;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryCounters c;
+    ASSERT_TRUE(f.index->Search(queries.series(q), params, &c).ok());
+    EXPECT_EQ(c.series_accessed, 0u);
+    EXPECT_EQ(c.full_distances, 0u);
+    EXPECT_GT(c.lb_distances, 0u);  // ADC computations happen instead
+  }
+}
+
+TEST(Imi, ReportedDistancesAreAdcEstimates) {
+  // The returned distances come from the compressed domain: they should
+  // be close to, but not exactly, the true distances.
+  Fixture f;
+  Rng rng(5);
+  Dataset queries = MakeSiftAnalog(5, 32, rng);
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 1;
+  params.nprobe = 64;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto ans = f.index->Search(queries.series(q), params, nullptr);
+    ASSERT_TRUE(ans.ok());
+    ASSERT_EQ(ans.value().size(), 1u);
+    double true_d =
+        Euclidean(queries.series(q),
+                  f.data.series(static_cast<size_t>(ans.value().ids[0])));
+    // ADC error is bounded by quantization distortion: same magnitude.
+    EXPECT_LT(ans.value().distances[0], true_d * 3.0 + 10.0);
+    EXPECT_GT(ans.value().distances[0], true_d * 0.2 - 10.0);
+  }
+}
+
+TEST(Imi, OpqToggleBothWork) {
+  Fixture with_opq(300, 16, 8, true);
+  Fixture without_opq(300, 16, 8, false);
+  Rng rng(6);
+  Dataset queries = MakeSiftAnalog(5, 16, rng);
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 5;
+  params.nprobe = 8;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_TRUE(
+        with_opq.index->Search(queries.series(q), params, nullptr).ok());
+    EXPECT_TRUE(
+        without_opq.index->Search(queries.series(q), params, nullptr).ok());
+  }
+}
+
+TEST(Imi, QueryValidation) {
+  Fixture f(200, 16, 8);
+  std::vector<float> bad(8, 0.0f);
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 1;
+  EXPECT_FALSE(f.index->Search(bad, params, nullptr).ok());
+  std::vector<float> good(16, 0.0f);
+  params.k = 0;
+  EXPECT_FALSE(f.index->Search(good, params, nullptr).ok());
+}
+
+TEST(Imi, CompressedFootprintBeatsRawData) {
+  Fixture f(1000, 32, 16);
+  EXPECT_LT(f.index->MemoryBytes(), f.data.SizeBytes());
+}
+
+}  // namespace
+}  // namespace hydra

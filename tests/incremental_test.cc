@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "index/dstree/dstree.h"
+#include "index/incremental.h"
+#include "index/isax/isax_index.h"
+#include "storage/buffer_manager.h"
+
+namespace hydra {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  Dataset queries;
+  InMemoryProvider provider;
+  std::unique_ptr<DSTreeIndex> dstree;
+  std::unique_ptr<IsaxIndex> isax;
+
+  Fixture()
+      : data([] {
+          Rng rng(61);
+          return MakeRandomWalk(400, 64, rng);
+        }()),
+        queries([] {
+          Rng rng(62);
+          return MakeRandomWalk(5, 64, rng);
+        }()),
+        provider(&data) {
+    DSTreeOptions dopts;
+    dopts.leaf_capacity = 16;
+    dopts.histogram_pairs = 200;
+    auto d = DSTreeIndex::Build(data, &provider, dopts);
+    EXPECT_TRUE(d.ok());
+    dstree = std::move(d).value();
+    IsaxOptions iopts;
+    iopts.segments = 8;
+    iopts.leaf_capacity = 16;
+    iopts.histogram_pairs = 200;
+    auto i = IsaxIndex::Build(data, &provider, iopts);
+    EXPECT_TRUE(i.ok());
+    isax = std::move(i).value();
+  }
+};
+
+TEST(Incremental, StreamYieldsNeighborsInExactOrder) {
+  Fixture f;
+  for (size_t q = 0; q < f.queries.size(); ++q) {
+    KnnAnswer truth = ExactKnn(f.data, f.queries.series(q), 10);
+    auto ctx = f.dstree->MakeQueryContext(f.queries.series(q));
+    IncrementalKnnStream<DSTreeIndex, DSTreeIndex::QueryContext> stream(
+        *f.dstree, ctx, f.queries.series(q), 0.0, nullptr);
+    for (size_t r = 0; r < 10; ++r) {
+      int64_t id;
+      double dist;
+      ASSERT_TRUE(stream.Next(&id, &dist));
+      EXPECT_NEAR(dist, truth.distances[r], 1e-6) << "rank " << r;
+    }
+  }
+}
+
+TEST(Incremental, StreamExhaustsEntireCollection) {
+  Fixture f;
+  auto ctx = f.dstree->MakeQueryContext(f.queries.series(0));
+  IncrementalKnnStream<DSTreeIndex, DSTreeIndex::QueryContext> stream(
+      *f.dstree, ctx, f.queries.series(0), 0.0, nullptr);
+  int64_t id;
+  double dist;
+  size_t count = 0;
+  double prev = -1.0;
+  while (stream.Next(&id, &dist)) {
+    EXPECT_GE(dist, prev - 1e-9);  // nondecreasing emission order
+    prev = dist;
+    ++count;
+  }
+  EXPECT_EQ(count, f.data.size());
+}
+
+TEST(Incremental, WorksOverIsaxToo) {
+  Fixture f;
+  KnnAnswer truth = ExactKnn(f.data, f.queries.series(1), 5);
+  auto ctx = f.isax->MakeQueryContext(f.queries.series(1));
+  IncrementalKnnStream<IsaxIndex, IsaxIndex::QueryContext> stream(
+      *f.isax, ctx, f.queries.series(1), 0.0, nullptr);
+  for (size_t r = 0; r < 5; ++r) {
+    int64_t id;
+    double dist;
+    ASSERT_TRUE(stream.Next(&id, &dist));
+    EXPECT_NEAR(dist, truth.distances[r], 1e-6);
+  }
+}
+
+TEST(Incremental, EpsilonRelaxationBoundsEmissions) {
+  Fixture f;
+  const double eps = 1.0;
+  for (size_t q = 0; q < f.queries.size(); ++q) {
+    KnnAnswer truth = ExactKnn(f.data, f.queries.series(q), 5);
+    auto ctx = f.dstree->MakeQueryContext(f.queries.series(q));
+    IncrementalKnnStream<DSTreeIndex, DSTreeIndex::QueryContext> stream(
+        *f.dstree, ctx, f.queries.series(q), eps, nullptr);
+    for (size_t r = 0; r < 5; ++r) {
+      int64_t id;
+      double dist;
+      ASSERT_TRUE(stream.Next(&id, &dist));
+      // The r-th emission is within (1+eps) of the true r-th distance.
+      EXPECT_LE(dist, (1.0 + eps) * truth.distances[r] + 1e-6);
+    }
+  }
+}
+
+TEST(Incremental, FirstEmissionCheaperThanFullExactSearch) {
+  Fixture f;
+  auto ctx = f.dstree->MakeQueryContext(f.queries.series(0));
+  QueryCounters inc_counters;
+  IncrementalKnnStream<DSTreeIndex, DSTreeIndex::QueryContext> stream(
+      *f.dstree, ctx, f.queries.series(0), 0.0, &inc_counters);
+  int64_t id;
+  double dist;
+  ASSERT_TRUE(stream.Next(&id, &dist));
+
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 100;
+  QueryCounters full_counters;
+  ASSERT_TRUE(
+      f.dstree->Search(f.queries.series(0), params, &full_counters).ok());
+  EXPECT_LE(inc_counters.full_distances, full_counters.full_distances);
+}
+
+TEST(Progressive, CallbackSeesMonotoneImprovements) {
+  Fixture f;
+  auto ctx = f.dstree->MakeQueryContext(f.queries.series(2));
+  std::vector<size_t> sizes;
+  std::vector<bool> finals;
+  KnnAnswer answer = ProgressiveKnnSearch(
+      *f.dstree, ctx, f.queries.series(2), 10,
+      [&](const ProgressiveUpdate& u) {
+        sizes.push_back(u.current.size());
+        finals.push_back(u.final);
+      },
+      nullptr);
+  ASSERT_EQ(answer.size(), 10u);
+  ASSERT_EQ(sizes.size(), 10u);
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], i + 1);  // one new neighbor per update
+    EXPECT_EQ(finals[i], i + 1 == 10);
+  }
+}
+
+TEST(Progressive, FinalAnswerIsExact) {
+  Fixture f;
+  for (size_t q = 0; q < f.queries.size(); ++q) {
+    KnnAnswer truth = ExactKnn(f.data, f.queries.series(q), 7);
+    auto ctx = f.dstree->MakeQueryContext(f.queries.series(q));
+    KnnAnswer answer = ProgressiveKnnSearch(*f.dstree, ctx,
+                                            f.queries.series(q), 7,
+                                            nullptr, nullptr);
+    ASSERT_EQ(answer.size(), 7u);
+    for (size_t r = 0; r < 7; ++r) {
+      EXPECT_NEAR(answer.distances[r], truth.distances[r], 1e-6);
+    }
+  }
+}
+
+TEST(Progressive, KLargerThanCollectionTerminates) {
+  Rng rng(63);
+  Dataset small = MakeRandomWalk(20, 32, rng);
+  InMemoryProvider provider(&small);
+  DSTreeOptions opts;
+  opts.leaf_capacity = 8;
+  opts.histogram_pairs = 50;
+  auto index = DSTreeIndex::Build(small, &provider, opts);
+  ASSERT_TRUE(index.ok());
+  auto ctx = index.value()->MakeQueryContext(small.series(0));
+  bool saw_final = false;
+  KnnAnswer answer = ProgressiveKnnSearch(
+      *index.value(), ctx, small.series(0), 50,
+      [&](const ProgressiveUpdate& u) { saw_final = u.final; }, nullptr);
+  EXPECT_EQ(answer.size(), 20u);
+  EXPECT_TRUE(saw_final);
+}
+
+}  // namespace
+}  // namespace hydra

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "index/dstree/dstree.h"
+#include "index/flann/flann.h"
+#include "index/hnsw/hnsw.h"
+#include "index/imi/imi.h"
+#include "index/isax/isax_index.h"
+#include "index/qalsh/qalsh.h"
+#include "index/scan/linear_scan.h"
+#include "index/srs/srs.h"
+#include "index/vafile/vafile.h"
+#include "storage/buffer_manager.h"
+#include "storage/series_file.h"
+
+namespace hydra {
+namespace {
+
+// End-to-end checks across methods: every method built over the same
+// dataset, answering the same workload, scored against the same ground
+// truth — the paper's unified-framework principle in miniature.
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(1001);
+    data_ = MakeRandomWalk(600, 64, rng);
+    queries_ = MakeNoiseQueries(data_, 15, 0.2, rng);
+    truth_ = ExactKnnWorkload(data_, queries_, 10);
+    provider_ = std::make_unique<InMemoryProvider>(&data_);
+  }
+
+  double AvgRecall(const Index& index, const SearchParams& params) {
+    double sum = 0.0;
+    for (size_t q = 0; q < queries_.size(); ++q) {
+      auto ans = index.Search(queries_.series(q), params, nullptr);
+      EXPECT_TRUE(ans.ok()) << index.name();
+      sum += RecallAt(truth_[q], ans.value(), params.k);
+    }
+    return sum / static_cast<double>(queries_.size());
+  }
+
+  Dataset data_;
+  Dataset queries_;
+  std::vector<KnnAnswer> truth_;
+  std::unique_ptr<InMemoryProvider> provider_;
+};
+
+TEST_F(IntegrationTest, ScanIsExact) {
+  LinearScanIndex scan(provider_.get());
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 10;
+  EXPECT_DOUBLE_EQ(AvgRecall(scan, params), 1.0);
+}
+
+TEST_F(IntegrationTest, AllExactCapableMethodsAgree) {
+  DSTreeOptions dopts;
+  dopts.histogram_pairs = 500;
+  auto dstree = DSTreeIndex::Build(data_, provider_.get(), dopts);
+  ASSERT_TRUE(dstree.ok());
+  IsaxOptions iopts;
+  iopts.segments = 8;
+  iopts.histogram_pairs = 500;
+  auto isax = IsaxIndex::Build(data_, provider_.get(), iopts);
+  ASSERT_TRUE(isax.ok());
+  VaFileOptions vopts;
+  vopts.histogram_pairs = 500;
+  auto vafile = VaFileIndex::Build(data_, provider_.get(), vopts);
+  ASSERT_TRUE(vafile.ok());
+
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 10;
+  EXPECT_DOUBLE_EQ(AvgRecall(*dstree.value(), params), 1.0);
+  EXPECT_DOUBLE_EQ(AvgRecall(*isax.value(), params), 1.0);
+  EXPECT_DOUBLE_EQ(AvgRecall(*vafile.value(), params), 1.0);
+}
+
+TEST_F(IntegrationTest, NgApproximateMethodsReachUsefulRecall) {
+  DSTreeOptions dopts;
+  dopts.histogram_pairs = 500;
+  auto dstree = DSTreeIndex::Build(data_, provider_.get(), dopts);
+  ASSERT_TRUE(dstree.ok());
+  auto hnsw = HnswIndex::Build(data_);
+  ASSERT_TRUE(hnsw.ok());
+  auto flann = FlannIndex::Build(data_);
+  ASSERT_TRUE(flann.ok());
+
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 10;
+  params.nprobe = 20;
+  params.efs = 128;
+  EXPECT_GT(AvgRecall(*dstree.value(), params), 0.5);
+  EXPECT_GT(AvgRecall(*hnsw.value(), params), 0.5);
+  params.nprobe = 400;  // flann counts points, not leaves
+  EXPECT_GT(AvgRecall(*flann.value(), params), 0.5);
+}
+
+TEST_F(IntegrationTest, DeltaEpsilonContractAcrossTreeMethods) {
+  DSTreeOptions dopts;
+  dopts.histogram_pairs = 500;
+  auto dstree = DSTreeIndex::Build(data_, provider_.get(), dopts);
+  ASSERT_TRUE(dstree.ok());
+  IsaxOptions iopts;
+  iopts.segments = 8;
+  iopts.histogram_pairs = 500;
+  auto isax = IsaxIndex::Build(data_, provider_.get(), iopts);
+  ASSERT_TRUE(isax.ok());
+
+  SearchParams params;
+  params.mode = SearchMode::kDeltaEpsilon;
+  params.k = 1;
+  params.epsilon = 2.0;
+  params.delta = 1.0;
+  for (size_t q = 0; q < queries_.size(); ++q) {
+    for (const Index* index :
+         {static_cast<const Index*>(dstree.value().get()),
+          static_cast<const Index*>(isax.value().get())}) {
+      auto ans = index->Search(queries_.series(q), params, nullptr);
+      ASSERT_TRUE(ans.ok());
+      EXPECT_LE(ans.value().distances[0],
+                3.0 * truth_[q].distances[0] + 1e-6)
+          << index->name();
+    }
+  }
+}
+
+TEST_F(IntegrationTest, DiskResidentSearchMatchesInMemory) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "hydra_integration";
+  fs::create_directories(dir);
+  std::string path = (dir / "data.hsf").string();
+  ASSERT_TRUE(WriteSeriesFile(path, data_).ok());
+
+  auto bm = BufferManager::Open(path, /*page_series=*/32,
+                                /*capacity_pages=*/4);
+  ASSERT_TRUE(bm.ok());
+
+  DSTreeOptions opts;
+  opts.histogram_pairs = 500;
+  auto disk_index = DSTreeIndex::Build(data_, bm.value().get(), opts);
+  ASSERT_TRUE(disk_index.ok());
+  auto mem_index = DSTreeIndex::Build(data_, provider_.get(), opts);
+  ASSERT_TRUE(mem_index.ok());
+
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 5;
+  for (size_t q = 0; q < 5; ++q) {
+    QueryCounters disk_c, mem_c;
+    auto disk_ans =
+        disk_index.value()->Search(queries_.series(q), params, &disk_c);
+    auto mem_ans =
+        mem_index.value()->Search(queries_.series(q), params, &mem_c);
+    ASSERT_TRUE(disk_ans.ok());
+    ASSERT_TRUE(mem_ans.ok());
+    EXPECT_EQ(disk_ans.value().ids, mem_ans.value().ids);
+    // Disk run must charge I/O; memory run must not.
+    EXPECT_GT(disk_c.bytes_read, 0u);
+    EXPECT_EQ(mem_c.bytes_read, 0u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST_F(IntegrationTest, CountersAreConsistentWithAnswers) {
+  DSTreeOptions opts;
+  opts.histogram_pairs = 500;
+  auto index = DSTreeIndex::Build(data_, provider_.get(), opts);
+  ASSERT_TRUE(index.ok());
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 1;
+  QueryCounters c;
+  ASSERT_TRUE(index.value()->Search(queries_.series(0), params, &c).ok());
+  // Each full distance corresponds to one raw-series access here.
+  EXPECT_EQ(c.full_distances, c.series_accessed);
+  EXPECT_GT(c.lb_distances, 0u);
+  EXPECT_GT(c.leaves_visited, 0u);
+}
+
+TEST_F(IntegrationTest, MethodsShareTheIndexAcrossModes) {
+  // The headline practical advantage of the extended data-series methods:
+  // the same index answers ng, ε, δ-ε and exact queries (no rebuild).
+  DSTreeOptions opts;
+  opts.histogram_pairs = 500;
+  auto index = DSTreeIndex::Build(data_, provider_.get(), opts);
+  ASSERT_TRUE(index.ok());
+
+  SearchParams ng;
+  ng.mode = SearchMode::kNgApproximate;
+  ng.k = 10;
+  ng.nprobe = 4;
+  SearchParams eps;
+  eps.mode = SearchMode::kDeltaEpsilon;
+  eps.k = 10;
+  eps.epsilon = 1.0;
+  SearchParams exact;
+  exact.mode = SearchMode::kExact;
+  exact.k = 10;
+
+  double r_ng = AvgRecall(*index.value(), ng);
+  double r_eps = AvgRecall(*index.value(), eps);
+  double r_exact = AvgRecall(*index.value(), exact);
+  EXPECT_DOUBLE_EQ(r_exact, 1.0);
+  EXPECT_GE(r_eps, r_ng - 0.2);  // ε-search is usually at least as good
+}
+
+TEST_F(IntegrationTest, VectorDatasetsWorkAcrossMethods) {
+  Rng rng(7);
+  Dataset sift = MakeSiftAnalog(400, 32, rng);
+  Dataset sift_q = MakeNoiseQueries(sift, 5, 0.1, rng);
+  auto truth = ExactKnnWorkload(sift, sift_q, 5);
+
+  InMemoryProvider provider(&sift);
+  DSTreeOptions dopts;
+  dopts.histogram_pairs = 500;
+  auto dstree = DSTreeIndex::Build(sift, &provider, dopts);
+  ASSERT_TRUE(dstree.ok());
+  auto hnsw = HnswIndex::Build(sift);
+  ASSERT_TRUE(hnsw.ok());
+  ImiOptions iopts;
+  iopts.coarse_k = 8;
+  iopts.train_sample = 256;
+  auto imi = ImiIndex::Build(sift, iopts);
+  ASSERT_TRUE(imi.ok());
+
+  SearchParams exact;
+  exact.mode = SearchMode::kExact;
+  exact.k = 5;
+  SearchParams ng;
+  ng.mode = SearchMode::kNgApproximate;
+  ng.k = 5;
+  ng.nprobe = 64;
+  ng.efs = 128;
+
+  for (size_t q = 0; q < sift_q.size(); ++q) {
+    auto d = dstree.value()->Search(sift_q.series(q), exact, nullptr);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(d.value().ids, truth[q].ids);
+    EXPECT_TRUE(hnsw.value()->Search(sift_q.series(q), ng, nullptr).ok());
+    EXPECT_TRUE(imi.value()->Search(sift_q.series(q), ng, nullptr).ok());
+  }
+}
+
+}  // namespace
+}  // namespace hydra

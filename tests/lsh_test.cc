@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "index/qalsh/qalsh.h"
+#include "index/srs/srs.h"
+#include "storage/buffer_manager.h"
+
+namespace hydra {
+namespace {
+
+struct SrsFixture {
+  Dataset data;
+  InMemoryProvider provider;
+  std::unique_ptr<SrsIndex> index;
+
+  explicit SrsFixture(size_t n = 500, size_t len = 64)
+      : data([&] {
+          Rng rng(21);
+          return MakeRandomWalk(n, len, rng);
+        }()),
+        provider(&data) {
+    SrsOptions opts;
+    auto built = SrsIndex::Build(data, &provider, opts);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    index = std::move(built).value();
+  }
+};
+
+TEST(Srs, BuildValidation) {
+  Dataset empty;
+  InMemoryProvider ep(&empty);
+  EXPECT_FALSE(SrsIndex::Build(empty, &ep).ok());
+  Rng rng(1);
+  Dataset ds = MakeRandomWalk(10, 16, rng);
+  InMemoryProvider provider(&ds);
+  SrsOptions opts;
+  opts.projections = 0;
+  EXPECT_FALSE(SrsIndex::Build(ds, &provider, opts).ok());
+}
+
+TEST(Srs, ExactModeRejected) {
+  SrsFixture f(100, 32);
+  std::vector<float> q(32, 0.0f);
+  SearchParams params;
+  params.k = 1;
+  params.mode = SearchMode::kExact;
+  EXPECT_EQ(f.index->Search(q, params, nullptr).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(Srs, TinyIndexFootprint) {
+  // The selling point of SRS: index size is m floats per series, far
+  // below the raw data (m=16 vs length=64 here).
+  SrsFixture f(1000, 64);
+  EXPECT_LT(f.index->MemoryBytes(), f.data.SizeBytes());
+}
+
+TEST(Srs, DeltaEpsilonFindsGoodNeighbors) {
+  SrsFixture f;
+  Rng rng(2);
+  Dataset queries = MakeNoiseQueries(f.data, 20, 0.1, rng);
+  auto truth = ExactKnnWorkload(f.data, queries, 1);
+  SearchParams params;
+  params.mode = SearchMode::kDeltaEpsilon;
+  params.k = 1;
+  params.epsilon = 0.0;
+  params.delta = 0.99;
+  size_t hits = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto ans = f.index->Search(queries.series(q), params, nullptr);
+    ASSERT_TRUE(ans.ok());
+    ASSERT_EQ(ans.value().size(), 1u);
+    // δ-probabilistic contract: allow a couple of misses, but the bulk
+    // must be within (1+ε) of the true NN by a wide empirical margin.
+    if (ans.value().distances[0] <= truth[q].distances[0] * 1.05 + 1e-9) {
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, queries.size() * 7 / 10);
+}
+
+TEST(Srs, HigherDeltaRefinesMoreCandidates) {
+  SrsFixture f(800, 64);
+  Rng rng(3);
+  Dataset queries = MakeRandomWalk(10, 64, rng);
+  auto probes_at = [&](double delta) {
+    SearchParams params;
+    params.mode = SearchMode::kDeltaEpsilon;
+    params.k = 1;
+    params.epsilon = 0.0;
+    params.delta = delta;
+    QueryCounters c;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_TRUE(f.index->Search(queries.series(q), params, &c).ok());
+    }
+    return c.full_distances;
+  };
+  EXPECT_LE(probes_at(0.5), probes_at(0.999));
+}
+
+TEST(Srs, EpsilonLoosensStopping) {
+  SrsFixture f(800, 64);
+  Rng rng(4);
+  Dataset queries = MakeRandomWalk(10, 64, rng);
+  auto probes_at = [&](double eps) {
+    SearchParams params;
+    params.mode = SearchMode::kDeltaEpsilon;
+    params.k = 1;
+    params.epsilon = eps;
+    params.delta = 0.9;
+    QueryCounters c;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_TRUE(f.index->Search(queries.series(q), params, &c).ok());
+    }
+    return c.full_distances;
+  };
+  EXPECT_LE(probes_at(2.0), probes_at(0.0));
+}
+
+TEST(Srs, CandidateBudgetCapsWork) {
+  SrsFixture f(1000, 64);
+  std::vector<float> q(64, 0.0f);
+  SearchParams params;
+  params.mode = SearchMode::kDeltaEpsilon;
+  params.k = 1;
+  params.delta = 1.0;  // never early-terminates on the χ² test
+  QueryCounters c;
+  ASSERT_TRUE(f.index->Search(q, params, &c).ok());
+  // max_candidate_fraction = 0.15 by default.
+  EXPECT_LE(c.full_distances, 150u + 1u);
+}
+
+TEST(Srs, NgModeUsesNprobeBudget) {
+  SrsFixture f(500, 64);
+  std::vector<float> q(64, 0.0f);
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 1;
+  params.nprobe = 9;
+  QueryCounters c;
+  ASSERT_TRUE(f.index->Search(q, params, &c).ok());
+  EXPECT_LE(c.full_distances, 9u);
+}
+
+struct QalshFixture {
+  Dataset data;
+  InMemoryProvider provider;
+  std::unique_ptr<QalshIndex> index;
+
+  explicit QalshFixture(size_t n = 500, size_t len = 64)
+      : data([&] {
+          Rng rng(22);
+          return MakeRandomWalk(n, len, rng);
+        }()),
+        provider(&data) {
+    QalshOptions opts;
+    auto built = QalshIndex::Build(data, &provider, opts);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    index = std::move(built).value();
+  }
+};
+
+TEST(Qalsh, BuildValidation) {
+  Dataset empty;
+  InMemoryProvider ep(&empty);
+  EXPECT_FALSE(QalshIndex::Build(empty, &ep).ok());
+  Rng rng(1);
+  Dataset ds = MakeRandomWalk(10, 16, rng);
+  InMemoryProvider provider(&ds);
+  QalshOptions opts;
+  opts.num_hashes = 0;
+  EXPECT_FALSE(QalshIndex::Build(ds, &provider, opts).ok());
+}
+
+TEST(Qalsh, ExactModeRejected) {
+  QalshFixture f(100, 32);
+  std::vector<float> q(32, 0.0f);
+  SearchParams params;
+  params.k = 1;
+  params.mode = SearchMode::kExact;
+  EXPECT_EQ(f.index->Search(q, params, nullptr).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(Qalsh, FindsPlantedNearNeighbor) {
+  QalshFixture f;
+  Rng rng(2);
+  Dataset queries = MakeNoiseQueries(f.data, 20, 0.05, rng);
+  auto truth = ExactKnnWorkload(f.data, queries, 1);
+  SearchParams params;
+  params.mode = SearchMode::kDeltaEpsilon;
+  params.k = 1;
+  params.epsilon = 1.0;
+  params.delta = 0.9;
+  size_t hits = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto ans = f.index->Search(queries.series(q), params, nullptr);
+    ASSERT_TRUE(ans.ok());
+    if (!ans.value().ids.empty() &&
+        ans.value().ids[0] == truth[q].ids[0]) {
+      ++hits;
+    }
+  }
+  // A near-duplicate query collides in almost every projection.
+  EXPECT_GE(hits, queries.size() * 7 / 10);
+}
+
+TEST(Qalsh, CollisionThresholdLimitsCandidates) {
+  QalshFixture f(1000, 64);
+  std::vector<float> q(64, 0.0f);
+  SearchParams params;
+  params.mode = SearchMode::kDeltaEpsilon;
+  params.k = 1;
+  QueryCounters c;
+  ASSERT_TRUE(f.index->Search(q, params, &c).ok());
+  // Budget: beta·n + k.
+  EXPECT_LE(c.full_distances, 51u);
+}
+
+TEST(Qalsh, NgModeNprobeCapsRefinement) {
+  QalshFixture f(500, 64);
+  std::vector<float> q(64, 0.0f);
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 1;
+  params.nprobe = 5;
+  QueryCounters c;
+  ASSERT_TRUE(f.index->Search(q, params, &c).ok());
+  EXPECT_LE(c.full_distances, 5u);
+}
+
+TEST(Qalsh, QueryValidation) {
+  QalshFixture f(100, 32);
+  std::vector<float> bad(16, 0.0f);
+  SearchParams params;
+  params.mode = SearchMode::kDeltaEpsilon;
+  params.k = 1;
+  EXPECT_FALSE(f.index->Search(bad, params, nullptr).ok());
+  std::vector<float> good(32, 0.0f);
+  params.k = 0;
+  EXPECT_FALSE(f.index->Search(good, params, nullptr).ok());
+}
+
+TEST(Qalsh, IndexLargerThanSrs) {
+  // The paper's footprint comparison: QALSH stores m full tables (values
+  // + ids) vs SRS's m floats per point.
+  QalshFixture q(500, 64);
+  SrsFixture s(500, 64);
+  EXPECT_GT(q.index->MemoryBytes(), s.index->MemoryBytes());
+}
+
+}  // namespace
+}  // namespace hydra

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "index/mtree/mtree.h"
+#include "storage/buffer_manager.h"
+
+namespace hydra {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  InMemoryProvider provider;
+  std::unique_ptr<MTreeIndex> index;
+
+  explicit Fixture(size_t n = 300, size_t len = 32, size_t capacity = 8)
+      : data([&] {
+          Rng rng(88);
+          return MakeRandomWalk(n, len, rng);
+        }()),
+        provider(&data) {
+    MTreeOptions opts;
+    opts.node_capacity = capacity;
+    opts.histogram_pairs = 1000;
+    auto built = MTreeIndex::Build(data, &provider, opts);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    index = std::move(built).value();
+  }
+};
+
+TEST(MTree, BuildValidation) {
+  Dataset empty;
+  InMemoryProvider ep(&empty);
+  EXPECT_FALSE(MTreeIndex::Build(empty, &ep).ok());
+  Rng rng(1);
+  Dataset ds = MakeRandomWalk(10, 16, rng);
+  InMemoryProvider provider(&ds);
+  MTreeOptions opts;
+  opts.node_capacity = 1;
+  EXPECT_FALSE(MTreeIndex::Build(ds, &provider, opts).ok());
+}
+
+TEST(MTree, CoveringRadiiAreSound) {
+  Fixture f;
+  EXPECT_EQ(f.index->CountRadiusViolations(), 0u);
+}
+
+TEST(MTree, CoveringRadiiSoundOnClusteredData) {
+  Rng rng(2);
+  Dataset ds = MakeSiftAnalog(300, 24, rng);
+  InMemoryProvider provider(&ds);
+  MTreeOptions opts;
+  opts.node_capacity = 6;
+  opts.histogram_pairs = 500;
+  auto index = MTreeIndex::Build(ds, &provider, opts);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value()->CountRadiusViolations(), 0u);
+}
+
+TEST(MTree, ExactSearchMatchesBruteForce) {
+  Fixture f;
+  Rng rng(3);
+  Dataset queries = MakeRandomWalk(10, 32, rng);
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 5;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    KnnAnswer truth = ExactKnn(f.data, queries.series(q), 5);
+    auto ans = f.index->Search(queries.series(q), params, nullptr);
+    ASSERT_TRUE(ans.ok());
+    ASSERT_EQ(ans.value().size(), 5u);
+    for (size_t r = 0; r < 5; ++r) {
+      EXPECT_NEAR(ans.value().distances[r], truth.distances[r], 1e-5);
+    }
+  }
+}
+
+TEST(MTree, EpsilonGuaranteeHolds) {
+  Fixture f;
+  Rng rng(4);
+  Dataset queries = MakeRandomWalk(15, 32, rng);
+  for (double eps : {0.0, 1.0, 3.0}) {
+    SearchParams params;
+    params.mode = SearchMode::kDeltaEpsilon;
+    params.k = 1;
+    params.epsilon = eps;
+    params.delta = 1.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      KnnAnswer truth = ExactKnn(f.data, queries.series(q), 1);
+      auto ans = f.index->Search(queries.series(q), params, nullptr);
+      ASSERT_TRUE(ans.ok());
+      EXPECT_LE(ans.value().distances[0],
+                (1.0 + eps) * truth.distances[0] + 1e-6);
+    }
+  }
+}
+
+TEST(MTree, NgApproximateRespectsLeafBudget) {
+  Fixture f;
+  std::vector<float> q(32, 0.5f);
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 1;
+  params.nprobe = 2;
+  QueryCounters c;
+  ASSERT_TRUE(f.index->Search(q, params, &c).ok());
+  EXPECT_LE(c.leaves_visited, 2u);
+}
+
+TEST(MTree, EpsilonReducesDistanceComputations) {
+  Fixture f(600, 32, 8);
+  Rng rng(5);
+  Dataset queries = MakeRandomWalk(10, 32, rng);
+  auto work = [&](double eps) {
+    SearchParams params;
+    params.mode = SearchMode::kDeltaEpsilon;
+    params.k = 1;
+    params.epsilon = eps;
+    QueryCounters c;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_TRUE(f.index->Search(queries.series(q), params, &c).ok());
+    }
+    return c.full_distances;
+  };
+  EXPECT_LE(work(3.0), work(0.0));
+}
+
+TEST(MTree, RoutingCostsFullDistances) {
+  // The M-tree's structural weakness in this setting: routing itself
+  // computes full distances (no cheap summarization lower bounds).
+  Fixture f;
+  std::vector<float> q(32, 0.0f);
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 1;
+  QueryCounters c;
+  ASSERT_TRUE(f.index->Search(q, params, &c).ok());
+  EXPECT_GT(c.full_distances, 0u);
+  EXPECT_EQ(c.lb_distances, 0u);  // no summary-space bounds exist
+}
+
+TEST(MTree, DuplicatesSupported) {
+  Dataset ds(40, 16);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    auto s = ds.mutable_series(i);
+    for (size_t t = 0; t < 16; ++t) s[t] = 1.0f;
+  }
+  InMemoryProvider provider(&ds);
+  MTreeOptions opts;
+  opts.node_capacity = 4;
+  opts.histogram_pairs = 100;
+  auto index = MTreeIndex::Build(ds, &provider, opts);
+  ASSERT_TRUE(index.ok());
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 3;
+  auto ans = index.value()->Search(ds.series(0), params, nullptr);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().size(), 3u);
+  EXPECT_NEAR(ans.value().distances[0], 0.0, 1e-7);
+}
+
+TEST(MTree, QueryValidation) {
+  Fixture f(100, 16, 8);
+  std::vector<float> bad(8, 0.0f);
+  SearchParams params;
+  params.k = 1;
+  EXPECT_FALSE(f.index->Search(bad, params, nullptr).ok());
+  std::vector<float> good(16, 0.0f);
+  params.k = 0;
+  EXPECT_FALSE(f.index->Search(good, params, nullptr).ok());
+}
+
+TEST(MTree, CapabilitiesDeclareMetricBaseline) {
+  Fixture f(50, 16, 8);
+  auto caps = f.index->capabilities();
+  EXPECT_TRUE(caps.exact);
+  EXPECT_TRUE(caps.delta_epsilon_approximate);
+  EXPECT_EQ(caps.summarization, "metric pivots");
+}
+
+}  // namespace
+}  // namespace hydra

@@ -1,0 +1,401 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "core/workload.h"
+#include "distance/euclidean.h"
+#include "index/adsplus/adsplus.h"
+#include "index/dstree/dstree.h"
+#include "index/mtree/mtree.h"
+#include "index/sfa/sfa.h"
+#include "index/isax/isax_index.h"
+#include "index/vafile/vafile.h"
+#include "storage/buffer_manager.h"
+#include "transform/dft.h"
+#include "transform/eapca.h"
+#include "transform/paa.h"
+#include "transform/sax.h"
+#include "transform/znorm.h"
+
+namespace hydra {
+namespace {
+
+// Parameterized property sweeps: the invariants that make every index
+// admissible, checked across generator × shape × parameter grids.
+
+// ---------------------------------------------------------------------
+// Lower-bound admissibility for all summarizations, across generators,
+// lengths and summary widths.
+
+enum class Gen { kWalk, kSift, kDeep, kSeismic, kSald };
+
+Dataset Generate(Gen gen, size_t n, size_t len, Rng& rng) {
+  switch (gen) {
+    case Gen::kWalk:
+      return MakeRandomWalk(n, len, rng);
+    case Gen::kSift:
+      return MakeSiftAnalog(n, len, rng);
+    case Gen::kDeep:
+      return MakeDeepAnalog(n, len, rng);
+    case Gen::kSeismic:
+      return MakeSeismicAnalog(n, len, rng);
+    case Gen::kSald:
+      return MakeSaldAnalog(n, len, rng);
+  }
+  return {};
+}
+
+std::string GenName(Gen g) {
+  switch (g) {
+    case Gen::kWalk:
+      return "Walk";
+    case Gen::kSift:
+      return "Sift";
+    case Gen::kDeep:
+      return "Deep";
+    case Gen::kSeismic:
+      return "Seismic";
+    case Gen::kSald:
+      return "Sald";
+  }
+  return "?";
+}
+
+using LbParams = std::tuple<Gen, size_t /*len*/, size_t /*segments*/>;
+
+class LowerBoundProperty : public ::testing::TestWithParam<LbParams> {};
+
+TEST_P(LowerBoundProperty, PaaLowerBoundsEuclidean) {
+  auto [gen, len, segments] = GetParam();
+  Rng rng(101);
+  Dataset ds = Generate(gen, 40, len, rng);
+  Paa paa(len, segments);
+  for (size_t i = 0; i + 1 < ds.size(); i += 2) {
+    auto a = paa.Transform(ds.series(i));
+    auto b = paa.Transform(ds.series(i + 1));
+    EXPECT_LE(paa.LowerBoundDistance(a, b),
+              Euclidean(ds.series(i), ds.series(i + 1)) + 1e-6);
+  }
+}
+
+TEST_P(LowerBoundProperty, EapcaBoundsBracket) {
+  auto [gen, len, segments] = GetParam();
+  Rng rng(102);
+  Dataset ds = Generate(gen, 40, len, rng);
+  Segmentation seg = UniformSegmentation(len, segments);
+  for (size_t i = 0; i + 1 < ds.size(); i += 2) {
+    auto a = EapcaTransform(ds.series(i), seg);
+    auto b = EapcaTransform(ds.series(i + 1), seg);
+    double true_sq = SquaredEuclidean(ds.series(i), ds.series(i + 1));
+    EXPECT_LE(EapcaLowerBoundSq(a, b, seg), true_sq + 1e-5);
+    EXPECT_GE(EapcaUpperBoundSq(a, b, seg), true_sq - 1e-5);
+  }
+}
+
+TEST_P(LowerBoundProperty, SaxMinDistLowerBounds) {
+  auto [gen, len, segments] = GetParam();
+  Rng rng(103);
+  Dataset ds = Generate(gen, 40, len, rng);
+  ZNormalizeDataset(ds);
+  SaxEncoder enc(len, segments, 8);
+  std::vector<uint8_t> bits(enc.segments(), 8);
+  for (size_t i = 0; i + 1 < ds.size(); i += 2) {
+    auto q_paa = enc.paa().Transform(ds.series(i));
+    auto word = enc.Encode(ds.series(i + 1));
+    EXPECT_LE(enc.MinDistSqPaaToSax(q_paa, word, bits),
+              SquaredEuclidean(ds.series(i), ds.series(i + 1)) + 1e-5);
+  }
+}
+
+TEST_P(LowerBoundProperty, DftTruncationLowerBounds) {
+  auto [gen, len, segments] = GetParam();
+  Rng rng(104);
+  Dataset ds = Generate(gen, 40, len, rng);
+  DftFeatures dft(len, segments);  // reuse segments as feature count
+  for (size_t i = 0; i + 1 < ds.size(); i += 2) {
+    auto a = dft.Transform(ds.series(i));
+    auto b = dft.Transform(ds.series(i + 1));
+    double feat_sq = 0.0;
+    for (size_t d = 0; d < a.size(); ++d) {
+      feat_sq += (a[d] - b[d]) * (a[d] - b[d]);
+    }
+    EXPECT_LE(feat_sq,
+              SquaredEuclidean(ds.series(i), ds.series(i + 1)) + 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LowerBoundProperty,
+    ::testing::Combine(::testing::Values(Gen::kWalk, Gen::kSift, Gen::kDeep,
+                                         Gen::kSeismic, Gen::kSald),
+                       ::testing::Values(32, 64, 100),
+                       ::testing::Values(4, 8, 16)),
+    [](const ::testing::TestParamInfo<LbParams>& info) {
+      return GenName(std::get<0>(info.param)) + "_len" +
+             std::to_string(std::get<1>(info.param)) + "_w" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Exactness of the tree indexes across datasets and leaf sizes: the
+// strongest end-to-end invariant (Algorithm 1 + admissible bounds).
+
+using ExactParams = std::tuple<Gen, size_t /*leaf*/>;
+
+class TreeExactnessProperty : public ::testing::TestWithParam<ExactParams> {
+};
+
+TEST_P(TreeExactnessProperty, DSTreeExactEqualsBruteForce) {
+  auto [gen, leaf] = GetParam();
+  Rng rng(105);
+  Dataset ds = Generate(gen, 300, 48, rng);
+  InMemoryProvider provider(&ds);
+  DSTreeOptions opts;
+  opts.leaf_capacity = leaf;
+  opts.histogram_pairs = 200;
+  auto index = DSTreeIndex::Build(ds, &provider, opts);
+  ASSERT_TRUE(index.ok());
+  Dataset queries = MakeNoiseQueries(ds, 5, 0.3, rng);
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 3;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    KnnAnswer truth = ExactKnn(ds, queries.series(q), 3);
+    auto ans = index.value()->Search(queries.series(q), params, nullptr);
+    ASSERT_TRUE(ans.ok());
+    for (size_t r = 0; r < 3; ++r) {
+      EXPECT_NEAR(ans.value().distances[r], truth.distances[r], 1e-5);
+    }
+  }
+}
+
+TEST_P(TreeExactnessProperty, IsaxExactEqualsBruteForce) {
+  auto [gen, leaf] = GetParam();
+  Rng rng(106);
+  Dataset ds = Generate(gen, 300, 48, rng);
+  InMemoryProvider provider(&ds);
+  IsaxOptions opts;
+  opts.segments = 8;
+  opts.leaf_capacity = leaf;
+  opts.histogram_pairs = 200;
+  auto index = IsaxIndex::Build(ds, &provider, opts);
+  ASSERT_TRUE(index.ok());
+  Dataset queries = MakeNoiseQueries(ds, 5, 0.3, rng);
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 3;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    KnnAnswer truth = ExactKnn(ds, queries.series(q), 3);
+    auto ans = index.value()->Search(queries.series(q), params, nullptr);
+    ASSERT_TRUE(ans.ok());
+    for (size_t r = 0; r < 3; ++r) {
+      EXPECT_NEAR(ans.value().distances[r], truth.distances[r], 1e-5);
+    }
+  }
+}
+
+TEST_P(TreeExactnessProperty, VaFileExactEqualsBruteForce) {
+  auto [gen, leaf] = GetParam();
+  (void)leaf;  // VA+file has no leaves; sweep still varies the generator
+  Rng rng(107);
+  Dataset ds = Generate(gen, 300, 48, rng);
+  InMemoryProvider provider(&ds);
+  VaFileOptions opts;
+  opts.histogram_pairs = 200;
+  auto index = VaFileIndex::Build(ds, &provider, opts);
+  ASSERT_TRUE(index.ok());
+  Dataset queries = MakeNoiseQueries(ds, 5, 0.3, rng);
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 3;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    KnnAnswer truth = ExactKnn(ds, queries.series(q), 3);
+    auto ans = index.value()->Search(queries.series(q), params, nullptr);
+    ASSERT_TRUE(ans.ok());
+    for (size_t r = 0; r < 3; ++r) {
+      EXPECT_NEAR(ans.value().distances[r], truth.distances[r], 1e-5);
+    }
+  }
+}
+
+TEST_P(TreeExactnessProperty, SfaExactEqualsBruteForce) {
+  auto [gen, leaf] = GetParam();
+  Rng rng(109);
+  Dataset ds = Generate(gen, 300, 48, rng);
+  InMemoryProvider provider(&ds);
+  SfaOptions opts;
+  opts.leaf_capacity = leaf;
+  opts.histogram_pairs = 200;
+  auto index = SfaIndex::Build(ds, &provider, opts);
+  ASSERT_TRUE(index.ok());
+  Dataset queries = MakeNoiseQueries(ds, 5, 0.3, rng);
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 3;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    KnnAnswer truth = ExactKnn(ds, queries.series(q), 3);
+    auto ans = index.value()->Search(queries.series(q), params, nullptr);
+    ASSERT_TRUE(ans.ok());
+    for (size_t r = 0; r < 3; ++r) {
+      EXPECT_NEAR(ans.value().distances[r], truth.distances[r], 1e-5);
+    }
+  }
+}
+
+TEST_P(TreeExactnessProperty, AdsPlusExactEqualsBruteForce) {
+  auto [gen, leaf] = GetParam();
+  Rng rng(110);
+  Dataset ds = Generate(gen, 300, 48, rng);
+  InMemoryProvider provider(&ds);
+  AdsPlusOptions opts;
+  opts.segments = 8;
+  opts.build_leaf_capacity = leaf * 8;
+  opts.query_leaf_capacity = leaf;
+  opts.histogram_pairs = 200;
+  auto index = AdsPlusIndex::Build(ds, &provider, opts);
+  ASSERT_TRUE(index.ok());
+  Dataset queries = MakeNoiseQueries(ds, 5, 0.3, rng);
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 3;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    KnnAnswer truth = ExactKnn(ds, queries.series(q), 3);
+    auto ans = index.value()->Search(queries.series(q), params, nullptr);
+    ASSERT_TRUE(ans.ok());
+    for (size_t r = 0; r < 3; ++r) {
+      EXPECT_NEAR(ans.value().distances[r], truth.distances[r], 1e-5);
+    }
+  }
+}
+
+TEST_P(TreeExactnessProperty, MTreeExactEqualsBruteForce) {
+  auto [gen, leaf] = GetParam();
+  Rng rng(111);
+  Dataset ds = Generate(gen, 300, 48, rng);
+  InMemoryProvider provider(&ds);
+  MTreeOptions opts;
+  opts.node_capacity = leaf;
+  opts.histogram_pairs = 200;
+  auto index = MTreeIndex::Build(ds, &provider, opts);
+  ASSERT_TRUE(index.ok());
+  Dataset queries = MakeNoiseQueries(ds, 5, 0.3, rng);
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 3;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    KnnAnswer truth = ExactKnn(ds, queries.series(q), 3);
+    auto ans = index.value()->Search(queries.series(q), params, nullptr);
+    ASSERT_TRUE(ans.ok());
+    for (size_t r = 0; r < 3; ++r) {
+      EXPECT_NEAR(ans.value().distances[r], truth.distances[r], 1e-5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeExactnessProperty,
+    ::testing::Combine(::testing::Values(Gen::kWalk, Gen::kSift, Gen::kDeep,
+                                         Gen::kSeismic, Gen::kSald),
+                       ::testing::Values(8, 64)),
+    [](const ::testing::TestParamInfo<ExactParams>& info) {
+      return GenName(std::get<0>(info.param)) + "_leaf" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// ε-guarantee property across ε values and k (Definition 5).
+
+using EpsParams = std::tuple<double /*eps*/, size_t /*k*/>;
+
+class EpsilonGuaranteeProperty : public ::testing::TestWithParam<EpsParams> {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(108);
+    data_ = new Dataset(MakeRandomWalk(400, 48, rng));
+    provider_ = new InMemoryProvider(data_);
+    DSTreeOptions opts;
+    opts.histogram_pairs = 200;
+    auto built = DSTreeIndex::Build(*data_, provider_, opts);
+    ASSERT_TRUE(built.ok());
+    index_ = built.value().release();
+    queries_ = new Dataset(MakeNoiseQueries(*data_, 8, 0.4, rng));
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    delete provider_;
+    delete data_;
+    delete queries_;
+    index_ = nullptr;
+    provider_ = nullptr;
+    data_ = nullptr;
+    queries_ = nullptr;
+  }
+
+  static Dataset* data_;
+  static InMemoryProvider* provider_;
+  static DSTreeIndex* index_;
+  static Dataset* queries_;
+};
+
+Dataset* EpsilonGuaranteeProperty::data_ = nullptr;
+InMemoryProvider* EpsilonGuaranteeProperty::provider_ = nullptr;
+DSTreeIndex* EpsilonGuaranteeProperty::index_ = nullptr;
+Dataset* EpsilonGuaranteeProperty::queries_ = nullptr;
+
+TEST_P(EpsilonGuaranteeProperty, KthDistanceWithinOnePlusEps) {
+  auto [eps, k] = GetParam();
+  SearchParams params;
+  params.mode = SearchMode::kDeltaEpsilon;
+  params.k = k;
+  params.epsilon = eps;
+  params.delta = 1.0;
+  for (size_t q = 0; q < queries_->size(); ++q) {
+    KnnAnswer truth = ExactKnn(*data_, queries_->series(q), k);
+    auto ans = index_->Search(queries_->series(q), params, nullptr);
+    ASSERT_TRUE(ans.ok());
+    ASSERT_EQ(ans.value().size(), k);
+    // Definition 5 requires every result within (1+ε) of the true k-th.
+    for (size_t r = 0; r < k; ++r) {
+      EXPECT_LE(ans.value().distances[r],
+                (1.0 + eps) * truth.distances[k - 1] + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EpsilonGuaranteeProperty,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.5, 1.0, 2.0, 5.0),
+                       ::testing::Values(1, 5, 20)),
+    [](const ::testing::TestParamInfo<EpsParams>& info) {
+      int eps_pct = static_cast<int>(std::get<0>(info.param) * 100);
+      return "eps" + std::to_string(eps_pct) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Workload-protocol invariants over random timings.
+
+class WorkloadProtocolProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadProtocolProperty, TrimmedExtrapolationBounded) {
+  Rng rng(200 + GetParam());
+  std::vector<double> times(100);
+  for (double& t : times) t = rng.NextExponential(1.0);
+  WorkloadTiming w = SummarizeWorkload(times);
+  // The trimmed-mean extrapolation lies between min·10K and max·10K.
+  double lo = *std::min_element(times.begin(), times.end()) * 10000;
+  double hi = *std::max_element(times.begin(), times.end()) * 10000;
+  EXPECT_GE(w.extrapolated_10k_sec, lo - 1e-9);
+  EXPECT_LE(w.extrapolated_10k_sec, hi + 1e-9);
+  EXPECT_GT(w.throughput_per_min, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadProtocolProperty,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace hydra

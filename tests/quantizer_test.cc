@@ -1,0 +1,409 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "distance/euclidean.h"
+#include "transform/kmeans.h"
+#include "transform/opq.h"
+#include "transform/product_quantizer.h"
+#include "transform/random_projection.h"
+#include "transform/scalar_quantizer.h"
+
+namespace hydra {
+namespace {
+
+TEST(Kmeans, FindsObviousClusters) {
+  // Two tight, well-separated 2-D blobs.
+  Rng rng(1);
+  std::vector<float> data;
+  for (int i = 0; i < 50; ++i) {
+    data.push_back(static_cast<float>(0.0 + 0.05 * rng.NextGaussian()));
+    data.push_back(static_cast<float>(0.0 + 0.05 * rng.NextGaussian()));
+  }
+  for (int i = 0; i < 50; ++i) {
+    data.push_back(static_cast<float>(10.0 + 0.05 * rng.NextGaussian()));
+    data.push_back(static_cast<float>(10.0 + 0.05 * rng.NextGaussian()));
+  }
+  KmeansOptions opts;
+  opts.num_clusters = 2;
+  KmeansResult r = Kmeans(data, 2, opts, rng);
+  ASSERT_EQ(r.centroids.size(), 4u);
+  // One centroid near (0,0), the other near (10,10), in either order.
+  double c0 = r.centroids[0] + r.centroids[1];
+  double c1 = r.centroids[2] + r.centroids[3];
+  EXPECT_NEAR(std::min(c0, c1), 0.0, 1.0);
+  EXPECT_NEAR(std::max(c0, c1), 20.0, 1.0);
+  // All points in one blob share an assignment.
+  for (int i = 1; i < 50; ++i) EXPECT_EQ(r.assignments[i], r.assignments[0]);
+  for (int i = 51; i < 100; ++i) {
+    EXPECT_EQ(r.assignments[i], r.assignments[50]);
+  }
+  EXPECT_NE(r.assignments[0], r.assignments[50]);
+}
+
+TEST(Kmeans, DistortionDecreasesOrHolds) {
+  Rng rng(2);
+  Dataset ds = MakeRandomWalk(200, 16, rng);
+  KmeansOptions few, many;
+  few.num_clusters = 2;
+  many.num_clusters = 32;
+  double d_few = Kmeans(ds.values(), 16, few, rng).distortion;
+  double d_many = Kmeans(ds.values(), 16, many, rng).distortion;
+  EXPECT_LT(d_many, d_few);
+}
+
+TEST(Kmeans, ClampsClustersToPointCount) {
+  Rng rng(3);
+  Dataset ds = MakeRandomWalk(5, 8, rng);
+  KmeansOptions opts;
+  opts.num_clusters = 50;
+  KmeansResult r = Kmeans(ds.values(), 8, opts, rng);
+  EXPECT_EQ(r.centroids.size() / 8, 5u);
+}
+
+TEST(Kmeans, AssignmentsAreNearest) {
+  Rng rng(4);
+  Dataset ds = MakeRandomWalk(100, 8, rng);
+  KmeansOptions opts;
+  opts.num_clusters = 8;
+  KmeansResult r = Kmeans(ds.values(), 8, opts, rng);
+  for (size_t i = 0; i < 100; ++i) {
+    uint32_t nearest = NearestCentroid(r.centroids, 8, ds.series(i));
+    double d_assigned = SquaredEuclidean(
+        ds.series(i),
+        std::span<const float>(r.centroids.data() + r.assignments[i] * 8, 8));
+    double d_nearest = SquaredEuclidean(
+        ds.series(i),
+        std::span<const float>(r.centroids.data() + nearest * 8, 8));
+    EXPECT_NEAR(d_assigned, d_nearest, 1e-9);
+  }
+}
+
+TEST(ProductQuantizer, RejectsBadShapes) {
+  Rng rng(5);
+  std::vector<float> data(10 * 8);
+  PqOptions opts;
+  opts.num_subquantizers = 9;  // > dim
+  EXPECT_FALSE(ProductQuantizer::Train(data, 8, opts, rng).ok());
+  opts.num_subquantizers = 0;
+  EXPECT_FALSE(ProductQuantizer::Train(data, 8, opts, rng).ok());
+  EXPECT_FALSE(
+      ProductQuantizer::Train(std::vector<float>{}, 8, PqOptions{}, rng).ok());
+}
+
+TEST(ProductQuantizer, SubspacePartitionCoversDim) {
+  Rng rng(6);
+  Dataset ds = MakeRandomWalk(100, 20, rng);
+  PqOptions opts;
+  opts.num_subquantizers = 6;  // 20 not divisible by 6
+  opts.codebook_size = 16;
+  auto pq = ProductQuantizer::Train(ds.values(), 20, opts, rng);
+  ASSERT_TRUE(pq.ok());
+  size_t total = 0;
+  for (size_t j = 0; j < 6; ++j) total += pq.value().SubDim(j);
+  EXPECT_EQ(total, 20u);
+}
+
+TEST(ProductQuantizer, EncodeDecodeApproximatesInput) {
+  Rng rng(7);
+  Dataset ds = MakeRandomWalk(500, 16, rng);
+  PqOptions opts;
+  opts.num_subquantizers = 4;
+  opts.codebook_size = 64;
+  auto pq_r = ProductQuantizer::Train(ds.values(), 16, opts, rng);
+  ASSERT_TRUE(pq_r.ok());
+  const auto& pq = pq_r.value();
+  double err = 0.0, energy = 0.0;
+  std::vector<float> rec(16);
+  for (size_t i = 0; i < 100; ++i) {
+    auto codes = pq.Encode(ds.series(i));
+    pq.Decode(codes, rec);
+    err += SquaredEuclidean(ds.series(i), rec);
+    std::vector<float> zero(16, 0.0f);
+    energy += SquaredEuclidean(ds.series(i), zero);
+  }
+  EXPECT_LT(err, 0.3 * energy);  // quantization keeps most energy
+}
+
+TEST(ProductQuantizer, AdcEqualsDecodedDistance) {
+  // ADC(query, code) must equal the exact distance between query and the
+  // decoded reconstruction (per-subspace centroids are independent).
+  Rng rng(8);
+  Dataset ds = MakeRandomWalk(300, 16, rng);
+  PqOptions opts;
+  opts.num_subquantizers = 4;
+  opts.codebook_size = 32;
+  auto pq_r = ProductQuantizer::Train(ds.values(), 16, opts, rng);
+  ASSERT_TRUE(pq_r.ok());
+  const auto& pq = pq_r.value();
+  Dataset qs = MakeRandomWalk(5, 16, rng);
+  std::vector<float> rec(16);
+  for (size_t q = 0; q < qs.size(); ++q) {
+    auto table = pq.AdcTable(qs.series(q));
+    for (size_t i = 0; i < 20; ++i) {
+      auto codes = pq.Encode(ds.series(i));
+      pq.Decode(codes, rec);
+      EXPECT_NEAR(pq.AdcDistanceSq(table, codes),
+                  SquaredEuclidean(qs.series(q), rec), 1e-6);
+    }
+  }
+}
+
+TEST(ProductQuantizer, MoreBitsReduceDistortion) {
+  Rng rng(9);
+  Dataset ds = MakeRandomWalk(600, 16, rng);
+  auto distortion = [&](size_t ks) {
+    PqOptions opts;
+    opts.num_subquantizers = 4;
+    opts.codebook_size = ks;
+    auto pq = ProductQuantizer::Train(ds.values(), 16, opts, rng);
+    EXPECT_TRUE(pq.ok());
+    std::vector<float> rec(16);
+    double err = 0.0;
+    for (size_t i = 0; i < 200; ++i) {
+      pq.value().Decode(pq.value().Encode(ds.series(i)), rec);
+      err += SquaredEuclidean(ds.series(i), rec);
+    }
+    return err;
+  };
+  EXPECT_LT(distortion(64), distortion(4));
+}
+
+TEST(JacobiSvd, ReconstructsMatrix) {
+  Rng rng(10);
+  const size_t n = 6;
+  std::vector<double> a(n * n);
+  for (double& v : a) v = rng.NextGaussian();
+  std::vector<double> u, s, vt;
+  matrix_internal::JacobiSvd(a, n, &u, &s, &vt);
+  // Check A = U·S·Vᵀ.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        sum += u[i * n + k] * s[k] * vt[k * n + j];
+      }
+      EXPECT_NEAR(sum, a[i * n + j], 1e-8);
+    }
+  }
+  // Singular values non-negative.
+  for (double sv : s) EXPECT_GE(sv, 0.0);
+}
+
+TEST(JacobiSvd, UAndVAreOrthogonal) {
+  Rng rng(11);
+  const size_t n = 5;
+  std::vector<double> a(n * n);
+  for (double& v : a) v = rng.NextGaussian();
+  std::vector<double> u, s, vt;
+  matrix_internal::JacobiSvd(a, n, &u, &s, &vt);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double uu = 0.0, vv = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        uu += u[k * n + i] * u[k * n + j];
+        vv += vt[i * n + k] * vt[j * n + k];
+      }
+      EXPECT_NEAR(uu, i == j ? 1.0 : 0.0, 1e-8);
+      EXPECT_NEAR(vv, i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Opq, RotationIsOrthogonal) {
+  Rng rng(12);
+  Dataset ds = MakeDeepAnalog(400, 16, rng);
+  OpqOptions opts;
+  opts.pq.num_subquantizers = 4;
+  opts.pq.codebook_size = 32;
+  opts.outer_iterations = 4;
+  auto opq_r = OptimizedProductQuantizer::Train(ds.values(), 16, opts, rng);
+  ASSERT_TRUE(opq_r.ok());
+  const auto& rot = opq_r.value().rotation();
+  const size_t n = 16;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        dot += rot[i * n + k] * rot[j * n + k];
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(Opq, RotationPreservesDistances) {
+  Rng rng(13);
+  Dataset ds = MakeDeepAnalog(300, 12, rng);
+  OpqOptions opts;
+  opts.pq.num_subquantizers = 3;
+  opts.pq.codebook_size = 16;
+  opts.outer_iterations = 3;
+  auto opq_r = OptimizedProductQuantizer::Train(ds.values(), 12, opts, rng);
+  ASSERT_TRUE(opq_r.ok());
+  auto ra = opq_r.value().Rotate(ds.series(0));
+  auto rb = opq_r.value().Rotate(ds.series(1));
+  EXPECT_NEAR(SquaredEuclidean(ra, rb),
+              SquaredEuclidean(ds.series(0), ds.series(1)), 1e-4);
+}
+
+TEST(Opq, ImprovesOverPlainPqOnCorrelatedData) {
+  // Strongly correlated dimensions are PQ's worst case and OPQ's raison
+  // d'être; verify the learned rotation reduces reconstruction error.
+  Rng rng(14);
+  const size_t dim = 16;
+  Dataset ds = MakeDeepAnalog(800, dim, rng, 8, 2);
+  PqOptions po;
+  po.num_subquantizers = 4;
+  po.codebook_size = 16;
+  auto pq_r = ProductQuantizer::Train(ds.values(), dim, po, rng);
+  ASSERT_TRUE(pq_r.ok());
+  OpqOptions oo;
+  oo.pq = po;
+  oo.outer_iterations = 6;
+  auto opq_r = OptimizedProductQuantizer::Train(ds.values(), dim, oo, rng);
+  ASSERT_TRUE(opq_r.ok());
+
+  std::vector<float> rec(dim);
+  double pq_err = 0.0, opq_err = 0.0;
+  for (size_t i = 0; i < 200; ++i) {
+    pq_r.value().Decode(pq_r.value().Encode(ds.series(i)), rec);
+    pq_err += SquaredEuclidean(ds.series(i), rec);
+    auto rotated = opq_r.value().Rotate(ds.series(i));
+    opq_r.value().pq().Decode(opq_r.value().pq().Encode(rotated), rec);
+    opq_err += SquaredEuclidean(rotated, rec);
+  }
+  EXPECT_LT(opq_err, pq_err * 1.05);  // at least comparable, usually better
+}
+
+TEST(RandomProjection, PreservesDistancesInExpectation) {
+  Rng rng(15);
+  const size_t in_dim = 64, m = 32;
+  RandomProjection proj(in_dim, m, rng);
+  Dataset ds = MakeRandomWalk(2, in_dim, rng);
+  // E[||proj(a)-proj(b)||²] = m · ||a-b||²; with m=32 the ratio
+  // concentrates near m.
+  double true_sq = SquaredEuclidean(ds.series(0), ds.series(1));
+  auto pa = proj.Project(ds.series(0));
+  auto pb = proj.Project(ds.series(1));
+  double proj_sq = SquaredEuclidean(pa, pb);
+  EXPECT_GT(proj_sq / true_sq, m * 0.3);
+  EXPECT_LT(proj_sq / true_sq, m * 3.0);
+}
+
+TEST(ChiSquaredCdf, KnownValues) {
+  // χ²(1): CDF(1) ≈ 0.6827 (one sigma); χ²(2): CDF(x) = 1 − e^{−x/2}.
+  EXPECT_NEAR(ChiSquaredCdf(1.0, 1.0), 0.6827, 1e-3);
+  EXPECT_NEAR(ChiSquaredCdf(2.0, 2.0), 1.0 - std::exp(-1.0), 1e-9);
+  EXPECT_NEAR(ChiSquaredCdf(4.0, 2.0), 1.0 - std::exp(-2.0), 1e-9);
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(0.0, 4.0), 0.0);
+  EXPECT_NEAR(ChiSquaredCdf(1000.0, 4.0), 1.0, 1e-9);
+}
+
+TEST(ChiSquaredCdf, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.0; x < 50.0; x += 0.5) {
+    double c = ChiSquaredCdf(x, 16.0);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+}
+
+TEST(LloydQuantizer, CellsPartitionTheLine) {
+  Rng rng(16);
+  std::vector<double> samples(1000);
+  for (double& v : samples) v = rng.NextGaussian();
+  LloydQuantizer q(samples, 3);  // 8 cells
+  EXPECT_EQ(q.num_cells(), 8u);
+  for (double v = -4.0; v <= 4.0; v += 0.01) {
+    uint32_t cell = q.Quantize(v);
+    EXPECT_LT(cell, q.num_cells());
+    EXPECT_GE(v, q.CellLower(cell));
+    EXPECT_LE(v, q.CellUpper(cell) + 1e-12);
+  }
+}
+
+TEST(LloydQuantizer, CentroidsInsideTheirCells) {
+  Rng rng(17);
+  std::vector<double> samples(1000);
+  for (double& v : samples) v = rng.NextExponential(1.0);
+  LloydQuantizer q(samples, 4);
+  for (uint32_t c = 0; c < q.num_cells(); ++c) {
+    EXPECT_GE(q.CellCentroid(c), q.CellLower(c));
+    EXPECT_LE(q.CellCentroid(c), q.CellUpper(c));
+  }
+}
+
+TEST(LloydQuantizer, BeatsUniformQuantizerOnSkewedData) {
+  // Lloyd-Max adapts cells to the density; on exponential data it must
+  // out-perform a uniform grid with the same number of cells. This is the
+  // "+" in VA+file.
+  Rng rng(18);
+  std::vector<double> samples(5000);
+  for (double& v : samples) v = rng.NextExponential(1.0);
+  const size_t bits = 3;
+  LloydQuantizer lloyd(samples, bits);
+
+  double lo = *std::min_element(samples.begin(), samples.end());
+  double hi = *std::max_element(samples.begin(), samples.end());
+  size_t cells = size_t{1} << bits;
+  double width = (hi - lo) / static_cast<double>(cells);
+
+  double lloyd_err = 0.0, uniform_err = 0.0;
+  for (double v : samples) {
+    double lc = lloyd.CellCentroid(lloyd.Quantize(v));
+    lloyd_err += (v - lc) * (v - lc);
+    size_t cell = std::min<size_t>(
+        cells - 1, static_cast<size_t>((v - lo) / width));
+    double uc = lo + (static_cast<double>(cell) + 0.5) * width;
+    uniform_err += (v - uc) * (v - uc);
+  }
+  EXPECT_LT(lloyd_err, uniform_err);
+}
+
+TEST(LloydQuantizer, MinMaxDistBracketTrueDistance) {
+  Rng rng(19);
+  std::vector<double> samples(2000);
+  for (double& v : samples) v = rng.NextGaussian();
+  LloydQuantizer q(samples, 3);
+  for (int trial = 0; trial < 500; ++trial) {
+    double stored = rng.NextGaussian();
+    double query = rng.NextGaussian();
+    uint32_t cell = q.Quantize(stored);
+    double true_sq = (stored - query) * (stored - query);
+    EXPECT_LE(q.MinDistSqToCell(query, cell), true_sq + 1e-12);
+    EXPECT_GE(q.MaxDistSqToCell(query, cell), true_sq - 1e-12);
+  }
+}
+
+TEST(AllocateBits, TotalAndOrderRespected) {
+  std::vector<double> variances = {16.0, 4.0, 1.0, 0.25};
+  auto bits = AllocateBits(variances, 8, 8);
+  size_t total = std::accumulate(bits.begin(), bits.end(), size_t{0});
+  EXPECT_EQ(total, 8u);
+  // Higher-variance dimensions never get fewer bits.
+  for (size_t d = 1; d < bits.size(); ++d) {
+    EXPECT_GE(bits[d - 1], bits[d]);
+  }
+}
+
+TEST(AllocateBits, RespectsPerDimCap) {
+  std::vector<double> variances = {100.0, 1.0};
+  auto bits = AllocateBits(variances, 10, 4);
+  EXPECT_LE(bits[0], 4u);
+  EXPECT_LE(bits[1], 4u);
+  EXPECT_EQ(bits[0] + bits[1], 8u);  // saturates at 4+4
+}
+
+TEST(AllocateBits, EqualVariancesSplitEvenly) {
+  std::vector<double> variances(4, 1.0);
+  auto bits = AllocateBits(variances, 8, 8);
+  for (uint8_t b : bits) EXPECT_EQ(b, 2u);
+}
+
+}  // namespace
+}  // namespace hydra

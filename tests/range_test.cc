@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "distance/euclidean.h"
+#include "index/dstree/dstree.h"
+#include "index/isax/isax_index.h"
+#include "storage/buffer_manager.h"
+
+namespace hydra {
+namespace {
+
+// Brute-force r-range reference: ids within `radius`, sorted by distance.
+KnnAnswer BruteForceRange(const Dataset& data, std::span<const float> query,
+                          double radius) {
+  std::vector<std::pair<double, int64_t>> hits;
+  for (size_t i = 0; i < data.size(); ++i) {
+    double d = Euclidean(query, data.series(i));
+    if (d <= radius) hits.emplace_back(d, static_cast<int64_t>(i));
+  }
+  std::sort(hits.begin(), hits.end());
+  KnnAnswer out;
+  for (const auto& [d, id] : hits) {
+    out.ids.push_back(id);
+    out.distances.push_back(d);
+  }
+  return out;
+}
+
+struct Fixture {
+  Dataset data;
+  Dataset queries;
+  InMemoryProvider provider;
+  std::unique_ptr<DSTreeIndex> dstree;
+  std::unique_ptr<IsaxIndex> isax;
+
+  Fixture()
+      : data([] {
+          Rng rng(91);
+          return MakeRandomWalk(500, 64, rng);
+        }()),
+        queries([] {
+          Rng rng(92);
+          return MakeRandomWalk(6, 64, rng);
+        }()),
+        provider(&data) {
+    DSTreeOptions dopts;
+    dopts.leaf_capacity = 16;
+    dopts.histogram_pairs = 200;
+    auto d = DSTreeIndex::Build(data, &provider, dopts);
+    EXPECT_TRUE(d.ok());
+    dstree = std::move(d).value();
+    IsaxOptions iopts;
+    iopts.segments = 8;
+    iopts.leaf_capacity = 16;
+    iopts.histogram_pairs = 200;
+    auto i = IsaxIndex::Build(data, &provider, iopts);
+    EXPECT_TRUE(i.ok());
+    isax = std::move(i).value();
+  }
+
+  // A radius hitting ~10% of the data, placed strictly between two
+  // consecutive member distances so float round-off cannot flip the
+  // boundary member in or out.
+  double MediumRadius(size_t q) const {
+    KnnAnswer all = BruteForceRange(data, queries.series(q), 1e18);
+    size_t cut = all.size() / 10;
+    return 0.5 * (all.distances[cut] + all.distances[cut + 1]);
+  }
+};
+
+TEST(RangeSearch, DSTreeExactMatchesBruteForce) {
+  Fixture f;
+  for (size_t q = 0; q < f.queries.size(); ++q) {
+    double r = f.MediumRadius(q);
+    KnnAnswer truth = BruteForceRange(f.data, f.queries.series(q), r);
+    auto ans = f.dstree->RangeSearch(f.queries.series(q), r, 0.0, nullptr);
+    ASSERT_TRUE(ans.ok());
+    EXPECT_EQ(ans.value().ids, truth.ids);
+  }
+}
+
+TEST(RangeSearch, IsaxExactMatchesBruteForce) {
+  Fixture f;
+  for (size_t q = 0; q < f.queries.size(); ++q) {
+    double r = f.MediumRadius(q);
+    KnnAnswer truth = BruteForceRange(f.data, f.queries.series(q), r);
+    auto ans = f.isax->RangeSearch(f.queries.series(q), r, 0.0, nullptr);
+    ASSERT_TRUE(ans.ok());
+    EXPECT_EQ(ans.value().ids, truth.ids);
+  }
+}
+
+TEST(RangeSearch, ZeroRadiusFindsOnlyExactDuplicates) {
+  Fixture f;
+  // Query = a stored series: only itself (and byte-identical twins).
+  auto ans = f.dstree->RangeSearch(f.data.series(7), 0.0, 0.0, nullptr);
+  ASSERT_TRUE(ans.ok());
+  ASSERT_GE(ans.value().size(), 1u);
+  EXPECT_EQ(ans.value().ids[0], 7);
+  for (double d : ans.value().distances) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(RangeSearch, HugeRadiusReturnsEverythingSorted) {
+  Fixture f;
+  auto ans = f.dstree->RangeSearch(f.queries.series(0), 1e9, 0.0, nullptr);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().size(), f.data.size());
+  for (size_t i = 1; i < ans.value().size(); ++i) {
+    EXPECT_GE(ans.value().distances[i], ans.value().distances[i - 1]);
+  }
+}
+
+TEST(RangeSearch, EpsilonResultsAreSubsetWithinRadius) {
+  Fixture f;
+  for (size_t q = 0; q < f.queries.size(); ++q) {
+    double r = f.MediumRadius(q);
+    KnnAnswer truth = BruteForceRange(f.data, f.queries.series(q), r);
+    auto ans = f.dstree->RangeSearch(f.queries.series(q), r, 1.0, nullptr);
+    ASSERT_TRUE(ans.ok());
+    // Every returned id is a true range member (d <= r)...
+    std::set<int64_t> truth_set(truth.ids.begin(), truth.ids.end());
+    for (size_t i = 0; i < ans.value().size(); ++i) {
+      EXPECT_TRUE(truth_set.count(ans.value().ids[i]));
+      EXPECT_LE(ans.value().distances[i], r + 1e-9);
+    }
+    // ...and anything within r/(1+eps) is guaranteed present.
+    double safe = r / 2.0;
+    std::set<int64_t> got(ans.value().ids.begin(), ans.value().ids.end());
+    for (size_t i = 0; i < truth.size(); ++i) {
+      if (truth.distances[i] <= safe) {
+        EXPECT_TRUE(got.count(truth.ids[i]))
+            << "missing guaranteed member " << truth.ids[i];
+      }
+    }
+  }
+}
+
+TEST(RangeSearch, EpsilonReducesWork) {
+  Fixture f;
+  double r = f.MediumRadius(0);
+  QueryCounters exact_c, approx_c;
+  ASSERT_TRUE(
+      f.dstree->RangeSearch(f.queries.series(0), r, 0.0, &exact_c).ok());
+  ASSERT_TRUE(
+      f.dstree->RangeSearch(f.queries.series(0), r, 2.0, &approx_c).ok());
+  EXPECT_LE(approx_c.full_distances, exact_c.full_distances);
+}
+
+TEST(RangeSearch, InputValidation) {
+  Fixture f;
+  EXPECT_FALSE(
+      f.dstree->RangeSearch(f.queries.series(0), -1.0, 0.0, nullptr).ok());
+  EXPECT_FALSE(
+      f.dstree->RangeSearch(f.queries.series(0), 1.0, -0.5, nullptr).ok());
+  std::vector<float> bad(16, 0.0f);
+  EXPECT_FALSE(f.dstree->RangeSearch(bad, 1.0, 0.0, nullptr).ok());
+  EXPECT_FALSE(f.isax->RangeSearch(bad, 1.0, 0.0, nullptr).ok());
+}
+
+TEST(RangeSearch, EmptyResultForUnreachableRadius) {
+  Fixture f;
+  // A fresh random-walk query is far from everything at radius 1e-3.
+  auto ans = f.isax->RangeSearch(f.queries.series(3), 1e-3, 0.0, nullptr);
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans.value().size(), 0u);
+}
+
+}  // namespace
+}  // namespace hydra

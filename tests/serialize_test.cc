@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "index/dstree/dstree.h"
+#include "index/isax/isax_index.h"
+#include "storage/buffer_manager.h"
+#include "storage/serialize.h"
+
+namespace hydra {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hydra_serialize_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SerializeTest, PrimitivesRoundTrip) {
+  std::string path = Path("prim.bin");
+  {
+    BinaryWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.WriteU32(0xabcd1234u);
+    w.WriteU64(1ull << 50);
+    w.WriteI64(-42);
+    w.WriteI32(-7);
+    w.WriteDouble(3.14159);
+    w.WriteBool(true);
+    w.WriteBool(false);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ReadU32(), 0xabcd1234u);
+  EXPECT_EQ(r.ReadU64(), 1ull << 50);
+  EXPECT_EQ(r.ReadI64(), -42);
+  EXPECT_EQ(r.ReadI32(), -7);
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), 3.14159);
+  EXPECT_TRUE(r.ReadBool());
+  EXPECT_FALSE(r.ReadBool());
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST_F(SerializeTest, VectorsRoundTrip) {
+  std::string path = Path("vec.bin");
+  std::vector<double> doubles = {1.0, -2.5, 1e300};
+  std::vector<int64_t> ints = {1, 2, 3, 4};
+  std::vector<uint16_t> words;
+  {
+    BinaryWriter w(path);
+    w.WriteVector(doubles);
+    w.WriteVector(ints);
+    w.WriteVector(words);  // empty vector
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.ReadVector<double>(), doubles);
+  EXPECT_EQ(r.ReadVector<int64_t>(), ints);
+  EXPECT_TRUE(r.ReadVector<uint16_t>().empty());
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST_F(SerializeTest, ShortReadSurfacesAsError) {
+  std::string path = Path("short.bin");
+  {
+    BinaryWriter w(path);
+    w.WriteU32(1);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  r.ReadU32();
+  r.ReadU64();  // past end
+  EXPECT_FALSE(r.status().ok());
+}
+
+TEST_F(SerializeTest, CorruptVectorLengthRejected) {
+  std::string path = Path("corrupt.bin");
+  {
+    BinaryWriter w(path);
+    w.WriteU64(1ull << 60);  // absurd element count
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  auto v = r.ReadVector<double>();
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(r.status().ok());
+}
+
+TEST_F(SerializeTest, MissingFileIsError) {
+  BinaryReader r(Path("missing.bin"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+struct TreeFixture {
+  Dataset data;
+  Dataset queries;
+  InMemoryProvider provider;
+
+  TreeFixture()
+      : data([] {
+          Rng rng(77);
+          return MakeRandomWalk(500, 64, rng);
+        }()),
+        queries([] {
+          Rng rng(78);
+          return MakeRandomWalk(8, 64, rng);
+        }()),
+        provider(&data) {}
+};
+
+TEST_F(SerializeTest, DSTreeSaveLoadPreservesAnswers) {
+  TreeFixture f;
+  DSTreeOptions opts;
+  opts.leaf_capacity = 16;
+  opts.histogram_pairs = 500;
+  auto original = DSTreeIndex::Build(f.data, &f.provider, opts);
+  ASSERT_TRUE(original.ok());
+  std::string path = Path("dstree.idx");
+  ASSERT_TRUE(original.value()->Save(path).ok());
+
+  auto loaded = DSTreeIndex::Load(path, &f.provider);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->num_nodes(), original.value()->num_nodes());
+  EXPECT_EQ(loaded.value()->num_leaves(), original.value()->num_leaves());
+
+  for (SearchMode mode : {SearchMode::kExact, SearchMode::kDeltaEpsilon}) {
+    SearchParams params;
+    params.mode = mode;
+    params.k = 5;
+    params.epsilon = mode == SearchMode::kDeltaEpsilon ? 1.0 : 0.0;
+    for (size_t q = 0; q < f.queries.size(); ++q) {
+      auto a = original.value()->Search(f.queries.series(q), params, nullptr);
+      auto b = loaded.value()->Search(f.queries.series(q), params, nullptr);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(a.value().ids, b.value().ids);
+    }
+  }
+}
+
+TEST_F(SerializeTest, IsaxSaveLoadPreservesAnswers) {
+  TreeFixture f;
+  IsaxOptions opts;
+  opts.segments = 8;
+  opts.leaf_capacity = 16;
+  opts.histogram_pairs = 500;
+  auto original = IsaxIndex::Build(f.data, &f.provider, opts);
+  ASSERT_TRUE(original.ok());
+  std::string path = Path("isax.idx");
+  ASSERT_TRUE(original.value()->Save(path).ok());
+
+  auto loaded = IsaxIndex::Load(path, &f.provider);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->num_nodes(), original.value()->num_nodes());
+
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 5;
+  for (size_t q = 0; q < f.queries.size(); ++q) {
+    auto a = original.value()->Search(f.queries.series(q), params, nullptr);
+    auto b = loaded.value()->Search(f.queries.series(q), params, nullptr);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().ids, b.value().ids);
+  }
+}
+
+TEST_F(SerializeTest, LoadIntoWrongIndexTypeFails) {
+  TreeFixture f;
+  DSTreeOptions opts;
+  opts.histogram_pairs = 200;
+  auto dstree = DSTreeIndex::Build(f.data, &f.provider, opts);
+  ASSERT_TRUE(dstree.ok());
+  std::string path = Path("dstree2.idx");
+  ASSERT_TRUE(dstree.value()->Save(path).ok());
+
+  auto as_isax = IsaxIndex::Load(path, &f.provider);
+  EXPECT_FALSE(as_isax.ok());
+  EXPECT_EQ(as_isax.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SerializeTest, LoadRejectsMismatchedProvider) {
+  TreeFixture f;
+  DSTreeOptions opts;
+  opts.histogram_pairs = 200;
+  auto dstree = DSTreeIndex::Build(f.data, &f.provider, opts);
+  ASSERT_TRUE(dstree.ok());
+  std::string path = Path("dstree3.idx");
+  ASSERT_TRUE(dstree.value()->Save(path).ok());
+
+  Rng rng(5);
+  Dataset other = MakeRandomWalk(10, 32, rng);  // wrong series length
+  InMemoryProvider wrong(&other);
+  auto loaded = DSTreeIndex::Load(path, &wrong);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SerializeTest, TruncatedIndexFileRejected) {
+  TreeFixture f;
+  DSTreeOptions opts;
+  opts.histogram_pairs = 200;
+  auto dstree = DSTreeIndex::Build(f.data, &f.provider, opts);
+  ASSERT_TRUE(dstree.ok());
+  std::string full = Path("full.idx");
+  ASSERT_TRUE(dstree.value()->Save(full).ok());
+
+  // Copy only the first half of the file.
+  std::string truncated = Path("truncated.idx");
+  {
+    std::FILE* in = std::fopen(full.c_str(), "rb");
+    std::fseek(in, 0, SEEK_END);
+    long size = std::ftell(in);
+    std::fseek(in, 0, SEEK_SET);
+    std::vector<char> buf(static_cast<size_t>(size / 2));
+    ASSERT_EQ(std::fread(buf.data(), 1, buf.size(), in), buf.size());
+    std::fclose(in);
+    std::FILE* out = std::fopen(truncated.c_str(), "wb");
+    ASSERT_EQ(std::fwrite(buf.data(), 1, buf.size(), out), buf.size());
+    std::fclose(out);
+  }
+  auto loaded = DSTreeIndex::Load(truncated, &f.provider);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace hydra

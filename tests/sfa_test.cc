@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "index/sfa/sfa.h"
+#include "storage/buffer_manager.h"
+
+namespace hydra {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  InMemoryProvider provider;
+  std::unique_ptr<SfaIndex> index;
+
+  explicit Fixture(size_t n = 500, size_t len = 64, size_t leaf = 16,
+                   size_t alphabet = 8)
+      : data([&] {
+          Rng rng(123);
+          return MakeRandomWalk(n, len, rng);
+        }()),
+        provider(&data) {
+    SfaOptions opts;
+    opts.leaf_capacity = leaf;
+    opts.alphabet = alphabet;
+    opts.histogram_pairs = 1000;
+    auto built = SfaIndex::Build(data, &provider, opts);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    index = std::move(built).value();
+  }
+};
+
+TEST(Sfa, BuildValidation) {
+  Dataset empty;
+  InMemoryProvider ep(&empty);
+  EXPECT_FALSE(SfaIndex::Build(empty, &ep).ok());
+  Rng rng(1);
+  Dataset ds = MakeRandomWalk(10, 32, rng);
+  InMemoryProvider provider(&ds);
+  SfaOptions opts;
+  opts.alphabet = 1;
+  EXPECT_FALSE(SfaIndex::Build(ds, &provider, opts).ok());
+  opts.alphabet = 8;
+  opts.leaf_capacity = 0;
+  EXPECT_FALSE(SfaIndex::Build(ds, &provider, opts).ok());
+}
+
+TEST(Sfa, McbBinsAreSortedAndBalanced) {
+  Fixture f;
+  // Boundaries sorted per dimension.
+  for (size_t d = 0; d < 16; ++d) {
+    const auto& cuts = f.index->Bins(d);
+    ASSERT_EQ(cuts.size(), 7u);
+    for (size_t b = 1; b < cuts.size(); ++b) {
+      EXPECT_GE(cuts[b], cuts[b - 1]);
+    }
+  }
+  // Equi-depth property on the leading coefficient: symbol usage within
+  // 3x of uniform for random-walk data.
+  const auto& cuts = f.index->Bins(0);
+  DftFeatures dft(64, 16);
+  std::vector<size_t> usage(8, 0);
+  for (size_t i = 0; i < f.data.size(); ++i) {
+    double v = dft.Transform(f.data.series(i))[0];
+    size_t sym = std::upper_bound(cuts.begin(), cuts.end(), v) - cuts.begin();
+    ++usage[sym];
+  }
+  for (size_t sym = 0; sym < 8; ++sym) {
+    EXPECT_GT(usage[sym], f.data.size() / 8 / 3) << "symbol " << sym;
+  }
+}
+
+TEST(Sfa, TrieGrowsBeyondRoot) {
+  Fixture f;
+  EXPECT_GT(f.index->num_nodes(), 1u);
+  EXPECT_GT(f.index->num_leaves(), 1u);
+}
+
+TEST(Sfa, ExactSearchMatchesBruteForce) {
+  Fixture f;
+  Rng rng(2);
+  Dataset queries = MakeRandomWalk(10, 64, rng);
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 5;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    KnnAnswer truth = ExactKnn(f.data, queries.series(q), 5);
+    auto ans = f.index->Search(queries.series(q), params, nullptr);
+    ASSERT_TRUE(ans.ok());
+    ASSERT_EQ(ans.value().size(), 5u);
+    for (size_t r = 0; r < 5; ++r) {
+      EXPECT_NEAR(ans.value().distances[r], truth.distances[r], 1e-5);
+    }
+  }
+}
+
+TEST(Sfa, ExactSearchOnSmoothData) {
+  // SALD-like data concentrates spectral energy in the leading
+  // coefficients — SFA's best case; exactness must hold regardless.
+  Rng rng(3);
+  Dataset ds = MakeSaldAnalog(400, 64, rng);
+  InMemoryProvider provider(&ds);
+  SfaOptions opts;
+  opts.leaf_capacity = 16;
+  opts.histogram_pairs = 500;
+  auto index = SfaIndex::Build(ds, &provider, opts);
+  ASSERT_TRUE(index.ok());
+  Dataset queries = MakeNoiseQueries(ds, 5, 0.3, rng);
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 3;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    KnnAnswer truth = ExactKnn(ds, queries.series(q), 3);
+    auto ans = index.value()->Search(queries.series(q), params, nullptr);
+    ASSERT_TRUE(ans.ok());
+    EXPECT_EQ(ans.value().ids, truth.ids);
+  }
+}
+
+TEST(Sfa, NgApproximateRespectsBudget) {
+  Fixture f;
+  Rng rng(4);
+  Dataset queries = MakeRandomWalk(5, 64, rng);
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 1;
+  params.nprobe = 3;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryCounters c;
+    ASSERT_TRUE(f.index->Search(queries.series(q), params, &c).ok());
+    EXPECT_LE(c.leaves_visited, 3u);
+  }
+}
+
+TEST(Sfa, EpsilonGuaranteeHolds) {
+  Fixture f;
+  Rng rng(5);
+  Dataset queries = MakeRandomWalk(15, 64, rng);
+  for (double eps : {0.0, 1.0, 3.0}) {
+    SearchParams params;
+    params.mode = SearchMode::kDeltaEpsilon;
+    params.k = 1;
+    params.epsilon = eps;
+    params.delta = 1.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      KnnAnswer truth = ExactKnn(f.data, queries.series(q), 1);
+      auto ans = f.index->Search(queries.series(q), params, nullptr);
+      ASSERT_TRUE(ans.ok());
+      EXPECT_LE(ans.value().distances[0],
+                (1.0 + eps) * truth.distances[0] + 1e-6);
+    }
+  }
+}
+
+TEST(Sfa, EpsilonReducesWork) {
+  Fixture f(800, 64, 16);
+  Rng rng(6);
+  Dataset queries = MakeRandomWalk(10, 64, rng);
+  auto work = [&](double eps) {
+    SearchParams params;
+    params.mode = SearchMode::kDeltaEpsilon;
+    params.k = 1;
+    params.epsilon = eps;
+    QueryCounters c;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_TRUE(f.index->Search(queries.series(q), params, &c).ok());
+    }
+    return c.full_distances;
+  };
+  EXPECT_LE(work(3.0), work(0.0));
+}
+
+TEST(Sfa, AlphabetSizeTradesPrecisionForFanout) {
+  Fixture coarse(500, 64, 16, 4);
+  Fixture fine(500, 64, 16, 16);
+  Rng rng(7);
+  Dataset queries = MakeRandomWalk(5, 64, rng);
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 1;
+  // Both must be exact; the finer alphabet typically prunes better.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    KnnAnswer truth = ExactKnn(coarse.data, queries.series(q), 1);
+    auto a = coarse.index->Search(queries.series(q), params, nullptr);
+    auto b = fine.index->Search(queries.series(q), params, nullptr);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_NEAR(a.value().distances[0], truth.distances[0], 1e-5);
+    EXPECT_NEAR(b.value().distances[0], truth.distances[0], 1e-5);
+  }
+}
+
+TEST(Sfa, QueryValidation) {
+  Fixture f(100, 32, 16);
+  std::vector<float> bad(16, 0.0f);
+  SearchParams params;
+  params.k = 1;
+  EXPECT_FALSE(f.index->Search(bad, params, nullptr).ok());
+  std::vector<float> good(32, 0.0f);
+  params.k = 0;
+  EXPECT_FALSE(f.index->Search(good, params, nullptr).ok());
+}
+
+TEST(Sfa, CapabilitiesDeclareAllModes) {
+  Fixture f(100, 32, 16);
+  auto caps = f.index->capabilities();
+  EXPECT_TRUE(caps.exact);
+  EXPECT_TRUE(caps.ng_approximate);
+  EXPECT_TRUE(caps.epsilon_approximate);
+  EXPECT_TRUE(caps.delta_epsilon_approximate);
+  EXPECT_EQ(caps.summarization, "SFA");
+}
+
+}  // namespace
+}  // namespace hydra

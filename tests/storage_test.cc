@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "storage/buffer_manager.h"
+#include "storage/series_file.h"
+
+namespace hydra {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("hydra_storage_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StorageTest, WriteThenReadAllRoundTrips) {
+  Rng rng(1);
+  Dataset ds = MakeRandomWalk(20, 32, rng);
+  std::string path = Path("roundtrip.hsf");
+  ASSERT_TRUE(WriteSeriesFile(path, ds).ok());
+
+  auto reader = SeriesFileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value()->num_series(), 20u);
+  EXPECT_EQ(reader.value()->series_length(), 32u);
+
+  QueryCounters c;
+  auto back = reader.value()->ReadAll(&c);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().values(), ds.values());
+  EXPECT_EQ(c.bytes_read, ds.SizeBytes());
+}
+
+TEST_F(StorageTest, OpenMissingFileFails) {
+  auto reader = SeriesFileReader::Open(Path("nope.hsf"));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(StorageTest, OpenGarbageFileFailsOnMagic) {
+  std::string path = Path("garbage.hsf");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  uint64_t junk[4] = {0xdeadbeef, 1, 2, 3};
+  std::fwrite(junk, sizeof(junk), 1, f);
+  std::fclose(f);
+  auto reader = SeriesFileReader::Open(path);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StorageTest, ReadPastEndRejected) {
+  Rng rng(2);
+  Dataset ds = MakeRandomWalk(4, 8, rng);
+  std::string path = Path("short.hsf");
+  ASSERT_TRUE(WriteSeriesFile(path, ds).ok());
+  auto reader = SeriesFileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::vector<float> buf(8 * 8);
+  EXPECT_EQ(reader.value()->ReadSeries(2, 3, buf.data(), nullptr).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(StorageTest, SequentialReadsChargeOneSeek) {
+  Rng rng(3);
+  Dataset ds = MakeRandomWalk(10, 16, rng);
+  std::string path = Path("seq.hsf");
+  ASSERT_TRUE(WriteSeriesFile(path, ds).ok());
+  auto reader = SeriesFileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+
+  QueryCounters c;
+  std::vector<float> buf(16);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(reader.value()->ReadSeries(i, 1, buf.data(), &c).ok());
+  }
+  EXPECT_EQ(c.random_ios, 1u);  // only the first read repositions
+  EXPECT_EQ(c.series_accessed, 10u);
+}
+
+TEST_F(StorageTest, BackwardReadsChargeSeeks) {
+  Rng rng(4);
+  Dataset ds = MakeRandomWalk(10, 16, rng);
+  std::string path = Path("rand.hsf");
+  ASSERT_TRUE(WriteSeriesFile(path, ds).ok());
+  auto reader = SeriesFileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+
+  QueryCounters c;
+  std::vector<float> buf(16);
+  for (uint64_t i = 10; i-- > 0;) {
+    ASSERT_TRUE(reader.value()->ReadSeries(i, 1, buf.data(), &c).ok());
+  }
+  EXPECT_EQ(c.random_ios, 10u);  // every read is a seek
+}
+
+TEST_F(StorageTest, ReadSeriesContentMatches) {
+  Rng rng(5);
+  Dataset ds = MakeRandomWalk(6, 12, rng);
+  std::string path = Path("content.hsf");
+  ASSERT_TRUE(WriteSeriesFile(path, ds).ok());
+  auto reader = SeriesFileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::vector<float> buf(2 * 12);
+  ASSERT_TRUE(reader.value()->ReadSeries(3, 2, buf.data(), nullptr).ok());
+  for (size_t t = 0; t < 12; ++t) {
+    EXPECT_FLOAT_EQ(buf[t], ds.series(3)[t]);
+    EXPECT_FLOAT_EQ(buf[12 + t], ds.series(4)[t]);
+  }
+}
+
+TEST_F(StorageTest, EmptyDatasetRoundTrips) {
+  Dataset ds;
+  std::string path = Path("empty.hsf");
+  ASSERT_TRUE(WriteSeriesFile(path, ds).ok());
+  auto reader = SeriesFileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value()->num_series(), 0u);
+}
+
+TEST(InMemoryProvider, ServesSeriesAndCountsAccess) {
+  Rng rng(6);
+  Dataset ds = MakeRandomWalk(5, 8, rng);
+  InMemoryProvider provider(&ds);
+  EXPECT_EQ(provider.num_series(), 5u);
+  EXPECT_EQ(provider.series_length(), 8u);
+  QueryCounters c;
+  auto s = provider.GetSeries(2, &c);
+  ASSERT_EQ(s.size(), 8u);
+  EXPECT_FLOAT_EQ(s[0], ds.series(2)[0]);
+  EXPECT_EQ(c.series_accessed, 1u);
+  EXPECT_EQ(c.bytes_read, 0u);  // in-memory: no I/O charge
+}
+
+TEST_F(StorageTest, BufferManagerServesCorrectData) {
+  Rng rng(7);
+  Dataset ds = MakeRandomWalk(40, 16, rng);
+  std::string path = Path("bm.hsf");
+  ASSERT_TRUE(WriteSeriesFile(path, ds).ok());
+  auto bm = BufferManager::Open(path, /*page_series=*/8,
+                                /*capacity_pages=*/2);
+  ASSERT_TRUE(bm.ok());
+  QueryCounters c;
+  for (uint64_t i = 0; i < 40; ++i) {
+    auto s = bm.value()->GetSeries(i, &c);
+    ASSERT_EQ(s.size(), 16u);
+    for (size_t t = 0; t < 16; ++t) {
+      ASSERT_FLOAT_EQ(s[t], ds.series(i)[t]) << "series " << i;
+    }
+  }
+}
+
+TEST_F(StorageTest, BufferManagerCachesWithinPage) {
+  Rng rng(8);
+  Dataset ds = MakeRandomWalk(32, 8, rng);
+  std::string path = Path("cache.hsf");
+  ASSERT_TRUE(WriteSeriesFile(path, ds).ok());
+  auto bm = BufferManager::Open(path, 8, 4);
+  ASSERT_TRUE(bm.ok());
+  QueryCounters c;
+  // Sequential scan: 32 accesses, only 4 page misses.
+  for (uint64_t i = 0; i < 32; ++i) bm.value()->GetSeries(i, &c);
+  EXPECT_EQ(bm.value()->cache_misses(), 4u);
+  EXPECT_EQ(bm.value()->cache_hits(), 28u);
+  EXPECT_EQ(c.bytes_read, 32u * 8u * sizeof(float));
+}
+
+TEST_F(StorageTest, BufferManagerEvictsLru) {
+  Rng rng(9);
+  Dataset ds = MakeRandomWalk(32, 8, rng);
+  std::string path = Path("evict.hsf");
+  ASSERT_TRUE(WriteSeriesFile(path, ds).ok());
+  auto bm = BufferManager::Open(path, 8, 1);  // one page only
+  ASSERT_TRUE(bm.ok());
+  QueryCounters c;
+  bm.value()->GetSeries(0, &c);   // page 0 miss
+  bm.value()->GetSeries(1, &c);   // page 0 hit
+  bm.value()->GetSeries(8, &c);   // page 1 miss, evicts page 0
+  bm.value()->GetSeries(0, &c);   // page 0 miss again
+  EXPECT_EQ(bm.value()->cache_misses(), 3u);
+  EXPECT_EQ(bm.value()->cache_hits(), 1u);
+}
+
+TEST_F(StorageTest, BufferManagerChargesRandomIoOnPageJumps) {
+  Rng rng(10);
+  Dataset ds = MakeRandomWalk(64, 8, rng);
+  std::string path = Path("jumps.hsf");
+  ASSERT_TRUE(WriteSeriesFile(path, ds).ok());
+  auto bm = BufferManager::Open(path, 4, 1);
+  ASSERT_TRUE(bm.ok());
+  QueryCounters c;
+  bm.value()->GetSeries(0, &c);   // page 0: first read (1 seek)
+  bm.value()->GetSeries(32, &c);  // page 8: jump (1 seek)
+  bm.value()->GetSeries(4, &c);   // page 1: backward jump (1 seek)
+  EXPECT_EQ(c.random_ios, 3u);
+}
+
+TEST_F(StorageTest, BufferManagerDropCacheForcesRereads) {
+  Rng rng(11);
+  Dataset ds = MakeRandomWalk(8, 8, rng);
+  std::string path = Path("drop.hsf");
+  ASSERT_TRUE(WriteSeriesFile(path, ds).ok());
+  auto bm = BufferManager::Open(path, 8, 2);
+  ASSERT_TRUE(bm.ok());
+  QueryCounters c;
+  bm.value()->GetSeries(0, &c);
+  bm.value()->DropCache();
+  bm.value()->GetSeries(0, &c);
+  EXPECT_EQ(bm.value()->cache_misses(), 2u);
+}
+
+TEST_F(StorageTest, BufferManagerRejectsZeroConfig) {
+  Rng rng(12);
+  Dataset ds = MakeRandomWalk(4, 4, rng);
+  std::string path = Path("zero.hsf");
+  ASSERT_TRUE(WriteSeriesFile(path, ds).ok());
+  EXPECT_FALSE(BufferManager::Open(path, 0, 2).ok());
+  EXPECT_FALSE(BufferManager::Open(path, 2, 0).ok());
+}
+
+}  // namespace
+}  // namespace hydra

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "distance/euclidean.h"
+#include "index/vafile/vafile.h"
+#include "storage/buffer_manager.h"
+#include "transform/dft.h"
+
+namespace hydra {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  InMemoryProvider provider;
+  std::unique_ptr<VaFileIndex> index;
+
+  explicit Fixture(size_t n = 400, size_t len = 64)
+      : data([&] {
+          Rng rng(77);
+          return MakeRandomWalk(n, len, rng);
+        }()),
+        provider(&data) {
+    VaFileOptions opts;
+    opts.histogram_pairs = 2000;
+    auto built = VaFileIndex::Build(data, &provider, opts);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    index = std::move(built).value();
+  }
+};
+
+TEST(VaFile, BuildValidatesInput) {
+  Dataset empty;
+  InMemoryProvider ep(&empty);
+  EXPECT_FALSE(VaFileIndex::Build(empty, &ep).ok());
+
+  Rng rng(1);
+  Dataset ds = MakeRandomWalk(10, 32, rng);
+  InMemoryProvider provider(&ds);
+  VaFileOptions opts;
+  opts.num_features = 0;
+  EXPECT_FALSE(VaFileIndex::Build(ds, &provider, opts).ok());
+}
+
+TEST(VaFile, BitAllocationSumsToBudget) {
+  Fixture f;
+  const auto& bits = f.index->bit_allocation();
+  size_t total = std::accumulate(bits.begin(), bits.end(), size_t{0});
+  EXPECT_EQ(total, 64u);  // default total_bits
+}
+
+TEST(VaFile, RandomWalkEnergyFavorsLowFrequencies) {
+  // Random walks have 1/f² spectra: the first DFT dimensions should get
+  // the most bits.
+  Fixture f;
+  const auto& bits = f.index->bit_allocation();
+  EXPECT_GE(bits[0], bits[bits.size() - 1]);
+  EXPECT_GT(bits[0], 0u);
+}
+
+TEST(VaFile, LowerBoundIsAdmissible) {
+  Fixture f;
+  Rng rng(2);
+  Dataset queries = MakeRandomWalk(10, 64, rng);
+  DftFeatures dft(64, 16);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto qf = dft.Transform(queries.series(q));
+    for (size_t i = 0; i < f.data.size(); i += 37) {
+      double lb = f.index->LowerBoundSq(qf, i);
+      double true_sq =
+          SquaredEuclidean(queries.series(q), f.data.series(i));
+      EXPECT_LE(lb, true_sq + 1e-6) << "series " << i;
+    }
+  }
+}
+
+TEST(VaFile, ExactSearchMatchesBruteForce) {
+  Fixture f;
+  Rng rng(3);
+  Dataset queries = MakeRandomWalk(10, 64, rng);
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 5;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    KnnAnswer truth = ExactKnn(f.data, queries.series(q), 5);
+    auto ans = f.index->Search(queries.series(q), params, nullptr);
+    ASSERT_TRUE(ans.ok());
+    ASSERT_EQ(ans.value().size(), 5u);
+    for (size_t r = 0; r < 5; ++r) {
+      EXPECT_NEAR(ans.value().distances[r], truth.distances[r], 1e-6);
+    }
+  }
+}
+
+TEST(VaFile, ExactSearchSkipsMostRawSeries) {
+  Fixture f(1000, 64);
+  Rng rng(4);
+  Dataset queries = MakeRandomWalk(5, 64, rng);
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 1;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryCounters c;
+    ASSERT_TRUE(f.index->Search(queries.series(q), params, &c).ok());
+    // Phase 1 computes n lower bounds, but phase 2 should fetch a small
+    // fraction of the raw series.
+    EXPECT_EQ(c.lb_distances, f.data.size());
+    EXPECT_LT(c.full_distances, f.data.size() / 2);
+  }
+}
+
+TEST(VaFile, NgApproximateHonorsProbeBudget) {
+  Fixture f;
+  Rng rng(5);
+  Dataset queries = MakeRandomWalk(5, 64, rng);
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 1;
+  params.nprobe = 7;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryCounters c;
+    ASSERT_TRUE(f.index->Search(queries.series(q), params, &c).ok());
+    EXPECT_LE(c.full_distances, 7u);
+  }
+}
+
+TEST(VaFile, NgRecallImprovesWithProbes) {
+  Fixture f(800, 64);
+  Rng rng(6);
+  Dataset queries = MakeRandomWalk(20, 64, rng);
+  auto truth = ExactKnnWorkload(f.data, queries, 10);
+  auto recall_at = [&](size_t nprobe) {
+    SearchParams params;
+    params.mode = SearchMode::kNgApproximate;
+    params.k = 10;
+    params.nprobe = nprobe;
+    double sum = 0.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      auto ans = f.index->Search(queries.series(q), params, nullptr);
+      EXPECT_TRUE(ans.ok());
+      sum += RecallAt(truth[q], ans.value(), 10);
+    }
+    return sum / static_cast<double>(queries.size());
+  };
+  EXPECT_LE(recall_at(10), recall_at(200) + 1e-9);
+}
+
+TEST(VaFile, EpsilonGuaranteeHolds) {
+  Fixture f;
+  Rng rng(7);
+  Dataset queries = MakeRandomWalk(20, 64, rng);
+  for (double eps : {0.0, 1.0, 3.0}) {
+    SearchParams params;
+    params.mode = SearchMode::kDeltaEpsilon;
+    params.k = 1;
+    params.epsilon = eps;
+    params.delta = 1.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      KnnAnswer truth = ExactKnn(f.data, queries.series(q), 1);
+      auto ans = f.index->Search(queries.series(q), params, nullptr);
+      ASSERT_TRUE(ans.ok());
+      EXPECT_LE(ans.value().distances[0],
+                (1.0 + eps) * truth.distances[0] + 1e-6);
+    }
+  }
+}
+
+TEST(VaFile, EpsilonReducesRawAccesses) {
+  Fixture f(800, 64);
+  Rng rng(8);
+  Dataset queries = MakeRandomWalk(10, 64, rng);
+  auto work = [&](double eps) {
+    SearchParams params;
+    params.mode = SearchMode::kDeltaEpsilon;
+    params.k = 1;
+    params.epsilon = eps;
+    QueryCounters c;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_TRUE(f.index->Search(queries.series(q), params, &c).ok());
+    }
+    return c.series_accessed;
+  };
+  EXPECT_LE(work(3.0), work(0.0));
+}
+
+TEST(VaFile, QueryValidation) {
+  Fixture f(100, 64);
+  std::vector<float> bad(32, 0.0f);
+  SearchParams params;
+  params.k = 1;
+  EXPECT_FALSE(f.index->Search(bad, params, nullptr).ok());
+  std::vector<float> good(64, 0.0f);
+  params.k = 0;
+  EXPECT_FALSE(f.index->Search(good, params, nullptr).ok());
+}
+
+TEST(VaFile, MemoryFootprintIsCompact) {
+  // The approximation file must be much smaller than the raw data (cells
+  // are a few bits per dimension vs 4 bytes per point).
+  Fixture f(1000, 64);
+  EXPECT_LT(f.index->MemoryBytes(), f.data.SizeBytes());
+}
+
+TEST(VaFile, CapabilitiesMatchPaperTable) {
+  Fixture f(100, 64);
+  auto caps = f.index->capabilities();
+  EXPECT_TRUE(caps.exact);
+  EXPECT_TRUE(caps.ng_approximate);
+  EXPECT_TRUE(caps.epsilon_approximate);
+  EXPECT_TRUE(caps.delta_epsilon_approximate);
+  EXPECT_TRUE(caps.disk_resident);
+  EXPECT_EQ(caps.summarization, "DFT");
+}
+
+}  // namespace
+}  // namespace hydra

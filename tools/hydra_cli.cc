@@ -1,0 +1,338 @@
+// hydra — command-line front end to the library, mirroring the workflow
+// of the original research tools: generate datasets, build and persist
+// indexes, and answer query workloads with any accuracy contract.
+//
+// Usage:
+//   hydra generate --kind rand --n 10000 --len 256 --seed 1 --out d.hsf
+//   hydra build    --method dstree --data d.hsf --out d.idx
+//   hydra query    --method dstree --data d.hsf --index d.idx \
+//                  --queries q.hsf --k 10 --mode de --epsilon 1 --delta 1
+//   hydra query    --method hnsw --data d.hsf --queries q.hsf --k 10 \
+//                  --mode ng --nprobe 64
+//
+// `query` prints one line per query (ids + distances) and a summary with
+// throughput and, when --ground-truth is on, accuracy metrics.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "core/metrics.h"
+#include "core/workload.h"
+#include "index/adsplus/adsplus.h"
+#include "index/dstree/dstree.h"
+#include "index/flann/flann.h"
+#include "index/hnsw/hnsw.h"
+#include "index/imi/imi.h"
+#include "index/isax/isax_index.h"
+#include "index/mtree/mtree.h"
+#include "index/qalsh/qalsh.h"
+#include "index/scan/linear_scan.h"
+#include "index/srs/srs.h"
+#include "index/vafile/vafile.h"
+#include "storage/buffer_manager.h"
+#include "storage/series_file.h"
+
+namespace hydra::cli {
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    flags[key] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string Get(const Flags& flags, const std::string& key,
+                const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+uint64_t GetU64(const Flags& flags, const std::string& key,
+                uint64_t fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stoull(it->second);
+}
+
+double GetDouble(const Flags& flags, const std::string& key,
+                 double fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stod(it->second);
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int CmdGenerate(const Flags& flags) {
+  std::string kind = Get(flags, "kind", "rand");
+  size_t n = GetU64(flags, "n", 10000);
+  size_t len = GetU64(flags, "len", 256);
+  Rng rng(GetU64(flags, "seed", 1));
+  std::string out = Get(flags, "out", "");
+  if (out.empty()) return Fail("--out is required");
+
+  Dataset data;
+  if (kind == "rand") {
+    data = MakeRandomWalk(n, len, rng);
+  } else if (kind == "sift") {
+    data = MakeSiftAnalog(n, len, rng);
+  } else if (kind == "deep") {
+    data = MakeDeepAnalog(n, len, rng);
+  } else if (kind == "seismic") {
+    data = MakeSeismicAnalog(n, len, rng);
+  } else if (kind == "sald") {
+    data = MakeSaldAnalog(n, len, rng);
+  } else if (kind == "queries") {
+    std::string base_path = Get(flags, "base", "");
+    if (base_path.empty()) return Fail("--base is required for queries");
+    auto reader = SeriesFileReader::Open(base_path);
+    if (!reader.ok()) return Fail(reader.status().ToString());
+    auto base = reader.value()->ReadAll(nullptr);
+    if (!base.ok()) return Fail(base.status().ToString());
+    data = MakeNoiseQueries(base.value(), n,
+                            GetDouble(flags, "noise", 0.2), rng);
+  } else {
+    return Fail("unknown --kind: " + kind);
+  }
+  Status st = WriteSeriesFile(out, data);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("wrote %zu series of length %zu to %s\n", data.size(),
+              data.length(), out.c_str());
+  return 0;
+}
+
+struct LoadedIndex {
+  std::unique_ptr<Index> index;
+  double build_seconds = 0.0;
+};
+
+Result<LoadedIndex> MakeIndex(const std::string& method, const Dataset& data,
+                              SeriesProvider* provider, const Flags& flags) {
+  LoadedIndex out;
+  Timer t;
+  std::string index_path = Get(flags, "index", "");
+  if (method == "dstree") {
+    DSTreeOptions o;
+    o.leaf_capacity = GetU64(flags, "leaf", 100);
+    if (!index_path.empty() && Get(flags, "cmd", "") == "query") {
+      HYDRA_ASSIGN_OR_RETURN(out.index,
+                             DSTreeIndex::Load(index_path, provider));
+    } else {
+      HYDRA_ASSIGN_OR_RETURN(out.index,
+                             DSTreeIndex::Build(data, provider, o));
+    }
+  } else if (method == "isax") {
+    IsaxOptions o;
+    o.segments = GetU64(flags, "segments", 16);
+    o.leaf_capacity = GetU64(flags, "leaf", 100);
+    if (!index_path.empty() && Get(flags, "cmd", "") == "query") {
+      HYDRA_ASSIGN_OR_RETURN(out.index,
+                             IsaxIndex::Load(index_path, provider));
+    } else {
+      HYDRA_ASSIGN_OR_RETURN(out.index, IsaxIndex::Build(data, provider, o));
+    }
+  } else if (method == "adsplus") {
+    AdsPlusOptions o;
+    o.segments = GetU64(flags, "segments", 16);
+    HYDRA_ASSIGN_OR_RETURN(out.index, AdsPlusIndex::Build(data, provider, o));
+  } else if (method == "vafile") {
+    VaFileOptions o;
+    o.num_features = GetU64(flags, "features", 16);
+    HYDRA_ASSIGN_OR_RETURN(out.index, VaFileIndex::Build(data, provider, o));
+  } else if (method == "mtree") {
+    MTreeOptions o;
+    o.node_capacity = GetU64(flags, "leaf", 16);
+    HYDRA_ASSIGN_OR_RETURN(out.index, MTreeIndex::Build(data, provider, o));
+  } else if (method == "hnsw") {
+    HnswOptions o;
+    o.M = GetU64(flags, "M", 16);
+    o.ef_construction = GetU64(flags, "efc", 200);
+    HYDRA_ASSIGN_OR_RETURN(out.index, HnswIndex::Build(data, o));
+  } else if (method == "imi") {
+    ImiOptions o;
+    o.coarse_k = GetU64(flags, "coarse-k", 64);
+    HYDRA_ASSIGN_OR_RETURN(out.index, ImiIndex::Build(data, o));
+  } else if (method == "srs") {
+    SrsOptions o;
+    o.projections = GetU64(flags, "projections", 16);
+    HYDRA_ASSIGN_OR_RETURN(out.index, SrsIndex::Build(data, provider, o));
+  } else if (method == "qalsh") {
+    QalshOptions o;
+    o.num_hashes = GetU64(flags, "hashes", 32);
+    HYDRA_ASSIGN_OR_RETURN(out.index, QalshIndex::Build(data, provider, o));
+  } else if (method == "flann") {
+    FlannOptions o;
+    HYDRA_ASSIGN_OR_RETURN(out.index, FlannIndex::Build(data, o));
+  } else if (method == "scan") {
+    out.index = std::make_unique<LinearScanIndex>(provider);
+  } else {
+    return Status::InvalidArgument("unknown method: " + method);
+  }
+  out.build_seconds = t.ElapsedSeconds();
+  return out;
+}
+
+int CmdBuild(Flags flags) {
+  flags["cmd"] = "build";
+  std::string data_path = Get(flags, "data", "");
+  std::string method = Get(flags, "method", "dstree");
+  std::string out = Get(flags, "out", "");
+  if (data_path.empty()) return Fail("--data is required");
+
+  auto reader = SeriesFileReader::Open(data_path);
+  if (!reader.ok()) return Fail(reader.status().ToString());
+  auto data = reader.value()->ReadAll(nullptr);
+  if (!data.ok()) return Fail(data.status().ToString());
+  InMemoryProvider provider(&data.value());
+
+  auto made = MakeIndex(method, data.value(), &provider, flags);
+  if (!made.ok()) return Fail(made.status().ToString());
+  std::printf("built %s over %zu series in %.3fs (%.2f MB resident)\n",
+              method.c_str(), data.value().size(),
+              made.value().build_seconds,
+              static_cast<double>(made.value().index->MemoryBytes()) /
+                  (1024.0 * 1024.0));
+
+  if (!out.empty()) {
+    Status st;
+    if (method == "dstree") {
+      st = static_cast<DSTreeIndex*>(made.value().index.get())->Save(out);
+    } else if (method == "isax") {
+      st = static_cast<IsaxIndex*>(made.value().index.get())->Save(out);
+    } else {
+      st = Status::Unimplemented("persistence supported for dstree/isax");
+    }
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("saved index to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int CmdQuery(Flags flags) {
+  flags["cmd"] = "query";
+  std::string data_path = Get(flags, "data", "");
+  std::string queries_path = Get(flags, "queries", "");
+  std::string method = Get(flags, "method", "dstree");
+  if (data_path.empty() || queries_path.empty()) {
+    return Fail("--data and --queries are required");
+  }
+
+  auto data_reader = SeriesFileReader::Open(data_path);
+  if (!data_reader.ok()) return Fail(data_reader.status().ToString());
+  auto data = data_reader.value()->ReadAll(nullptr);
+  if (!data.ok()) return Fail(data.status().ToString());
+  auto query_reader = SeriesFileReader::Open(queries_path);
+  if (!query_reader.ok()) return Fail(query_reader.status().ToString());
+  auto queries = query_reader.value()->ReadAll(nullptr);
+  if (!queries.ok()) return Fail(queries.status().ToString());
+
+  // Disk-resident mode when a memory budget is given.
+  InMemoryProvider mem_provider(&data.value());
+  std::unique_ptr<BufferManager> bm;
+  SeriesProvider* provider = &mem_provider;
+  uint64_t budget_pages = GetU64(flags, "buffer-pages", 0);
+  if (budget_pages > 0) {
+    auto opened = BufferManager::Open(
+        data_path, GetU64(flags, "page-series", 64), budget_pages);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    bm = std::move(opened).value();
+    provider = bm.get();
+  }
+
+  auto made = MakeIndex(method, data.value(), provider, flags);
+  if (!made.ok()) return Fail(made.status().ToString());
+
+  SearchParams params;
+  params.k = GetU64(flags, "k", 10);
+  std::string mode = Get(flags, "mode", "exact");
+  if (mode == "exact") {
+    params.mode = SearchMode::kExact;
+  } else if (mode == "ng") {
+    params.mode = SearchMode::kNgApproximate;
+    params.nprobe = GetU64(flags, "nprobe", 10);
+    params.efs = GetU64(flags, "efs", params.nprobe);
+  } else if (mode == "de") {
+    params.mode = SearchMode::kDeltaEpsilon;
+    params.epsilon = GetDouble(flags, "epsilon", 0.0);
+    params.delta = GetDouble(flags, "delta", 1.0);
+  } else {
+    return Fail("unknown --mode (exact|ng|de): " + mode);
+  }
+
+  bool ground_truth = Get(flags, "ground-truth", "on") != "off";
+  std::vector<KnnAnswer> truth;
+  if (ground_truth) {
+    truth = ExactKnnWorkload(data.value(), queries.value(), params.k);
+  }
+
+  std::vector<KnnAnswer> answers;
+  std::vector<double> seconds;
+  QueryCounters total;
+  for (size_t q = 0; q < queries.value().size(); ++q) {
+    QueryCounters counters;
+    Timer t;
+    auto ans = made.value().index->Search(queries.value().series(q), params,
+                                          &counters);
+    seconds.push_back(t.ElapsedSeconds());
+    total += counters;
+    if (!ans.ok()) return Fail(ans.status().ToString());
+    std::printf("query %zu:", q);
+    for (size_t r = 0; r < ans.value().size(); ++r) {
+      std::printf(" %lld(%.3f)",
+                  static_cast<long long>(ans.value().ids[r]),
+                  ans.value().distances[r]);
+    }
+    std::printf("\n");
+    answers.push_back(std::move(ans).value());
+  }
+
+  WorkloadTiming timing = SummarizeWorkload(seconds);
+  std::printf("\n%zu queries in %.3fs (%.1f queries/min)\n",
+              queries.value().size(), timing.total_seconds,
+              timing.throughput_per_min);
+  std::printf("raw series accessed per query: %.1f; random I/O per query: "
+              "%.1f\n",
+              static_cast<double>(total.series_accessed) /
+                  static_cast<double>(queries.value().size()),
+              static_cast<double>(total.random_ios) /
+                  static_cast<double>(queries.value().size()));
+  if (ground_truth) {
+    WorkloadAccuracy acc = AggregateAccuracy(truth, answers, params.k);
+    std::printf("avg recall %.3f, MAP %.3f, MRE %.4f\n", acc.avg_recall,
+                acc.map, acc.mre);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: hydra <generate|build|query> [--flag value]...\n");
+    return 1;
+  }
+  std::string cmd = argv[1];
+  Flags flags = ParseFlags(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "build") return CmdBuild(flags);
+  if (cmd == "query") return CmdQuery(flags);
+  return Fail("unknown command: " + cmd);
+}
+
+}  // namespace
+}  // namespace hydra::cli
+
+int main(int argc, char** argv) { return hydra::cli::Main(argc, argv); }
