@@ -4,9 +4,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <limits>
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
 #include "core/generators.h"
 #include "distance/euclidean.h"
+#include "distance/simd_dispatch.h"
 #include "transform/dft.h"
 #include "transform/eapca.h"
 #include "transform/paa.h"
@@ -20,6 +25,7 @@ Dataset BenchData(size_t n, size_t len) {
   return MakeRandomWalk(n, len, rng);
 }
 
+// Dispatched path (whatever target HYDRA_SIMD / auto-detection picked).
 void BM_SquaredEuclidean(benchmark::State& state) {
   const size_t len = static_cast<size_t>(state.range(0));
   Dataset ds = BenchData(2, len);
@@ -27,8 +33,64 @@ void BM_SquaredEuclidean(benchmark::State& state) {
     benchmark::DoNotOptimize(SquaredEuclidean(ds.series(0), ds.series(1)));
   }
   state.SetItemsProcessed(state.iterations() * len);
+  state.SetLabel(SimdTargetName(ActiveSimdTarget()));
 }
 BENCHMARK(BM_SquaredEuclidean)->Arg(64)->Arg(256)->Arg(1024);
+
+// Per-target sweeps, registered at startup for every dispatch target the
+// machine supports (see main below): pinned-target point kernel and the
+// batched kernel across batch sizes.
+void BM_SquaredEuclideanTarget(benchmark::State& state, SimdTarget target) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Dataset ds = BenchData(2, len);
+  const DistanceKernels& k = KernelsFor(target);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        k.squared_euclidean(ds.series(0).data(), ds.series(1).data(), len));
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+}
+
+void BM_SquaredEuclideanBatch(benchmark::State& state, SimdTarget target) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const size_t len = 256;
+  Dataset ds = BenchData(batch + 1, len);
+  const DistanceKernels& k = KernelsFor(target);
+  std::vector<double> out(batch);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (auto _ : state) {
+    // Infinite threshold: measures raw batched throughput, no abandoning.
+    benchmark::DoNotOptimize(k.squared_euclidean_batch(
+        ds.series(batch).data(), len, ds.data(), batch, len, inf,
+        out.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * batch * len);
+}
+
+}  // namespace
+
+// Called from main, so it lives outside the anonymous namespace.
+void RegisterTargetSweeps() {
+  for (int t = 0; t < kNumSimdTargets; ++t) {
+    SimdTarget target = static_cast<SimdTarget>(t);
+    if (!SimdTargetSupported(target)) continue;
+    std::string suffix = std::string("<") + SimdTargetName(target) + ">";
+    benchmark::RegisterBenchmark(
+        ("BM_SquaredEuclidean" + suffix).c_str(),
+        [target](benchmark::State& s) { BM_SquaredEuclideanTarget(s, target); })
+        ->Arg(64)
+        ->Arg(256)
+        ->Arg(1024);
+    benchmark::RegisterBenchmark(
+        ("BM_SquaredEuclideanBatch" + suffix).c_str(),
+        [target](benchmark::State& s) { BM_SquaredEuclideanBatch(s, target); })
+        ->Arg(8)
+        ->Arg(64)
+        ->Arg(512);
+  }
+}
+
+namespace {
 
 void BM_EuclideanEarlyAbandon(benchmark::State& state) {
   const size_t len = static_cast<size_t>(state.range(0));
@@ -101,4 +163,11 @@ BENCHMARK(BM_DftTransform)->Arg(256)->Arg(1024);
 }  // namespace
 }  // namespace hydra
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  hydra::RegisterTargetSweeps();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,7 @@ namespace hydra {
 
 QueryCounters& QueryCounters::operator+=(const QueryCounters& other) {
   full_distances += other.full_distances;
+  abandoned_distances += other.abandoned_distances;
   lb_distances += other.lb_distances;
   series_accessed += other.series_accessed;
   bytes_read += other.bytes_read;

@@ -13,7 +13,8 @@ namespace hydra {
 // Counters are plain value objects owned by whoever runs a query; indexes
 // receive a pointer and bump the fields. No global mutable state.
 struct QueryCounters {
-  uint64_t full_distances = 0;     // Euclidean computations on raw series
+  uint64_t full_distances = 0;     // raw-series evaluations run to completion
+  uint64_t abandoned_distances = 0;  // raw-series evaluations abandoned early
   uint64_t lb_distances = 0;       // lower-bound computations on summaries
   uint64_t series_accessed = 0;    // raw series fetched from storage
   uint64_t bytes_read = 0;         // payload bytes fetched from storage

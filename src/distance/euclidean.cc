@@ -2,51 +2,23 @@
 
 #include <cmath>
 
+#include "distance/simd_dispatch.h"
+
 namespace hydra {
 
+// The span-based API every caller uses; bodies live in the dispatched
+// kernel tables (distance/simd_dispatch.h) so one runtime CPU-feature
+// decision covers all 13 indexes.
+
 double SquaredEuclidean(std::span<const float> a, std::span<const float> b) {
-  // Four independent accumulators let the compiler vectorize without
-  // needing -ffast-math (FP addition is not associative).
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  size_t n = a.size();
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    double d0 = static_cast<double>(a[i]) - b[i];
-    double d1 = static_cast<double>(a[i + 1]) - b[i + 1];
-    double d2 = static_cast<double>(a[i + 2]) - b[i + 2];
-    double d3 = static_cast<double>(a[i + 3]) - b[i + 3];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
-  }
-  for (; i < n; ++i) {
-    double d = static_cast<double>(a[i]) - b[i];
-    s0 += d * d;
-  }
-  return (s0 + s1) + (s2 + s3);
+  return ActiveKernels().squared_euclidean(a.data(), b.data(), a.size());
 }
 
 double SquaredEuclideanEarlyAbandon(std::span<const float> a,
                                     std::span<const float> b,
                                     double threshold) {
-  double sum = 0.0;
-  size_t n = a.size();
-  size_t i = 0;
-  // Check the abandon condition once per 16-value block: frequent checks
-  // cost more than they save on short series.
-  for (; i + 16 <= n; i += 16) {
-    for (size_t j = i; j < i + 16; ++j) {
-      double d = static_cast<double>(a[j]) - b[j];
-      sum += d * d;
-    }
-    if (sum > threshold) return sum;
-  }
-  for (; i < n; ++i) {
-    double d = static_cast<double>(a[i]) - b[i];
-    sum += d * d;
-  }
-  return sum;
+  return ActiveKernels().squared_euclidean_ea(a.data(), b.data(), a.size(),
+                                              threshold, nullptr);
 }
 
 double Euclidean(std::span<const float> a, std::span<const float> b) {

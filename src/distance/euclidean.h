@@ -10,11 +10,16 @@ namespace hydra {
 // space (avoids sqrt on the hot path) and take the root only for reported
 // distances and for the epsilon/delta arithmetic, which the paper defines
 // on true distances.
+//
+// Both entry points route through the runtime-dispatched SIMD kernel
+// subsystem (distance/simd_dispatch.h): AVX2+FMA, SSE2, or portable
+// scalar, chosen once at startup and overridable with HYDRA_SIMD.
 double SquaredEuclidean(std::span<const float> a, std::span<const float> b);
 
 // Early-abandoning variant: returns a value > threshold (not necessarily
-// the exact distance) as soon as the running sum exceeds `threshold`.
-// Used by leaf scans where bsf gives a cutoff.
+// the exact distance) as soon as the running sum exceeds `threshold`,
+// checked once per 32-value block on every dispatch target. Used by leaf
+// scans where bsf gives a cutoff.
 double SquaredEuclideanEarlyAbandon(std::span<const float> a,
                                     std::span<const float> b,
                                     double threshold);

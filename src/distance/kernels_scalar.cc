@@ -1,0 +1,108 @@
+#include "distance/kernel_tables.h"
+
+namespace hydra {
+namespace detail {
+
+// Early-abandon checks happen once per this many values on every target,
+// so abandonment decisions (and therefore counter values) agree between
+// scalar, SSE2, and AVX2 builds.
+inline constexpr size_t kAbandonBlock = 32;
+
+double ScalarSquaredEuclidean(const float* a, const float* b, size_t n) {
+  // Four independent accumulators let the compiler vectorize without
+  // needing -ffast-math (FP addition is not associative).
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    double d0 = static_cast<double>(a[i]) - b[i];
+    double d1 = static_cast<double>(a[i + 1]) - b[i + 1];
+    double d2 = static_cast<double>(a[i + 2]) - b[i + 2];
+    double d3 = static_cast<double>(a[i + 3]) - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  for (; i < n; ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    s0 += d * d;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+double ScalarSquaredEuclideanEa(const float* a, const float* b, size_t n,
+                                double threshold, bool* abandoned) {
+  double sum = 0.0;
+  size_t i = 0;
+  for (; i + kAbandonBlock <= n; i += kAbandonBlock) {
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (size_t j = i; j < i + kAbandonBlock; j += 4) {
+      double d0 = static_cast<double>(a[j]) - b[j];
+      double d1 = static_cast<double>(a[j + 1]) - b[j + 1];
+      double d2 = static_cast<double>(a[j + 2]) - b[j + 2];
+      double d3 = static_cast<double>(a[j + 3]) - b[j + 3];
+      s0 += d0 * d0;
+      s1 += d1 * d1;
+      s2 += d2 * d2;
+      s3 += d3 * d3;
+    }
+    sum += (s0 + s1) + (s2 + s3);
+    if (sum > threshold) {
+      if (abandoned != nullptr) *abandoned = true;
+      return sum;
+    }
+  }
+  for (; i < n; ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  if (abandoned != nullptr) *abandoned = false;
+  return sum;
+}
+
+size_t ScalarSquaredEuclideanBatch(const float* query, size_t n,
+                                   const float* block, size_t count,
+                                   size_t stride, double threshold,
+                                   double* out) {
+  return BatchLoop(ScalarSquaredEuclideanEa, query, n, block, count, stride,
+                   threshold, out);
+}
+
+double ScalarWeightedClampedDistSq(const double* x, const double* lo,
+                                   const double* hi, const double* w,
+                                   size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // At most one of (lo - x) and (x - hi) is positive; max against 0
+    // covers the inside-the-interval case and unbounded (+-inf) sides.
+    double below = lo[i] - x[i];
+    double above = x[i] - hi[i];
+    double d = below > above ? below : above;
+    if (d < 0.0) d = 0.0;
+    sum += w[i] * d * d;
+  }
+  return sum;
+}
+
+void ScalarLutAccumulate(const double* lut, const uint32_t* cells,
+                         size_t count, size_t stride, double* acc) {
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    acc[i] += lut[cells[i * stride]];
+    acc[i + 1] += lut[cells[(i + 1) * stride]];
+    acc[i + 2] += lut[cells[(i + 2) * stride]];
+    acc[i + 3] += lut[cells[(i + 3) * stride]];
+  }
+  for (; i < count; ++i) {
+    acc[i] += lut[cells[i * stride]];
+  }
+}
+
+const DistanceKernels kScalarKernels = {
+    ScalarSquaredEuclidean,  ScalarSquaredEuclideanEa,
+    ScalarSquaredEuclideanBatch, ScalarWeightedClampedDistSq,
+    ScalarLutAccumulate,     "scalar",
+};
+
+}  // namespace detail
+}  // namespace hydra

@@ -1,0 +1,132 @@
+#include "distance/simd_dispatch.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "distance/kernel_tables.h"
+
+namespace hydra {
+namespace {
+
+bool CpuSupports(SimdTarget target) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (target) {
+    case SimdTarget::kScalar:
+      return true;
+    case SimdTarget::kSse2:
+      return __builtin_cpu_supports("sse2");
+    case SimdTarget::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  }
+  return false;
+#else
+  return target == SimdTarget::kScalar;
+#endif
+}
+
+bool CompiledIn(SimdTarget target) {
+  switch (target) {
+    case SimdTarget::kScalar:
+      return true;
+    case SimdTarget::kSse2:
+      return detail::kSse2CompiledWithSimd;
+    case SimdTarget::kAvx2:
+      return detail::kAvx2CompiledWithSimd;
+  }
+  return false;
+}
+
+SimdTarget DetectBest() {
+  if (SimdTargetSupported(SimdTarget::kAvx2)) return SimdTarget::kAvx2;
+  if (SimdTargetSupported(SimdTarget::kSse2)) return SimdTarget::kSse2;
+  return SimdTarget::kScalar;
+}
+
+SimdTarget SelectOnce() {
+  const char* env = std::getenv("HYDRA_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    SimdTarget requested;
+    if (!ParseSimdTarget(env, &requested)) {
+      std::fprintf(stderr,
+                   "hydra: HYDRA_SIMD=%s not recognized "
+                   "(want scalar|sse2|avx2); auto-detecting\n",
+                   env);
+      return DetectBest();
+    }
+    if (!SimdTargetSupported(requested)) {
+      std::fprintf(stderr,
+                   "hydra: HYDRA_SIMD=%s unsupported on this build/CPU; "
+                   "auto-detecting\n",
+                   env);
+      return DetectBest();
+    }
+    return requested;
+  }
+  return DetectBest();
+}
+
+}  // namespace
+
+bool ParseSimdTarget(std::string_view value, SimdTarget* out) {
+  auto eq = [](std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      char c = a[i] >= 'A' && a[i] <= 'Z' ? a[i] - 'A' + 'a' : a[i];
+      if (c != b[i]) return false;
+    }
+    return true;
+  };
+  if (eq(value, "scalar")) {
+    *out = SimdTarget::kScalar;
+    return true;
+  }
+  if (eq(value, "sse2")) {
+    *out = SimdTarget::kSse2;
+    return true;
+  }
+  if (eq(value, "avx2")) {
+    *out = SimdTarget::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+bool SimdTargetSupported(SimdTarget target) {
+  return CompiledIn(target) && CpuSupports(target);
+}
+
+const DistanceKernels& KernelsFor(SimdTarget target) {
+  switch (target) {
+    case SimdTarget::kSse2:
+      return detail::kSse2Kernels;
+    case SimdTarget::kAvx2:
+      return detail::kAvx2Kernels;
+    case SimdTarget::kScalar:
+      break;
+  }
+  return detail::kScalarKernels;
+}
+
+const char* SimdTargetName(SimdTarget target) {
+  switch (target) {
+    case SimdTarget::kScalar:
+      return "scalar";
+    case SimdTarget::kSse2:
+      return "sse2";
+    case SimdTarget::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdTarget ActiveSimdTarget() {
+  static const SimdTarget target = SelectOnce();
+  return target;
+}
+
+const DistanceKernels& ActiveKernels() {
+  static const DistanceKernels& kernels = KernelsFor(ActiveSimdTarget());
+  return kernels;
+}
+
+}  // namespace hydra

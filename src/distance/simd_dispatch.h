@@ -1,0 +1,92 @@
+#ifndef HYDRA_DISTANCE_SIMD_DISPATCH_H_
+#define HYDRA_DISTANCE_SIMD_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hydra {
+
+// Instruction-set targets of the distance kernel subsystem, ordered from
+// least to most capable. The dispatcher picks the best target the build
+// *and* the running CPU both support, once, at first use.
+enum class SimdTarget : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,  // AVX2 + FMA
+};
+
+inline constexpr int kNumSimdTargets = 3;
+
+// One table of distance kernels per target. All functions share exact
+// semantics across targets up to floating-point rounding:
+//
+//  * squared_euclidean: sum over i of (a[i] - b[i])^2, accumulated in
+//    double precision (differences are formed in double, so results agree
+//    with the scalar reference to a few ULPs, not just to float epsilon).
+//
+//  * squared_euclidean_ea: early-abandoning variant. The running sum is
+//    checked against `threshold` once per 32-value block; as soon as it
+//    exceeds the threshold a partial sum (> threshold, not the exact
+//    distance) is returned. `abandoned`, when non-null, is set to whether
+//    the evaluation stopped early. Because partial sums of squares are
+//    monotone, an abandoned return value never compares <= threshold.
+//
+//  * squared_euclidean_batch: evaluates `query` against `count` candidates
+//    laid out at block + c * stride (contiguous when stride == n), each
+//    with early abandoning at the shared `threshold`, writing per-candidate
+//    results to out[0..count). Returns how many candidates ran to
+//    completion (the rest abandoned; their out[] value is > threshold).
+//
+//  * weighted_clamped_dist_sq: sum over i of w[i] * d_i^2 where d_i is the
+//    distance from x[i] to the interval [lo[i], hi[i]] (0 inside). The
+//    shared inner loop of the SAX/EAPCA-style envelope lower bounds;
+//    lo = -inf / hi = +inf encode unbounded sides.
+//
+//  * lut_accumulate: acc[i] += lut[cells[i * stride]] for i in [0, count).
+//    The asymmetric-distance trick used by the VA+file phase-1 scan: per
+//    query, per dimension, cell -> min-distance contributions are
+//    tabulated once and the scan over all series becomes table lookups.
+struct DistanceKernels {
+  double (*squared_euclidean)(const float* a, const float* b, size_t n);
+  double (*squared_euclidean_ea)(const float* a, const float* b, size_t n,
+                                 double threshold, bool* abandoned);
+  size_t (*squared_euclidean_batch)(const float* query, size_t n,
+                                    const float* block, size_t count,
+                                    size_t stride, double threshold,
+                                    double* out);
+  double (*weighted_clamped_dist_sq)(const double* x, const double* lo,
+                                     const double* hi, const double* w,
+                                     size_t n);
+  void (*lut_accumulate)(const double* lut, const uint32_t* cells,
+                         size_t count, size_t stride, double* acc);
+  const char* name;
+};
+
+// The kernel table of the dispatched target. Selected on first call from
+// the best supported target, overridable with HYDRA_SIMD=scalar|sse2|avx2
+// (an unsupported or unparsable value falls back to auto-detection with a
+// one-line warning on stderr). The reference never changes afterwards.
+const DistanceKernels& ActiveKernels();
+
+// Target the active table was selected for.
+SimdTarget ActiveSimdTarget();
+
+// True when `target` was compiled in and the running CPU can execute it.
+// kScalar is always supported.
+bool SimdTargetSupported(SimdTarget target);
+
+// Kernel table for a specific target, for tests and benchmarks. Calling
+// kernels of an unsupported target is undefined (illegal instruction);
+// check SimdTargetSupported first.
+const DistanceKernels& KernelsFor(SimdTarget target);
+
+const char* SimdTargetName(SimdTarget target);
+
+// Parses "scalar" / "sse2" / "avx2" (case-insensitive). Returns false and
+// leaves `out` untouched on anything else.
+bool ParseSimdTarget(std::string_view value, SimdTarget* out);
+
+}  // namespace hydra
+
+#endif  // HYDRA_DISTANCE_SIMD_DISPATCH_H_

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/rng.h"
-#include "distance/euclidean.h"
+#include "index/leaf_scanner.h"
 #include "index/tree_search.h"
 
 namespace hydra {
@@ -197,6 +197,7 @@ void AdsPlusIndex::ScanLeaf(int32_t id, std::span<const float> query,
   // After refinement the node may be internal: scan the (refined) leaves
   // beneath it, nearest-first is unnecessary — the caller already ordered
   // this subtree by its lower bound.
+  LeafScanner scanner(query, answers, counters);
   std::vector<int32_t> stack = {id};
   while (!stack.empty()) {
     int32_t cur = stack.back();
@@ -207,15 +208,7 @@ void AdsPlusIndex::ScanLeaf(int32_t id, std::span<const float> query,
       stack.push_back(node.right);
       continue;
     }
-    for (int64_t sid : node.series_ids) {
-      std::span<const float> s =
-          provider_->GetSeries(static_cast<uint64_t>(sid), counters);
-      if (s.empty()) continue;
-      double d2 =
-          SquaredEuclideanEarlyAbandon(query, s, answers->KthDistanceSq());
-      if (counters != nullptr) ++counters->full_distances;
-      answers->Offer(d2, sid);
-    }
+    scanner.ScanIds(provider_, node.series_ids);
   }
 }
 

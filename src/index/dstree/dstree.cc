@@ -5,7 +5,7 @@
 #include <limits>
 
 #include "common/rng.h"
-#include "distance/euclidean.h"
+#include "index/leaf_scanner.h"
 #include "index/tree_search.h"
 #include "storage/serialize.h"
 
@@ -264,15 +264,8 @@ double DSTreeIndex::MinDistSq(const QueryContext& ctx, int32_t id) const {
 void DSTreeIndex::ScanLeaf(int32_t id, std::span<const float> query,
                            AnswerSet* answers,
                            QueryCounters* counters) const {
-  for (int64_t sid : nodes_[id].series_ids) {
-    std::span<const float> s =
-        provider_->GetSeries(static_cast<uint64_t>(sid), counters);
-    if (s.empty()) continue;
-    double d2 =
-        SquaredEuclideanEarlyAbandon(query, s, answers->KthDistanceSq());
-    if (counters != nullptr) ++counters->full_distances;
-    answers->Offer(d2, sid);
-  }
+  LeafScanner scanner(query, answers, counters);
+  scanner.ScanIds(provider_, nodes_[id].series_ids);
 }
 
 DSTreeIndex::QueryContext DSTreeIndex::MakeQueryContext(

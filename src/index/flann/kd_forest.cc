@@ -5,7 +5,7 @@
 #include <numeric>
 #include <queue>
 
-#include "distance/euclidean.h"
+#include "index/leaf_scanner.h"
 
 namespace hydra {
 
@@ -94,6 +94,7 @@ void KdForest::Search(std::span<const float> query, size_t checks,
   std::priority_queue<Branch, std::vector<Branch>, std::greater<Branch>>
       branches;
   size_t visited = 0;
+  LeafScanner scanner(query, answers, counters);
 
   auto descend = [&](uint32_t t, int32_t start, double start_bound) {
     int32_t node_id = start;
@@ -108,15 +109,9 @@ void KdForest::Search(std::span<const float> query, size_t checks,
       node_id = near;
     }
     const Node& leaf = tree.nodes[node_id];
-    for (uint32_t i = leaf.begin; i < leaf.end; ++i) {
-      int64_t id = tree.ids[i];
-      double d2 = SquaredEuclideanEarlyAbandon(
-          query, data_->series(static_cast<size_t>(id)),
-          answers->KthDistanceSq());
-      if (counters != nullptr) ++counters->full_distances;
-      answers->Offer(d2, id);
-      ++visited;
-    }
+    visited += scanner.ScanIds(
+        *data_, std::span<const int64_t>(tree.ids.data() + leaf.begin,
+                                         leaf.end - leaf.begin));
     if (counters != nullptr) ++counters->leaves_visited;
   };
 

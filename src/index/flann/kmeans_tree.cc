@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "distance/euclidean.h"
+#include "index/leaf_scanner.h"
 #include "transform/kmeans.h"
 
 namespace hydra {
@@ -85,6 +86,7 @@ void KmeansTree::Search(std::span<const float> query, size_t checks,
   std::priority_queue<Branch, std::vector<Branch>, std::greater<Branch>>
       branches;
   size_t visited = 0;
+  LeafScanner scanner(query, answers, counters);
 
   auto descend = [&](int32_t start) {
     int32_t node_id = start;
@@ -105,14 +107,7 @@ void KmeansTree::Search(std::span<const float> query, size_t checks,
       node_id = best_child;
     }
     const Node& leaf = nodes_[node_id];
-    for (int64_t id : leaf.ids) {
-      double d2 = SquaredEuclideanEarlyAbandon(
-          query, data_->series(static_cast<size_t>(id)),
-          answers->KthDistanceSq());
-      if (counters != nullptr) ++counters->full_distances;
-      answers->Offer(d2, id);
-      ++visited;
-    }
+    visited += scanner.ScanIds(*data_, leaf.ids);
     if (counters != nullptr) ++counters->leaves_visited;
   };
 

@@ -4,7 +4,7 @@
 #include <limits>
 
 #include "common/rng.h"
-#include "distance/euclidean.h"
+#include "index/leaf_scanner.h"
 #include "index/tree_search.h"
 #include "storage/serialize.h"
 
@@ -178,15 +178,8 @@ double IsaxIndex::MinDistSq(const QueryContext& ctx, int32_t id) const {
 
 void IsaxIndex::ScanLeaf(int32_t id, std::span<const float> query,
                          AnswerSet* answers, QueryCounters* counters) const {
-  for (int64_t sid : nodes_[id].series_ids) {
-    std::span<const float> s =
-        provider_->GetSeries(static_cast<uint64_t>(sid), counters);
-    if (s.empty()) continue;
-    double d2 =
-        SquaredEuclideanEarlyAbandon(query, s, answers->KthDistanceSq());
-    if (counters != nullptr) ++counters->full_distances;
-    answers->Offer(d2, sid);
-  }
+  LeafScanner scanner(query, answers, counters);
+  scanner.ScanIds(provider_, nodes_[id].series_ids);
 }
 
 Result<KnnAnswer> IsaxIndex::Search(std::span<const float> query,

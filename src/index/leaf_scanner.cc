@@ -1,0 +1,83 @@
+#include "index/leaf_scanner.h"
+
+#include <algorithm>
+
+namespace hydra {
+
+void LeafScanner::Scan(std::span<const float> series, int64_t id) {
+  bool abandoned = false;
+  double d2 = kernels_.squared_euclidean_ea(query_.data(), series.data(),
+                                            query_.size(),
+                                            answers_->KthDistanceSq(),
+                                            &abandoned);
+  if (counters_ != nullptr) {
+    ++(abandoned ? counters_->abandoned_distances : counters_->full_distances);
+  }
+  answers_->Offer(d2, id);
+}
+
+bool LeafScanner::ScanFrom(SeriesProvider* provider, int64_t id) {
+  std::span<const float> s =
+      provider->GetSeries(static_cast<uint64_t>(id), counters_);
+  if (s.empty()) return false;
+  Scan(s, id);
+  return true;
+}
+
+size_t LeafScanner::ScanIds(SeriesProvider* provider,
+                            std::span<const int64_t> ids) {
+  size_t scanned = 0;
+  for (int64_t id : ids) {
+    scanned += ScanFrom(provider, id) ? 1 : 0;
+  }
+  return scanned;
+}
+
+size_t LeafScanner::ScanIds(const Dataset& data,
+                            std::span<const int64_t> ids) {
+  for (int64_t id : ids) {
+    Scan(data.series(static_cast<size_t>(id)), id);
+  }
+  return ids.size();
+}
+
+size_t LeafScanner::ScanContiguous(const float* block, size_t count,
+                                   size_t stride, int64_t first_id) {
+  if (batch_out_.size() < std::min(count, kChunk)) {
+    batch_out_.resize(std::min(count, kChunk));
+  }
+  for (size_t done = 0; done < count; done += kChunk) {
+    const size_t chunk = std::min(kChunk, count - done);
+    const double threshold = answers_->KthDistanceSq();
+    size_t completed = kernels_.squared_euclidean_batch(
+        query_.data(), query_.size(), block + done * stride, chunk, stride,
+        threshold, batch_out_.data());
+    if (counters_ != nullptr) {
+      counters_->full_distances += completed;
+      counters_->abandoned_distances += chunk - completed;
+    }
+    for (size_t c = 0; c < chunk; ++c) {
+      answers_->Offer(batch_out_[c], first_id + static_cast<int64_t>(done + c));
+    }
+  }
+  return count;
+}
+
+size_t LeafScanner::ScanRange(SeriesProvider* provider, uint64_t first,
+                              uint64_t count) {
+  const size_t len = provider->series_length();
+  size_t scanned = 0;
+  uint64_t i = first;
+  const uint64_t end = first + count;
+  while (i < end) {
+    std::span<const float> run = provider->GetSeriesRun(i, end - i, counters_);
+    if (run.empty()) break;
+    const size_t run_count = run.size() / len;
+    ScanContiguous(run.data(), run_count, len, static_cast<int64_t>(i));
+    scanned += run_count;
+    i += run_count;
+  }
+  return scanned;
+}
+
+}  // namespace hydra

@@ -1,0 +1,77 @@
+#ifndef HYDRA_INDEX_LEAF_SCANNER_H_
+#define HYDRA_INDEX_LEAF_SCANNER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/counters.h"
+#include "core/dataset.h"
+#include "distance/simd_dispatch.h"
+#include "index/answer_set.h"
+#include "storage/buffer_manager.h"
+
+namespace hydra {
+
+// The one leaf/candidate evaluation loop shared by every index: fetches
+// raw series, runs the dispatched early-abandoning distance kernel
+// against the current k-th answer, offers results to the AnswerSet, and
+// keeps the counter bookkeeping honest (completed evaluations land in
+// full_distances, abandoned ones in abandoned_distances — never both).
+//
+// Contiguously stored candidates (sequential scans, buffer-manager pages)
+// go through the SIMD batch kernel in chunks, refreshing the abandon
+// threshold between chunks. Results are identical to evaluating the
+// candidates one by one in order: a chunk only ever sees a *looser*
+// (older) threshold, so candidates it completes instead of abandoning
+// still lose to AnswerSet::Offer, and completed distances are the same
+// numbers either way.
+class LeafScanner {
+ public:
+  LeafScanner(std::span<const float> query, AnswerSet* answers,
+              QueryCounters* counters)
+      : query_(query),
+        answers_(answers),
+        counters_(counters),
+        kernels_(ActiveKernels()) {}
+
+  // Evaluates one candidate already in memory.
+  void Scan(std::span<const float> series, int64_t id);
+
+  // Fetches one id from the provider; false if the fetch failed (the
+  // candidate is skipped, nothing else changes).
+  bool ScanFrom(SeriesProvider* provider, int64_t id);
+
+  // Evaluates every id, skipping failed fetches (tree-leaf semantics).
+  // Returns the number of candidates evaluated.
+  size_t ScanIds(SeriesProvider* provider, std::span<const int64_t> ids);
+
+  // Dataset-backed variant for indexes that hold the data directly.
+  size_t ScanIds(const Dataset& data, std::span<const int64_t> ids);
+
+  // Evaluates `count` candidates laid out at block + c * stride whose ids
+  // are first_id, first_id + 1, ...; feeds the batch kernel chunk-wise.
+  // Returns `count`.
+  size_t ScanContiguous(const float* block, size_t count, size_t stride,
+                        int64_t first_id);
+
+  // Fetches maximal contiguous runs of [first, first + count) from the
+  // provider (SeriesProvider::GetSeriesRun) and batch-evaluates them.
+  // Returns the number of candidates evaluated; short when a fetch fails.
+  size_t ScanRange(SeriesProvider* provider, uint64_t first, uint64_t count);
+
+ private:
+  // Candidates per batch-kernel call; bounds threshold staleness while
+  // keeping per-call overhead negligible.
+  static constexpr size_t kChunk = 64;
+
+  std::span<const float> query_;
+  AnswerSet* answers_;
+  QueryCounters* counters_;
+  const DistanceKernels& kernels_;
+  std::vector<double> batch_out_;  // scratch reused across chunks
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_INDEX_LEAF_SCANNER_H_

@@ -5,8 +5,8 @@
 #include <limits>
 
 #include "common/rng.h"
-#include "distance/euclidean.h"
 #include "index/answer_set.h"
+#include "index/leaf_scanner.h"
 
 namespace hydra {
 
@@ -118,16 +118,13 @@ Result<KnnAnswer> QalshIndex::Search(std::span<const float> query,
   size_t probed = 0;
   double radius = options_.bucket_width * projection_scale_ * 0.5;
 
+  LeafScanner scanner(query, &answers, counters);
   auto refine = [&](int64_t id) -> Status {
     if (probed >= budget || refined[id]) return Status::OK();
     refined[id] = 1;
-    std::span<const float> s =
-        provider_->GetSeries(static_cast<uint64_t>(id), counters);
-    if (s.empty()) return Status::IoError("series fetch failed");
-    double d2 =
-        SquaredEuclideanEarlyAbandon(query, s, answers.KthDistanceSq());
-    if (counters != nullptr) ++counters->full_distances;
-    answers.Offer(d2, id);
+    if (!scanner.ScanFrom(provider_, id)) {
+      return Status::IoError("series fetch failed");
+    }
     ++probed;
     return Status::OK();
   };

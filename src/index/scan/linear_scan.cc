@@ -1,7 +1,7 @@
 #include "index/scan/linear_scan.h"
 
-#include "distance/euclidean.h"
 #include "index/answer_set.h"
+#include "index/leaf_scanner.h"
 
 namespace hydra {
 
@@ -11,13 +11,12 @@ Result<KnnAnswer> LinearScanIndex::Search(std::span<const float> query,
   if (params.k == 0) return Status::InvalidArgument("k must be > 0");
   AnswerSet answers(params.k);
   const uint64_t n = provider_->num_series();
-  for (uint64_t i = 0; i < n; ++i) {
-    std::span<const float> s = provider_->GetSeries(i, counters);
-    if (s.empty()) return Status::IoError("series fetch failed");
-    double d2 =
-        SquaredEuclideanEarlyAbandon(query, s, answers.KthDistanceSq());
-    if (counters != nullptr) ++counters->full_distances;
-    answers.Offer(d2, static_cast<int64_t>(i));
+  // The whole file is one ascending id range: the scanner pulls maximal
+  // contiguous runs (the full dataset in memory, page-sized runs from the
+  // buffer manager) and feeds the SIMD batch kernel.
+  LeafScanner scanner(query, &answers, counters);
+  if (scanner.ScanRange(provider_, 0, n) != n) {
+    return Status::IoError("series fetch failed");
   }
   return answers.Finish();
 }

@@ -6,7 +6,7 @@
 #include <numeric>
 
 #include "common/rng.h"
-#include "distance/euclidean.h"
+#include "index/leaf_scanner.h"
 #include "index/tree_search.h"
 
 namespace hydra {
@@ -172,15 +172,8 @@ double SfaIndex::MinDistSq(const QueryContext& ctx, int32_t id) const {
 
 void SfaIndex::ScanLeaf(int32_t id, std::span<const float> query,
                         AnswerSet* answers, QueryCounters* counters) const {
-  for (int64_t sid : nodes_[id].series_ids) {
-    std::span<const float> s =
-        provider_->GetSeries(static_cast<uint64_t>(sid), counters);
-    if (s.empty()) continue;
-    double d2 =
-        SquaredEuclideanEarlyAbandon(query, s, answers->KthDistanceSq());
-    if (counters != nullptr) ++counters->full_distances;
-    answers->Offer(d2, sid);
-  }
+  LeafScanner scanner(query, answers, counters);
+  scanner.ScanIds(provider_, nodes_[id].series_ids);
 }
 
 Result<KnnAnswer> SfaIndex::Search(std::span<const float> query,

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "distance/euclidean.h"
 #include "index/answer_set.h"
+#include "index/leaf_scanner.h"
 
 namespace hydra {
 
@@ -76,16 +77,13 @@ Result<KnnAnswer> SrsIndex::Search(std::span<const float> query,
   }
 
   AnswerSet answers(params.k);
+  LeafScanner scanner(query, &answers, counters);
   size_t probed = 0;
   for (const auto& [proj_sq, id] : order) {
     if (probed >= budget) break;
-    std::span<const float> s =
-        provider_->GetSeries(static_cast<uint64_t>(id), counters);
-    if (s.empty()) return Status::IoError("series fetch failed");
-    double d2 =
-        SquaredEuclideanEarlyAbandon(query, s, answers.KthDistanceSq());
-    if (counters != nullptr) ++counters->full_distances;
-    answers.Offer(d2, id);
+    if (!scanner.ScanFrom(provider_, id)) {
+      return Status::IoError("series fetch failed");
+    }
     ++probed;
 
     if (params.mode == SearchMode::kDeltaEpsilon && answers.full() &&

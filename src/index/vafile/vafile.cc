@@ -6,8 +6,9 @@
 #include <numeric>
 
 #include "common/rng.h"
-#include "distance/euclidean.h"
+#include "distance/simd_dispatch.h"
 #include "index/answer_set.h"
+#include "index/leaf_scanner.h"
 
 namespace hydra {
 
@@ -104,6 +105,33 @@ double VaFileIndex::LowerBoundSq(std::span<const double> query_features,
   return sum;
 }
 
+std::vector<double> VaFileIndex::LowerBoundsSq(
+    std::span<const double> query_features) const {
+  // Asymmetric-distance trick: tabulate cell -> min-distance once per
+  // quantized dimension for this query, then the scan over all series is
+  // pure table accumulation (dispatched, gathered under AVX2). Dimensions
+  // accumulate in the same order as LowerBoundSq, so the sums match it
+  // bit for bit.
+  const size_t qd = quantized_dims_.size();
+  std::vector<double> lut;
+  std::vector<size_t> lut_offset(qd);
+  for (size_t j = 0; j < qd; ++j) {
+    lut_offset[j] = lut.size();
+    const LloydQuantizer& q = *quantizers_[j];
+    const double qv = query_features[quantized_dims_[j]];
+    for (uint32_t cell = 0; cell < q.num_cells(); ++cell) {
+      lut.push_back(q.MinDistSqToCell(qv, cell));
+    }
+  }
+  std::vector<double> lb(num_series_, 0.0);
+  const DistanceKernels& kernels = ActiveKernels();
+  for (size_t j = 0; j < qd; ++j) {
+    kernels.lut_accumulate(lut.data() + lut_offset[j], cells_.data() + j,
+                           num_series_, qd, lb.data());
+  }
+  return lb;
+}
+
 Result<KnnAnswer> VaFileIndex::Search(std::span<const float> query,
                                       const SearchParams& params,
                                       QueryCounters* counters) const {
@@ -114,11 +142,12 @@ Result<KnnAnswer> VaFileIndex::Search(std::span<const float> query,
   std::vector<double> qf = dft_->Transform(query);
 
   // Phase 1: lower bound for every series from the approximation file.
+  std::vector<double> lb = LowerBoundsSq(qf);
   std::vector<std::pair<double, int64_t>> order(num_series_);
   for (size_t i = 0; i < num_series_; ++i) {
-    order[i] = {LowerBoundSq(qf, i), static_cast<int64_t>(i)};
-    if (counters != nullptr) ++counters->lb_distances;
+    order[i] = {lb[i], static_cast<int64_t>(i)};
   }
+  if (counters != nullptr) counters->lb_distances += num_series_;
   std::sort(order.begin(), order.end());
 
   const double one_plus_eps =
@@ -135,17 +164,14 @@ Result<KnnAnswer> VaFileIndex::Search(std::span<const float> query,
 
   // Phase 2: refine candidates in ascending lower-bound order.
   AnswerSet answers(params.k);
+  LeafScanner scanner(query, &answers, counters);
   size_t probed = 0;
   for (const auto& [lb_sq, id] : order) {
     if (probed >= probe_budget) break;
     if (lb_sq > answers.KthDistanceSq() * prune_shrink) break;
-    std::span<const float> s =
-        provider_->GetSeries(static_cast<uint64_t>(id), counters);
-    if (s.empty()) return Status::IoError("series fetch failed");
-    double d2 =
-        SquaredEuclideanEarlyAbandon(query, s, answers.KthDistanceSq());
-    if (counters != nullptr) ++counters->full_distances;
-    answers.Offer(d2, id);
+    if (!scanner.ScanFrom(provider_, id)) {
+      return Status::IoError("series fetch failed");
+    }
     ++probed;
     if (params.mode == SearchMode::kDeltaEpsilon && answers.full() &&
         answers.KthDistanceSq() <= stop_sq) {

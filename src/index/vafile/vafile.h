@@ -62,8 +62,14 @@ class VaFileIndex : public Index {
   // Introspection for tests.
   const std::vector<uint8_t>& bit_allocation() const { return bits_; }
   // Squared lower bound between a query's features and series i's cells.
+  // Reference implementation; the search path uses LowerBoundsSq, which
+  // must agree with this per series (tested in vafile_test).
   double LowerBoundSq(std::span<const double> query_features,
                       size_t i) const;
+  // Lower bounds for every series at once via per-query cell tables fed
+  // to the dispatched LUT-accumulation kernel (phase 1 of Search).
+  std::vector<double> LowerBoundsSq(
+      std::span<const double> query_features) const;
 
  private:
   VaFileIndex(SeriesProvider* provider, const VaFileOptions& options)

@@ -14,35 +14,31 @@ Result<std::unique_ptr<BufferManager>> BufferManager::Open(
       new BufferManager(std::move(reader), page_series, capacity_pages));
 }
 
-std::span<const float> BufferManager::GetSeries(uint64_t i,
-                                                QueryCounters* counters) {
-  const uint64_t len = reader_->series_length();
-  const uint64_t page_id = i / page_series_;
-  if (counters != nullptr) ++counters->series_accessed;
-
+const BufferManager::Page* BufferManager::FetchPage(uint64_t page_id,
+                                                    QueryCounters* counters) {
   auto it = map_.find(page_id);
   if (it != map_.end()) {
     ++hits_;
     lru_.splice(lru_.begin(), lru_, it->second);
-    const Page& page = *it->second;
-    return {page.data.data() + (i - page_id * page_series_) * len, len};
+    return &*it->second;
   }
 
   ++misses_;
+  const uint64_t len = reader_->series_length();
   uint64_t first = page_id * page_series_;
   uint64_t count = std::min(page_series_, reader_->num_series() - first);
   Page page;
   page.id = page_id;
   page.data.resize(count * len);
-  // A failed read returns an empty span; callers treat that as a missing
+  // A failed read returns nullptr; callers treat that as a missing
   // series (it cannot occur for indexes built over the same file).
   // The reader is charged through a scratch counter: a page fill costs
-  // bytes and (possibly) a seek, but only the one series the caller asked
-  // for counts as a logical access — prefetched page neighbors do not.
+  // bytes and (possibly) a seek, but only the series the caller asked
+  // for count as logical accesses — prefetched page neighbors do not.
   QueryCounters io;
   Status st = reader_->ReadSeries(first, count, page.data.data(),
                                   counters != nullptr ? &io : nullptr);
-  if (!st.ok()) return {};
+  if (!st.ok()) return nullptr;
   if (counters != nullptr) {
     counters->bytes_read += io.bytes_read;
     counters->random_ios += io.random_ios;
@@ -54,8 +50,34 @@ std::span<const float> BufferManager::GetSeries(uint64_t i,
     map_.erase(lru_.back().id);
     lru_.pop_back();
   }
-  const Page& stored = lru_.front();
-  return {stored.data.data() + (i - first) * len, len};
+  return &lru_.front();
+}
+
+std::span<const float> BufferManager::GetSeries(uint64_t i,
+                                                QueryCounters* counters) {
+  const uint64_t len = reader_->series_length();
+  const uint64_t page_id = i / page_series_;
+  if (counters != nullptr) ++counters->series_accessed;
+  const Page* page = FetchPage(page_id, counters);
+  if (page == nullptr) return {};
+  return {page->data.data() + (i - page_id * page_series_) * len, len};
+}
+
+std::span<const float> BufferManager::GetSeriesRun(uint64_t first,
+                                                   uint64_t max_count,
+                                                   QueryCounters* counters) {
+  const uint64_t len = reader_->series_length();
+  const uint64_t page_id = first / page_series_;
+  const uint64_t page_first = page_id * page_series_;
+  const uint64_t page_count =
+      std::min(page_series_, reader_->num_series() - page_first);
+  const uint64_t count =
+      std::min(max_count, page_first + page_count - first);
+  if (counters != nullptr) counters->series_accessed += count;
+  const Page* page = FetchPage(page_id, counters);
+  if (page == nullptr) return {};
+  return {page->data.data() + (first - page_first) * len,
+          static_cast<size_t>(count * len)};
 }
 
 void BufferManager::DropCache() {

@@ -35,6 +35,18 @@ class SeriesProvider {
   // Returns a view of series i, valid until the next Get* call.
   virtual std::span<const float> GetSeries(uint64_t i,
                                            QueryCounters* counters) = 0;
+
+  // Returns a view over as many consecutive series starting at `first` as
+  // the backing storage holds contiguously, capped at `max_count` (the
+  // span covers a whole number of series: span.size() / series_length()
+  // of them, at least 1). Lets batched scans (index/leaf_scanner.h) feed
+  // the SIMD batch kernel without copying. Default: one series.
+  virtual std::span<const float> GetSeriesRun(uint64_t first,
+                                              uint64_t max_count,
+                                              QueryCounters* counters) {
+    (void)max_count;
+    return GetSeries(first, counters);
+  }
 };
 
 class InMemoryProvider : public SeriesProvider {
@@ -47,6 +59,14 @@ class InMemoryProvider : public SeriesProvider {
                                    QueryCounters* counters) override {
     if (counters != nullptr) ++counters->series_accessed;
     return dataset_->series(i);
+  }
+  std::span<const float> GetSeriesRun(uint64_t first, uint64_t max_count,
+                                      QueryCounters* counters) override {
+    // The whole dataset is one row-major block.
+    uint64_t count = std::min<uint64_t>(max_count, dataset_->size() - first);
+    if (counters != nullptr) counters->series_accessed += count;
+    return {dataset_->data() + first * dataset_->length(),
+            static_cast<size_t>(count * dataset_->length())};
   }
 
  private:
@@ -66,6 +86,11 @@ class BufferManager : public SeriesProvider {
   }
   std::span<const float> GetSeries(uint64_t i,
                                    QueryCounters* counters) override;
+  // Runs extend to the end of the cached page holding `first` (pages store
+  // consecutive series contiguously), so sequential scans batch page by
+  // page.
+  std::span<const float> GetSeriesRun(uint64_t first, uint64_t max_count,
+                                      QueryCounters* counters) override;
 
   // Cache statistics, for tests and for the %-data-accessed measure.
   uint64_t cache_hits() const { return hits_; }
@@ -83,6 +108,9 @@ class BufferManager : public SeriesProvider {
     uint64_t id;
     std::vector<float> data;
   };
+
+  // Returns the cached (or freshly read) page, nullptr on a read failure.
+  const Page* FetchPage(uint64_t page_id, QueryCounters* counters);
 
   std::unique_ptr<SeriesFileReader> reader_;
   uint64_t page_series_;

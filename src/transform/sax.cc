@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "distance/simd_dispatch.h"
+
 namespace hydra {
 
 double InverseNormalCdf(double p) {
@@ -62,6 +64,10 @@ SaxEncoder::SaxEncoder(size_t series_length, size_t segments, size_t max_bits)
   for (size_t b = 0; b < max_bits_; ++b) {
     breakpoints_[b] = SaxBreakpoints(size_t{1} << (b + 1));
   }
+  segment_weights_.resize(paa_.segments());
+  for (size_t s = 0; s < paa_.segments(); ++s) {
+    segment_weights_[s] = static_cast<double>(paa_.SegmentLength(s));
+  }
 }
 
 std::vector<uint16_t> SaxEncoder::Encode(std::span<const float> series) const {
@@ -102,19 +108,25 @@ void SaxEncoder::SymbolRegion(uint16_t symbol, uint8_t used_bits, double* lo,
 double SaxEncoder::MinDistSqPaaToSax(std::span<const double> query_paa,
                                      std::span<const uint16_t> word,
                                      std::span<const uint8_t> bits) const {
-  double sum = 0.0;
-  for (size_t s = 0; s < query_paa.size(); ++s) {
-    double lo, hi;
-    SymbolRegion(word[s], bits[s], &lo, &hi);
-    double d = 0.0;
-    if (query_paa[s] < lo) {
-      d = lo - query_paa[s];
-    } else if (query_paa[s] > hi) {
-      d = query_paa[s] - hi;
-    }
-    sum += static_cast<double>(paa_.SegmentLength(s)) * d * d;
+  // Gather the per-segment breakpoint intervals (cheap table lookups),
+  // then hand the weighted clamped-distance sum to the dispatched SIMD
+  // kernel. Segments rarely exceed 64; spill to the heap if they do.
+  const size_t n = query_paa.size();
+  double lo_stack[64];
+  double hi_stack[64];
+  std::vector<double> spill;
+  double* lo = lo_stack;
+  double* hi = hi_stack;
+  if (n > 64) {
+    spill.resize(2 * n);
+    lo = spill.data();
+    hi = spill.data() + n;
   }
-  return sum;
+  for (size_t s = 0; s < n; ++s) {
+    SymbolRegion(word[s], bits[s], &lo[s], &hi[s]);
+  }
+  return ActiveKernels().weighted_clamped_dist_sq(
+      query_paa.data(), lo, hi, segment_weights_.data(), n);
 }
 
 }  // namespace hydra

@@ -61,6 +61,9 @@ class SaxEncoder {
   // breakpoints_[b] holds the cut points of the 2^(b+1)-symbol alphabet,
   // b in [0, max_bits).
   std::vector<std::vector<double>> breakpoints_;
+  // Per-segment PAA lengths as doubles: the weights of the MinDist sum,
+  // laid out for the dispatched clamped-distance kernel.
+  std::vector<double> segment_weights_;
 };
 
 }  // namespace hydra

@@ -159,6 +159,7 @@ TEST(Rng, ExponentialIsPositiveWithMeanNearInverseRate) {
 TEST(QueryCounters, AccumulateAddsEveryField) {
   QueryCounters a;
   a.full_distances = 1;
+  a.abandoned_distances = 8;
   a.lb_distances = 2;
   a.series_accessed = 3;
   a.bytes_read = 4;
@@ -168,6 +169,7 @@ TEST(QueryCounters, AccumulateAddsEveryField) {
   QueryCounters b = a;
   b += a;
   EXPECT_EQ(b.full_distances, 2u);
+  EXPECT_EQ(b.abandoned_distances, 16u);
   EXPECT_EQ(b.lb_distances, 4u);
   EXPECT_EQ(b.series_accessed, 6u);
   EXPECT_EQ(b.bytes_read, 8u);

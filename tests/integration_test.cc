@@ -179,8 +179,10 @@ TEST_F(IntegrationTest, CountersAreConsistentWithAnswers) {
   params.k = 1;
   QueryCounters c;
   ASSERT_TRUE(index.value()->Search(queries_.series(0), params, &c).ok());
-  // Each full distance corresponds to one raw-series access here.
-  EXPECT_EQ(c.full_distances, c.series_accessed);
+  // Each raw-series access is evaluated exactly once: either to
+  // completion (full) or until the early-abandon cutoff — never both.
+  EXPECT_EQ(c.full_distances + c.abandoned_distances, c.series_accessed);
+  EXPECT_GT(c.abandoned_distances, 0u);
   EXPECT_GT(c.lb_distances, 0u);
   EXPECT_GT(c.leaves_visited, 0u);
 }

@@ -77,6 +77,25 @@ TEST(VaFile, LowerBoundIsAdmissible) {
   }
 }
 
+TEST(VaFile, LutLowerBoundsMatchReference) {
+  // Phase 1 of Search uses the tabulated (LUT-kernel) bounds; they must
+  // equal the per-series reference implementation bit for bit, or the
+  // admissibility test above stops covering the production path.
+  Fixture f;
+  Rng rng(3);
+  Dataset queries = MakeRandomWalk(5, 64, rng);
+  DftFeatures dft(64, 16);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto qf = dft.Transform(queries.series(q));
+    std::vector<double> lut_bounds = f.index->LowerBoundsSq(qf);
+    ASSERT_EQ(lut_bounds.size(), f.data.size());
+    for (size_t i = 0; i < f.data.size(); ++i) {
+      ASSERT_EQ(lut_bounds[i], f.index->LowerBoundSq(qf, i))
+          << "query " << q << " series " << i;
+    }
+  }
+}
+
 TEST(VaFile, ExactSearchMatchesBruteForce) {
   Fixture f;
   Rng rng(3);

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Checks C++ formatting with clang-format (Google style, the style the
+# tree is written in). Exits 0 when clang-format is unavailable so CI
+# images without it do not fail spuriously.
+set -u
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping" >&2
+  exit 0
+fi
+
+files=$(git ls-files '*.cc' '*.h' '*.cpp' 2>/dev/null)
+if [ -z "$files" ]; then
+  echo "check_format: no tracked C++ files" >&2
+  exit 0
+fi
+
+status=0
+for f in $files; do
+  if ! clang-format --style=Google --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "run: clang-format --style=Google -i <file> to fix" >&2
+fi
+exit $status
