@@ -1,0 +1,96 @@
+// Thread-scaling speedup report for the query-parallel execution engine
+// (src/exec/): sweeps SearchParams::num_threads over the exact linear
+// scan — the paper's wall-clock yardstick and the workload with the most
+// exposed parallelism — and prints the harness speedup table plus its CSV
+// form. Unlike the figure benches this is a plain binary (no
+// google-benchmark fixture): the harness IS the measurement protocol.
+//
+// Knobs (environment):
+//   HYDRA_SWEEP_N        dataset size        (default 100000)
+//   HYDRA_SWEEP_LEN      series length       (default 128)
+//   HYDRA_SWEEP_QUERIES  workload size       (default 20)
+//   HYDRA_SWEEP_K        neighbors           (default 10)
+//   HYDRA_SWEEP_THREADS  comma list          (default "1,2,4,8")
+//
+// Pass/fail context for CI and the ROADMAP acceptance bar: at 8 threads
+// on >= 8 idle cores the scan speedup should exceed 3x, and the sweep
+// verifies the answers are identical to the serial run (identical_to_1t
+// column) — the engine guarantees bit-identical exact results.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "harness/experiment.h"
+#include "index/scan/linear_scan.h"
+#include "storage/buffer_manager.h"
+
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end != v && *end == '\0' && parsed > 0)
+             ? static_cast<size_t>(parsed)
+             : fallback;
+}
+
+std::vector<size_t> EnvThreadList(const char* name) {
+  std::vector<size_t> counts;
+  const char* v = std::getenv(name);
+  std::string s = v != nullptr ? v : "1,2,4,8";
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    unsigned long long parsed = std::strtoull(s.substr(pos, comma - pos).c_str(),
+                                              nullptr, 10);
+    if (parsed > 0) counts.push_back(static_cast<size_t>(parsed));
+    pos = comma + 1;
+  }
+  if (counts.empty()) counts = {1, 2, 4, 8};
+  return counts;
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = EnvSize("HYDRA_SWEEP_N", 100000);
+  const size_t len = EnvSize("HYDRA_SWEEP_LEN", 128);
+  const size_t num_queries = EnvSize("HYDRA_SWEEP_QUERIES", 20);
+  const size_t k = EnvSize("HYDRA_SWEEP_K", 10);
+  const std::vector<size_t> threads = EnvThreadList("HYDRA_SWEEP_THREADS");
+
+  std::printf("# thread scaling: exact linear scan, n=%zu len=%zu "
+              "queries=%zu k=%zu\n",
+              n, len, num_queries, k);
+
+  hydra::Rng rng(20260729);
+  hydra::Dataset data = hydra::MakeRandomWalk(n, len, rng);
+  hydra::Dataset queries = hydra::MakeNoiseQueries(data, num_queries, 0.1, rng);
+  hydra::InMemoryProvider provider(&data);
+  hydra::LinearScanIndex scan(&provider);
+
+  // The serial scan is exact, so it doubles as its own ground truth; the
+  // avg_recall column must then read 1.000 at every thread count — any
+  // other value means the parallel engine diverged from serial answers.
+  std::vector<hydra::KnnAnswer> ground_truth =
+      hydra::ExactKnnWorkload(data, queries, k);
+
+  hydra::SearchParams params;
+  params.mode = hydra::SearchMode::kExact;
+  params.k = k;
+  std::vector<hydra::ThreadSweepPoint> points =
+      hydra::RunThreadSweep(scan, queries, ground_truth, params, threads);
+
+  hydra::Table table = hydra::ThreadSweepTable(points);
+  std::printf("%s\n", table.ToAlignedText().c_str());
+  std::printf("# csv\n%s", table.ToCsv().c_str());
+  return 0;
+}

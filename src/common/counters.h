@@ -12,6 +12,15 @@ namespace hydra {
 //
 // Counters are plain value objects owned by whoever runs a query; indexes
 // receive a pointer and bump the fields. No global mutable state.
+//
+// Thread-safety contract: a QueryCounters instance must only ever be
+// written from one thread at a time — the fields are plain integers and
+// concurrent bumps lose updates. Parallel execution therefore never
+// shares an instance across workers: each worker of a fan-out
+// (exec/parallel_scanner.h) accumulates into its own local QueryCounters
+// and the coordinator folds them into the caller's with operator+= after
+// the workers have joined. Code that hands a counters pointer to another
+// thread must hand a distinct instance per thread and merge afterwards.
 struct QueryCounters {
   uint64_t full_distances = 0;     // raw-series evaluations run to completion
   uint64_t abandoned_distances = 0;  // raw-series evaluations abandoned early

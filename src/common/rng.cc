@@ -12,4 +12,14 @@ double Rng::NextExponential(double lambda) {
   return dist(engine_);
 }
 
+Rng Rng::Split(uint64_t stream) {
+  // SplitMix64 finalizer over one parent draw combined with the stream
+  // index: well-mixed 64-bit child seeds, one engine advance per call.
+  uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return Rng(z);
+}
+
 }  // namespace hydra

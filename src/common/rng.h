@@ -11,6 +11,15 @@ namespace hydra {
 // Centralizing on one engine keeps experiments reproducible: the same seed
 // yields the same dataset, index and query workload on every platform that
 // implements std::mt19937_64 (the standard fixes its output sequence).
+//
+// Thread-safety contract: an Rng instance is NOT thread-safe — every draw
+// mutates the engine state, and concurrent draws both corrupt the state
+// and destroy reproducibility (the interleaving would decide who sees
+// which value). Parallel code must give each worker its own instance,
+// derived deterministically with Split(stream): the substreams depend
+// only on the parent's state and the stream index, never on scheduling,
+// so a parallel build seeded with Split(worker) stays bit-reproducible
+// at any worker count.
 class Rng {
  public:
   explicit Rng(uint64_t seed) : engine_(seed) {}
@@ -31,6 +40,14 @@ class Rng {
 
   // Exponential with rate lambda.
   double NextExponential(double lambda);
+
+  // Deterministic substream derivation for per-worker generators: child
+  // seeds come from one draw of this engine mixed with `stream` through
+  // SplitMix64, so distinct streams are decorrelated and the mapping
+  // depends only on (parent state, stream). Call Split once per worker
+  // from the coordinating thread, BEFORE the workers start; Split itself
+  // advances this engine exactly once regardless of `stream`.
+  Rng Split(uint64_t stream);
 
   std::mt19937_64& engine() { return engine_; }
 

@@ -1,0 +1,273 @@
+#include "exec/parallel_scanner.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hydra {
+
+namespace {
+// Candidates per batch-kernel call inside a worker; bounds threshold
+// staleness exactly like LeafScanner's serial chunking does.
+constexpr size_t kBatchChunk = 64;
+}  // namespace
+
+struct ParallelLeafScanner::WorkerState {
+  explicit WorkerState(size_t k) : answers(k) {}
+  AnswerSet answers;
+  QueryCounters counters;
+  SharedBound* bound = nullptr;
+  size_t evaluated = 0;
+  std::vector<double> batch_out;  // scratch reused across chunks
+};
+
+ParallelLeafScanner::ParallelLeafScanner(std::span<const float> query,
+                                         AnswerSet* answers,
+                                         QueryCounters* counters,
+                                         size_t num_threads, ThreadPool* pool)
+    : query_(query),
+      answers_(answers),
+      counters_(counters),
+      num_threads_(num_threads == 0 ? 1 : num_threads),
+      pool_(pool),
+      serial_(query, answers, counters),
+      kernels_(ActiveKernels()) {
+  if (pool_ == nullptr && num_threads_ > 1) pool_ = &ThreadPool::Global();
+}
+
+void ParallelLeafScanner::EvaluateOne(WorkerState* ws,
+                                      std::span<const float> series,
+                                      int64_t id) const {
+  const double threshold =
+      std::min(ws->answers.KthDistanceSq(), ws->bound->Load());
+  bool abandoned = false;
+  double d2 = kernels_.squared_euclidean_ea(query_.data(), series.data(),
+                                            query_.size(), threshold,
+                                            &abandoned);
+  ++(abandoned ? ws->counters.abandoned_distances
+               : ws->counters.full_distances);
+  // Only completed, within-threshold distances may enter the local set:
+  // everything skipped is provably outside the final top-k (invariant 1).
+  if (!abandoned && d2 <= threshold) {
+    if (ws->answers.Offer(d2, id) && ws->answers.full()) {
+      ws->bound->RelaxTo(ws->answers.KthDistanceSq());
+    }
+  }
+}
+
+void ParallelLeafScanner::EvaluateBatch(WorkerState* ws, const float* block,
+                                        size_t count, size_t stride,
+                                        int64_t first_id) const {
+  if (ws->batch_out.size() < std::min(count, kBatchChunk)) {
+    ws->batch_out.resize(std::min(count, kBatchChunk));
+  }
+  for (size_t done = 0; done < count; done += kBatchChunk) {
+    const size_t chunk = std::min(kBatchChunk, count - done);
+    const double threshold =
+        std::min(ws->answers.KthDistanceSq(), ws->bound->Load());
+    size_t completed = kernels_.squared_euclidean_batch(
+        query_.data(), query_.size(), block + done * stride, chunk, stride,
+        threshold, ws->batch_out.data());
+    ws->counters.full_distances += completed;
+    ws->counters.abandoned_distances += chunk - completed;
+    bool improved = false;
+    for (size_t c = 0; c < chunk; ++c) {
+      // out values > threshold are abandoned partials or completed losers;
+      // either way they cannot be final answers and must stay out of the
+      // local set (invariant 1).
+      if (ws->batch_out[c] <= threshold) {
+        improved |= ws->answers.Offer(
+            ws->batch_out[c], first_id + static_cast<int64_t>(done + c));
+      }
+    }
+    if (improved && ws->answers.full()) {
+      ws->bound->RelaxTo(ws->answers.KthDistanceSq());
+    }
+  }
+  ws->evaluated += count;
+}
+
+size_t ParallelLeafScanner::RunSharded(
+    size_t count,
+    const std::function<void(WorkerState*, size_t, size_t)>& shard) {
+  // The shared bound starts at the caller's current k-th distance: answers
+  // accumulated by earlier leaves keep pruning inside this fan-out.
+  SharedBound bound(answers_->KthDistanceSq());
+  std::vector<WorkerState> workers;
+  workers.reserve(num_threads_);
+  for (size_t i = 0; i < num_threads_; ++i) {
+    workers.emplace_back(answers_->k());
+    workers.back().bound = &bound;
+  }
+
+  {
+    TaskGroup group(pool_);
+    for (size_t i = 1; i < num_threads_; ++i) {
+      const size_t begin = count * i / num_threads_;
+      const size_t end = count * (i + 1) / num_threads_;
+      if (begin >= end) continue;
+      group.Run([&shard, &workers, i, begin, end] {
+        shard(&workers[i], begin, end);
+      });
+    }
+    // Shard 0 runs here: the query thread is one of the num_threads.
+    shard(&workers[0], 0, count / num_threads_);
+    group.Wait();  // rethrows the first worker exception
+  }
+  MergeWorkers(&workers);
+  size_t evaluated = 0;
+  for (const WorkerState& ws : workers) evaluated += ws.evaluated;
+  return evaluated;
+}
+
+void ParallelLeafScanner::MergeWorkers(std::vector<WorkerState>* workers) {
+  std::vector<std::pair<double, int64_t>> entries;
+  for (WorkerState& ws : *workers) {
+    if (counters_ != nullptr) *counters_ += ws.counters;
+    std::vector<std::pair<double, int64_t>> taken = ws.answers.TakeEntries();
+    entries.insert(entries.end(), taken.begin(), taken.end());
+  }
+  // Offer ascending by (distance, id): on exact distance ties the smaller
+  // id wins, independent of which worker found it.
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [dist_sq, id] : entries) answers_->Offer(dist_sq, id);
+}
+
+size_t ParallelLeafScanner::ScanIds(SeriesProvider* provider,
+                                    std::span<const int64_t> ids) {
+  if (!ParallelEligible(ids.size()) || !ConcurrentReads(provider)) {
+    return serial_.ScanIds(provider, ids);
+  }
+  return RunSharded(ids.size(), [&](WorkerState* ws, size_t begin,
+                                    size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      std::span<const float> s =
+          provider->GetSeries(static_cast<uint64_t>(ids[i]), &ws->counters);
+      if (s.empty()) continue;
+      EvaluateOne(ws, s, ids[i]);
+      ++ws->evaluated;
+    }
+  });
+}
+
+size_t ParallelLeafScanner::ScanIds(const Dataset& data,
+                                    std::span<const int64_t> ids) {
+  if (!ParallelEligible(ids.size())) {
+    return serial_.ScanIds(data, ids);
+  }
+  return RunSharded(ids.size(), [&](WorkerState* ws, size_t begin,
+                                    size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      EvaluateOne(ws, data.series(static_cast<size_t>(ids[i])), ids[i]);
+      ++ws->evaluated;
+    }
+  });
+}
+
+size_t ParallelLeafScanner::ScanContiguous(const float* block, size_t count,
+                                           size_t stride, int64_t first_id) {
+  if (!ParallelEligible(count)) {
+    return serial_.ScanContiguous(block, count, stride, first_id);
+  }
+  return RunSharded(count, [&](WorkerState* ws, size_t begin, size_t end) {
+    EvaluateBatch(ws, block + begin * stride, end - begin, stride,
+                  first_id + static_cast<int64_t>(begin));
+  });
+}
+
+size_t ParallelLeafScanner::ScanRange(SeriesProvider* provider, uint64_t first,
+                                      uint64_t count) {
+  if (!ParallelEligible(count) || !ConcurrentReads(provider)) {
+    return serial_.ScanRange(provider, first, count);
+  }
+  return RunSharded(
+      static_cast<size_t>(count),
+      [&](WorkerState* ws, size_t begin, size_t end) {
+        const size_t len = provider->series_length();
+        uint64_t i = first + begin;
+        const uint64_t stop = first + end;
+        while (i < stop) {
+          std::span<const float> run =
+              provider->GetSeriesRun(i, stop - i, &ws->counters);
+          if (run.empty()) break;  // fetch failure: short count
+          const size_t run_count = run.size() / len;
+          EvaluateBatch(ws, run.data(), run_count, len,
+                        static_cast<int64_t>(i));
+          i += run_count;
+        }
+      });
+}
+
+Result<size_t> ParallelLeafScanner::RefineOrdered(
+    SeriesProvider* provider, size_t count,
+    const std::function<int64_t(size_t)>& id_at,
+    const std::function<bool(size_t)>& before,
+    const std::function<bool(size_t)>& after) {
+  if (!ParallelEligible(count) || !ConcurrentReads(provider)) {
+    size_t committed = 0;
+    for (size_t i = 0; i < count; ++i) {
+      if (!before(i)) break;
+      if (!serial_.ScanFrom(provider, id_at(i))) {
+        return Status::IoError("series fetch failed");
+      }
+      ++committed;
+      if (!after(i)) break;
+    }
+    return committed;
+  }
+
+  enum : uint8_t { kCompleted = 0, kAbandoned = 1, kFailed = 2 };
+  const size_t block = num_threads_ * kRefineGrain;
+  std::vector<double> vals(block);
+  std::vector<uint8_t> state(block);
+  size_t committed = 0;
+  for (size_t base = 0; base < count; base += block) {
+    const size_t b = std::min(block, count - base);
+    // One threshold per block, read before any commit of the block: it is
+    // the serial loop's threshold or looser, so abandons here imply serial
+    // abandons and every serial keeper completes exactly (see header).
+    const double t0 = answers_->KthDistanceSq();
+    {
+      TaskGroup group(pool_);
+      auto evaluate = [&](size_t begin, size_t end) {
+        for (size_t j = begin; j < end; ++j) {
+          std::span<const float> s = provider->GetSeries(
+              static_cast<uint64_t>(id_at(base + j)), nullptr);
+          if (s.empty()) {
+            state[j] = kFailed;
+            continue;
+          }
+          bool abandoned = false;
+          vals[j] = kernels_.squared_euclidean_ea(query_.data(), s.data(),
+                                                  query_.size(), t0,
+                                                  &abandoned);
+          state[j] = abandoned ? kAbandoned : kCompleted;
+        }
+      };
+      for (size_t w = 1; w < num_threads_; ++w) {
+        const size_t begin = b * w / num_threads_;
+        const size_t end = b * (w + 1) / num_threads_;
+        if (begin >= end) continue;
+        group.Run([&evaluate, begin, end] { evaluate(begin, end); });
+      }
+      evaluate(0, b / num_threads_);
+      group.Wait();
+    }
+    // Commit strictly in candidate order; speculative evaluations past a
+    // stop point are discarded without touching answers or counters.
+    for (size_t j = 0; j < b; ++j) {
+      if (!before(base + j)) return committed;
+      if (state[j] == kFailed) return Status::IoError("series fetch failed");
+      if (counters_ != nullptr) {
+        ++counters_->series_accessed;
+        ++(state[j] == kAbandoned ? counters_->abandoned_distances
+                                  : counters_->full_distances);
+      }
+      answers_->Offer(vals[j], id_at(base + j));
+      ++committed;
+      if (!after(base + j)) return committed;
+    }
+  }
+  return committed;
+}
+
+}  // namespace hydra

@@ -1,0 +1,150 @@
+#ifndef HYDRA_EXEC_PARALLEL_SCANNER_H_
+#define HYDRA_EXEC_PARALLEL_SCANNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/status.h"
+#include "core/dataset.h"
+#include "distance/simd_dispatch.h"
+#include "exec/shared_bound.h"
+#include "exec/thread_pool.h"
+#include "index/answer_set.h"
+#include "index/leaf_scanner.h"
+#include "storage/buffer_manager.h"
+
+namespace hydra {
+
+// Drop-in superset of LeafScanner (index/leaf_scanner.h) that fans
+// candidate id ranges out across the worker pool. Every index's leaf or
+// candidate scan routes through this class; SearchParams::num_threads
+// picks the shard count.
+//
+// Determinism contract: for a fixed num_threads the result is fully
+// deterministic, and for exact evaluation the surviving answers are
+// IDENTICAL to num_threads=1 (same ids, bit-identical distances),
+// because completed kernel evaluations do not depend on the abandon
+// threshold and every candidate the serial scan would keep is provably
+// completed and kept here too. Work is sharded by num_threads alone —
+// never by pool size or timing — so the same call gives the same answer
+// on any machine. Only the full/abandoned counter split may differ from
+// the serial scan (stale thresholds abandon later). One scoped caveat:
+// when distinct candidates tie EXACTLY (same double) at the k-th
+// boundary, the parallel merge keeps the smallest id while the serial
+// scan keeps whichever it offered first — distances returned are still
+// identical, and ties are measure-zero on continuous data.
+//
+// Parallel evaluation keeps three invariants the correctness argument
+// rests on (docs/ARCHITECTURE.md spells out the proof):
+//  1. per-worker answer sets only ever hold completed, exact distances
+//     (abandoned partial sums are discarded, never offered);
+//  2. a worker's abandon threshold is min(own k-th, shared bound), both
+//     of which upper-bound the final global k-th distance;
+//  3. per-worker counters merge into the caller's after the join, so no
+//     QueryCounters instance is ever written concurrently.
+//
+// A call returns with `answers` and `counters` fully merged; parallelism
+// never escapes the call. Calls fall back to the serial LeafScanner when
+// num_threads <= 1, the candidate count is too small to pay for the
+// fan-out, or a provider-backed scan lacks SupportsConcurrentReads().
+class ParallelLeafScanner {
+ public:
+  // `pool` defaults to ThreadPool::Global(). The calling thread runs
+  // shard 0 itself, so a query only ever blocks on num_threads-1 workers.
+  ParallelLeafScanner(std::span<const float> query, AnswerSet* answers,
+                      QueryCounters* counters, size_t num_threads,
+                      ThreadPool* pool = nullptr);
+
+  // --- serial single-candidate paths, delegated to LeafScanner ---
+  void Scan(std::span<const float> series, int64_t id) {
+    serial_.Scan(series, id);
+  }
+  bool ScanFrom(SeriesProvider* provider, int64_t id) {
+    return serial_.ScanFrom(provider, id);
+  }
+
+  // --- batched paths; parallel when eligible, else serial ---
+  size_t ScanIds(SeriesProvider* provider, std::span<const int64_t> ids);
+  size_t ScanIds(const Dataset& data, std::span<const int64_t> ids);
+  size_t ScanContiguous(const float* block, size_t count, size_t stride,
+                        int64_t first_id);
+  size_t ScanRange(SeriesProvider* provider, uint64_t first, uint64_t count);
+
+  // Ordered refinement for the candidate-list methods (VA+file, SRS):
+  // reproduces the serial loop
+  //
+  //   for i in [0, count):
+  //     if (!before(i)) stop;
+  //     evaluate id_at(i), offer to the answer set;
+  //     if (!after(i)) stop;
+  //
+  // exactly — `before`/`after` observe the answer set with candidates
+  // 0..i-1 (resp. 0..i) applied, so adaptive stopping rules (lower-bound
+  // cutoffs, chi-squared termination, delta-radius stops) decide on the
+  // same state as at num_threads=1 — while evaluating upcoming candidates
+  // speculatively in parallel blocks. Speculative evaluations past a stop
+  // point are discarded and uncounted: counters reflect committed
+  // candidates only, keeping series_accessed identical to serial.
+  // `id_at` maps a candidate position to its series id (typically a view
+  // into the caller's sorted lower-bound order — refinement usually stops
+  // after a tiny prefix, so callers should not materialize id arrays);
+  // it must be pure and safe to call from any worker. Returns the number
+  // of committed candidates, or IoError when a committed candidate's
+  // fetch failed.
+  Result<size_t> RefineOrdered(SeriesProvider* provider, size_t count,
+                               const std::function<int64_t(size_t)>& id_at,
+                               const std::function<bool(size_t)>& before,
+                               const std::function<bool(size_t)>& after);
+
+  size_t num_threads() const { return num_threads_; }
+  // The caller's counters (possibly null): for index bookkeeping that
+  // happens on the query thread around scans (e.g. ADS+ refinement).
+  QueryCounters* counters() const { return counters_; }
+
+ private:
+  // Below this many candidates a fan-out costs more than it saves.
+  static constexpr size_t kMinParallelCandidates = 64;
+  // Candidates per worker per speculative refinement block.
+  static constexpr size_t kRefineGrain = 16;
+
+  bool ParallelEligible(size_t count) const {
+    return num_threads_ > 1 && count >= kMinParallelCandidates;
+  }
+  static bool ConcurrentReads(SeriesProvider* provider) {
+    return provider != nullptr && provider->SupportsConcurrentReads();
+  }
+
+  // Shard [0, count) into num_threads_ contiguous ranges, run
+  // `shard(worker, begin, end)` with shard 0 on the calling thread, then
+  // merge every worker's answers and counters into the caller's. Returns
+  // the summed per-worker evaluated counts.
+  struct WorkerState;
+  size_t RunSharded(
+      size_t count,
+      const std::function<void(WorkerState*, size_t, size_t)>& shard);
+  void MergeWorkers(std::vector<WorkerState>* workers);
+
+  // Evaluates one in-memory candidate into a worker's local state with
+  // the bound-aware threshold (invariants 1 and 2 above).
+  void EvaluateOne(WorkerState* ws, std::span<const float> series,
+                   int64_t id) const;
+  // Batch-kernel equivalent over `count` candidates at block + c * stride
+  // with ascending ids from first_id; also advances ws->evaluated.
+  void EvaluateBatch(WorkerState* ws, const float* block, size_t count,
+                     size_t stride, int64_t first_id) const;
+
+  std::span<const float> query_;
+  AnswerSet* answers_;
+  QueryCounters* counters_;
+  size_t num_threads_;
+  ThreadPool* pool_;
+  LeafScanner serial_;
+  const DistanceKernels& kernels_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_EXEC_PARALLEL_SCANNER_H_

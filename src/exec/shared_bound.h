@@ -1,0 +1,39 @@
+#ifndef HYDRA_EXEC_SHARED_BOUND_H_
+#define HYDRA_EXEC_SHARED_BOUND_H_
+
+#include <atomic>
+#include <limits>
+
+namespace hydra {
+
+// Monotonically tightening best-so-far squared-distance bound shared by
+// the workers of one parallel scan. Every published value must be a valid
+// upper bound on the final k-th neighbor distance (each worker publishes
+// the k-th distance of its own full, exactly-evaluated answer set, which
+// can only overestimate the global k-th); the shared value is the minimum
+// of everything published, so a stale read is merely looser, never wrong.
+// That makes relaxed atomics sufficient: early abandoning stays correct
+// under any interleaving, it just bites a little later.
+class SharedBound {
+ public:
+  explicit SharedBound(
+      double initial = std::numeric_limits<double>::infinity())
+      : bound_(initial) {}
+
+  double Load() const { return bound_.load(std::memory_order_relaxed); }
+
+  // Atomically lowers the bound to `d` if `d` is tighter.
+  void RelaxTo(double d) {
+    double cur = bound_.load(std::memory_order_relaxed);
+    while (d < cur &&
+           !bound_.compare_exchange_weak(cur, d, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<double> bound_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_EXEC_SHARED_BOUND_H_

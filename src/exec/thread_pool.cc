@@ -1,0 +1,146 @@
+#include "exec/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace hydra {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = num_threads == 0 ? 1 : num_threads;
+  queues_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  size_t worker;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    worker = next_;
+    next_ = (next_ + 1) % queues_.size();
+  }
+  SubmitTo(worker, std::move(task));
+}
+
+void ThreadPool::SubmitTo(size_t worker, std::function<void()> task) {
+  Queue& q = *queues_[worker % queues_.size()];
+  // pending_ rises before the task is visible in the queue: a worker that
+  // sees pending_ > 0 with empty queues simply retries its pop, while the
+  // reverse order could pop-then-decrement a count that was never raised.
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::TryPop(size_t self) {
+  const size_t n = queues_.size();
+  for (size_t offset = 0; offset < n; ++offset) {
+    Queue& q = *queues_[(self + offset) % n];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.tasks.empty()) continue;
+    std::function<void()> task;
+    if (offset == 0) {
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+    } else {
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+    }
+    return task;
+  }
+  return {};
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  for (;;) {
+    std::function<void()> task = TryPop(self);
+    if (task) {
+      {
+        std::lock_guard<std::mutex> lock(wake_mu_);
+        --pending_;
+      }
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (pending_ > 0) continue;  // raced with a submit; retry the pop
+    if (stop_) return;           // all queues drained and shutdown begun
+    wake_cv_.wait(lock, [this] { return pending_ > 0 || stop_; });
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("HYDRA_THREADS")) {
+      char* end = nullptr;
+      long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<size_t>(hw == 0 ? 1 : hw);
+  }());
+  return pool;
+}
+
+TaskGroup::~TaskGroup() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::Run(std::function<void()> task) {
+  pool_->Submit(Wrap(std::move(task)));
+}
+
+void TaskGroup::RunOn(size_t worker, std::function<void()> task) {
+  pool_->SubmitTo(worker, Wrap(std::move(task)));
+}
+
+std::function<void()> TaskGroup::Wrap(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  return [this, task = std::move(task)] {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) cv_.notify_all();
+  };
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace hydra

@@ -1,0 +1,111 @@
+#ifndef HYDRA_EXEC_THREAD_POOL_H_
+#define HYDRA_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hydra {
+
+// Work-stealing thread pool behind every parallel query path (see
+// exec/parallel_scanner.h). One deque per worker: a worker pops its own
+// queue from the front and, when empty, steals from the back of the other
+// queues, so a queue loaded with skewed work drains across the whole pool.
+//
+// Thread safety: Submit/SubmitTo may be called from any thread, including
+// from inside a running task. The destructor drains every queued task and
+// then joins the workers; tasks submitted during shutdown still run.
+// Tasks must not block waiting for other tasks of the same pool (the pool
+// has no nesting-aware scheduler); TaskGroup callers instead run a share
+// of the work on their own thread.
+class ThreadPool {
+ public:
+  // Spawns max(1, num_threads) workers.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  // Enqueues a task on the next queue, round-robin.
+  void Submit(std::function<void()> task);
+
+  // Enqueues a task on a specific worker's queue (tests use this to force
+  // skew; the task may still be stolen by any idle worker).
+  void SubmitTo(size_t worker, std::function<void()> task);
+
+  // Process-wide pool shared by every query. Sized once, on first use, to
+  // HYDRA_THREADS if set, else std::thread::hardware_concurrency().
+  // SearchParams::num_threads shards work independently of this size, so
+  // query results never depend on how many workers exist.
+  static ThreadPool& Global();
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  // Pops own queue front, else steals another queue's back. Returns an
+  // empty function when every queue is empty.
+  std::function<void()> TryPop(size_t self);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+
+  // wake_mu_ guards stop_ and pairs with wake_cv_; pending_ counts queued
+  // tasks and is only advanced before the matching notify, so a worker
+  // that checks it under wake_mu_ cannot miss a wakeup.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;
+  size_t pending_ = 0;
+  size_t next_ = 0;
+};
+
+// Tracks a batch of tasks submitted to a pool and lets the caller block
+// until all of them finished. The first exception thrown by any task is
+// captured and rethrown from Wait() (the remaining tasks still run to
+// completion, so the pool is left clean).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  // Blocks until every task finished, like Wait(), but never throws: a
+  // captured exception that Wait() was not called for is dropped (a
+  // rethrow from a destructor would std::terminate). Call Wait() before
+  // destruction when task failures must be observed.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Run(std::function<void()> task);
+  // Skew-aware variant routed to one worker's queue (see SubmitTo).
+  void RunOn(size_t worker, std::function<void()> task);
+
+  // Blocks until every Run() task completed; rethrows the first captured
+  // exception. Safe to call repeatedly (later calls return immediately).
+  void Wait();
+
+ private:
+  std::function<void()> Wrap(std::function<void()> task);
+
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_EXEC_THREAD_POOL_H_

@@ -59,6 +59,54 @@ std::vector<RunResult> RunSweep(const Index& index, const Dataset& queries,
   return results;
 }
 
+std::vector<ThreadSweepPoint> RunThreadSweep(
+    const Index& index, const Dataset& queries,
+    const std::vector<KnnAnswer>& ground_truth, SearchParams base,
+    const std::vector<size_t>& thread_counts) {
+  base.num_threads = 1;
+  RunResult serial =
+      RunWorkload(index, queries, ground_truth, base, "threads=1");
+  const double serial_seconds = serial.timing.total_seconds;
+
+  std::vector<ThreadSweepPoint> points;
+  points.reserve(thread_counts.size());
+  for (size_t threads : thread_counts) {
+    ThreadSweepPoint point;
+    point.num_threads = threads == 0 ? 1 : threads;
+    if (point.num_threads == 1) {
+      point.result = serial;  // reuse the baseline measurement
+    } else {
+      base.num_threads = point.num_threads;
+      point.result = RunWorkload(index, queries, ground_truth, base,
+                                 "threads=" + std::to_string(threads));
+    }
+    point.speedup = point.result.timing.total_seconds > 0.0
+                        ? serial_seconds / point.result.timing.total_seconds
+                        : 0.0;
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+Table ThreadSweepTable(const std::vector<ThreadSweepPoint>& points) {
+  Table table({"method", "threads", "total_s", "avg_query_ms",
+               "queries_per_min", "speedup", "avg_recall"});
+  for (const ThreadSweepPoint& p : points) {
+    const RunResult& r = p.result;
+    const double avg_ms =
+        r.num_queries > 0
+            ? r.timing.total_seconds * 1000.0 / static_cast<double>(r.num_queries)
+            : 0.0;
+    table.AddRow({r.method, std::to_string(p.num_threads),
+                  FormatDouble(r.timing.total_seconds, 4),
+                  FormatDouble(avg_ms, 3),
+                  FormatDouble(r.timing.throughput_per_min, 1),
+                  FormatDouble(p.speedup, 2),
+                  FormatDouble(r.accuracy.avg_recall, 4)});
+  }
+  return table;
+}
+
 std::vector<SweepPoint> NgSweep(size_t k, const std::vector<size_t>& nprobes) {
   std::vector<SweepPoint> out;
   for (size_t np : nprobes) {

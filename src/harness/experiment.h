@@ -9,6 +9,7 @@
 #include "core/dataset.h"
 #include "core/metrics.h"
 #include "core/workload.h"
+#include "harness/table.h"
 #include "index/index.h"
 
 namespace hydra {
@@ -55,6 +56,30 @@ std::vector<SweepPoint> NgSweep(size_t k, const std::vector<size_t>& nprobes);
 std::vector<SweepPoint> EpsilonSweep(size_t k,
                                      const std::vector<double>& epsilons,
                                      double delta = 1.0);
+
+// Thread-scaling sweep over the query-parallel execution engine
+// (src/exec/): runs the same workload with SearchParams::num_threads set
+// to each entry of `thread_counts` and reports the speedup of each point
+// against the serial (num_threads = 1) baseline, which is measured first
+// regardless of whether 1 appears in `thread_counts`. Answers are
+// expected to be identical across points for exact search (the exec
+// layer guarantees it); accuracy columns make silent divergence visible.
+struct ThreadSweepPoint {
+  size_t num_threads = 1;
+  RunResult result;
+  double speedup = 1.0;  // serial total_seconds / this point's total_seconds
+};
+
+std::vector<ThreadSweepPoint> RunThreadSweep(
+    const Index& index, const Dataset& queries,
+    const std::vector<KnnAnswer>& ground_truth, SearchParams base,
+    const std::vector<size_t>& thread_counts);
+
+// Speedup report, one row per point. Columns (also the CSV schema, see
+// README "Running benchmarks"):
+//   method, threads, total_s, avg_query_ms, queries_per_min, speedup,
+//   avg_recall
+Table ThreadSweepTable(const std::vector<ThreadSweepPoint>& points);
 
 }  // namespace hydra
 

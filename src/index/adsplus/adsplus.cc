@@ -188,16 +188,14 @@ double AdsPlusIndex::MinDistSq(const QueryContext& ctx, int32_t id) const {
   return encoder_->MinDistSqPaaToSax(ctx.paa, n.word, n.bits);
 }
 
-void AdsPlusIndex::ScanLeaf(int32_t id, std::span<const float> query,
-                            AnswerSet* answers,
-                            QueryCounters* counters) const {
+void AdsPlusIndex::ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const {
   if (nodes_[id].series_ids.size() > options_.query_leaf_capacity) {
-    RefineSubtree(id, counters);
+    RefineSubtree(id, scanner->counters());
   }
   // After refinement the node may be internal: scan the (refined) leaves
   // beneath it, nearest-first is unnecessary — the caller already ordered
-  // this subtree by its lower bound.
-  LeafScanner scanner(query, answers, counters);
+  // this subtree by its lower bound. Refinement itself stays on the query
+  // thread; only the id scans below fan out.
   std::vector<int32_t> stack = {id};
   while (!stack.empty()) {
     int32_t cur = stack.back();
@@ -208,7 +206,7 @@ void AdsPlusIndex::ScanLeaf(int32_t id, std::span<const float> query,
       stack.push_back(node.right);
       continue;
     }
-    scanner.ScanIds(provider_, node.series_ids);
+    scanner->ScanIds(provider_, node.series_ids);
   }
 }
 

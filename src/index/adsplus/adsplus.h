@@ -15,6 +15,8 @@
 
 namespace hydra {
 
+class ParallelLeafScanner;  // exec/parallel_scanner.h
+
 // ADS+ (Zoumpatianos, Idreos & Palpanas 2016): the adaptive data series
 // index. Index construction is deliberately minimal — one summarization
 // pass builds a coarse iSAX tree with large, unrefined leaves — and the
@@ -73,8 +75,7 @@ class AdsPlusIndex : public Index {
   std::vector<int32_t> NodeChildren(int32_t id) const;
   double MinDistSq(const QueryContext& ctx, int32_t id) const;
   // Adaptive: refines the leaf to query_leaf_capacity before scanning.
-  void ScanLeaf(int32_t id, std::span<const float> query, AnswerSet* answers,
-                QueryCounters* counters) const;
+  void ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const;
 
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_leaves() const;

@@ -23,6 +23,16 @@ double AnswerSet::KthDistanceSq() const {
   return heap_.top().first;
 }
 
+std::vector<std::pair<double, int64_t>> AnswerSet::TakeEntries() {
+  std::vector<std::pair<double, int64_t>> entries;
+  entries.reserve(heap_.size());
+  while (!heap_.empty()) {
+    entries.push_back(heap_.top());
+    heap_.pop();
+  }
+  return entries;
+}
+
 KnnAnswer AnswerSet::Finish() {
   KnnAnswer ans;
   ans.ids.resize(heap_.size());

@@ -30,6 +30,11 @@ class AnswerSet {
   // true (square-rooted) space. Destroys the heap.
   KnnAnswer Finish();
 
+  // Removes and returns every (squared distance, id) entry in unspecified
+  // order, leaving the set empty. The parallel merge path
+  // (exec/parallel_scanner.h) drains per-worker sets with this.
+  std::vector<std::pair<double, int64_t>> TakeEntries();
+
  private:
   size_t k_;
   std::priority_queue<std::pair<double, int64_t>> heap_;

@@ -261,11 +261,8 @@ double DSTreeIndex::MinDistSq(const QueryContext& ctx, int32_t id) const {
   return sum;
 }
 
-void DSTreeIndex::ScanLeaf(int32_t id, std::span<const float> query,
-                           AnswerSet* answers,
-                           QueryCounters* counters) const {
-  LeafScanner scanner(query, answers, counters);
-  scanner.ScanIds(provider_, nodes_[id].series_ids);
+void DSTreeIndex::ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const {
+  scanner->ScanIds(provider_, nodes_[id].series_ids);
 }
 
 DSTreeIndex::QueryContext DSTreeIndex::MakeQueryContext(

@@ -13,6 +13,8 @@
 
 namespace hydra {
 
+class ParallelLeafScanner;  // exec/parallel_scanner.h
+
 // DSTree (Wang et al. 2013) extended with the paper's ng / ε / δ-ε
 // approximate search modes (Algorithms 1 & 2). The tree indexes EAPCA
 // summaries with per-node adaptive segmentation; raw series are fetched
@@ -81,8 +83,7 @@ class DSTreeIndex : public Index {
   bool IsLeaf(int32_t id) const { return nodes_[id].is_leaf; }
   std::vector<int32_t> NodeChildren(int32_t id) const;
   double MinDistSq(const QueryContext& ctx, int32_t id) const;
-  void ScanLeaf(int32_t id, std::span<const float> query, AnswerSet* answers,
-                QueryCounters* counters) const;
+  void ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const;
 
   // Introspection for tests and benches.
   size_t num_nodes() const { return nodes_.size(); }

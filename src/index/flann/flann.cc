@@ -71,9 +71,9 @@ Result<KnnAnswer> FlannIndex::Search(std::span<const float> query,
   checks = std::max(checks, params.k);
   AnswerSet answers(params.k);
   if (kd_ != nullptr) {
-    kd_->Search(query, checks, &answers, counters);
+    kd_->Search(query, checks, &answers, counters, params.num_threads);
   } else {
-    kmeans_->Search(query, checks, &answers, counters);
+    kmeans_->Search(query, checks, &answers, counters, params.num_threads);
   }
   return answers.Finish();
 }

@@ -5,7 +5,7 @@
 #include <numeric>
 #include <queue>
 
-#include "index/leaf_scanner.h"
+#include "exec/parallel_scanner.h"
 
 namespace hydra {
 
@@ -82,7 +82,8 @@ int32_t KdForest::BuildNode(Tree* tree, std::vector<int64_t>& ids,
 }
 
 void KdForest::Search(std::span<const float> query, size_t checks,
-                      AnswerSet* answers, QueryCounters* counters) const {
+                      AnswerSet* answers, QueryCounters* counters,
+                      size_t num_threads) const {
   // Shared branch queue across trees, prioritized by the distance of the
   // query to the unexplored half-space boundary.
   struct Branch {
@@ -94,7 +95,7 @@ void KdForest::Search(std::span<const float> query, size_t checks,
   std::priority_queue<Branch, std::vector<Branch>, std::greater<Branch>>
       branches;
   size_t visited = 0;
-  LeafScanner scanner(query, answers, counters);
+  ParallelLeafScanner scanner(query, answers, counters, num_threads);
 
   auto descend = [&](uint32_t t, int32_t start, double start_bound) {
     int32_t node_id = start;

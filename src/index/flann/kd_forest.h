@@ -30,8 +30,11 @@ class KdForest {
   KdForest(const Dataset& data, const KdForestOptions& options);
 
   // Adds the best candidates found within `checks` visited points.
+  // Leaf scans shard across num_threads workers (exec/parallel_scanner.h);
+  // 1 = serial.
   void Search(std::span<const float> query, size_t checks,
-              AnswerSet* answers, QueryCounters* counters) const;
+              AnswerSet* answers, QueryCounters* counters,
+              size_t num_threads = 1) const;
 
   size_t MemoryBytes() const;
   size_t num_trees() const { return trees_.size(); }

@@ -5,7 +5,7 @@
 #include <queue>
 
 #include "distance/euclidean.h"
-#include "index/leaf_scanner.h"
+#include "exec/parallel_scanner.h"
 #include "transform/kmeans.h"
 
 namespace hydra {
@@ -77,7 +77,8 @@ int32_t KmeansTree::BuildNode(std::vector<int64_t> ids, Rng& rng) {
 }
 
 void KmeansTree::Search(std::span<const float> query, size_t checks,
-                        AnswerSet* answers, QueryCounters* counters) const {
+                        AnswerSet* answers, QueryCounters* counters,
+                        size_t num_threads) const {
   struct Branch {
     double dist;
     int32_t node;
@@ -86,7 +87,7 @@ void KmeansTree::Search(std::span<const float> query, size_t checks,
   std::priority_queue<Branch, std::vector<Branch>, std::greater<Branch>>
       branches;
   size_t visited = 0;
-  LeafScanner scanner(query, answers, counters);
+  ParallelLeafScanner scanner(query, answers, counters, num_threads);
 
   auto descend = [&](int32_t start) {
     int32_t node_id = start;

@@ -28,8 +28,11 @@ class KmeansTree {
  public:
   KmeansTree(const Dataset& data, const KmeansTreeOptions& options);
 
+  // Leaf scans shard across num_threads workers (exec/parallel_scanner.h);
+  // 1 = serial.
   void Search(std::span<const float> query, size_t checks,
-              AnswerSet* answers, QueryCounters* counters) const;
+              AnswerSet* answers, QueryCounters* counters,
+              size_t num_threads = 1) const;
 
   size_t MemoryBytes() const;
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/counters.h"
+#include "exec/parallel_scanner.h"
 #include "index/answer_set.h"
 #include "index/index.h"
 
@@ -106,8 +107,11 @@ class IncrementalKnnStream {
   void ScanLeaf(decltype(Entry{}.node) node) {
     // Collect the leaf's series as object entries via a throwaway
     // AnswerSet sized to the leaf (ScanLeaf's interface is heap-based).
+    // Incremental streams hand out one neighbor at a time, so leaf scans
+    // stay serial (num_threads = 1).
     AnswerSet scratch(std::numeric_limits<size_t>::max() / 2);
-    tree_.ScanLeaf(node, query_, &scratch, counters_);
+    ParallelLeafScanner scratch_scanner(query_, &scratch, counters_, 1);
+    tree_.ScanLeaf(node, &scratch_scanner);
     if (counters_ != nullptr) ++counters_->leaves_visited;
     KnnAnswer all = scratch.Finish();
     for (size_t i = 0; i < all.size(); ++i) {

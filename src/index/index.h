@@ -35,6 +35,14 @@ struct SearchParams {
   // delta the success probability of the guarantee).
   double epsilon = 0.0;
   double delta = 1.0;
+  // Intra-query parallelism: leaf/candidate scans shard across up to this
+  // many workers of the process-wide pool (src/exec/). 1 = fully serial,
+  // preserving the pre-exec behavior bit for bit. Results are a function
+  // of num_threads alone — never of pool size or scheduling — and exact
+  // search returns answers identical to num_threads = 1, up to id choice
+  // on exact distance ties at the k-th boundary (the counter
+  // full/abandoned split may also shift; see exec/parallel_scanner.h).
+  size_t num_threads = 1;
 };
 
 // Capability flags for the taxonomy table (paper Table 1 / Fig. 1).

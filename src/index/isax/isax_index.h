@@ -15,6 +15,8 @@
 
 namespace hydra {
 
+class ParallelLeafScanner;  // exec/parallel_scanner.h
+
 // iSAX2+ (Camerra et al. 2014) extended with the paper's ng / ε / δ-ε
 // search modes. Series are encoded once at full cardinality (bulk
 // loading); the tree grows by binary splits that promote the cardinality
@@ -78,8 +80,7 @@ class IsaxIndex : public Index {
   bool IsLeaf(int32_t id) const { return nodes_[id].is_leaf; }
   std::vector<int32_t> NodeChildren(int32_t id) const;
   double MinDistSq(const QueryContext& ctx, int32_t id) const;
-  void ScanLeaf(int32_t id, std::span<const float> query, AnswerSet* answers,
-                QueryCounters* counters) const;
+  void ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const;
 
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_leaves() const;

@@ -6,7 +6,7 @@
 
 #include "common/rng.h"
 #include "index/answer_set.h"
-#include "index/leaf_scanner.h"
+#include "exec/parallel_scanner.h"
 
 namespace hydra {
 
@@ -118,13 +118,18 @@ Result<KnnAnswer> QalshIndex::Search(std::span<const float> query,
   size_t probed = 0;
   double radius = options_.bucket_width * projection_scale_ * 0.5;
 
-  LeafScanner scanner(query, &answers, counters);
+  // Candidates are *collected* during the collision sweeps (which is what
+  // decides the refined set and charges the budget, exactly as a serial
+  // refine-on-the-spot would) and *evaluated* as one batch per round,
+  // which the scanner fans across workers. Distances never influence the
+  // sweeps, only the per-round δ-ε termination check below, so answers
+  // are identical to num_threads = 1.
+  ParallelLeafScanner scanner(query, &answers, counters, params.num_threads);
+  std::vector<int64_t> round_ids;
   auto refine = [&](int64_t id) -> Status {
     if (probed >= budget || refined[id]) return Status::OK();
     refined[id] = 1;
-    if (!scanner.ScanFrom(provider_, id)) {
-      return Status::IoError("series fetch failed");
-    }
+    round_ids.push_back(id);
     ++probed;
     return Status::OK();
   };
@@ -156,6 +161,14 @@ Result<KnnAnswer> QalshIndex::Search(std::span<const float> query,
         }
         --cur.left;
       }
+    }
+    // Evaluate the round's collected candidates before the termination
+    // check below reads the updated best-so-far.
+    if (!round_ids.empty()) {
+      if (scanner.ScanIds(provider_, round_ids) != round_ids.size()) {
+        return Status::IoError("series fetch failed");
+      }
+      round_ids.clear();
     }
     // δ-ε termination: the bsf already beats what a larger radius could
     // guarantee to improve by more than the (1+ε) factor.

@@ -1,7 +1,7 @@
 #include "index/scan/linear_scan.h"
 
+#include "exec/parallel_scanner.h"
 #include "index/answer_set.h"
-#include "index/leaf_scanner.h"
 
 namespace hydra {
 
@@ -11,10 +11,12 @@ Result<KnnAnswer> LinearScanIndex::Search(std::span<const float> query,
   if (params.k == 0) return Status::InvalidArgument("k must be > 0");
   AnswerSet answers(params.k);
   const uint64_t n = provider_->num_series();
-  // The whole file is one ascending id range: the scanner pulls maximal
-  // contiguous runs (the full dataset in memory, page-sized runs from the
-  // buffer manager) and feeds the SIMD batch kernel.
-  LeafScanner scanner(query, &answers, counters);
+  // The whole file is one ascending id range: each worker pulls maximal
+  // contiguous runs of its shard (the full dataset in memory, page-sized
+  // runs from the buffer manager) and feeds the SIMD batch kernel. This
+  // is the partition-parallel scaling primitive — with num_threads = 1 it
+  // is exactly the serial batched scan.
+  ParallelLeafScanner scanner(query, &answers, counters, params.num_threads);
   if (scanner.ScanRange(provider_, 0, n) != n) {
     return Status::IoError("series fetch failed");
   }

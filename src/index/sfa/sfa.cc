@@ -170,10 +170,8 @@ double SfaIndex::MinDistSq(const QueryContext& ctx, int32_t id) const {
   return sum;
 }
 
-void SfaIndex::ScanLeaf(int32_t id, std::span<const float> query,
-                        AnswerSet* answers, QueryCounters* counters) const {
-  LeafScanner scanner(query, answers, counters);
-  scanner.ScanIds(provider_, nodes_[id].series_ids);
+void SfaIndex::ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const {
+  scanner->ScanIds(provider_, nodes_[id].series_ids);
 }
 
 Result<KnnAnswer> SfaIndex::Search(std::span<const float> query,

@@ -13,6 +13,8 @@
 
 namespace hydra {
 
+class ParallelLeafScanner;  // exec/parallel_scanner.h
+
 // SFA trie (Schäfer & Högqvist 2012): the Symbolic Fourier Approximation
 // index, listed in the paper's taxonomy alongside the SAX-family methods.
 // Series are represented by the first DFT coefficients, quantized with
@@ -72,8 +74,7 @@ class SfaIndex : public Index {
     return nodes_[id].children;
   }
   double MinDistSq(const QueryContext& ctx, int32_t id) const;
-  void ScanLeaf(int32_t id, std::span<const float> query, AnswerSet* answers,
-                QueryCounters* counters) const;
+  void ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const;
 
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_leaves() const;

@@ -6,7 +6,7 @@
 #include "common/rng.h"
 #include "distance/euclidean.h"
 #include "index/answer_set.h"
-#include "index/leaf_scanner.h"
+#include "exec/parallel_scanner.h"
 
 namespace hydra {
 
@@ -76,29 +76,36 @@ Result<KnnAnswer> SrsIndex::Search(std::span<const float> query,
     budget = std::max<size_t>(params.k, params.nprobe);
   }
 
+  // Refine in ascending projected-distance order. Commits (and the χ²
+  // termination rule below) run in exactly the serial order while the
+  // next block of candidates is evaluated speculatively in parallel, so
+  // answers match num_threads = 1.
   AnswerSet answers(params.k);
-  LeafScanner scanner(query, &answers, counters);
-  size_t probed = 0;
-  for (const auto& [proj_sq, id] : order) {
-    if (probed >= budget) break;
-    if (!scanner.ScanFrom(provider_, id)) {
-      return Status::IoError("series fetch failed");
-    }
-    ++probed;
-
-    if (params.mode == SearchMode::kDeltaEpsilon && answers.full() &&
-        confidence < 1.0) {
-      // Early termination: a point with true distance r = bsf/(1+ε) has
-      // projected squared distance r²·χ²_m; if
-      // P[χ²_m <= proj_sq / r²] >= δ, unseen points (all with projected
-      // distance >= proj_sq) beat r with probability <= 1 − δ.
-      double r_sq = answers.KthDistanceSq() / (one_plus_eps * one_plus_eps);
-      if (r_sq > 0.0) {
-        double p = ChiSquaredCdf(proj_sq / r_sq, static_cast<double>(m));
-        if (p >= confidence) break;
-      }
-    }
-  }
+  ParallelLeafScanner scanner(query, &answers, counters, params.num_threads);
+  Result<size_t> probed = scanner.RefineOrdered(
+      provider_, order.size(),
+      /*id_at=*/[&](size_t i) { return order[i].second; },
+      /*before=*/[&](size_t i) { return i < budget; },
+      /*after=*/
+      [&](size_t i) {
+        if (params.mode == SearchMode::kDeltaEpsilon && answers.full() &&
+            confidence < 1.0) {
+          // Early termination: a point with true distance r = bsf/(1+ε)
+          // has projected squared distance r²·χ²_m; if
+          // P[χ²_m <= proj_sq / r²] >= δ, unseen points (all with
+          // projected distance >= proj_sq) beat r with probability
+          // <= 1 − δ.
+          double r_sq =
+              answers.KthDistanceSq() / (one_plus_eps * one_plus_eps);
+          if (r_sq > 0.0) {
+            double p =
+                ChiSquaredCdf(order[i].first / r_sq, static_cast<double>(m));
+            if (p >= confidence) return false;
+          }
+        }
+        return true;
+      });
+  HYDRA_RETURN_IF_ERROR(probed.status());
   return answers.Finish();
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/counters.h"
+#include "exec/parallel_scanner.h"
 #include "index/answer_set.h"
 #include "index/index.h"
 
@@ -26,8 +27,13 @@ namespace hydra {
 //   bool IsLeaf(NodeId) const;
 //   std::vector<NodeId> NodeChildren(NodeId) const;
 //   double MinDistSq(const Ctx&, NodeId) const;       // admissible LB²
-//   void ScanLeaf(NodeId, std::span<const float> query, AnswerSet*,
-//                 QueryCounters*) const;
+//   void ScanLeaf(NodeId, ParallelLeafScanner*) const;
+//
+// ScanLeaf receives the query-lifetime scanner (bound to the query, the
+// answer set and the counters) and feeds it the leaf's candidate ids; the
+// scanner fans them across workers when SearchParams::num_threads > 1 and
+// merges before returning, so the best-first loop always observes an
+// up-to-date k-th distance between leaves.
 //
 // `Ctx` is whatever per-query precomputation the index needs (query PAA,
 // prefix sums, ...), built by the caller.
@@ -57,6 +63,7 @@ KnnAnswer TreeKnnSearch(const Tree& tree, const Ctx& ctx,
       ng ? (params.nprobe == 0 ? 1 : params.nprobe)
          : std::numeric_limits<size_t>::max();
 
+  ParallelLeafScanner scanner(query, &answers, counters, params.num_threads);
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pqueue;
   for (NodeId root : tree.SearchRoots()) {
     double lb = tree.MinDistSq(ctx, root);
@@ -88,7 +95,7 @@ KnnAnswer TreeKnnSearch(const Tree& tree, const Ctx& ctx,
       node = best_child;
     }
     if (tree.IsLeaf(node)) {
-      tree.ScanLeaf(node, query, &answers, counters);
+      tree.ScanLeaf(node, &scanner);
       if (counters != nullptr) ++counters->leaves_visited;
       ++leaves_visited;
       descent_leaf = node;
@@ -106,7 +113,7 @@ KnnAnswer TreeKnnSearch(const Tree& tree, const Ctx& ctx,
     // internal node since, and re-expanding it would rescan its series.
     if (top.node == descent_leaf) continue;
     if (tree.IsLeaf(top.node)) {
-      tree.ScanLeaf(top.node, query, &answers, counters);
+      tree.ScanLeaf(top.node, &scanner);
       if (counters != nullptr) ++counters->leaves_visited;
       ++leaves_visited;
       // Algorithm 2 line 16: the δ-radius stopping condition.
@@ -154,8 +161,11 @@ KnnAnswer TreeRangeSearch(const Tree& tree, const Ctx& ctx,
   // optimal: every surviving node must be visited anyway.
   std::vector<NodeId> stack = tree.SearchRoots();
   // An unbounded AnswerSet collects every member; the radius filter is
-  // applied when the set is finished.
+  // applied when the set is finished. The scanner stays serial: with an
+  // effectively unbounded k the k-th-distance bound never tightens, so a
+  // fan-out would only pay merge costs.
   AnswerSet collector(std::numeric_limits<size_t>::max() / 2);
+  ParallelLeafScanner scanner(query, &collector, counters, 1);
   while (!stack.empty()) {
     NodeId node = stack.back();
     stack.pop_back();
@@ -163,7 +173,7 @@ KnnAnswer TreeRangeSearch(const Tree& tree, const Ctx& ctx,
     if (counters != nullptr) ++counters->lb_distances;
     if (lb > prune_sq) continue;
     if (tree.IsLeaf(node)) {
-      tree.ScanLeaf(node, query, &collector, counters);
+      tree.ScanLeaf(node, &scanner);
       if (counters != nullptr) ++counters->leaves_visited;
     } else {
       for (NodeId child : tree.NodeChildren(node)) stack.push_back(child);

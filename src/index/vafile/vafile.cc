@@ -8,7 +8,7 @@
 #include "common/rng.h"
 #include "distance/simd_dispatch.h"
 #include "index/answer_set.h"
-#include "index/leaf_scanner.h"
+#include "exec/parallel_scanner.h"
 
 namespace hydra {
 
@@ -162,22 +162,26 @@ Result<KnnAnswer> VaFileIndex::Search(std::span<const float> query,
                                   ? std::max<size_t>(params.nprobe, params.k)
                                   : std::numeric_limits<size_t>::max();
 
-  // Phase 2: refine candidates in ascending lower-bound order.
+  // Phase 2: refine candidates in ascending lower-bound order. The
+  // ordered refiner evaluates upcoming candidates speculatively across
+  // workers while committing — and deciding the cutoffs below — in
+  // exactly the serial order, so answers match num_threads = 1.
   AnswerSet answers(params.k);
-  LeafScanner scanner(query, &answers, counters);
-  size_t probed = 0;
-  for (const auto& [lb_sq, id] : order) {
-    if (probed >= probe_budget) break;
-    if (lb_sq > answers.KthDistanceSq() * prune_shrink) break;
-    if (!scanner.ScanFrom(provider_, id)) {
-      return Status::IoError("series fetch failed");
-    }
-    ++probed;
-    if (params.mode == SearchMode::kDeltaEpsilon && answers.full() &&
-        answers.KthDistanceSq() <= stop_sq) {
-      break;
-    }
-  }
+  ParallelLeafScanner scanner(query, &answers, counters, params.num_threads);
+  Result<size_t> probed = scanner.RefineOrdered(
+      provider_, order.size(),
+      /*id_at=*/[&](size_t i) { return order[i].second; },
+      /*before=*/
+      [&](size_t i) {
+        if (i >= probe_budget) return false;  // i == candidates committed
+        return order[i].first <= answers.KthDistanceSq() * prune_shrink;
+      },
+      /*after=*/
+      [&](size_t) {
+        return !(params.mode == SearchMode::kDeltaEpsilon && answers.full() &&
+                 answers.KthDistanceSq() <= stop_sq);
+      });
+  HYDRA_RETURN_IF_ERROR(probed.status());
   return answers.Finish();
 }
 

@@ -47,6 +47,15 @@ class SeriesProvider {
     (void)max_count;
     return GetSeries(first, counters);
   }
+
+  // True when Get* may be called from several threads at once AND the
+  // returned spans stay valid across other threads' calls (not just until
+  // the caller's next call). Parallel scans (exec/parallel_scanner.h)
+  // require this; providers that answer false are scanned serially even
+  // when SearchParams::num_threads > 1. The LRU BufferManager answers
+  // false: eviction invalidates outstanding spans, so making it
+  // concurrent needs page pinning (see ROADMAP).
+  virtual bool SupportsConcurrentReads() const { return false; }
 };
 
 class InMemoryProvider : public SeriesProvider {
@@ -68,6 +77,9 @@ class InMemoryProvider : public SeriesProvider {
     return {dataset_->data() + first * dataset_->length(),
             static_cast<size_t>(count * dataset_->length())};
   }
+  // Reads are plain dataset views with no shared scratch; spans stay
+  // valid for the dataset's lifetime.
+  bool SupportsConcurrentReads() const override { return true; }
 
  private:
   const Dataset* dataset_;

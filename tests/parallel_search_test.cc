@@ -1,0 +1,294 @@
+// Determinism contract of the query-parallel execution engine: for every
+// rewired index, num_threads > 1 must return an answer set identical to
+// num_threads = 1 — same ids, bit-identical distances — and exact search
+// must stay exact at every thread count. Work is sharded by num_threads
+// alone, so these assertions hold on any machine and any pool size.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "exec/parallel_scanner.h"
+#include "index/adsplus/adsplus.h"
+#include "index/answer_set.h"
+#include "index/dstree/dstree.h"
+#include "index/flann/flann.h"
+#include "index/isax/isax_index.h"
+#include "index/qalsh/qalsh.h"
+#include "index/scan/linear_scan.h"
+#include "index/sfa/sfa.h"
+#include "index/srs/srs.h"
+#include "index/vafile/vafile.h"
+#include "storage/buffer_manager.h"
+#include "transform/znorm.h"
+
+namespace hydra {
+namespace {
+
+constexpr size_t kThreadCounts[] = {2, 4, 8};
+
+struct Workload {
+  Dataset data;
+  Dataset queries;
+  InMemoryProvider provider;
+
+  explicit Workload(size_t n = 3000, size_t len = 64, size_t num_queries = 6)
+      : data([&] {
+          Rng rng(7);
+          Dataset ds = MakeRandomWalk(n, len, rng);
+          ZNormalizeDataset(ds);
+          return ds;
+        }()),
+        queries([&] {
+          Rng rng(1234);
+          return MakeNoiseQueries(data, num_queries, 0.15, rng);
+        }()),
+        provider(&data) {}
+};
+
+KnnAnswer Search(const Index& index, std::span<const float> query,
+                 SearchParams params, size_t num_threads) {
+  params.num_threads = num_threads;
+  QueryCounters counters;
+  Result<KnnAnswer> ans = index.Search(query, params, &counters);
+  EXPECT_TRUE(ans.ok()) << index.name() << ": " << ans.status().ToString();
+  return ans.ok() ? std::move(ans).value() : KnnAnswer{};
+}
+
+// Same ids AND bit-identical distances.
+void ExpectIdentical(const KnnAnswer& serial, const KnnAnswer& parallel,
+                     const std::string& label) {
+  ASSERT_EQ(serial.size(), parallel.size()) << label;
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial.ids[i], parallel.ids[i]) << label << " rank " << i;
+    EXPECT_EQ(serial.distances[i], parallel.distances[i])
+        << label << " rank " << i;
+  }
+}
+
+// Runs the index over the workload at every thread count and asserts the
+// answers match the serial ones; optionally also against ground truth.
+void CheckDeterminism(const Index& index, const Workload& w,
+                      const SearchParams& params,
+                      const std::vector<KnnAnswer>* ground_truth = nullptr) {
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    KnnAnswer serial = Search(index, w.queries.series(q), params, 1);
+    if (ground_truth != nullptr) {
+      ExpectIdentical((*ground_truth)[q], serial,
+                      index.name() + " serial vs ground truth, query " +
+                          std::to_string(q));
+    }
+    for (size_t threads : kThreadCounts) {
+      KnnAnswer parallel = Search(index, w.queries.series(q), params, threads);
+      ExpectIdentical(serial, parallel,
+                      index.name() + " threads=" + std::to_string(threads) +
+                          ", query " + std::to_string(q));
+    }
+  }
+}
+
+SearchParams Exact(size_t k = 10) {
+  SearchParams p;
+  p.mode = SearchMode::kExact;
+  p.k = k;
+  return p;
+}
+
+SearchParams Ng(size_t k, size_t nprobe) {
+  SearchParams p;
+  p.mode = SearchMode::kNgApproximate;
+  p.k = k;
+  p.nprobe = nprobe;
+  return p;
+}
+
+SearchParams DeltaEps(size_t k, double eps, double delta) {
+  SearchParams p;
+  p.mode = SearchMode::kDeltaEpsilon;
+  p.k = k;
+  p.epsilon = eps;
+  p.delta = delta;
+  return p;
+}
+
+TEST(ParallelSearch, LinearScanExactAcrossThreadCounts) {
+  Workload w;
+  std::vector<KnnAnswer> gt = ExactKnnWorkload(w.data, w.queries, 10);
+  LinearScanIndex index(&w.provider);
+  CheckDeterminism(index, w, Exact(10), &gt);
+}
+
+TEST(ParallelSearch, IsaxExactAndNg) {
+  Workload w;
+  std::vector<KnnAnswer> gt = ExactKnnWorkload(w.data, w.queries, 10);
+  IsaxOptions opts;
+  opts.leaf_capacity = 256;  // leaves big enough to shard
+  opts.histogram_pairs = 2000;
+  auto index = IsaxIndex::Build(w.data, &w.provider, opts);
+  ASSERT_TRUE(index.ok());
+  CheckDeterminism(*index.value(), w, Exact(10), &gt);
+  CheckDeterminism(*index.value(), w, Ng(10, 4));
+}
+
+TEST(ParallelSearch, DstreeExact) {
+  Workload w;
+  std::vector<KnnAnswer> gt = ExactKnnWorkload(w.data, w.queries, 10);
+  DSTreeOptions opts;
+  opts.leaf_capacity = 256;
+  opts.histogram_pairs = 2000;
+  auto index = DSTreeIndex::Build(w.data, &w.provider, opts);
+  ASSERT_TRUE(index.ok());
+  CheckDeterminism(*index.value(), w, Exact(10), &gt);
+}
+
+TEST(ParallelSearch, AdsPlusExactAtEveryThreadCount) {
+  Workload w;
+  std::vector<KnnAnswer> gt = ExactKnnWorkload(w.data, w.queries, 10);
+  // ADS+ refines itself adaptively during queries, so consecutive runs
+  // see different tree states; exactness against ground truth at every
+  // thread count is the determinism statement that stays well-defined.
+  AdsPlusOptions opts;
+  opts.query_leaf_capacity = 256;
+  opts.histogram_pairs = 2000;
+  auto index = AdsPlusIndex::Build(w.data, &w.provider, opts);
+  ASSERT_TRUE(index.ok());
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      KnnAnswer ans = Search(*index.value(), w.queries.series(q), Exact(10), threads);
+      ExpectIdentical(gt[q], ans,
+                      "adsplus threads=" + std::to_string(threads) +
+                          ", query " + std::to_string(q));
+    }
+  }
+}
+
+TEST(ParallelSearch, SfaExact) {
+  Workload w;
+  std::vector<KnnAnswer> gt = ExactKnnWorkload(w.data, w.queries, 10);
+  SfaOptions opts;
+  opts.leaf_capacity = 256;
+  opts.histogram_pairs = 2000;
+  auto index = SfaIndex::Build(w.data, &w.provider, opts);
+  ASSERT_TRUE(index.ok());
+  CheckDeterminism(*index.value(), w, Exact(10), &gt);
+}
+
+TEST(ParallelSearch, VafileExactNgAndDeltaEps) {
+  Workload w;
+  std::vector<KnnAnswer> gt = ExactKnnWorkload(w.data, w.queries, 10);
+  VaFileOptions opts;
+  opts.histogram_pairs = 2000;
+  auto index = VaFileIndex::Build(w.data, &w.provider, opts);
+  ASSERT_TRUE(index.ok());
+  CheckDeterminism(*index.value(), w, Exact(10), &gt);
+  CheckDeterminism(*index.value(), w, Ng(10, 200));
+  CheckDeterminism(*index.value(), w, DeltaEps(10, 1.0, 0.95));
+}
+
+TEST(ParallelSearch, SrsNgAndDeltaEps) {
+  Workload w;
+  SrsOptions opts;
+  auto index = SrsIndex::Build(w.data, &w.provider, opts);
+  ASSERT_TRUE(index.ok());
+  CheckDeterminism(*index.value(), w, Ng(10, 300));
+  CheckDeterminism(*index.value(), w, DeltaEps(10, 1.0, 0.9));
+}
+
+TEST(ParallelSearch, QalshNgAndDeltaEps) {
+  Workload w;
+  QalshOptions opts;
+  auto index = QalshIndex::Build(w.data, &w.provider, opts);
+  ASSERT_TRUE(index.ok());
+  CheckDeterminism(*index.value(), w, Ng(10, 300));
+  CheckDeterminism(*index.value(), w, DeltaEps(10, 1.0, 0.9));
+}
+
+TEST(ParallelSearch, FlannKdForestNg) {
+  Workload w;
+  FlannOptions opts;
+  opts.algorithm = FlannOptions::Algorithm::kKdForest;
+  opts.kd.leaf_size = 128;  // leaves big enough to shard
+  auto index = FlannIndex::Build(w.data, opts);
+  ASSERT_TRUE(index.ok());
+  CheckDeterminism(*index.value(), w, Ng(10, 512));
+}
+
+TEST(ParallelSearch, FlannKmeansTreeNg) {
+  Workload w;
+  FlannOptions opts;
+  opts.algorithm = FlannOptions::Algorithm::kKmeansTree;
+  opts.kmeans.leaf_size = 128;
+  auto index = FlannIndex::Build(w.data, opts);
+  ASSERT_TRUE(index.ok());
+  CheckDeterminism(*index.value(), w, Ng(10, 512));
+}
+
+// Direct unit coverage of the scanner surfaces the indexes do not reach.
+TEST(ParallelLeafScannerTest, ScanContiguousMatchesSerial) {
+  Workload w;
+  const auto query = w.queries.series(0);
+  const size_t n = w.data.size();
+
+  AnswerSet serial_answers(10);
+  QueryCounters serial_counters;
+  ParallelLeafScanner serial(query, &serial_answers, &serial_counters, 1);
+  EXPECT_EQ(serial.ScanContiguous(w.data.data(), n, w.data.length(), 0), n);
+  KnnAnswer serial_ans = serial_answers.Finish();
+
+  for (size_t threads : kThreadCounts) {
+    AnswerSet answers(10);
+    QueryCounters counters;
+    ParallelLeafScanner scanner(query, &answers, &counters, threads);
+    EXPECT_EQ(scanner.ScanContiguous(w.data.data(), n, w.data.length(), 0), n);
+    KnnAnswer ans = answers.Finish();
+    ExpectIdentical(serial_ans, ans,
+                    "ScanContiguous threads=" + std::to_string(threads));
+    // Every candidate is either completed or abandoned, never dropped.
+    EXPECT_EQ(counters.full_distances + counters.abandoned_distances, n);
+  }
+}
+
+TEST(ParallelLeafScannerTest, RefineOrderedStopsExactlyWhereSerialDoes) {
+  Workload w;
+  const auto query = w.queries.series(0);
+  auto identity = [](size_t i) { return static_cast<int64_t>(i); };
+
+  // Serial reference: commit the first 777 candidates, then stop.
+  constexpr size_t kStopAfter = 777;
+  auto run = [&](size_t threads) {
+    AnswerSet answers(5);
+    ParallelLeafScanner scanner(query, &answers, nullptr, threads);
+    Result<size_t> committed = scanner.RefineOrdered(
+        &w.provider, w.data.size(), identity,
+        /*before=*/[](size_t) { return true; },
+        /*after=*/[](size_t i) { return i + 1 < kStopAfter; });
+    EXPECT_TRUE(committed.ok());
+    EXPECT_EQ(committed.value(), kStopAfter);
+    return answers.Finish();
+  };
+  KnnAnswer serial = run(1);
+  for (size_t threads : kThreadCounts) {
+    ExpectIdentical(serial, run(threads),
+                    "RefineOrdered threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelLeafScannerTest, RefineOrderedBudgetZeroCommitsNothing) {
+  Workload w;
+  const auto query = w.queries.series(0);
+  AnswerSet answers(5);
+  ParallelLeafScanner scanner(query, &answers, nullptr, 4);
+  Result<size_t> committed = scanner.RefineOrdered(
+      &w.provider, w.data.size(),
+      [](size_t i) { return static_cast<int64_t>(i); },
+      /*before=*/[](size_t) { return false; },
+      /*after=*/[](size_t) { return true; });
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(committed.value(), 0u);
+  EXPECT_EQ(answers.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hydra

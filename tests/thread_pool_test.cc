@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/shared_bound.h"
+#include "exec/thread_pool.h"
+
+namespace hydra {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    group.Run([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.Wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  group.Run([&ran] { ++ran; });
+  group.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    // Enqueue more tasks than workers so some are still queued when the
+    // destructor begins; drain semantics require all of them to run.
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }  // ~ThreadPool joins after draining
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, ImmediateShutdownWithNoTasks) {
+  ThreadPool pool(8);  // construct + destruct must not hang
+}
+
+TEST(ThreadPool, ExceptionPropagatesToWait) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  group.Run([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 16; ++i) {
+    group.Run([&ran] { ++ran; });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  // The failure did not cancel the rest of the batch.
+  EXPECT_EQ(ran.load(), 16);
+  // The group (and the pool) stay usable after a failed batch.
+  group.Run([&ran] { ++ran; });
+  group.Wait();
+  EXPECT_EQ(ran.load(), 17);
+}
+
+TEST(ThreadPool, OnlyFirstExceptionIsReported) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 8; ++i) {
+    group.Run([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  // Wait() after the rethrow reports nothing further.
+  group.Wait();
+}
+
+TEST(ThreadPool, StealsFromSkewedQueue) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::mutex mu;
+  std::set<std::thread::id> executors;
+  // All tasks land on worker 0's queue; each is slow enough that idle
+  // workers 1..3 must steal to finish the batch in time. Seeing more
+  // than one executing thread proves stealing happened.
+  for (int i = 0; i < 32; ++i) {
+    group.RunOn(0, [&mu, &executors] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      std::lock_guard<std::mutex> lock(mu);
+      executors.insert(std::this_thread::get_id());
+    });
+  }
+  group.Wait();
+  EXPECT_GE(executors.size(), 2u);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  ThreadPool& pool = ThreadPool::Global();
+  EXPECT_GE(pool.num_threads(), 1u);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) group.Run([&ran] { ++ran; });
+  group.Wait();
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(SharedBound, RelaxOnlyTightens) {
+  SharedBound bound;
+  EXPECT_TRUE(std::isinf(bound.Load()));
+  bound.RelaxTo(10.0);
+  EXPECT_DOUBLE_EQ(bound.Load(), 10.0);
+  bound.RelaxTo(25.0);  // looser: ignored
+  EXPECT_DOUBLE_EQ(bound.Load(), 10.0);
+  bound.RelaxTo(3.5);
+  EXPECT_DOUBLE_EQ(bound.Load(), 3.5);
+}
+
+TEST(SharedBound, ConcurrentRelaxKeepsMinimum) {
+  SharedBound bound;
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  for (int t = 0; t < 4; ++t) {
+    group.Run([&bound, t] {
+      for (int i = 0; i < 1000; ++i) {
+        bound.RelaxTo(static_cast<double>((i * 7 + t * 13) % 997) + 1.0);
+      }
+    });
+  }
+  group.Wait();
+  EXPECT_DOUBLE_EQ(bound.Load(), 1.0);  // min of (x % 997) + 1 over all draws
+}
+
+}  // namespace
+}  // namespace hydra

@@ -54,12 +54,12 @@ class MockTree {
     if (ctx.query > hi) d = ctx.query - hi;
     return d * d;
   }
-  void ScanLeaf(int32_t id, std::span<const float> query, AnswerSet* answers,
-                QueryCounters* counters) const {
+  void ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const {
     for (int64_t member : leaf_members_.at(id)) {
-      double d = static_cast<double>(query[0]) - values_[member];
-      if (counters != nullptr) ++counters->full_distances;
-      answers->Offer(d * d, member);
+      // Each member is a length-1 series; the scanner computes
+      // (query[0] - value)^2 through the dispatched kernel.
+      float v = static_cast<float>(values_[member]);
+      scanner->Scan(std::span<const float>(&v, 1), member);
     }
   }
 

@@ -9,6 +9,8 @@
 //                  --queries q.hsf --k 10 --mode de --epsilon 1 --delta 1
 //   hydra query    --method hnsw --data d.hsf --queries q.hsf --k 10 \
 //                  --mode ng --nprobe 64
+//   hydra query    --method scan --data d.hsf --queries q.hsf --k 10 \
+//                  --threads 8
 //
 // `query` prints one line per query (ids + distances) and a summary with
 // throughput and, when --ground-truth is on, accuracy metrics.
@@ -258,6 +260,9 @@ int CmdQuery(Flags flags) {
 
   SearchParams params;
   params.k = GetU64(flags, "k", 10);
+  // Intra-query parallelism (src/exec/); answers are identical at any
+  // value for exact search, so the knob is orthogonal to --mode.
+  params.num_threads = GetU64(flags, "threads", 1);
   std::string mode = Get(flags, "mode", "exact");
   if (mode == "exact") {
     params.mode = SearchMode::kExact;
