@@ -82,6 +82,24 @@ int main() {
   std::printf(
       "\nThe eps=1 runs answer from a sliver of the archive; the exact\n"
       "runs show why guarantees matter when data does not fit in RAM.\n");
+
+  // The buffer pool pins pages while workers read them, so the parallel
+  // engine runs out of core too: same memory budget, same exact answer,
+  // more cores.
+  {
+    SearchParams params;
+    params.mode = SearchMode::kExact;
+    params.k = 10;
+    std::printf("\nthreads  dstree exact kth_dist (identical by contract)\n");
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      params.num_threads = threads;
+      QueryCounters c;
+      bm.value()->DropCache();
+      auto ans = dstree.value()->Search(queries.series(0), params, &c);
+      if (!ans.ok()) continue;
+      std::printf("%7zu  %.6f\n", threads, ans.value().distances.back());
+    }
+  }
   fs::remove_all(dir);
   return 0;
 }

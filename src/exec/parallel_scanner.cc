@@ -86,31 +86,41 @@ void ParallelLeafScanner::EvaluateBatch(WorkerState* ws, const float* block,
   ws->evaluated += count;
 }
 
+size_t ParallelLeafScanner::ProviderShards(SeriesProvider* provider,
+                                           size_t count) const {
+  if (!ParallelEligible(count) || provider == nullptr ||
+      !provider->SupportsConcurrentReads()) {
+    return 1;
+  }
+  return static_cast<size_t>(std::min<uint64_t>(
+      num_threads_, std::max<uint64_t>(1, provider->MaxConcurrentPins())));
+}
+
 size_t ParallelLeafScanner::RunSharded(
-    size_t count,
+    size_t count, size_t shards,
     const std::function<void(WorkerState*, size_t, size_t)>& shard) {
   // The shared bound starts at the caller's current k-th distance: answers
   // accumulated by earlier leaves keep pruning inside this fan-out.
   SharedBound bound(answers_->KthDistanceSq());
   std::vector<WorkerState> workers;
-  workers.reserve(num_threads_);
-  for (size_t i = 0; i < num_threads_; ++i) {
+  workers.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
     workers.emplace_back(answers_->k());
     workers.back().bound = &bound;
   }
 
   {
     TaskGroup group(pool_);
-    for (size_t i = 1; i < num_threads_; ++i) {
-      const size_t begin = count * i / num_threads_;
-      const size_t end = count * (i + 1) / num_threads_;
+    for (size_t i = 1; i < shards; ++i) {
+      const size_t begin = count * i / shards;
+      const size_t end = count * (i + 1) / shards;
       if (begin >= end) continue;
       group.Run([&shard, &workers, i, begin, end] {
         shard(&workers[i], begin, end);
       });
     }
-    // Shard 0 runs here: the query thread is one of the num_threads.
-    shard(&workers[0], 0, count / num_threads_);
+    // Shard 0 runs here: the query thread is one of the shards.
+    shard(&workers[0], 0, count / shards);
     group.Wait();  // rethrows the first worker exception
   }
   MergeWorkers(&workers);
@@ -134,16 +144,17 @@ void ParallelLeafScanner::MergeWorkers(std::vector<WorkerState>* workers) {
 
 size_t ParallelLeafScanner::ScanIds(SeriesProvider* provider,
                                     std::span<const int64_t> ids) {
-  if (!ParallelEligible(ids.size()) || !ConcurrentReads(provider)) {
+  const size_t shards = ProviderShards(provider, ids.size());
+  if (shards <= 1) {
     return serial_.ScanIds(provider, ids);
   }
-  return RunSharded(ids.size(), [&](WorkerState* ws, size_t begin,
-                                    size_t end) {
+  return RunSharded(ids.size(), shards, [&](WorkerState* ws, size_t begin,
+                                            size_t end) {
     for (size_t i = begin; i < end; ++i) {
-      std::span<const float> s =
-          provider->GetSeries(static_cast<uint64_t>(ids[i]), &ws->counters);
-      if (s.empty()) continue;
-      EvaluateOne(ws, s, ids[i]);
+      PinnedRun run =
+          provider->PinSeries(static_cast<uint64_t>(ids[i]), &ws->counters);
+      if (run.empty()) continue;
+      EvaluateOne(ws, run.span(), ids[i]);
       ++ws->evaluated;
     }
   });
@@ -154,8 +165,8 @@ size_t ParallelLeafScanner::ScanIds(const Dataset& data,
   if (!ParallelEligible(ids.size())) {
     return serial_.ScanIds(data, ids);
   }
-  return RunSharded(ids.size(), [&](WorkerState* ws, size_t begin,
-                                    size_t end) {
+  return RunSharded(ids.size(), num_threads_,
+                    [&](WorkerState* ws, size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       EvaluateOne(ws, data.series(static_cast<size_t>(ids[i])), ids[i]);
       ++ws->evaluated;
@@ -168,7 +179,8 @@ size_t ParallelLeafScanner::ScanContiguous(const float* block, size_t count,
   if (!ParallelEligible(count)) {
     return serial_.ScanContiguous(block, count, stride, first_id);
   }
-  return RunSharded(count, [&](WorkerState* ws, size_t begin, size_t end) {
+  return RunSharded(count, num_threads_,
+                    [&](WorkerState* ws, size_t begin, size_t end) {
     EvaluateBatch(ws, block + begin * stride, end - begin, stride,
                   first_id + static_cast<int64_t>(begin));
   });
@@ -176,21 +188,21 @@ size_t ParallelLeafScanner::ScanContiguous(const float* block, size_t count,
 
 size_t ParallelLeafScanner::ScanRange(SeriesProvider* provider, uint64_t first,
                                       uint64_t count) {
-  if (!ParallelEligible(count) || !ConcurrentReads(provider)) {
+  const size_t shards = ProviderShards(provider, static_cast<size_t>(count));
+  if (shards <= 1) {
     return serial_.ScanRange(provider, first, count);
   }
   return RunSharded(
-      static_cast<size_t>(count),
+      static_cast<size_t>(count), shards,
       [&](WorkerState* ws, size_t begin, size_t end) {
         const size_t len = provider->series_length();
         uint64_t i = first + begin;
         const uint64_t stop = first + end;
         while (i < stop) {
-          std::span<const float> run =
-              provider->GetSeriesRun(i, stop - i, &ws->counters);
+          PinnedRun run = provider->PinRun(i, stop - i, &ws->counters);
           if (run.empty()) break;  // fetch failure: short count
-          const size_t run_count = run.size() / len;
-          EvaluateBatch(ws, run.data(), run_count, len,
+          const size_t run_count = run.span().size() / len;
+          EvaluateBatch(ws, run.span().data(), run_count, len,
                         static_cast<int64_t>(i));
           i += run_count;
         }
@@ -202,7 +214,8 @@ Result<size_t> ParallelLeafScanner::RefineOrdered(
     const std::function<int64_t(size_t)>& id_at,
     const std::function<bool(size_t)>& before,
     const std::function<bool(size_t)>& after) {
-  if (!ParallelEligible(count) || !ConcurrentReads(provider)) {
+  const size_t shards = ProviderShards(provider, count);
+  if (shards <= 1) {
     size_t committed = 0;
     for (size_t i = 0; i < count; ++i) {
       if (!before(i)) break;
@@ -216,9 +229,14 @@ Result<size_t> ParallelLeafScanner::RefineOrdered(
   }
 
   enum : uint8_t { kCompleted = 0, kAbandoned = 1, kFailed = 2 };
-  const size_t block = num_threads_ * kRefineGrain;
+  const size_t block = shards * kRefineGrain;
   std::vector<double> vals(block);
   std::vector<uint8_t> state(block);
+  // Per-worker I/O scratch: logical measures (series_accessed, distance
+  // splits) are committed serially below and stay serial-identical, but
+  // the physical I/O a speculative page load performs is real, so
+  // bytes_read/random_ios are merged from these after each block.
+  std::vector<QueryCounters> io(shards);
   size_t committed = 0;
   for (size_t base = 0; base < count; base += block) {
     const size_t b = std::min(block, count - base);
@@ -228,29 +246,37 @@ Result<size_t> ParallelLeafScanner::RefineOrdered(
     const double t0 = answers_->KthDistanceSq();
     {
       TaskGroup group(pool_);
-      auto evaluate = [&](size_t begin, size_t end) {
+      auto evaluate = [&](size_t worker, size_t begin, size_t end) {
         for (size_t j = begin; j < end; ++j) {
-          std::span<const float> s = provider->GetSeries(
-              static_cast<uint64_t>(id_at(base + j)), nullptr);
-          if (s.empty()) {
+          PinnedRun run = provider->PinSeries(
+              static_cast<uint64_t>(id_at(base + j)), &io[worker]);
+          if (run.empty()) {
             state[j] = kFailed;
             continue;
           }
           bool abandoned = false;
-          vals[j] = kernels_.squared_euclidean_ea(query_.data(), s.data(),
+          vals[j] = kernels_.squared_euclidean_ea(query_.data(),
+                                                  run.span().data(),
                                                   query_.size(), t0,
                                                   &abandoned);
           state[j] = abandoned ? kAbandoned : kCompleted;
         }
       };
-      for (size_t w = 1; w < num_threads_; ++w) {
-        const size_t begin = b * w / num_threads_;
-        const size_t end = b * (w + 1) / num_threads_;
+      for (size_t w = 1; w < shards; ++w) {
+        const size_t begin = b * w / shards;
+        const size_t end = b * (w + 1) / shards;
         if (begin >= end) continue;
-        group.Run([&evaluate, begin, end] { evaluate(begin, end); });
+        group.Run([&evaluate, w, begin, end] { evaluate(w, begin, end); });
       }
-      evaluate(0, b / num_threads_);
+      evaluate(0, 0, b / shards);
       group.Wait();
+    }
+    if (counters_ != nullptr) {
+      for (QueryCounters& w : io) {
+        counters_->bytes_read += w.bytes_read;
+        counters_->random_ios += w.random_ios;
+        w.Reset();
+      }
     }
     // Commit strictly in candidate order; speculative evaluations past a
     // stop point are discarded without touching answers or counters.

@@ -50,6 +50,17 @@ namespace hydra {
 // never escapes the call. Calls fall back to the serial LeafScanner when
 // num_threads <= 1, the candidate count is too small to pay for the
 // fan-out, or a provider-backed scan lacks SupportsConcurrentReads().
+//
+// Provider-backed scans fetch through the pin-handle API
+// (SeriesProvider::PinSeries/PinRun): each worker pins at most one page
+// at a time, for exactly the duration of one evaluation, so spans stay
+// valid under concurrent eviction. To guarantee every worker can always
+// hold its one pin, a provider-backed fan-out is additionally clamped to
+// SeriesProvider::MaxConcurrentPins() shards (a bounded buffer pool
+// reports its page capacity; in-memory providers are unlimited). The
+// clamp depends only on provider configuration — never on timing — and
+// exact answers are identical at every shard count anyway, so the
+// determinism contract is unaffected.
 class ParallelLeafScanner {
  public:
   // `pool` defaults to ThreadPool::Global(). The calling thread runs
@@ -86,8 +97,12 @@ class ParallelLeafScanner {
   // cutoffs, chi-squared termination, delta-radius stops) decide on the
   // same state as at num_threads=1 — while evaluating upcoming candidates
   // speculatively in parallel blocks. Speculative evaluations past a stop
-  // point are discarded and uncounted: counters reflect committed
-  // candidates only, keeping series_accessed identical to serial.
+  // point are discarded and uncounted: the logical counters
+  // (series_accessed, distance splits) reflect committed candidates only,
+  // keeping series_accessed identical to serial. Physical I/O
+  // (bytes_read, random_ios) is charged as actually incurred, including
+  // by speculative page loads — the bytes really moved, and the paper's
+  // disk measures must say so.
   // `id_at` maps a candidate position to its series id (typically a view
   // into the caller's sorted lower-bound order — refinement usually stops
   // after a tiny prefix, so callers should not materialize id arrays);
@@ -113,17 +128,18 @@ class ParallelLeafScanner {
   bool ParallelEligible(size_t count) const {
     return num_threads_ > 1 && count >= kMinParallelCandidates;
   }
-  static bool ConcurrentReads(SeriesProvider* provider) {
-    return provider != nullptr && provider->SupportsConcurrentReads();
-  }
+  // Shard count for a provider-backed scan of `count` candidates: 1 when
+  // the scan must run serially, else num_threads_ clamped to the
+  // provider's concurrent-pin budget (see class comment).
+  size_t ProviderShards(SeriesProvider* provider, size_t count) const;
 
-  // Shard [0, count) into num_threads_ contiguous ranges, run
+  // Shard [0, count) into `shards` contiguous ranges, run
   // `shard(worker, begin, end)` with shard 0 on the calling thread, then
   // merge every worker's answers and counters into the caller's. Returns
   // the summed per-worker evaluated counts.
   struct WorkerState;
   size_t RunSharded(
-      size_t count,
+      size_t count, size_t shards,
       const std::function<void(WorkerState*, size_t, size_t)>& shard);
   void MergeWorkers(std::vector<WorkerState>* workers);
 

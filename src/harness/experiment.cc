@@ -88,21 +88,34 @@ std::vector<ThreadSweepPoint> RunThreadSweep(
   return points;
 }
 
-Table ThreadSweepTable(const std::vector<ThreadSweepPoint>& points) {
+double ThreadSweepPoint::AbandonRate() const {
+  const uint64_t evaluated =
+      result.counters.full_distances + result.counters.abandoned_distances;
+  if (evaluated == 0) return 0.0;
+  return static_cast<double>(result.counters.abandoned_distances) /
+         static_cast<double>(evaluated);
+}
+
+Table ThreadSweepTable(const std::vector<ThreadSweepPoint>& points,
+                       size_t collection_size) {
   Table table({"method", "threads", "total_s", "avg_query_ms",
-               "queries_per_min", "speedup", "avg_recall"});
+               "queries_per_min", "speedup", "avg_recall", "abandon_rate",
+               "pct_data"});
   for (const ThreadSweepPoint& p : points) {
     const RunResult& r = p.result;
     const double avg_ms =
-        r.num_queries > 0
-            ? r.timing.total_seconds * 1000.0 / static_cast<double>(r.num_queries)
-            : 0.0;
+        r.num_queries > 0 ? r.timing.total_seconds * 1000.0 /
+                                static_cast<double>(r.num_queries)
+                          : 0.0;
     table.AddRow({r.method, std::to_string(p.num_threads),
                   FormatDouble(r.timing.total_seconds, 4),
                   FormatDouble(avg_ms, 3),
                   FormatDouble(r.timing.throughput_per_min, 1),
                   FormatDouble(p.speedup, 2),
-                  FormatDouble(r.accuracy.avg_recall, 4)});
+                  FormatDouble(r.accuracy.avg_recall, 4),
+                  FormatDouble(p.AbandonRate(), 4),
+                  FormatDouble(
+                      r.DataAccessedFraction(collection_size) * 100.0, 2)});
   }
   return table;
 }

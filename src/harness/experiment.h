@@ -68,6 +68,11 @@ struct ThreadSweepPoint {
   size_t num_threads = 1;
   RunResult result;
   double speedup = 1.0;  // serial total_seconds / this point's total_seconds
+
+  // Fraction of raw-distance evaluations cut off early — the
+  // early-abandoning yield at this thread count (stale shared bounds can
+  // shift the split vs. serial; totals account for every candidate).
+  double AbandonRate() const;
 };
 
 std::vector<ThreadSweepPoint> RunThreadSweep(
@@ -78,8 +83,13 @@ std::vector<ThreadSweepPoint> RunThreadSweep(
 // Speedup report, one row per point. Columns (also the CSV schema, see
 // README "Running benchmarks"):
 //   method, threads, total_s, avg_query_ms, queries_per_min, speedup,
-//   avg_recall
-Table ThreadSweepTable(const std::vector<ThreadSweepPoint>& points);
+//   avg_recall, abandon_rate, pct_data
+// pct_data is the paper's %-data-accessed measure (series touched per
+// query / collection size); pass the collection size to enable it, 0
+// prints 0. For a disk-resident run it is fed by the buffer pool's
+// hit/miss accounting (only real fetches charge I/O).
+Table ThreadSweepTable(const std::vector<ThreadSweepPoint>& points,
+                       size_t collection_size = 0);
 
 }  // namespace hydra
 

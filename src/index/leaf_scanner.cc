@@ -17,10 +17,9 @@ void LeafScanner::Scan(std::span<const float> series, int64_t id) {
 }
 
 bool LeafScanner::ScanFrom(SeriesProvider* provider, int64_t id) {
-  std::span<const float> s =
-      provider->GetSeries(static_cast<uint64_t>(id), counters_);
-  if (s.empty()) return false;
-  Scan(s, id);
+  PinnedRun run = provider->PinSeries(static_cast<uint64_t>(id), counters_);
+  if (run.empty()) return false;
+  Scan(run.span(), id);
   return true;
 }
 
@@ -70,10 +69,11 @@ size_t LeafScanner::ScanRange(SeriesProvider* provider, uint64_t first,
   uint64_t i = first;
   const uint64_t end = first + count;
   while (i < end) {
-    std::span<const float> run = provider->GetSeriesRun(i, end - i, counters_);
+    PinnedRun run = provider->PinRun(i, end - i, counters_);
     if (run.empty()) break;
-    const size_t run_count = run.size() / len;
-    ScanContiguous(run.data(), run_count, len, static_cast<int64_t>(i));
+    const size_t run_count = run.span().size() / len;
+    ScanContiguous(run.span().data(), run_count, len,
+                   static_cast<int64_t>(i));
     scanned += run_count;
     i += run_count;
   }

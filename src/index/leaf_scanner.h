@@ -19,13 +19,19 @@ namespace hydra {
 // keeps the counter bookkeeping honest (completed evaluations land in
 // full_distances, abandoned ones in abandoned_distances — never both).
 //
-// Contiguously stored candidates (sequential scans, buffer-manager pages)
+// Contiguously stored candidates (sequential scans, buffer-pool pages)
 // go through the SIMD batch kernel in chunks, refreshing the abandon
 // threshold between chunks. Results are identical to evaluating the
 // candidates one by one in order: a chunk only ever sees a *looser*
 // (older) threshold, so candidates it completes instead of abandoning
 // still lose to AnswerSet::Offer, and completed distances are the same
 // numbers either way.
+//
+// Provider-backed fetches go through the pin-handle API
+// (SeriesProvider::PinSeries/PinRun): each candidate or run is pinned for
+// exactly the duration of its evaluation, so the scanned span stays valid
+// even while other threads' scans churn a bounded buffer pool. At most
+// one pin is held per scanner at any time.
 class LeafScanner {
  public:
   LeafScanner(std::span<const float> query, AnswerSet* answers,

@@ -1,8 +1,19 @@
 #include "storage/buffer_manager.h"
 
 #include <algorithm>
+#include <thread>
 
 namespace hydra {
+
+using internal::PageFrame;
+
+namespace {
+// Admission retries before an all-pinned pool fails a fetch. Scan-layer
+// pins last one candidate evaluation, so contention from other scans on
+// the same pool clears within a few yields; only long-lived caller pins
+// exhaust the bound.
+constexpr int kAdmitRetries = 64;
+}  // namespace
 
 Result<std::unique_ptr<BufferManager>> BufferManager::Open(
     const std::string& path, uint64_t page_series, uint64_t capacity_pages) {
@@ -14,58 +25,203 @@ Result<std::unique_ptr<BufferManager>> BufferManager::Open(
       new BufferManager(std::move(reader), page_series, capacity_pages));
 }
 
-const BufferManager::Page* BufferManager::FetchPage(uint64_t page_id,
-                                                    QueryCounters* counters) {
-  auto it = map_.find(page_id);
-  if (it != map_.end()) {
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return &*it->second;
+std::shared_ptr<PageFrame> BufferManager::AwaitReady(
+    std::shared_ptr<PageFrame> frame) {
+  {
+    std::unique_lock<std::mutex> lock(frame->mu);
+    frame->cv.wait(lock,
+                   [&] { return frame->state != PageFrame::State::kLoading; });
+    if (frame->state == PageFrame::State::kReady) return frame;
   }
-
-  ++misses_;
-  const uint64_t len = reader_->series_length();
-  uint64_t first = page_id * page_series_;
-  uint64_t count = std::min(page_series_, reader_->num_series() - first);
-  Page page;
-  page.id = page_id;
-  page.data.resize(count * len);
-  // A failed read returns nullptr; callers treat that as a missing
-  // series (it cannot occur for indexes built over the same file).
-  // The reader is charged through a scratch counter: a page fill costs
-  // bytes and (possibly) a seek, but only the series the caller asked
-  // for count as logical accesses — prefetched page neighbors do not.
-  QueryCounters io;
-  Status st = reader_->ReadSeries(first, count, page.data.data(),
-                                  counters != nullptr ? &io : nullptr);
-  if (!st.ok()) return nullptr;
-  if (counters != nullptr) {
-    counters->bytes_read += io.bytes_read;
-    counters->random_ios += io.random_ios;
-  }
-
-  lru_.push_front(std::move(page));
-  map_[page_id] = lru_.begin();
-  if (lru_.size() > capacity_pages_) {
-    map_.erase(lru_.back().id);
-    lru_.pop_back();
-  }
-  return &lru_.front();
+  // Failed load: the loader already removed the frame from the table, so
+  // the next fetch retries the read. Give back the pin we took.
+  frame->pins.fetch_sub(1, std::memory_order_release);
+  return nullptr;
 }
 
-std::span<const float> BufferManager::GetSeries(uint64_t i,
-                                                QueryCounters* counters) {
+bool BufferManager::EvictOneLocked() {
+  if (ring_.empty()) return false;
+  // Two full sweeps give every referenced frame its second chance; the
+  // extra rounds absorb frames whose pin appeared between the unlocked
+  // observation and the shard-locked recheck.
+  const size_t limit = 4 * ring_.size();
+  for (size_t step = 0; step < limit; ++step) {
+    if (hand_ >= ring_.size()) hand_ = 0;
+    const std::shared_ptr<PageFrame>& frame = ring_[hand_];
+    if (frame->pins.load(std::memory_order_acquire) != 0) {
+      ++hand_;
+      continue;
+    }
+    if (frame->referenced.exchange(false, std::memory_order_relaxed)) {
+      ++hand_;  // second chance
+      continue;
+    }
+    // Candidate. Re-check the pin under the shard's exclusive lock: the
+    // first pin of any fetch is taken while holding this shard lock (at
+    // least shared), so a frame observed unpinned here cannot gain a pin
+    // until it is out of the table.
+    std::shared_ptr<PageFrame> victim = frame;
+    Shard& shard = ShardFor(victim->id);
+    {
+      std::unique_lock<std::shared_mutex> shard_lock(shard.mu);
+      if (victim->pins.load(std::memory_order_acquire) != 0) {
+        ++hand_;
+        continue;
+      }
+      shard.pages.erase(victim->id);
+    }
+    ring_.erase(ring_.begin() + static_cast<ptrdiff_t>(hand_));
+    if (!ring_.empty()) hand_ %= ring_.size();
+    return true;
+  }
+  return false;
+}
+
+bool BufferManager::AdmitToRing(const std::shared_ptr<PageFrame>& frame) {
+  std::lock_guard<std::mutex> lock(clock_mu_);
+  while (ring_.size() >= capacity_pages_) {
+    if (!EvictOneLocked()) return false;
+  }
+  ring_.push_back(frame);
+  return true;
+}
+
+void BufferManager::AbortLoad(const std::shared_ptr<PageFrame>& frame,
+                              bool in_ring) {
+  {
+    Shard& shard = ShardFor(frame->id);
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.pages.find(frame->id);
+    if (it != shard.pages.end() && it->second == frame) shard.pages.erase(it);
+  }
+  if (in_ring) {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      if (ring_[i] == frame) {
+        ring_.erase(ring_.begin() + static_cast<ptrdiff_t>(i));
+        if (hand_ > i) --hand_;
+        if (!ring_.empty()) hand_ %= ring_.size();
+        break;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(frame->mu);
+    frame->state = PageFrame::State::kFailed;
+  }
+  frame->cv.notify_all();
+  frame->pins.fetch_sub(1, std::memory_order_release);  // the loader's pin
+}
+
+std::shared_ptr<PageFrame> BufferManager::FetchPinned(
+    uint64_t page_id, QueryCounters* counters) {
+  Shard& shard = ShardFor(page_id);
+  std::shared_ptr<PageFrame> frame;
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.pages.find(page_id);
+    if (it != shard.pages.end()) {
+      frame = it->second;
+      // Pinning under the shard lock is what makes the pin visible to the
+      // eviction recheck (which runs under the exclusive lock).
+      frame->pins.fetch_add(1, std::memory_order_acq_rel);
+      frame->referenced.store(true, std::memory_order_relaxed);
+    }
+  }
+  if (frame != nullptr) {
+    frame = AwaitReady(std::move(frame));
+    if (frame != nullptr) hits_.fetch_add(1, std::memory_order_relaxed);
+    return frame;
+  }
+
+  // Miss path: insert a loading frame (or join a racing inserter).
+  bool loader = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.pages.find(page_id);
+    if (it != shard.pages.end()) {
+      frame = it->second;
+      frame->pins.fetch_add(1, std::memory_order_acq_rel);
+      frame->referenced.store(true, std::memory_order_relaxed);
+    } else {
+      frame = std::make_shared<PageFrame>(page_id);
+      frame->pins.store(1, std::memory_order_relaxed);
+      shard.pages.emplace(page_id, frame);
+      loader = true;
+    }
+  }
+  if (!loader) {
+    frame = AwaitReady(std::move(frame));
+    if (frame != nullptr) hits_.fetch_add(1, std::memory_order_relaxed);
+    return frame;
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // From here the loading frame is published in the table: every exit
+  // path — including exceptions (e.g. bad_alloc from the page buffer
+  // under the very memory pressure the pool exists to bound) — must
+  // resolve its state, or waiters would block on kLoading forever.
+  bool in_ring = false;
+  try {
+    in_ring = AdmitToRing(frame);
+    // All pinned: another scan's worker holds the last slot for one
+    // candidate evaluation; yield briefly before failing for real.
+    for (int retry = 0; !in_ring && retry < kAdmitRetries; ++retry) {
+      std::this_thread::yield();
+      in_ring = AdmitToRing(frame);
+    }
+    if (!in_ring) {
+      // Every pooled page is pinned beyond transient scan contention:
+      // admitting would over-commit the memory budget, so the fetch
+      // fails cleanly. Callers see an empty PinnedRun.
+      AbortLoad(frame, /*in_ring=*/false);
+      return nullptr;
+    }
+
+    const uint64_t len = reader_->series_length();
+    const uint64_t first = page_id * page_series_;
+    const uint64_t count =
+        std::min(page_series_, reader_->num_series() - first);
+    frame->data.resize(count * len);
+    // The reader is charged through a scratch counter: a page fill costs
+    // bytes and (possibly) a seek, but only the series the caller asked
+    // for count as logical accesses — prefetched page neighbors do not.
+    QueryCounters io;
+    Status st = reader_->ReadSeries(first, count, frame->data.data(),
+                                    counters != nullptr ? &io : nullptr);
+    if (!st.ok()) {
+      AbortLoad(frame, /*in_ring=*/true);
+      return nullptr;
+    }
+    if (counters != nullptr) {
+      counters->bytes_read += io.bytes_read;
+      counters->random_ios += io.random_ios;
+    }
+  } catch (...) {
+    AbortLoad(frame, in_ring);
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(frame->mu);
+    frame->state = PageFrame::State::kReady;
+  }
+  frame->cv.notify_all();
+  return frame;
+}
+
+PinnedRun BufferManager::PinSeries(uint64_t i, QueryCounters* counters) {
   const uint64_t len = reader_->series_length();
   const uint64_t page_id = i / page_series_;
   if (counters != nullptr) ++counters->series_accessed;
-  const Page* page = FetchPage(page_id, counters);
-  if (page == nullptr) return {};
-  return {page->data.data() + (i - page_id * page_series_) * len, len};
+  std::shared_ptr<PageFrame> frame = FetchPinned(page_id, counters);
+  if (frame == nullptr) return {};
+  std::span<const float> span{
+      frame->data.data() + (i - page_id * page_series_) * len, len};
+  return PinnedRun(span, std::move(frame));
 }
 
-std::span<const float> BufferManager::GetSeriesRun(uint64_t first,
-                                                   uint64_t max_count,
-                                                   QueryCounters* counters) {
+PinnedRun BufferManager::PinRun(uint64_t first, uint64_t max_count,
+                                QueryCounters* counters) {
   const uint64_t len = reader_->series_length();
   const uint64_t page_id = first / page_series_;
   const uint64_t page_first = page_id * page_series_;
@@ -74,15 +230,44 @@ std::span<const float> BufferManager::GetSeriesRun(uint64_t first,
   const uint64_t count =
       std::min(max_count, page_first + page_count - first);
   if (counters != nullptr) counters->series_accessed += count;
-  const Page* page = FetchPage(page_id, counters);
-  if (page == nullptr) return {};
-  return {page->data.data() + (first - page_first) * len,
-          static_cast<size_t>(count * len)};
+  std::shared_ptr<PageFrame> frame = FetchPinned(page_id, counters);
+  if (frame == nullptr) return {};
+  std::span<const float> span{
+      frame->data.data() + (first - page_first) * len,
+      static_cast<size_t>(count * len)};
+  return PinnedRun(span, std::move(frame));
 }
 
-void BufferManager::DropCache() {
-  lru_.clear();
-  map_.clear();
+std::span<const float> BufferManager::GetSeries(uint64_t i,
+                                                QueryCounters* counters) {
+  // The pin is dropped on return; in serial use the page stays pooled (so
+  // the span stays valid) at least until the next Get*/DropCache call.
+  PinnedRun run = PinSeries(i, counters);
+  return run.span();
+}
+
+std::span<const float> BufferManager::GetSeriesRun(uint64_t first,
+                                                   uint64_t max_count,
+                                                   QueryCounters* counters) {
+  PinnedRun run = PinRun(first, max_count, counters);
+  return run.span();
+}
+
+size_t BufferManager::DropCache() {
+  std::lock_guard<std::mutex> lock(clock_mu_);
+  std::vector<std::shared_ptr<PageFrame>> retained;
+  for (const std::shared_ptr<PageFrame>& frame : ring_) {
+    Shard& shard = ShardFor(frame->id);
+    std::unique_lock<std::shared_mutex> shard_lock(shard.mu);
+    if (frame->pins.load(std::memory_order_acquire) == 0) {
+      shard.pages.erase(frame->id);
+    } else {
+      retained.push_back(frame);
+    }
+  }
+  ring_ = std::move(retained);
+  hand_ = 0;
+  return ring_.size();
 }
 
 }  // namespace hydra

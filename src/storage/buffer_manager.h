@@ -1,9 +1,13 @@
 #ifndef HYDRA_STORAGE_BUFFER_MANAGER_H_
 #define HYDRA_STORAGE_BUFFER_MANAGER_H_
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
-#include <list>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -15,14 +19,107 @@
 
 namespace hydra {
 
+namespace internal {
+
+// One cached page: a contiguous block of consecutive series plus the
+// bookkeeping the buffer pool needs. Frames are shared-owned by the page
+// table, the eviction ring, and every outstanding PinnedRun, so an
+// evicted page's payload stays alive (and bit-stable) until its last pin
+// handle is destroyed.
+struct PageFrame {
+  explicit PageFrame(uint64_t page_id) : id(page_id) {}
+
+  const uint64_t id;
+  // Filled once by the loading thread before `state` flips to kReady,
+  // immutable afterwards. Readers observe the fill through the
+  // state-guarding mutex, so no fence gymnastics are needed.
+  std::vector<float> data;
+
+  // Pin count. A frame with pins > 0 is never evicted and never dropped
+  // by DropCache. The first pin of a table lookup is taken while holding
+  // the frame's shard lock (shared suffices); the eviction sweep rechecks
+  // pins under the same shard's exclusive lock, which is what makes
+  // "observed unpinned" a stable eviction license.
+  std::atomic<uint64_t> pins{0};
+  // CLOCK reference bit: set on every access, cleared (one second chance)
+  // by the sweep before a frame becomes an eviction candidate.
+  std::atomic<bool> referenced{true};
+
+  // Single-flight load state: concurrent misses on the same page find the
+  // kLoading frame in the table and block on `cv` instead of issuing
+  // their own read. kFailed frames are removed from the table by the
+  // loader before notification, so waiters report failure and the next
+  // fetch retries the I/O.
+  enum class State : uint8_t { kLoading, kReady, kFailed };
+  std::mutex mu;
+  std::condition_variable cv;
+  State state = State::kLoading;  // guarded by mu
+};
+
+}  // namespace internal
+
+// RAII pin handle over a run of consecutive series. While the handle is
+// alive the viewed span is guaranteed valid and bit-stable, across
+// eviction pressure and across other threads' fetches — this is the
+// contract parallel scans are built on. An empty handle means the fetch
+// failed (I/O error, or every frame of a full pool was pinned).
+//
+// Handles are cheap (a span plus one shared_ptr) and move-only; destroy
+// or Release() them promptly, since a pinned page cannot be evicted and
+// shrinks the pool's working capacity while held.
+class PinnedRun {
+ public:
+  PinnedRun() = default;
+  // Unpinned view over storage that outlives the handle by construction
+  // (in-memory providers): nothing to release.
+  explicit PinnedRun(std::span<const float> span) : span_(span) {}
+  // Pinned view into `frame`'s payload; drops the pin on destruction.
+  PinnedRun(std::span<const float> span,
+            std::shared_ptr<internal::PageFrame> frame)
+      : span_(span), frame_(std::move(frame)) {}
+  ~PinnedRun() { Release(); }
+
+  PinnedRun(PinnedRun&& other) noexcept
+      : span_(other.span_), frame_(std::move(other.frame_)) {
+    other.span_ = {};
+  }
+  PinnedRun& operator=(PinnedRun&& other) noexcept {
+    if (this != &other) {
+      Release();
+      span_ = other.span_;
+      frame_ = std::move(other.frame_);
+      other.span_ = {};
+    }
+    return *this;
+  }
+  PinnedRun(const PinnedRun&) = delete;
+  PinnedRun& operator=(const PinnedRun&) = delete;
+
+  std::span<const float> span() const { return span_; }
+  bool empty() const { return span_.empty(); }
+
+  // Drops the pin (and empties the span) before destruction would.
+  void Release() {
+    if (frame_ != nullptr) {
+      frame_->pins.fetch_sub(1, std::memory_order_release);
+      frame_.reset();
+    }
+    span_ = {};
+  }
+
+ private:
+  std::span<const float> span_;
+  std::shared_ptr<internal::PageFrame> frame_;
+};
+
 // Serves raw series to the indexes, in one of two modes:
 //
 //  * In-memory: wraps a Dataset; accesses are free of I/O charges except
 //    the series_accessed counter.
-//  * Disk-resident: wraps a SeriesFileReader plus an LRU cache of
+//  * Disk-resident: wraps a SeriesFileReader plus a bounded pool of
 //    fixed-size pages (groups of consecutive series). A page miss reads
 //    from the file and charges bytes/random-I/O; hits are free. Bounding
-//    the cache reproduces the paper's GRUB trick of limiting RAM so that
+//    the pool reproduces the paper's GRUB trick of limiting RAM so that
 //    large datasets are forced out of core.
 //
 // This split lets every index run unchanged in both regimes, which is how
@@ -32,7 +129,9 @@ class SeriesProvider {
   virtual ~SeriesProvider() = default;
   virtual uint64_t num_series() const = 0;
   virtual uint64_t series_length() const = 0;
-  // Returns a view of series i, valid until the next Get* call.
+  // Returns a view of series i, valid until the caller's next Get* call
+  // on this provider. Serial convenience API: not required to be safe
+  // under concurrent calls — concurrent readers use Pin*.
   virtual std::span<const float> GetSeries(uint64_t i,
                                            QueryCounters* counters) = 0;
 
@@ -48,13 +147,37 @@ class SeriesProvider {
     return GetSeries(first, counters);
   }
 
-  // True when Get* may be called from several threads at once AND the
-  // returned spans stay valid across other threads' calls (not just until
-  // the caller's next call). Parallel scans (exec/parallel_scanner.h)
-  // require this; providers that answer false are scanned serially even
-  // when SearchParams::num_threads > 1. The LRU BufferManager answers
-  // false: eviction invalidates outstanding spans, so making it
-  // concurrent needs page pinning (see ROADMAP).
+  // Pin-handle fetches: same addressing as GetSeries/GetSeriesRun but the
+  // returned span is guaranteed valid for the handle's lifetime, across
+  // other threads' fetches and eviction. The scan layers (LeafScanner,
+  // ParallelLeafScanner) fetch exclusively through these. The defaults
+  // wrap Get* in an unpinned handle, which is correct for providers whose
+  // spans already outlive calls (in-memory) and for providers only ever
+  // read serially.
+  virtual PinnedRun PinSeries(uint64_t i, QueryCounters* counters) {
+    return PinnedRun(GetSeries(i, counters));
+  }
+  virtual PinnedRun PinRun(uint64_t first, uint64_t max_count,
+                           QueryCounters* counters) {
+    return PinnedRun(GetSeriesRun(first, max_count, counters));
+  }
+
+  // Upper bound on the number of pins that can be held concurrently
+  // without starving fetches (for a bounded pool: its page capacity).
+  // The exec layer clamps a provider-backed fan-out to this many workers
+  // so every worker can always hold its one pinned page; the clamp
+  // depends only on provider configuration, never on timing, so results
+  // stay deterministic.
+  virtual uint64_t MaxConcurrentPins() const { return UINT64_MAX; }
+
+  // True when Pin* may be called from several threads at once (and the
+  // pinned spans honor the PinnedRun lifetime contract). Parallel scans
+  // (exec/parallel_scanner.h) require this; providers that answer false
+  // are scanned serially even when SearchParams::num_threads > 1. Both
+  // providers here now answer true: InMemoryProvider trivially, and
+  // BufferManager through page pinning (pinned frames are shared-owned
+  // and exempt from eviction, so a span outlives any other thread's
+  // fetch/evict activity for as long as its handle is held).
   virtual bool SupportsConcurrentReads() const { return false; }
 };
 
@@ -78,16 +201,59 @@ class InMemoryProvider : public SeriesProvider {
             static_cast<size_t>(count * dataset_->length())};
   }
   // Reads are plain dataset views with no shared scratch; spans stay
-  // valid for the dataset's lifetime.
+  // valid for the dataset's lifetime (the default Pin* wrappers are
+  // therefore exact).
   bool SupportsConcurrentReads() const override { return true; }
 
  private:
   const Dataset* dataset_;
 };
 
+// Thread-safe page-pinning buffer pool over a series file.
+//
+// Concurrency design (docs/ARCHITECTURE.md has the full walkthrough):
+//
+//  * The page table is sharded; each shard's map sits under its own
+//    std::shared_mutex, so concurrent hits on different shards never
+//    contend and hits on the same shard share the lock.
+//  * Fetches return PinnedRun handles holding an atomic pin count on the
+//    frame. Pinned frames are never evicted; frames are also shared-owned
+//    (shared_ptr), so even a frame evicted after its pin was released
+//    keeps its payload alive for stragglers still holding handles.
+//  * Eviction is pin-aware CLOCK (second chance): a sweep under the pool
+//    lock skips pinned frames, clears reference bits once, and rechecks
+//    the victim's pin count under its shard's exclusive lock before
+//    removal. If every frame is pinned, the fetch that needed the slot
+//    briefly yields (scan-layer pins last one candidate evaluation, so
+//    contention from concurrent scans clears quickly) and then fails
+//    cleanly (empty PinnedRun) instead of over-committing memory.
+//  * Page loads are single-flight: concurrent misses on one page find
+//    the loading frame in the table and wait; exactly one read is issued
+//    and exactly one miss is counted (waiters count as hits).
+//
+// Lock order: pool (clock) mutex before shard mutex; frame state mutexes
+// are leaves. No path holds a shard lock while acquiring the pool lock.
+//
+// DropCache is pin-aware: it drops every unpinned page and *retains*
+// pinned ones (returning how many were retained), so outstanding spans
+// are never invalidated; a retained page is dropped by a later DropCache
+// once its pins are gone. cache_hits/cache_misses are atomics and feed
+// the %-data-accessed measure exactly as in serial use: every successful
+// fetch counts exactly one hit or one miss, never both. Failed fetches
+// follow the seed's accounting: an attempted load that fails (I/O error,
+// all-pinned pool) still counts its miss, and a waiter joined to a load
+// that fails counts nothing.
+//
+// Sizing rule for concurrent use: a scan-layer worker holds one pin at a
+// time and a single query's fan-out is clamped to capacity_pages, but
+// the clamp is per scan — queries running concurrently on one pool
+// should size capacity_pages >= their combined thread counts (plus any
+// long-lived caller pins), or transient fetch failures surface as
+// skipped candidates under the scan layers' tree-leaf semantics
+// (ROADMAP tracks propagating them as errors instead).
 class BufferManager : public SeriesProvider {
  public:
-  // page_series: series per page; capacity_pages: max cached pages.
+  // page_series: series per page; capacity_pages: max pooled pages.
   static Result<std::unique_ptr<BufferManager>> Open(const std::string& path,
                                                      uint64_t page_series,
                                                      uint64_t capacity_pages);
@@ -96,41 +262,91 @@ class BufferManager : public SeriesProvider {
   uint64_t series_length() const override {
     return reader_->series_length();
   }
+
+  // Serial convenience accessors (the seed API): the returned span points
+  // into the pool and stays valid until the page is evicted — in serial
+  // use, at least until this provider's next Get*/DropCache call. Not
+  // safe under concurrent calls; concurrent readers use Pin*.
   std::span<const float> GetSeries(uint64_t i,
                                    QueryCounters* counters) override;
-  // Runs extend to the end of the cached page holding `first` (pages store
-  // consecutive series contiguously), so sequential scans batch page by
-  // page.
+  // Runs extend to the end of the pooled page holding `first` (pages
+  // store consecutive series contiguously), so sequential scans batch
+  // page by page.
   std::span<const float> GetSeriesRun(uint64_t first, uint64_t max_count,
                                       QueryCounters* counters) override;
 
+  // Pin-handle fetches; safe from any number of threads. An empty handle
+  // means the read failed or every page of a full pool was pinned.
+  PinnedRun PinSeries(uint64_t i, QueryCounters* counters) override;
+  PinnedRun PinRun(uint64_t first, uint64_t max_count,
+                   QueryCounters* counters) override;
+
+  bool SupportsConcurrentReads() const override { return true; }
+  uint64_t MaxConcurrentPins() const override { return capacity_pages_; }
+
   // Cache statistics, for tests and for the %-data-accessed measure.
-  uint64_t cache_hits() const { return hits_; }
-  uint64_t cache_misses() const { return misses_; }
-  void DropCache();
+  uint64_t cache_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t cache_misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+  // Drops every unpinned page. Pages pinned at call time are retained —
+  // their spans stay valid — and the count of retained pages is returned
+  // (0 = the pool is now empty). Call again after the pins are released
+  // to drop the stragglers.
+  size_t DropCache();
 
  private:
+  static constexpr size_t kNumShards = 8;
+
+  struct Shard {
+    std::shared_mutex mu;
+    std::unordered_map<uint64_t, std::shared_ptr<internal::PageFrame>> pages;
+  };
+
   BufferManager(std::unique_ptr<SeriesFileReader> reader,
                 uint64_t page_series, uint64_t capacity_pages)
       : reader_(std::move(reader)),
         page_series_(page_series),
         capacity_pages_(capacity_pages) {}
 
-  struct Page {
-    uint64_t id;
-    std::vector<float> data;
-  };
+  Shard& ShardFor(uint64_t page_id) {
+    return shards_[page_id % kNumShards];
+  }
 
-  // Returns the cached (or freshly read) page, nullptr on a read failure.
-  const Page* FetchPage(uint64_t page_id, QueryCounters* counters);
+  // Returns the pooled (or freshly read) page with one pin taken on
+  // behalf of the caller; nullptr on read failure or an all-pinned pool.
+  std::shared_ptr<internal::PageFrame> FetchPinned(uint64_t page_id,
+                                                   QueryCounters* counters);
+  // Blocks until `frame` finished loading. Returns the frame on success;
+  // on a failed load, drops the caller's pin and returns nullptr.
+  std::shared_ptr<internal::PageFrame> AwaitReady(
+      std::shared_ptr<internal::PageFrame> frame);
+  // Makes room (evicting if needed) and adds `frame` to the CLOCK ring.
+  // False when capacity is exhausted by pinned frames.
+  bool AdmitToRing(const std::shared_ptr<internal::PageFrame>& frame);
+  // CLOCK sweep under clock_mu_; evicts one unpinned frame from ring and
+  // table. False when no frame could be evicted.
+  bool EvictOneLocked();
+  // Unwinds a failed load: removes the frame from table (and ring when
+  // `in_ring`), marks it failed, wakes waiters, drops the loader's pin.
+  void AbortLoad(const std::shared_ptr<internal::PageFrame>& frame,
+                 bool in_ring);
 
   std::unique_ptr<SeriesFileReader> reader_;
   uint64_t page_series_;
   uint64_t capacity_pages_;
-  std::list<Page> lru_;  // front = most recent
-  std::unordered_map<uint64_t, std::list<Page>::iterator> map_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+
+  std::array<Shard, kNumShards> shards_;
+
+  std::mutex clock_mu_;  // guards ring_ and hand_
+  std::vector<std::shared_ptr<internal::PageFrame>> ring_;
+  size_t hand_ = 0;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace hydra

@@ -64,6 +64,7 @@ Status SeriesFileReader::ReadSeries(uint64_t first, uint64_t count,
   }
   const uint64_t stride = header_.length * sizeof(float);
   const uint64_t offset = kHeaderBytes + first * stride;
+  std::lock_guard<std::mutex> lock(io_mu_);
   if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
     return Status::IoError("seek failed");
   }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/counters.h"
@@ -21,6 +22,11 @@ namespace hydra {
 // random-I/O counts to the caller's QueryCounters. A read is "random"
 // when it is not contiguous with the previous read, matching how the
 // paper counts disk seeks.
+//
+// ReadSeries is thread-safe: an internal mutex serializes the seek+read
+// pair and the sequentiality tracking, so the buffer pool's single-flight
+// page loads may run from several threads at once. (Serializing reads
+// models one disk arm; the paper's seek accounting assumes it anyway.)
 struct SeriesFileHeader {
   static constexpr uint32_t kMagic = 0x48594452;  // "HYDR"
   static constexpr uint32_t kVersion = 1;
@@ -58,6 +64,7 @@ class SeriesFileReader {
 
   std::FILE* file_;
   SeriesFileHeader header_;
+  std::mutex io_mu_;              // serializes seek+read+tracking below
   uint64_t next_sequential_ = 0;  // series index right after the last read
   bool any_read_ = false;
 };

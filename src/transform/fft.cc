@@ -87,7 +87,8 @@ std::vector<std::complex<double>> RealDftOrthonormal(
   std::vector<std::complex<double>> a(x.size());
   for (size_t i = 0; i < x.size(); ++i) a[i] = {x[i], 0.0};
   Fft(a, false);
-  double scale = x.empty() ? 1.0 : 1.0 / std::sqrt(static_cast<double>(x.size()));
+  double scale =
+      x.empty() ? 1.0 : 1.0 / std::sqrt(static_cast<double>(x.size()));
   for (auto& v : a) v *= scale;
   return a;
 }

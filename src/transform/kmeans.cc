@@ -114,7 +114,8 @@ KmeansResult Kmeans(std::span<const float> data, size_t dim,
       }
       double inv = 1.0 / static_cast<double>(counts[c]);
       for (size_t d = 0; d < dim; ++d) {
-        result.centroids[c * dim + d] = static_cast<float>(sums[c * dim + d] * inv);
+        result.centroids[c * dim + d] =
+            static_cast<float>(sums[c * dim + d] * inv);
       }
     }
 
