@@ -1,0 +1,182 @@
+// Serving throughput/latency report for the concurrent query engine
+// (exec/query_scheduler.h): sweeps the inter-query concurrency level ×
+// buffer-pool capacity for the disk-resident methods the paper leans on
+// (DSTree, iSAX2+, VA+file), all serving from ONE page-pinning pool —
+// the regime where admission control and the per-query pin-budget split
+// actually matter. Each table row reports wall-clock QPS, p50/p95/p99
+// serving latency, the throughput speedup over sequential serving, the
+// pool hit rate (per-query attribution summed), and a match_serial
+// column that must read "yes" everywhere: answers are identical to the
+// one-query-at-a-time protocol at every concurrency level. Like
+// bench_thread_scaling this is a plain binary — the harness IS the
+// measurement protocol.
+//
+// Usage: bench_serving [--smoke]
+//   --smoke: tiny configuration for CI (the serving-stress lane uploads
+//   its table as a build artifact); also settable via HYDRA_SMOKE=1.
+//
+// Knobs (environment):
+//   HYDRA_SERVING_N           dataset size              (default 50000)
+//   HYDRA_SERVING_LEN         series length             (default 128)
+//   HYDRA_SERVING_QUERIES     workload size             (default 40)
+//   HYDRA_SERVING_K           neighbors                 (default 10)
+//   HYDRA_SERVING_THREADS     intra-query num_threads   (default 1)
+//   HYDRA_CONCURRENCY         comma list of levels      (default 1,2,4,8)
+//   HYDRA_SERVING_PAGE_SERIES series per page           (default 16)
+//   HYDRA_SERVING_CAPACITIES  comma list of pool pages  (default
+//                             "64,512": a thrashing pool and a
+//                             comfortable one)
+//
+// Throughput context: whole queries are independent units, so on >= N
+// idle cores the speedup column should approach the concurrency level
+// until the pool (capacity sweep) or the disk becomes the bottleneck; on
+// a loaded or small machine the answer columns still prove determinism.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/generators.h"
+#include "core/ground_truth.h"
+#include "harness/experiment.h"
+#include "index/dstree/dstree.h"
+#include "index/isax/isax_index.h"
+#include "index/vafile/vafile.h"
+#include "storage/buffer_manager.h"
+#include "storage/series_file.h"
+#include "transform/znorm.h"
+
+namespace {
+
+using hydra::EnvCount;
+
+struct MethodSweep {
+  std::string name;
+  // Builds the index against `provider` (indexes bind their provider at
+  // build time, so each pool capacity gets its own build — the builds
+  // are identical, only the serving storage differs).
+  std::function<std::unique_ptr<hydra::Index>(const hydra::Dataset&,
+                                              hydra::SeriesProvider*)>
+      build;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = std::getenv("HYDRA_SMOKE") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const size_t n = EnvCount("HYDRA_SERVING_N", smoke ? 3000 : 50000);
+  const size_t len = EnvCount("HYDRA_SERVING_LEN", smoke ? 64 : 128);
+  const size_t num_queries =
+      EnvCount("HYDRA_SERVING_QUERIES", smoke ? 16 : 40);
+  const size_t k = EnvCount("HYDRA_SERVING_K", 10);
+  const size_t num_threads = EnvCount("HYDRA_SERVING_THREADS", 1);
+  const size_t page_series = EnvCount("HYDRA_SERVING_PAGE_SERIES", 16);
+  const std::vector<size_t> levels =
+      smoke ? hydra::ParseCountList(std::getenv("HYDRA_CONCURRENCY"),
+                                    {1, 4})
+            : hydra::ConcurrencyLevelsFromEnv();
+  const std::vector<size_t> capacities = hydra::ParseCountList(
+      std::getenv("HYDRA_SERVING_CAPACITIES"),
+      smoke ? std::vector<size_t>{64} : std::vector<size_t>{64, 512});
+
+  std::printf("# serving sweep: n=%zu len=%zu queries=%zu k=%zu "
+              "num_threads=%zu page_series=%zu%s\n",
+              n, len, num_queries, k, num_threads, page_series,
+              smoke ? " (smoke)" : "");
+
+  hydra::Rng rng(20260730);
+  hydra::Dataset data = hydra::MakeRandomWalk(n, len, rng);
+  hydra::ZNormalizeDataset(data);
+  hydra::Dataset queries =
+      hydra::MakeNoiseQueries(data, num_queries, 0.1, rng);
+  std::vector<hydra::KnnAnswer> ground_truth =
+      hydra::ExactKnnWorkload(data, queries, k);
+
+  hydra::SearchParams params;
+  params.mode = hydra::SearchMode::kExact;
+  params.k = k;
+  params.num_threads = num_threads;
+
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "hydra_bench_serving";
+  fs::create_directories(dir);
+  std::string path = (dir / "data.hsf").string();
+  if (!hydra::WriteSeriesFile(path, data).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+
+  std::vector<MethodSweep> methods;
+  methods.push_back(
+      {"dstree", [&](const hydra::Dataset& d, hydra::SeriesProvider* p)
+                     -> std::unique_ptr<hydra::Index> {
+         hydra::DSTreeOptions opts;
+         opts.leaf_capacity = 256;
+         opts.histogram_pairs = 2000;
+         auto built = hydra::DSTreeIndex::Build(d, p, opts);
+         return built.ok() ? std::move(built).value() : nullptr;
+       }});
+  methods.push_back(
+      {"isax", [&](const hydra::Dataset& d, hydra::SeriesProvider* p)
+                   -> std::unique_ptr<hydra::Index> {
+         hydra::IsaxOptions opts;
+         opts.leaf_capacity = 256;
+         opts.histogram_pairs = 2000;
+         auto built = hydra::IsaxIndex::Build(d, p, opts);
+         return built.ok() ? std::move(built).value() : nullptr;
+       }});
+  methods.push_back(
+      {"vafile", [&](const hydra::Dataset& d, hydra::SeriesProvider* p)
+                     -> std::unique_ptr<hydra::Index> {
+         hydra::VaFileOptions opts;
+         opts.histogram_pairs = 2000;
+         auto built = hydra::VaFileIndex::Build(d, p, opts);
+         return built.ok() ? std::move(built).value() : nullptr;
+       }});
+
+  int status = 0;
+  for (size_t capacity : capacities) {
+    for (const MethodSweep& method : methods) {
+      auto bm = hydra::BufferManager::Open(path, page_series, capacity);
+      if (!bm.ok()) {
+        std::fprintf(stderr, "open failed: %s\n",
+                     bm.status().ToString().c_str());
+        return 1;
+      }
+      std::unique_ptr<hydra::Index> index =
+          method.build(data, bm.value().get());
+      if (index == nullptr) {
+        std::fprintf(stderr, "%s: build failed\n", method.name.c_str());
+        return 1;
+      }
+      std::vector<hydra::ServingSweepPoint> points = hydra::RunServingSweep(
+          *index, queries, ground_truth, params, levels, bm.value().get());
+      hydra::Table table = hydra::ServingSweepTable(points);
+      std::printf("\n## %s, pool %zu pages x %zu series\n%s\n",
+                  method.name.c_str(), capacity, page_series,
+                  table.ToAlignedText().c_str());
+      std::printf("# csv\n%s", table.ToCsv().c_str());
+      for (const hydra::ServingSweepPoint& p : points) {
+        if (!p.matches_serial || p.result.accuracy.avg_recall < 1.0) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: %s capacity=%zu "
+                       "concurrency=%zu\n",
+                       method.name.c_str(), capacity, p.concurrency);
+          status = 1;
+        }
+      }
+    }
+  }
+  fs::remove_all(dir);
+  return status;
+}

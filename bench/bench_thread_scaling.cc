@@ -44,45 +44,24 @@
 
 namespace {
 
-size_t EnvSize(const char* name, size_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr) return fallback;
-  char* end = nullptr;
-  unsigned long long parsed = std::strtoull(v, &end, 10);
-  return (end != v && *end == '\0' && parsed > 0)
-             ? static_cast<size_t>(parsed)
-             : fallback;
-}
+using hydra::EnvCount;
 
 std::vector<size_t> EnvThreadList(const char* name) {
-  std::vector<size_t> counts;
-  const char* v = std::getenv(name);
-  std::string s = v != nullptr ? v : "1,2,4,8";
-  size_t pos = 0;
-  while (pos < s.size()) {
-    size_t comma = s.find(',', pos);
-    if (comma == std::string::npos) comma = s.size();
-    unsigned long long parsed =
-        std::strtoull(s.substr(pos, comma - pos).c_str(), nullptr, 10);
-    if (parsed > 0) counts.push_back(static_cast<size_t>(parsed));
-    pos = comma + 1;
-  }
-  if (counts.empty()) counts = {1, 2, 4, 8};
-  return counts;
+  return hydra::ParseCountList(std::getenv(name), {1, 2, 4, 8});
 }
 
 }  // namespace
 
 int main() {
-  const size_t n = EnvSize("HYDRA_SWEEP_N", 100000);
-  const size_t len = EnvSize("HYDRA_SWEEP_LEN", 128);
-  const size_t num_queries = EnvSize("HYDRA_SWEEP_QUERIES", 20);
-  const size_t k = EnvSize("HYDRA_SWEEP_K", 10);
+  const size_t n = EnvCount("HYDRA_SWEEP_N", 100000);
+  const size_t len = EnvCount("HYDRA_SWEEP_LEN", 128);
+  const size_t num_queries = EnvCount("HYDRA_SWEEP_QUERIES", 20);
+  const size_t k = EnvCount("HYDRA_SWEEP_K", 10);
   const std::vector<size_t> threads = EnvThreadList("HYDRA_SWEEP_THREADS");
-  const size_t page_series = EnvSize("HYDRA_SWEEP_PAGE_SERIES", 16);
+  const size_t page_series = EnvCount("HYDRA_SWEEP_PAGE_SERIES", 16);
   const size_t max_threads =
       *std::max_element(threads.begin(), threads.end());
-  const size_t capacity = EnvSize(
+  const size_t capacity = EnvCount(
       "HYDRA_SWEEP_CAPACITY",
       std::max<size_t>(max_threads, n / page_series / 50));
 

@@ -7,6 +7,7 @@
 //   ./examples/progressive_analytics
 
 #include <cstdio>
+#include <utility>
 
 #include "common/rng.h"
 #include "common/timer.h"
@@ -38,7 +39,7 @@ int main() {
   std::printf("progressive 10-NN updates:\n");
   Timer timer;
   auto ctx = index.MakeQueryContext(query);
-  KnnAnswer progressive = ProgressiveKnnSearch(
+  Result<KnnAnswer> searched = ProgressiveKnnSearch(
       index, ctx, query, 10,
       [&](const ProgressiveUpdate& update) {
         std::printf("  update %llu at %7.3f ms: %zu/10 neighbors, "
@@ -49,6 +50,12 @@ int main() {
                     update.final ? " (final, exact)" : "");
       },
       nullptr);
+  if (!searched.ok()) {  // e.g. a disk-resident leaf scan failed
+    std::fprintf(stderr, "search failed: %s\n",
+                 searched.status().ToString().c_str());
+    return 1;
+  }
+  KnnAnswer progressive = std::move(searched).value();
 
   KnnAnswer truth = ExactKnn(data, query, 10);
   std::printf("exact check: progressive k-th %.4f vs truth %.4f\n\n",

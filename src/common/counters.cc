@@ -11,6 +11,8 @@ QueryCounters& QueryCounters::operator+=(const QueryCounters& other) {
   random_ios += other.random_ios;
   leaves_visited += other.leaves_visited;
   nodes_pushed += other.nodes_pushed;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
   return *this;
 }
 

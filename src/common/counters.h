@@ -30,6 +30,14 @@ struct QueryCounters {
   uint64_t random_ios = 0;         // seeks: fetches not contiguous with prev
   uint64_t leaves_visited = 0;     // tree leaves (or cells/lists) opened
   uint64_t nodes_pushed = 0;       // priority-queue pushes
+  // Buffer-pool attribution: which of THIS query's page fetches were
+  // served from the pool vs. loaded from disk. The pool's own atomic
+  // totals aggregate all queries; these fields let the serving harness
+  // report hit rates per query / per concurrency level. A waiter joined
+  // to another query's in-flight load counts a hit here (no I/O was
+  // issued on its behalf), matching the pool's accounting.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 
   void Reset() { *this = QueryCounters(); }
   QueryCounters& operator+=(const QueryCounters& other);

@@ -1,6 +1,7 @@
 #include "exec/parallel_scanner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 namespace hydra {
@@ -23,11 +24,13 @@ struct ParallelLeafScanner::WorkerState {
 ParallelLeafScanner::ParallelLeafScanner(std::span<const float> query,
                                          AnswerSet* answers,
                                          QueryCounters* counters,
-                                         size_t num_threads, ThreadPool* pool)
+                                         size_t num_threads,
+                                         uint64_t pin_budget, ThreadPool* pool)
     : query_(query),
       answers_(answers),
       counters_(counters),
       num_threads_(num_threads == 0 ? 1 : num_threads),
+      pin_budget_(pin_budget),
       pool_(pool),
       serial_(query, answers, counters),
       kernels_(ActiveKernels()) {
@@ -92,8 +95,10 @@ size_t ParallelLeafScanner::ProviderShards(SeriesProvider* provider,
       !provider->SupportsConcurrentReads()) {
     return 1;
   }
-  return static_cast<size_t>(std::min<uint64_t>(
-      num_threads_, std::max<uint64_t>(1, provider->MaxConcurrentPins())));
+  uint64_t budget = provider->MaxConcurrentPins();
+  if (pin_budget_ != 0) budget = std::min(budget, pin_budget_);
+  return static_cast<size_t>(
+      std::min<uint64_t>(num_threads_, std::max<uint64_t>(1, budget)));
 }
 
 size_t ParallelLeafScanner::RunSharded(
@@ -142,22 +147,35 @@ void ParallelLeafScanner::MergeWorkers(std::vector<WorkerState>* workers) {
   for (const auto& [dist_sq, id] : entries) answers_->Offer(dist_sq, id);
 }
 
-size_t ParallelLeafScanner::ScanIds(SeriesProvider* provider,
-                                    std::span<const int64_t> ids) {
+Result<size_t> ParallelLeafScanner::ScanIds(SeriesProvider* provider,
+                                            std::span<const int64_t> ids) {
   const size_t shards = ProviderShards(provider, ids.size());
   if (shards <= 1) {
     return serial_.ScanIds(provider, ids);
   }
-  return RunSharded(ids.size(), shards, [&](WorkerState* ws, size_t begin,
-                                            size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      PinnedRun run =
-          provider->PinSeries(static_cast<uint64_t>(ids[i]), &ws->counters);
-      if (run.empty()) continue;
-      EvaluateOne(ws, run.span(), ids[i]);
-      ++ws->evaluated;
-    }
-  });
+  // A failed fetch poisons the whole scan (see header): workers bail as
+  // soon as any shard fails, the query is abandoned by the caller, so
+  // which candidates the other shards got to no longer matters.
+  std::atomic<bool> failed{false};
+  size_t evaluated =
+      RunSharded(ids.size(), shards,
+                 [&](WorkerState* ws, size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     if (failed.load(std::memory_order_relaxed)) return;
+                     PinnedRun run = provider->PinSeries(
+                         static_cast<uint64_t>(ids[i]), &ws->counters);
+                     if (run.empty()) {
+                       failed.store(true, std::memory_order_relaxed);
+                       return;
+                     }
+                     EvaluateOne(ws, run.span(), ids[i]);
+                     ++ws->evaluated;
+                   }
+                 });
+  if (failed.load(std::memory_order_relaxed)) {
+    return Status::IoError("series fetch failed");
+  }
+  return evaluated;
 }
 
 size_t ParallelLeafScanner::ScanIds(const Dataset& data,
@@ -186,27 +204,36 @@ size_t ParallelLeafScanner::ScanContiguous(const float* block, size_t count,
   });
 }
 
-size_t ParallelLeafScanner::ScanRange(SeriesProvider* provider, uint64_t first,
-                                      uint64_t count) {
+Result<size_t> ParallelLeafScanner::ScanRange(SeriesProvider* provider,
+                                              uint64_t first, uint64_t count) {
   const size_t shards = ProviderShards(provider, static_cast<size_t>(count));
   if (shards <= 1) {
     return serial_.ScanRange(provider, first, count);
   }
-  return RunSharded(
+  std::atomic<bool> failed{false};
+  size_t evaluated = RunSharded(
       static_cast<size_t>(count), shards,
       [&](WorkerState* ws, size_t begin, size_t end) {
         const size_t len = provider->series_length();
         uint64_t i = first + begin;
         const uint64_t stop = first + end;
         while (i < stop) {
+          if (failed.load(std::memory_order_relaxed)) return;
           PinnedRun run = provider->PinRun(i, stop - i, &ws->counters);
-          if (run.empty()) break;  // fetch failure: short count
+          if (run.empty()) {
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
           const size_t run_count = run.span().size() / len;
           EvaluateBatch(ws, run.span().data(), run_count, len,
                         static_cast<int64_t>(i));
           i += run_count;
         }
       });
+  if (failed.load(std::memory_order_relaxed)) {
+    return Status::IoError("series fetch failed");
+  }
+  return evaluated;
 }
 
 Result<size_t> ParallelLeafScanner::RefineOrdered(
@@ -275,6 +302,11 @@ Result<size_t> ParallelLeafScanner::RefineOrdered(
       for (QueryCounters& w : io) {
         counters_->bytes_read += w.bytes_read;
         counters_->random_ios += w.random_ios;
+        // Pool attribution is physical too: a speculative fetch really
+        // hit or missed the pool, and the per-query fields must sum to
+        // the pool's atomic totals (storage/buffer_manager.h).
+        counters_->cache_hits += w.cache_hits;
+        counters_->cache_misses += w.cache_misses;
         w.Reset();
       }
     }

@@ -57,17 +57,26 @@ namespace hydra {
 // valid under concurrent eviction. To guarantee every worker can always
 // hold its one pin, a provider-backed fan-out is additionally clamped to
 // SeriesProvider::MaxConcurrentPins() shards (a bounded buffer pool
-// reports its page capacity; in-memory providers are unlimited). The
-// clamp depends only on provider configuration — never on timing — and
-// exact answers are identical at every shard count anyway, so the
-// determinism contract is unaffected.
+// reports its page capacity; in-memory providers are unlimited) and to
+// the query's `pin_budget` (SearchParams::pin_budget: the serving engine
+// splits a shared pool's pin capacity across concurrent queries; 0 = no
+// per-query cap). Both clamps depend only on configuration — never on
+// timing — and exact answers are identical at every shard count anyway,
+// so the determinism contract is unaffected.
+//
+// Error contract: provider-backed ScanIds/ScanRange/RefineOrdered return
+// IoError when any fetch fails (read error, or a pool whose every page
+// is pinned beyond the admission retries) instead of silently skipping
+// candidates — a skipped candidate could be a true neighbor. Answers
+// offered before the failure remain in the caller's set; callers are
+// expected to abandon the query on error.
 class ParallelLeafScanner {
  public:
   // `pool` defaults to ThreadPool::Global(). The calling thread runs
   // shard 0 itself, so a query only ever blocks on num_threads-1 workers.
   ParallelLeafScanner(std::span<const float> query, AnswerSet* answers,
                       QueryCounters* counters, size_t num_threads,
-                      ThreadPool* pool = nullptr);
+                      uint64_t pin_budget = 0, ThreadPool* pool = nullptr);
 
   // --- serial single-candidate paths, delegated to LeafScanner ---
   void Scan(std::span<const float> series, int64_t id) {
@@ -78,11 +87,13 @@ class ParallelLeafScanner {
   }
 
   // --- batched paths; parallel when eligible, else serial ---
-  size_t ScanIds(SeriesProvider* provider, std::span<const int64_t> ids);
+  Result<size_t> ScanIds(SeriesProvider* provider,
+                         std::span<const int64_t> ids);
   size_t ScanIds(const Dataset& data, std::span<const int64_t> ids);
   size_t ScanContiguous(const float* block, size_t count, size_t stride,
                         int64_t first_id);
-  size_t ScanRange(SeriesProvider* provider, uint64_t first, uint64_t count);
+  Result<size_t> ScanRange(SeriesProvider* provider, uint64_t first,
+                           uint64_t count);
 
   // Ordered refinement for the candidate-list methods (VA+file, SRS):
   // reproduces the serial loop
@@ -130,7 +141,8 @@ class ParallelLeafScanner {
   }
   // Shard count for a provider-backed scan of `count` candidates: 1 when
   // the scan must run serially, else num_threads_ clamped to the
-  // provider's concurrent-pin budget (see class comment).
+  // provider's concurrent-pin budget and the query's pin budget (see
+  // class comment).
   size_t ProviderShards(SeriesProvider* provider, size_t count) const;
 
   // Shard [0, count) into `shards` contiguous ranges, run
@@ -156,6 +168,7 @@ class ParallelLeafScanner {
   AnswerSet* answers_;
   QueryCounters* counters_;
   size_t num_threads_;
+  uint64_t pin_budget_;
   ThreadPool* pool_;
   LeafScanner serial_;
   const DistanceKernels& kernels_;

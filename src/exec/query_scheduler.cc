@@ -1,0 +1,179 @@
+#include "exec/query_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "storage/buffer_manager.h"
+
+namespace hydra {
+
+QueryScheduler::QueryScheduler(const Index& index,
+                               const ServingOptions& options)
+    : index_(index),
+      pool_(options.pool != nullptr ? options.pool : &ThreadPool::Global()),
+      // The capability clamp lives here, on the shared mechanism: an
+      // index whose Search mutates state (ADS+) must never see
+      // overlapping calls no matter how the scheduler was constructed.
+      max_in_flight_(index.capabilities().concurrent_queries
+                         ? std::max<size_t>(1, options.concurrency)
+                         : 1),
+      queue_capacity_(options.queue_capacity != 0 ? options.queue_capacity
+                                                  : 2 * max_in_flight_) {}
+
+QueryScheduler::~QueryScheduler() {
+  std::unique_lock<std::mutex> lock(mu_);
+  finished_ = true;
+  // Never-admitted queries are discarded: the consumer of their results
+  // is the thread destroying the stream. Admitted tasks reference this
+  // object, so the destructor must see them out — and so must any
+  // producer still inside Submit (woken by the notify below): waiting on
+  // submitters_ keeps the mutex/cvs alive until the last one left.
+  pending_.clear();
+  space_cv_.notify_all();
+  results_cv_.wait(lock,
+                   [this] { return in_flight_ == 0 && submitters_ == 0; });
+}
+
+uint64_t QueryScheduler::Submit(std::span<const float> query,
+                                const SearchParams& params) {
+  std::shared_ptr<Request> req;
+  uint64_t ticket;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++submitters_;
+    space_cv_.wait(lock, [this] {
+      return pending_.size() < queue_capacity_ || finished_;
+    });
+    --submitters_;
+    if (finished_) {
+      // Shutdown (or Finish) raced this submission: the query is
+      // dropped, visibly. A waiting destructor learns the last
+      // submitter is gone.
+      if (submitters_ == 0) results_cv_.notify_all();
+      return kDropped;
+    }
+    ticket = next_ticket_++;
+    req = std::make_shared<Request>();
+    req->ticket = ticket;
+    req->query.assign(query.begin(), query.end());
+    req->params = params;
+    pending_.push_back(req);
+    DispatchLocked();
+  }
+  return ticket;
+}
+
+void QueryScheduler::DispatchLocked() {
+  while (in_flight_ < max_in_flight_ && !pending_.empty()) {
+    std::shared_ptr<Request> req = std::move(pending_.front());
+    pending_.pop_front();
+    ++in_flight_;
+    space_cv_.notify_one();
+    // The pool task holds the request alive; completion re-enters
+    // DispatchLocked, so admission needs no dispatcher thread.
+    pool_->Submit([this, req] { Serve(req); });
+  }
+}
+
+void QueryScheduler::Serve(const std::shared_ptr<Request>& req) {
+  ServedQuery out;
+  out.ticket = req->ticket;
+  try {
+    out.answer = index_.Search(
+        std::span<const float>(req->query.data(), req->query.size()),
+        req->params, &out.counters);
+  } catch (const std::exception& e) {
+    // No exception crosses the serving boundary: a throwing search (OOM
+    // inside a scan fan-out) becomes a per-query error result.
+    out.answer = Status::Internal(e.what());
+  } catch (...) {
+    out.answer = Status::Internal("unknown exception in Search");
+  }
+  out.seconds = req->submitted.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_.emplace(req->ticket, std::move(out));
+    --in_flight_;
+    DispatchLocked();
+    // Notified under the lock on purpose: the destructor destroys the cv
+    // as soon as it observes in_flight_ == 0, which it can only do after
+    // this critical section — a notify after unlock could still be
+    // touching the cv then.
+    results_cv_.notify_all();
+  }
+}
+
+std::optional<ServedQuery> QueryScheduler::Next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  results_cv_.wait(lock, [this] {
+    return done_.count(next_result_) != 0 ||
+           (finished_ && next_result_ >= next_ticket_);
+  });
+  auto it = done_.find(next_result_);
+  if (it == done_.end()) return std::nullopt;  // drained
+  ServedQuery out = std::move(it->second);
+  done_.erase(it);
+  ++next_result_;
+  return out;
+}
+
+void QueryScheduler::Finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_ = true;
+  space_cv_.notify_all();
+  results_cv_.notify_all();  // under the lock: see Serve()
+}
+
+size_t QueryScheduler::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+ServingOptions ServingSession::NegotiateOptions(SeriesProvider* provider,
+                                                ServingOptions options) {
+  // (The concurrent_queries capability clamp is QueryScheduler's own
+  // job; only the storage negotiation happens here.)
+  if (provider != nullptr) {
+    const uint64_t pins = provider->MaxConcurrentPins();
+    // Admission itself is clamped to the pin capacity: more in-flight
+    // queries than pages would let the per-query floor of one pin
+    // overcommit the pool and starve fetches — the very failure the
+    // budget split exists to rule out. Excess queries simply queue.
+    if (pins != UINT64_MAX && options.concurrency > pins) {
+      options.concurrency = static_cast<size_t>(pins);
+    }
+  }
+  return options;
+}
+
+ServingSession::ServingSession(const Index& index, SeriesProvider* provider,
+                               ServingOptions options)
+    : scheduler_(index, NegotiateOptions(provider, options)) {
+  if (provider != nullptr) {
+    const uint64_t pins = provider->MaxConcurrentPins();
+    if (pins != UINT64_MAX) {
+      // The negotiation: split the pool's pin capacity evenly across the
+      // admitted queries (concurrency <= pins after the clamp above, so
+      // the combined demand of N queries is N * (pins / N) <= pins and
+      // overlapping queries can never starve each other of pins).
+      // Configuration-only, so every query of a session sees the same
+      // budget.
+      per_query_pin_budget_ =
+          std::max<uint64_t>(1, pins / scheduler_.concurrency());
+    }
+  }
+}
+
+uint64_t ServingSession::Submit(std::span<const float> query,
+                                SearchParams params) {
+  params.concurrency = scheduler_.concurrency();
+  if (per_query_pin_budget_ != 0) {
+    params.pin_budget = params.pin_budget == 0
+                            ? per_query_pin_budget_
+                            : std::min(params.pin_budget,
+                                       per_query_pin_budget_);
+  }
+  return scheduler_.Submit(query, params);
+}
+
+}  // namespace hydra

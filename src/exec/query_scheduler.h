@@ -1,0 +1,187 @@
+#ifndef HYDRA_EXEC_QUERY_SCHEDULER_H_
+#define HYDRA_EXEC_QUERY_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "exec/thread_pool.h"
+#include "index/index.h"
+
+namespace hydra {
+
+class SeriesProvider;  // storage/buffer_manager.h
+
+// Inter-query concurrency: the serving engine that overlaps WHOLE queries
+// on the shared worker pool, where the rest of src/exec/ parallelizes the
+// inside of one query. The paper's harness runs queries one at a time; a
+// production store is judged on throughput under concurrent access, so
+// this layer turns the same indexes into a serving system without
+// touching them — a query is an opaque unit above the per-query scan
+// engine.
+//
+// Determinism argument (docs/ARCHITECTURE.md "Serving" has the long
+// form): every query owns its AnswerSet, QueryCounters and scanner; the
+// only state shared between in-flight queries is (a) the ThreadPool,
+// whose scheduling never affects answers (work is sharded by
+// SearchParams::num_threads alone), and (b) the buffer pool, which is a
+// content-addressed cache — a page's bytes are the same no matter which
+// query faulted it in — with pin-stable spans. Hence the answer to each
+// query is identical at every concurrency level, including 1; only
+// timing and cache hit/miss attribution shift. Tests/serving_test.cc
+// asserts exactly this.
+
+// One completed query as it leaves the completion stream.
+struct ServedQuery {
+  uint64_t ticket = 0;
+  Result<KnnAnswer> answer{Status::Internal("not served")};
+  QueryCounters counters;
+  // Submission (Submit() return) to completion, queue wait included —
+  // the latency a serving client observes under load.
+  double seconds = 0.0;
+};
+
+struct ServingOptions {
+  // Queries admitted onto the pool at once. Clamped to 1 when the index
+  // does not serve concurrent queries (IndexCapabilities).
+  size_t concurrency = 1;
+  // Bounded submission queue: Submit() blocks (backpressure) while this
+  // many queries are waiting for admission. 0 = 2 * concurrency.
+  size_t queue_capacity = 0;
+  // Worker pool the whole-query tasks run on; nullptr = the process-wide
+  // ThreadPool::Global(). Intra-query fan-outs of an admitted query run
+  // on the same pool (TaskGroup::Wait helps, so nesting cannot deadlock).
+  ThreadPool* pool = nullptr;
+};
+
+// Bounded-admission scheduler: a submission queue in front of N in-flight
+// whole-query tasks on the ThreadPool, with a completion stream that
+// hands results back in submission order regardless of completion order
+// — serving output is deterministic even though execution overlaps.
+//
+// Thread safety: Submit/Next/Finish may be called from any threads
+// (typically one producer and one consumer). The destructor drains the
+// queries already admitted (their tasks reference this object), discards
+// never-admitted pending queries, wakes producers blocked in Submit
+// (their submissions are dropped), and waits until the last of them has
+// left before tearing down.
+class QueryScheduler {
+ public:
+  QueryScheduler(const Index& index, const ServingOptions& options);
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  // No-ticket sentinel: Submit's return value when the query was NOT
+  // accepted (Finish() or the destructor raced the submission while it
+  // was blocked on backpressure). Never a valid ticket.
+  static constexpr uint64_t kDropped = UINT64_MAX;
+
+  // Enqueues one query (the span is copied; the caller's buffer is free
+  // immediately). Blocks while the submission queue is full. Returns the
+  // query's ticket — results come back from Next() in ticket order — or
+  // kDropped when the stream was closed before the query could be
+  // accepted (the query is discarded; no result will appear for it).
+  // Must not be called after Finish().
+  uint64_t Submit(std::span<const float> query, const SearchParams& params);
+
+  // Blocks for the result of the next ticket in submission order;
+  // nullopt once Finish() was called and every submitted query was
+  // consumed.
+  std::optional<ServedQuery> Next();
+
+  // Declares the submission stream closed so Next() can drain to
+  // nullopt. Idempotent.
+  void Finish();
+
+  // Admitted-but-not-completed queries right now (for tests/monitoring;
+  // racy by nature).
+  size_t in_flight() const;
+  size_t concurrency() const { return max_in_flight_; }
+  size_t queue_capacity() const { return queue_capacity_; }
+
+ private:
+  struct Request {
+    uint64_t ticket = 0;
+    std::vector<float> query;
+    SearchParams params;
+    Timer submitted;  // starts at Submit()
+  };
+
+  // Admits pending queries while in-flight slots are free. Called with
+  // mu_ held, from Submit and from every completion (direct handoff: no
+  // dispatcher thread exists).
+  void DispatchLocked();
+  // Runs one query on the pool and files its result.
+  void Serve(const std::shared_ptr<Request>& req);
+
+  const Index& index_;
+  ThreadPool* pool_;
+  size_t max_in_flight_;
+  size_t queue_capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable space_cv_;    // submitters: queue has room
+  std::condition_variable results_cv_;  // consumer + dtor: results/idle
+  std::deque<std::shared_ptr<Request>> pending_;
+  std::map<uint64_t, ServedQuery> done_;  // completed, unconsumed
+  uint64_t next_ticket_ = 0;
+  uint64_t next_result_ = 0;
+  size_t in_flight_ = 0;
+  // Producers currently inside Submit (blocked or not): the destructor
+  // waits them out so a woken submitter never touches freed state.
+  size_t submitters_ = 0;
+  bool finished_ = false;
+};
+
+// Binds a scheduler to one index + the shared storage it serves from and
+// negotiates the per-query resource split: admission is clamped to the
+// provider's pin capacity (never more in-flight queries than pages —
+// excess queries just queue), and each admitted query gets a pin budget
+// of MaxConcurrentPins() / concurrency, which the scan layers clamp
+// their provider-backed fan-outs to. Both depend only on configuration
+// (pool capacity, concurrency level), never on timing, so answers stay
+// deterministic — and the combined demand of N in-flight queries is
+// N * (capacity / N) <= capacity: overlapping queries can never starve
+// each other of buffer-pool pins. This is the object the harness serving
+// mode (RunServingSweep) and bench_serving drive.
+class ServingSession {
+ public:
+  // `provider` is the storage the index searches over (nullptr for
+  // indexes that own their data): only its MaxConcurrentPins() is read.
+  ServingSession(const Index& index, SeriesProvider* provider,
+                 ServingOptions options);
+
+  // Applies the session's pin budget (and records the concurrency level
+  // in params for downstream reporting), then submits.
+  uint64_t Submit(std::span<const float> query, SearchParams params);
+
+  std::optional<ServedQuery> Next() { return scheduler_.Next(); }
+  void Finish() { scheduler_.Finish(); }
+
+  // Effective values after capability clamping / budget negotiation.
+  size_t concurrency() const { return scheduler_.concurrency(); }
+  uint64_t per_query_pin_budget() const { return per_query_pin_budget_; }
+
+ private:
+  static ServingOptions NegotiateOptions(SeriesProvider* provider,
+                                         ServingOptions options);
+
+  uint64_t per_query_pin_budget_ = 0;  // 0 = unconstrained provider
+  QueryScheduler scheduler_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_EXEC_QUERY_SCHEDULER_H_

@@ -27,17 +27,18 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(std::function<void()> task, const void* tag) {
   size_t worker;
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
     worker = next_;
     next_ = (next_ + 1) % queues_.size();
   }
-  SubmitTo(worker, std::move(task));
+  SubmitTo(worker, std::move(task), tag);
 }
 
-void ThreadPool::SubmitTo(size_t worker, std::function<void()> task) {
+void ThreadPool::SubmitTo(size_t worker, std::function<void()> task,
+                          const void* tag) {
   Queue& q = *queues_[worker % queues_.size()];
   // pending_ rises before the task is visible in the queue: a worker that
   // sees pending_ > 0 with empty queues simply retries its pop, while the
@@ -48,9 +49,41 @@ void ThreadPool::SubmitTo(size_t worker, std::function<void()> task) {
   }
   {
     std::lock_guard<std::mutex> lock(q.mu);
-    q.tasks.push_back(std::move(task));
+    q.tasks.emplace_back(std::move(task), tag);
   }
   wake_cv_.notify_one();
+}
+
+bool ThreadPool::TryRunOne(const void* tag) {
+  std::function<void()> task;
+  const size_t n = queues_.size();
+  for (size_t i = 0; i < n && !task; ++i) {
+    Queue& q = *queues_[i];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (tag == nullptr) {
+      if (q.tasks.empty()) continue;
+      // Back of the queue, like a worker's steal: the front stays with
+      // the worker the task was routed to.
+      task = std::move(q.tasks.back().first);
+      q.tasks.pop_back();
+    } else {
+      // Targeted help: take the newest task carrying the caller's tag,
+      // leaving everything else in place.
+      for (auto it = q.tasks.rbegin(); it != q.tasks.rend(); ++it) {
+        if (it->second != tag) continue;
+        task = std::move(it->first);
+        q.tasks.erase(std::next(it).base());
+        break;
+      }
+    }
+  }
+  if (!task) return false;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    --pending_;
+  }
+  task();
+  return true;
 }
 
 std::function<void()> ThreadPool::TryPop(size_t self) {
@@ -61,10 +94,10 @@ std::function<void()> ThreadPool::TryPop(size_t self) {
     if (q.tasks.empty()) continue;
     std::function<void()> task;
     if (offset == 0) {
-      task = std::move(q.tasks.front());
+      task = std::move(q.tasks.front().first);
       q.tasks.pop_front();
     } else {
-      task = std::move(q.tasks.back());
+      task = std::move(q.tasks.back().first);
       q.tasks.pop_back();
     }
     return task;
@@ -103,17 +136,34 @@ ThreadPool& ThreadPool::Global() {
   return pool;
 }
 
-TaskGroup::~TaskGroup() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
+void TaskGroup::HelpUntilDrained() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (pending_ == 0) return;
+    }
+    // Help instead of sleeping — but only with THIS group's tasks: an
+    // arbitrary queued task (another serving query, say) could run for
+    // this waiter's entire latency budget.
+    if (pool_ != nullptr && pool_->TryRunOne(this)) continue;
+    // None of this group's tasks are queued, and only the owner thread
+    // (which is here, waiting) can enqueue more: the remaining pending
+    // tasks are all mid-execution on workers, so blocking is safe — each
+    // completion notifies this group's cv.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return pending_ == 0; });
+    return;
+  }
 }
 
+TaskGroup::~TaskGroup() { HelpUntilDrained(); }
+
 void TaskGroup::Run(std::function<void()> task) {
-  pool_->Submit(Wrap(std::move(task)));
+  pool_->Submit(Wrap(std::move(task)), this);
 }
 
 void TaskGroup::RunOn(size_t worker, std::function<void()> task) {
-  pool_->SubmitTo(worker, Wrap(std::move(task)));
+  pool_->SubmitTo(worker, Wrap(std::move(task)), this);
 }
 
 std::function<void()> TaskGroup::Wrap(std::function<void()> task) {
@@ -134,8 +184,8 @@ std::function<void()> TaskGroup::Wrap(std::function<void()> task) {
 }
 
 void TaskGroup::Wait() {
+  HelpUntilDrained();
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
   if (first_error_) {
     std::exception_ptr err = std::exchange(first_error_, nullptr);
     lock.unlock();

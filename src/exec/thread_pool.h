@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace hydra {
@@ -21,9 +22,11 @@ namespace hydra {
 // Thread safety: Submit/SubmitTo may be called from any thread, including
 // from inside a running task. The destructor drains every queued task and
 // then joins the workers; tasks submitted during shutdown still run.
-// Tasks must not block waiting for other tasks of the same pool (the pool
-// has no nesting-aware scheduler); TaskGroup callers instead run a share
-// of the work on their own thread.
+// Tasks MAY block waiting for other tasks of the same pool through
+// TaskGroup::Wait: the wait helps — it pops and runs queued tasks OF ITS
+// OWN GROUP on the waiting thread until the group drains — so nested
+// fan-outs (a whole-query task that internally shards its leaf scans,
+// see exec/query_scheduler.h) cannot deadlock even a one-worker pool.
 class ThreadPool {
  public:
   // Spawns max(1, num_threads) workers.
@@ -35,12 +38,24 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
-  // Enqueues a task on the next queue, round-robin.
-  void Submit(std::function<void()> task);
+  // Enqueues a task on the next queue, round-robin. `tag` identifies the
+  // submitter's task group for targeted helping (see TryRunOne); nullptr
+  // = untagged.
+  void Submit(std::function<void()> task, const void* tag = nullptr);
 
   // Enqueues a task on a specific worker's queue (tests use this to force
   // skew; the task may still be stolen by any idle worker).
-  void SubmitTo(size_t worker, std::function<void()> task);
+  void SubmitTo(size_t worker, std::function<void()> task,
+                const void* tag = nullptr);
+
+  // Pops one queued task and runs it on the calling thread; false when
+  // nothing eligible was queued at the scan. With a tag, only tasks
+  // submitted under that tag are eligible — the helping primitive behind
+  // TaskGroup::Wait, which must run its OWN shards while waiting, not an
+  // arbitrary queued task (inlining, say, a whole other serving query
+  // would bloat the waiter's latency by that query's full runtime).
+  // With tag == nullptr any task is eligible (generic cycle donation).
+  bool TryRunOne(const void* tag = nullptr);
 
   // Process-wide pool shared by every query. Sized once, on first use, to
   // HYDRA_THREADS if set, else std::thread::hardware_concurrency().
@@ -51,7 +66,8 @@ class ThreadPool {
  private:
   struct Queue {
     std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    // Each task carries its submitter's helping tag (nullptr: untagged).
+    std::deque<std::pair<std::function<void()>, const void*>> tasks;
   };
 
   void WorkerLoop(size_t self);
@@ -76,6 +92,18 @@ class ThreadPool {
 // until all of them finished. The first exception thrown by any task is
 // captured and rethrown from Wait() (the remaining tasks still run to
 // completion, so the pool is left clean).
+//
+// Waiting helps: while its tasks are pending, the waiter runs queued
+// tasks OF THIS GROUP (ThreadPool::TryRunOne with the group as tag)
+// instead of sleeping, and only blocks once none of its tasks are queued
+// — at which point the remainder are mid-execution on workers and
+// completion is guaranteed. This makes nested waits (a pool task waiting
+// on its own subtasks) deadlock-free: a group's pending tasks are always
+// either queued under its tag (the waiter runs them) or running (their
+// completion notifies), never parked behind the waiter. Restricting help
+// to the own group also keeps the waiter's latency its own — it can
+// never get stuck inlining an unrelated long task (e.g. a whole other
+// serving query) that happened to be queued.
 class TaskGroup {
  public:
   explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
@@ -98,6 +126,10 @@ class TaskGroup {
 
  private:
   std::function<void()> Wrap(std::function<void()> task);
+  // The helping drain shared by Wait() and the destructor: runs queued
+  // pool tasks until pending_ reaches 0, then returns (without touching
+  // first_error_).
+  void HelpUntilDrained();
 
   ThreadPool* pool_;
   std::mutex mu_;

@@ -1,8 +1,13 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "common/timer.h"
+#include "exec/query_scheduler.h"
 
 namespace hydra {
 
@@ -118,6 +123,183 @@ Table ThreadSweepTable(const std::vector<ThreadSweepPoint>& points,
                       r.DataAccessedFraction(collection_size) * 100.0, 2)});
   }
   return table;
+}
+
+double ServingSweepPoint::HitRate() const {
+  const uint64_t total =
+      result.counters.cache_hits + result.counters.cache_misses;
+  if (total == 0) return 0.0;
+  return static_cast<double>(result.counters.cache_hits) /
+         static_cast<double>(total);
+}
+
+namespace {
+
+// Nearest-rank percentile over serving latencies (sorted copy): the
+// smallest value with at least pct of the sample at or below it,
+// i.e. index ceil(pct * N) - 1.
+double PercentileMs(std::vector<double> seconds, double pct) {
+  if (seconds.empty()) return 0.0;
+  std::sort(seconds.begin(), seconds.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(pct * static_cast<double>(seconds.size())));
+  if (rank > 0) --rank;
+  if (rank >= seconds.size()) rank = seconds.size() - 1;
+  return seconds[rank] * 1000.0;
+}
+
+// Same ids and bit-identical distances.
+bool AnswersIdentical(const KnnAnswer& a, const KnnAnswer& b) {
+  return a.ids == b.ids && a.distances == b.distances;
+}
+
+// Pushes the whole workload through one serving session and collects the
+// ordered completion stream.
+ServingSweepPoint RunServingPoint(const Index& index, const Dataset& queries,
+                                  const std::vector<KnnAnswer>& ground_truth,
+                                  const SearchParams& base,
+                                  size_t concurrency,
+                                  SeriesProvider* provider,
+                                  std::vector<KnnAnswer>* answers_out) {
+  ServingSweepPoint point;
+  point.concurrency = concurrency;
+  point.result.method = index.name();
+  point.result.setting = "concurrency=" + std::to_string(concurrency);
+  point.result.index_bytes = index.MemoryBytes();
+
+  std::vector<double> latencies;
+  latencies.reserve(queries.size());
+  std::vector<KnnAnswer> answers;
+  answers.reserve(queries.size());
+
+  ServingOptions options;
+  options.concurrency = concurrency;
+  ServingSession session(index, provider, options);
+  Timer wall;
+  // Closed-loop load generation: Submit() blocks on the bounded queue, so
+  // at most queue_capacity + concurrency queries have their latency clock
+  // running — completions need not be consumed for submission to make
+  // progress, so one thread drives the whole sweep.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    session.Submit(queries.series(q), base);
+  }
+  session.Finish();
+  while (std::optional<ServedQuery> served = session.Next()) {
+    latencies.push_back(served->seconds);
+    answers.push_back(served->answer.ok() ? std::move(served->answer).value()
+                                          : KnnAnswer{});
+    point.result.counters += served->counters;
+  }
+  point.wall_seconds = wall.ElapsedSeconds();
+
+  point.qps = point.wall_seconds > 0.0
+                  ? static_cast<double>(queries.size()) / point.wall_seconds
+                  : 0.0;
+  point.p50_ms = PercentileMs(latencies, 0.50);
+  point.p95_ms = PercentileMs(latencies, 0.95);
+  point.p99_ms = PercentileMs(latencies, 0.99);
+  point.result.timing = SummarizeWorkload(latencies);
+  point.result.accuracy = AggregateAccuracy(ground_truth, answers, base.k);
+  point.result.num_queries = queries.size();
+  if (answers_out != nullptr) *answers_out = std::move(answers);
+  return point;
+}
+
+}  // namespace
+
+std::vector<ServingSweepPoint> RunServingSweep(
+    const Index& index, const Dataset& queries,
+    const std::vector<KnnAnswer>& ground_truth, SearchParams base,
+    const std::vector<size_t>& concurrency_levels,
+    SeriesProvider* provider) {
+  // Untimed warm-up pass: every point then measures steady-state serving
+  // from a comparably warmed buffer pool. Without it the sequential
+  // baseline would pay all the cold page misses and the concurrency
+  // levels would be credited cache warm-up as "speedup".
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryCounters scratch;
+    (void)index.Search(queries.series(q), base, &scratch);
+  }
+
+  // Sequential baseline: the reference answers every level must
+  // reproduce, and the denominator of the throughput speedup.
+  std::vector<KnnAnswer> serial_answers;
+  ServingSweepPoint serial = RunServingPoint(
+      index, queries, ground_truth, base, 1, provider, &serial_answers);
+
+  std::vector<ServingSweepPoint> points;
+  points.reserve(concurrency_levels.size());
+  for (size_t level : concurrency_levels) {
+    const size_t concurrency = level == 0 ? 1 : level;
+    ServingSweepPoint point;
+    std::vector<KnnAnswer> answers;
+    if (concurrency == 1) {
+      point = serial;  // reuse the baseline measurement
+      point.matches_serial = true;
+    } else {
+      point = RunServingPoint(index, queries, ground_truth, base,
+                              concurrency, provider, &answers);
+      point.matches_serial =
+          answers.size() == serial_answers.size() &&
+          std::equal(answers.begin(), answers.end(), serial_answers.begin(),
+                     AnswersIdentical);
+    }
+    point.speedup = point.wall_seconds > 0.0
+                        ? serial.wall_seconds / point.wall_seconds
+                        : 0.0;
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+Table ServingSweepTable(const std::vector<ServingSweepPoint>& points) {
+  Table table({"method", "concurrency", "wall_s", "qps", "p50_ms", "p95_ms",
+               "p99_ms", "speedup", "avg_recall", "hit_rate",
+               "match_serial"});
+  for (const ServingSweepPoint& p : points) {
+    table.AddRow({p.result.method, std::to_string(p.concurrency),
+                  FormatDouble(p.wall_seconds, 4), FormatDouble(p.qps, 1),
+                  FormatDouble(p.p50_ms, 3), FormatDouble(p.p95_ms, 3),
+                  FormatDouble(p.p99_ms, 3), FormatDouble(p.speedup, 2),
+                  FormatDouble(p.result.accuracy.avg_recall, 4),
+                  FormatDouble(p.HitRate(), 4),
+                  p.matches_serial ? "yes" : "NO"});
+  }
+  return table;
+}
+
+std::vector<size_t> ParseCountList(const char* text,
+                                   std::vector<size_t> fallback) {
+  if (text == nullptr) return fallback;
+  std::vector<size_t> counts;
+  std::string s(text);
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    char* end = nullptr;
+    const std::string token = s.substr(pos, comma - pos);
+    unsigned long long parsed = std::strtoull(token.c_str(), &end, 10);
+    if (end != token.c_str() && *end == '\0' && parsed > 0) {
+      counts.push_back(static_cast<size_t>(parsed));
+    }
+    pos = comma + 1;
+  }
+  return counts.empty() ? fallback : counts;
+}
+
+std::vector<size_t> ConcurrencyLevelsFromEnv() {
+  return ParseCountList(std::getenv("HYDRA_CONCURRENCY"), {1, 2, 4, 8});
+}
+
+size_t EnvCount(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end != v && *end == '\0' && parsed > 0)
+             ? static_cast<size_t>(parsed)
+             : fallback;
 }
 
 std::vector<SweepPoint> NgSweep(size_t k, const std::vector<size_t>& nprobes) {

@@ -14,6 +14,8 @@
 
 namespace hydra {
 
+class SeriesProvider;  // storage/buffer_manager.h
+
 // One (method, parameter point) measurement over a query workload:
 // timing under the paper's protocol plus accuracy against ground truth
 // and the aggregated implementation-independent counters.
@@ -90,6 +92,68 @@ std::vector<ThreadSweepPoint> RunThreadSweep(
 // hit/miss accounting (only real fetches charge I/O).
 Table ThreadSweepTable(const std::vector<ThreadSweepPoint>& points,
                        size_t collection_size = 0);
+
+// Serving-mode sweep over the inter-query concurrency level: the same
+// workload pushed through the serving engine (exec/query_scheduler.h)
+// with `concurrency` whole queries overlapped on the shared pool and the
+// shared provider. Where RunThreadSweep measures how fast ONE query gets
+// with more workers, this measures what the system sustains under load —
+// the serving scenario the ROADMAP north-star cares about.
+struct ServingSweepPoint {
+  size_t concurrency = 1;
+  // result.timing summarizes per-query serving latencies (submission to
+  // completion, queue wait included) — NOT additive machine time, which
+  // is wall_seconds here since queries overlap.
+  RunResult result;
+  double wall_seconds = 0.0;  // first Submit() to last result drained
+  double qps = 0.0;           // num_queries / wall_seconds
+  double p50_ms = 0.0;        // serving latency percentiles
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double speedup = 1.0;  // sequential wall_seconds / this wall_seconds
+  // Every answer identical (ids + bit-identical distances) to the
+  // sequential (concurrency = 1) run — the serving determinism contract.
+  bool matches_serial = true;
+
+  // Buffer-pool hit rate of this point's queries (per-query attribution
+  // summed); 0 when the workload never touched a pool.
+  double HitRate() const;
+};
+
+// Runs one untimed sequential warm-up pass (so every point measures
+// steady-state serving from a comparably warmed buffer pool, not cache
+// warm-up), then the sequential baseline (reused for a concurrency-1
+// entry), then each requested level. `provider` is the shared storage
+// the index serves from (nullptr for in-memory indexes that own their
+// data): the serving session splits its pin capacity across in-flight
+// queries.
+std::vector<ServingSweepPoint> RunServingSweep(
+    const Index& index, const Dataset& queries,
+    const std::vector<KnnAnswer>& ground_truth, SearchParams base,
+    const std::vector<size_t>& concurrency_levels,
+    SeriesProvider* provider = nullptr);
+
+// One row per level. Columns (also the CSV schema):
+//   method, concurrency, wall_s, qps, p50_ms, p95_ms, p99_ms, speedup,
+//   avg_recall, hit_rate, match_serial
+Table ServingSweepTable(const std::vector<ServingSweepPoint>& points);
+
+// Comma-separated count list ("1,2,8"), e.g. from a sweep environment
+// knob; entries that do not parse to a positive integer are skipped, and
+// `fallback` is returned when nothing survives (or text == nullptr).
+std::vector<size_t> ParseCountList(const char* text,
+                                   std::vector<size_t> fallback);
+
+// The serving sweep's concurrency levels from HYDRA_CONCURRENCY
+// (default {1, 2, 4, 8}) — the knob the serving bench and the CI
+// serving-stress lane drive.
+std::vector<size_t> ConcurrencyLevelsFromEnv();
+
+// One positive count from the environment, `fallback` when the variable
+// is unset or does not parse to a positive integer. The benches' and
+// stress tests' sizing knobs (HYDRA_SWEEP_*, HYDRA_SERVING_*) all parse
+// through here.
+size_t EnvCount(const char* name, size_t fallback);
 
 }  // namespace hydra
 

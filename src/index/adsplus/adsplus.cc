@@ -188,7 +188,8 @@ double AdsPlusIndex::MinDistSq(const QueryContext& ctx, int32_t id) const {
   return encoder_->MinDistSqPaaToSax(ctx.paa, n.word, n.bits);
 }
 
-void AdsPlusIndex::ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const {
+Status AdsPlusIndex::ScanLeaf(int32_t id,
+                              ParallelLeafScanner* scanner) const {
   if (nodes_[id].series_ids.size() > options_.query_leaf_capacity) {
     RefineSubtree(id, scanner->counters());
   }
@@ -206,8 +207,10 @@ void AdsPlusIndex::ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const {
       stack.push_back(node.right);
       continue;
     }
-    scanner->ScanIds(provider_, node.series_ids);
+    HYDRA_RETURN_IF_ERROR(scanner->ScanIds(provider_, node.series_ids)
+                              .status());
   }
+  return Status::OK();
 }
 
 Result<KnnAnswer> AdsPlusIndex::Search(std::span<const float> query,

@@ -57,6 +57,10 @@ class AdsPlusIndex : public Index {
     c.epsilon_approximate = true;
     c.delta_epsilon_approximate = true;
     c.disk_resident = true;
+    // Queries refine the tree in place (see class comment): one instance
+    // must not serve overlapping queries. The serving engine reads this
+    // flag and admits ADS+ queries one at a time.
+    c.concurrent_queries = false;
     c.summarization = "iSAX (adaptive)";
     return c;
   }
@@ -75,7 +79,7 @@ class AdsPlusIndex : public Index {
   std::vector<int32_t> NodeChildren(int32_t id) const;
   double MinDistSq(const QueryContext& ctx, int32_t id) const;
   // Adaptive: refines the leaf to query_leaf_capacity before scanning.
-  void ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const;
+  Status ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const;
 
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_leaves() const;

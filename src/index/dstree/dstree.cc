@@ -261,8 +261,9 @@ double DSTreeIndex::MinDistSq(const QueryContext& ctx, int32_t id) const {
   return sum;
 }
 
-void DSTreeIndex::ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const {
-  scanner->ScanIds(provider_, nodes_[id].series_ids);
+Status DSTreeIndex::ScanLeaf(int32_t id,
+                             ParallelLeafScanner* scanner) const {
+  return scanner->ScanIds(provider_, nodes_[id].series_ids).status();
 }
 
 DSTreeIndex::QueryContext DSTreeIndex::MakeQueryContext(

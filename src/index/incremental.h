@@ -50,9 +50,11 @@ class IncrementalKnnStream {
   }
 
   // Returns the next neighbor in (ε-relaxed) distance order, or false
-  // when the collection is exhausted.
+  // when the collection is exhausted — or when a leaf scan failed, in
+  // which case status() is non-OK and the stream stays dry (an emission
+  // after a dropped leaf could be out of order).
   bool Next(int64_t* id, double* distance) {
-    while (!queue_.empty()) {
+    while (status_.ok() && !queue_.empty()) {
       Entry top = queue_.top();
       queue_.pop();
       if (top.is_object) {
@@ -71,6 +73,10 @@ class IncrementalKnnStream {
     }
     return false;
   }
+
+  // OK while every consumed leaf scanned cleanly; the first fetch error
+  // (exhausted buffer pool, read failure) parks here and ends the stream.
+  const Status& status() const { return status_; }
 
  private:
   struct Entry {
@@ -111,7 +117,11 @@ class IncrementalKnnStream {
     // stay serial (num_threads = 1).
     AnswerSet scratch(std::numeric_limits<size_t>::max() / 2);
     ParallelLeafScanner scratch_scanner(query_, &scratch, counters_, 1);
-    tree_.ScanLeaf(node, &scratch_scanner);
+    Status st = tree_.ScanLeaf(node, &scratch_scanner);
+    if (!st.ok()) {
+      status_ = std::move(st);
+      return;
+    }
     if (counters_ != nullptr) ++counters_->leaves_visited;
     KnnAnswer all = scratch.Finish();
     for (size_t i = 0; i < all.size(); ++i) {
@@ -125,6 +135,7 @@ class IncrementalKnnStream {
   std::span<const float> query_;
   double relax_;
   QueryCounters* counters_;
+  Status status_;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
 };
 
@@ -137,12 +148,15 @@ struct ProgressiveUpdate {
 using ProgressiveCallback = std::function<void(const ProgressiveUpdate&)>;
 
 // Exact best-first k-NN that reports intermediate result sets. The final
-// callback invocation (final = true) carries the exact answer.
+// callback invocation (final = true) carries the exact answer. A failed
+// leaf scan (exhausted buffer pool, read error) propagates as the
+// stream's error status — the partial set already reported through the
+// callback is never promoted to a final/exact answer.
 template <typename Tree, typename Ctx>
-KnnAnswer ProgressiveKnnSearch(const Tree& tree, const Ctx& ctx,
-                               std::span<const float> query, size_t k,
-                               const ProgressiveCallback& callback,
-                               QueryCounters* counters) {
+Result<KnnAnswer> ProgressiveKnnSearch(const Tree& tree, const Ctx& ctx,
+                                       std::span<const float> query, size_t k,
+                                       const ProgressiveCallback& callback,
+                                       QueryCounters* counters) {
   IncrementalKnnStream<Tree, Ctx> stream(tree, ctx, query, /*epsilon=*/0.0,
                                          counters);
   // Consuming the incremental stream yields neighbors best-first, so each
@@ -159,6 +173,7 @@ KnnAnswer ProgressiveKnnSearch(const Tree& tree, const Ctx& ctx,
       callback({running, improvements, running.size() == k});
     }
   }
+  HYDRA_RETURN_IF_ERROR(stream.status());
   if (callback && running.size() < k && improvements > 0) {
     // Collection smaller than k: re-fire the last state as final.
     callback({running, improvements, true});

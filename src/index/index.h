@@ -43,6 +43,19 @@ struct SearchParams {
   // on exact distance ties at the k-th boundary (the counter
   // full/abandoned split may also shift; see exec/parallel_scanner.h).
   size_t num_threads = 1;
+  // Inter-query parallelism: how many whole queries the serving engine
+  // (exec/query_scheduler.h) overlaps on the shared pool. Search() itself
+  // ignores it — it is the harness/serving knob (HYDRA_CONCURRENCY)
+  // carried alongside the other workload parameters. 1 = the paper's
+  // one-query-at-a-time protocol.
+  size_t concurrency = 1;
+  // Cap on the pinned pages this query may hold concurrently on a shared
+  // bounded buffer pool (0 = provider default). The serving engine sets
+  // it to MaxConcurrentPins() / concurrency so overlapping queries can
+  // never starve each other of pins; the scan layers clamp their
+  // provider-backed fan-outs to it (exec/parallel_scanner.h). Affects
+  // only shard counts, never answers.
+  uint64_t pin_budget = 0;
 };
 
 // Capability flags for the taxonomy table (paper Table 1 / Fig. 1).
@@ -52,6 +65,12 @@ struct IndexCapabilities {
   bool epsilon_approximate = false;
   bool delta_epsilon_approximate = false;
   bool disk_resident = false;
+  // Safe to call Search() from several threads at once on one instance.
+  // True for every read-only index (all shared state — provider, pool,
+  // kernels — is thread-safe); ADS+ answers false because queries refine
+  // the tree in place. The serving engine clamps its admission to 1 for
+  // such indexes instead of racing them.
+  bool concurrent_queries = true;
   std::string summarization;  // e.g. "EAPCA", "iSAX", "OPQ"
 };
 

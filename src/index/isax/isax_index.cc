@@ -176,8 +176,8 @@ double IsaxIndex::MinDistSq(const QueryContext& ctx, int32_t id) const {
   return encoder_->MinDistSqPaaToSax(ctx.paa, n.word, n.bits);
 }
 
-void IsaxIndex::ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const {
-  scanner->ScanIds(provider_, nodes_[id].series_ids);
+Status IsaxIndex::ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const {
+  return scanner->ScanIds(provider_, nodes_[id].series_ids).status();
 }
 
 Result<KnnAnswer> IsaxIndex::Search(std::span<const float> query,

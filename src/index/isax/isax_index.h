@@ -80,7 +80,7 @@ class IsaxIndex : public Index {
   bool IsLeaf(int32_t id) const { return nodes_[id].is_leaf; }
   std::vector<int32_t> NodeChildren(int32_t id) const;
   double MinDistSq(const QueryContext& ctx, int32_t id) const;
-  void ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const;
+  Status ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const;
 
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_leaves() const;

@@ -1,6 +1,7 @@
 #include "index/leaf_scanner.h"
 
 #include <algorithm>
+#include <string>
 
 namespace hydra {
 
@@ -23,13 +24,15 @@ bool LeafScanner::ScanFrom(SeriesProvider* provider, int64_t id) {
   return true;
 }
 
-size_t LeafScanner::ScanIds(SeriesProvider* provider,
-                            std::span<const int64_t> ids) {
-  size_t scanned = 0;
+Result<size_t> LeafScanner::ScanIds(SeriesProvider* provider,
+                                    std::span<const int64_t> ids) {
   for (int64_t id : ids) {
-    scanned += ScanFrom(provider, id) ? 1 : 0;
+    if (!ScanFrom(provider, id)) {
+      return Status::IoError("series " + std::to_string(id) +
+                             " fetch failed");
+    }
   }
-  return scanned;
+  return ids.size();
 }
 
 size_t LeafScanner::ScanIds(const Dataset& data,
@@ -62,15 +65,18 @@ size_t LeafScanner::ScanContiguous(const float* block, size_t count,
   return count;
 }
 
-size_t LeafScanner::ScanRange(SeriesProvider* provider, uint64_t first,
-                              uint64_t count) {
+Result<size_t> LeafScanner::ScanRange(SeriesProvider* provider,
+                                      uint64_t first, uint64_t count) {
   const size_t len = provider->series_length();
   size_t scanned = 0;
   uint64_t i = first;
   const uint64_t end = first + count;
   while (i < end) {
     PinnedRun run = provider->PinRun(i, end - i, counters_);
-    if (run.empty()) break;
+    if (run.empty()) {
+      return Status::IoError("series run at " + std::to_string(i) +
+                             " fetch failed");
+    }
     const size_t run_count = run.span().size() / len;
     ScanContiguous(run.span().data(), run_count, len,
                    static_cast<int64_t>(i));

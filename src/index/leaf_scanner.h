@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/counters.h"
+#include "common/status.h"
 #include "core/dataset.h"
 #include "distance/simd_dispatch.h"
 #include "index/answer_set.h"
@@ -48,11 +49,17 @@ class LeafScanner {
   // candidate is skipped, nothing else changes).
   bool ScanFrom(SeriesProvider* provider, int64_t id);
 
-  // Evaluates every id, skipping failed fetches (tree-leaf semantics).
-  // Returns the number of candidates evaluated.
-  size_t ScanIds(SeriesProvider* provider, std::span<const int64_t> ids);
+  // Evaluates every id; IoError as soon as a fetch fails (a buffer pool
+  // exhausted by concurrent queries, or a real read error) — a silently
+  // skipped candidate could be a true neighbor, so the failure must
+  // surface instead of degrading exactness. Candidates evaluated before
+  // the failure have already been offered to the answer set; the caller
+  // abandons the query, not the answers. Returns ids.size() on success.
+  Result<size_t> ScanIds(SeriesProvider* provider,
+                         std::span<const int64_t> ids);
 
-  // Dataset-backed variant for indexes that hold the data directly.
+  // Dataset-backed variant for indexes that hold the data directly
+  // (cannot fail: no I/O).
   size_t ScanIds(const Dataset& data, std::span<const int64_t> ids);
 
   // Evaluates `count` candidates laid out at block + c * stride whose ids
@@ -63,8 +70,10 @@ class LeafScanner {
 
   // Fetches maximal contiguous runs of [first, first + count) from the
   // provider (SeriesProvider::GetSeriesRun) and batch-evaluates them.
-  // Returns the number of candidates evaluated; short when a fetch fails.
-  size_t ScanRange(SeriesProvider* provider, uint64_t first, uint64_t count);
+  // IoError when a fetch fails (same contract as ScanIds); `count` on
+  // success.
+  Result<size_t> ScanRange(SeriesProvider* provider, uint64_t first,
+                           uint64_t count);
 
  private:
   // Candidates per batch-kernel call; bounds threshold staleness while

@@ -124,7 +124,8 @@ Result<KnnAnswer> QalshIndex::Search(std::span<const float> query,
   // which the scanner fans across workers. Distances never influence the
   // sweeps, only the per-round δ-ε termination check below, so answers
   // are identical to num_threads = 1.
-  ParallelLeafScanner scanner(query, &answers, counters, params.num_threads);
+  ParallelLeafScanner scanner(query, &answers, counters, params.num_threads,
+                              params.pin_budget);
   std::vector<int64_t> round_ids;
   auto refine = [&](int64_t id) -> Status {
     if (probed >= budget || refined[id]) return Status::OK();
@@ -165,9 +166,7 @@ Result<KnnAnswer> QalshIndex::Search(std::span<const float> query,
     // Evaluate the round's collected candidates before the termination
     // check below reads the updated best-so-far.
     if (!round_ids.empty()) {
-      if (scanner.ScanIds(provider_, round_ids) != round_ids.size()) {
-        return Status::IoError("series fetch failed");
-      }
+      HYDRA_RETURN_IF_ERROR(scanner.ScanIds(provider_, round_ids).status());
       round_ids.clear();
     }
     // δ-ε termination: the bsf already beats what a larger radius could

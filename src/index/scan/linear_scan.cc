@@ -16,8 +16,10 @@ Result<KnnAnswer> LinearScanIndex::Search(std::span<const float> query,
   // runs from the buffer manager) and feeds the SIMD batch kernel. This
   // is the partition-parallel scaling primitive — with num_threads = 1 it
   // is exactly the serial batched scan.
-  ParallelLeafScanner scanner(query, &answers, counters, params.num_threads);
-  if (scanner.ScanRange(provider_, 0, n) != n) {
+  ParallelLeafScanner scanner(query, &answers, counters, params.num_threads,
+                              params.pin_budget);
+  HYDRA_ASSIGN_OR_RETURN(size_t scanned, scanner.ScanRange(provider_, 0, n));
+  if (scanned != n) {
     return Status::IoError("series fetch failed");
   }
   return answers.Finish();

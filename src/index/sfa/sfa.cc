@@ -170,8 +170,8 @@ double SfaIndex::MinDistSq(const QueryContext& ctx, int32_t id) const {
   return sum;
 }
 
-void SfaIndex::ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const {
-  scanner->ScanIds(provider_, nodes_[id].series_ids);
+Status SfaIndex::ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const {
+  return scanner->ScanIds(provider_, nodes_[id].series_ids).status();
 }
 
 Result<KnnAnswer> SfaIndex::Search(std::span<const float> query,

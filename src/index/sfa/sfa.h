@@ -74,7 +74,7 @@ class SfaIndex : public Index {
     return nodes_[id].children;
   }
   double MinDistSq(const QueryContext& ctx, int32_t id) const;
-  void ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const;
+  Status ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const;
 
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_leaves() const;

@@ -26,22 +26,26 @@ namespace hydra {
 //   std::vector<NodeId> SearchRoots() const;
 //   bool IsLeaf(NodeId) const;
 //   std::vector<NodeId> NodeChildren(NodeId) const;
-//   double MinDistSq(const Ctx&, NodeId) const;       // admissible LB²
-//   void ScanLeaf(NodeId, ParallelLeafScanner*) const;
+//   double MinDistSq(const Ctx&, NodeId) const;         // admissible LB²
+//   Status ScanLeaf(NodeId, ParallelLeafScanner*) const;
 //
 // ScanLeaf receives the query-lifetime scanner (bound to the query, the
 // answer set and the counters) and feeds it the leaf's candidate ids; the
 // scanner fans them across workers when SearchParams::num_threads > 1 and
 // merges before returning, so the best-first loop always observes an
-// up-to-date k-th distance between leaves.
+// up-to-date k-th distance between leaves. A non-OK ScanLeaf status (an
+// exhausted buffer pool, a real read error) aborts the search and
+// propagates — a leaf silently dropped could hold a true neighbor, so
+// degraded answers are never returned as if they were exact.
 //
 // `Ctx` is whatever per-query precomputation the index needs (query PAA,
 // prefix sums, ...), built by the caller.
 template <typename Tree, typename Ctx>
-KnnAnswer TreeKnnSearch(const Tree& tree, const Ctx& ctx,
-                        std::span<const float> query,
-                        const SearchParams& params, double delta_radius,
-                        QueryCounters* counters) {
+Result<KnnAnswer> TreeKnnSearch(const Tree& tree, const Ctx& ctx,
+                                std::span<const float> query,
+                                const SearchParams& params,
+                                double delta_radius,
+                                QueryCounters* counters) {
   struct Entry {
     double lb_sq;
     typename std::decay_t<decltype(tree.SearchRoots())>::value_type node;
@@ -63,7 +67,8 @@ KnnAnswer TreeKnnSearch(const Tree& tree, const Ctx& ctx,
       ng ? (params.nprobe == 0 ? 1 : params.nprobe)
          : std::numeric_limits<size_t>::max();
 
-  ParallelLeafScanner scanner(query, &answers, counters, params.num_threads);
+  ParallelLeafScanner scanner(query, &answers, counters, params.num_threads,
+                              params.pin_budget);
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pqueue;
   for (NodeId root : tree.SearchRoots()) {
     double lb = tree.MinDistSq(ctx, root);
@@ -95,7 +100,7 @@ KnnAnswer TreeKnnSearch(const Tree& tree, const Ctx& ctx,
       node = best_child;
     }
     if (tree.IsLeaf(node)) {
-      tree.ScanLeaf(node, &scanner);
+      HYDRA_RETURN_IF_ERROR(tree.ScanLeaf(node, &scanner));
       if (counters != nullptr) ++counters->leaves_visited;
       ++leaves_visited;
       descent_leaf = node;
@@ -113,7 +118,7 @@ KnnAnswer TreeKnnSearch(const Tree& tree, const Ctx& ctx,
     // internal node since, and re-expanding it would rescan its series.
     if (top.node == descent_leaf) continue;
     if (tree.IsLeaf(top.node)) {
-      tree.ScanLeaf(top.node, &scanner);
+      HYDRA_RETURN_IF_ERROR(tree.ScanLeaf(top.node, &scanner));
       if (counters != nullptr) ++counters->leaves_visited;
       ++leaves_visited;
       // Algorithm 2 line 16: the δ-radius stopping condition.
@@ -148,9 +153,9 @@ namespace hydra {
 // (radius/(1+ε), radius] may be missed — completeness is traded for
 // speed, while the distance guarantee on returned results stays exact.
 template <typename Tree, typename Ctx>
-KnnAnswer TreeRangeSearch(const Tree& tree, const Ctx& ctx,
-                          std::span<const float> query, double radius,
-                          double epsilon, QueryCounters* counters) {
+Result<KnnAnswer> TreeRangeSearch(const Tree& tree, const Ctx& ctx,
+                                  std::span<const float> query, double radius,
+                                  double epsilon, QueryCounters* counters) {
   using NodeId =
       typename std::decay_t<decltype(tree.SearchRoots())>::value_type;
   const double radius_sq = radius * radius;
@@ -173,7 +178,7 @@ KnnAnswer TreeRangeSearch(const Tree& tree, const Ctx& ctx,
     if (counters != nullptr) ++counters->lb_distances;
     if (lb > prune_sq) continue;
     if (tree.IsLeaf(node)) {
-      tree.ScanLeaf(node, &scanner);
+      HYDRA_RETURN_IF_ERROR(tree.ScanLeaf(node, &scanner));
       if (counters != nullptr) ++counters->leaves_visited;
     } else {
       for (NodeId child : tree.NodeChildren(node)) stack.push_back(child);

@@ -167,7 +167,8 @@ Result<KnnAnswer> VaFileIndex::Search(std::span<const float> query,
   // workers while committing — and deciding the cutoffs below — in
   // exactly the serial order, so answers match num_threads = 1.
   AnswerSet answers(params.k);
-  ParallelLeafScanner scanner(query, &answers, counters, params.num_threads);
+  ParallelLeafScanner scanner(query, &answers, counters, params.num_threads,
+                              params.pin_budget);
   Result<size_t> probed = scanner.RefineOrdered(
       provider_, order.size(),
       /*id_at=*/[&](size_t i) { return order[i].second; },

@@ -130,7 +130,10 @@ std::shared_ptr<PageFrame> BufferManager::FetchPinned(
   }
   if (frame != nullptr) {
     frame = AwaitReady(std::move(frame));
-    if (frame != nullptr) hits_.fetch_add(1, std::memory_order_relaxed);
+    if (frame != nullptr) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (counters != nullptr) ++counters->cache_hits;
+    }
     return frame;
   }
 
@@ -152,11 +155,15 @@ std::shared_ptr<PageFrame> BufferManager::FetchPinned(
   }
   if (!loader) {
     frame = AwaitReady(std::move(frame));
-    if (frame != nullptr) hits_.fetch_add(1, std::memory_order_relaxed);
+    if (frame != nullptr) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (counters != nullptr) ++counters->cache_hits;
+    }
     return frame;
   }
 
   misses_.fetch_add(1, std::memory_order_relaxed);
+  if (counters != nullptr) ++counters->cache_misses;
   // From here the loading frame is published in the table: every exit
   // path — including exceptions (e.g. bad_alloc from the page buffer
   // under the very memory pressure the pool exists to bound) — must

@@ -242,7 +242,11 @@ class InMemoryProvider : public SeriesProvider {
 // fetch counts exactly one hit or one miss, never both. Failed fetches
 // follow the seed's accounting: an attempted load that fails (I/O error,
 // all-pinned pool) still counts its miss, and a waiter joined to a load
-// that fails counts nothing.
+// that fails counts nothing. The same hit-or-miss event is also charged
+// to the fetching query's own QueryCounters (cache_hits/cache_misses),
+// so overlapping queries on one pool each know their share — the serving
+// harness reports hit rates from these per-query fields, the atomics
+// stay the pool-wide totals.
 //
 // Sizing rule for concurrent use: a scan-layer worker holds one pin at a
 // time and a single query's fan-out is clamped to capacity_pages, but

@@ -243,7 +243,9 @@ TEST(LeafScanner, CountsFullAndAbandonedSeparately) {
   AnswerSet answers(5);
   QueryCounters c;
   LeafScanner scanner(qs.series(0), &answers, &c);
-  EXPECT_EQ(scanner.ScanIds(&provider, ids), ds.size());
+  Result<size_t> scanned = scanner.ScanIds(&provider, ids);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(scanned.value(), ds.size());
   EXPECT_EQ(c.full_distances + c.abandoned_distances, ds.size());
   EXPECT_GT(c.abandoned_distances, 0u);  // k=5 over 200 walks must abandon
   EXPECT_EQ(c.series_accessed, ds.size());
@@ -277,7 +279,9 @@ TEST(LeafScanner, ContiguousMatchesPerIdScan) {
     AnswerSet batched(7);
     QueryCounters cb;
     LeafScanner bs(qs.series(q), &batched, &cb);
-    EXPECT_EQ(bs.ScanRange(&provider, 0, ds.size()), ds.size());
+    Result<size_t> scanned = bs.ScanRange(&provider, 0, ds.size());
+    ASSERT_TRUE(scanned.ok());
+    EXPECT_EQ(scanned.value(), ds.size());
 
     AnswerSet single(7);
     QueryCounters cs;

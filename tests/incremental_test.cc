@@ -134,12 +134,13 @@ TEST(Progressive, CallbackSeesMonotoneImprovements) {
   std::vector<size_t> sizes;
   std::vector<bool> finals;
   KnnAnswer answer = ProgressiveKnnSearch(
-      *f.dstree, ctx, f.queries.series(2), 10,
-      [&](const ProgressiveUpdate& u) {
-        sizes.push_back(u.current.size());
-        finals.push_back(u.final);
-      },
-      nullptr);
+                         *f.dstree, ctx, f.queries.series(2), 10,
+                         [&](const ProgressiveUpdate& u) {
+                           sizes.push_back(u.current.size());
+                           finals.push_back(u.final);
+                         },
+                         nullptr)
+                         .value();
   ASSERT_EQ(answer.size(), 10u);
   ASSERT_EQ(sizes.size(), 10u);
   for (size_t i = 0; i < sizes.size(); ++i) {
@@ -155,7 +156,8 @@ TEST(Progressive, FinalAnswerIsExact) {
     auto ctx = f.dstree->MakeQueryContext(f.queries.series(q));
     KnnAnswer answer = ProgressiveKnnSearch(*f.dstree, ctx,
                                             f.queries.series(q), 7,
-                                            nullptr, nullptr);
+                                            nullptr, nullptr)
+                           .value();
     ASSERT_EQ(answer.size(), 7u);
     for (size_t r = 0; r < 7; ++r) {
       EXPECT_NEAR(answer.distances[r], truth.distances[r], 1e-6);
@@ -174,9 +176,11 @@ TEST(Progressive, KLargerThanCollectionTerminates) {
   ASSERT_TRUE(index.ok());
   auto ctx = index.value()->MakeQueryContext(small.series(0));
   bool saw_final = false;
-  KnnAnswer answer = ProgressiveKnnSearch(
-      *index.value(), ctx, small.series(0), 50,
-      [&](const ProgressiveUpdate& u) { saw_final = u.final; }, nullptr);
+  KnnAnswer answer =
+      ProgressiveKnnSearch(
+          *index.value(), ctx, small.series(0), 50,
+          [&](const ProgressiveUpdate& u) { saw_final = u.final; }, nullptr)
+          .value();
   EXPECT_EQ(answer.size(), 20u);
   EXPECT_TRUE(saw_final);
 }

@@ -54,13 +54,14 @@ class MockTree {
     if (ctx.query > hi) d = ctx.query - hi;
     return d * d;
   }
-  void ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const {
+  Status ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const {
     for (int64_t member : leaf_members_.at(id)) {
       // Each member is a length-1 series; the scanner computes
       // (query[0] - value)^2 through the dispatched kernel.
       float v = static_cast<float>(values_[member]);
       scanner->Scan(std::span<const float>(&v, 1), member);
     }
+    return Status::OK();
   }
 
   const std::vector<double>& values() const { return values_; }
@@ -83,7 +84,8 @@ TEST(TreeSearch, ExactFindsTrueNeighborsOnMock) {
   MockTree tree;
   std::vector<float> query = {1.04f};
   MockTree::Ctx ctx{1.04};
-  KnnAnswer ans = TreeKnnSearch(tree, ctx, query, Exact(2), 0.0, nullptr);
+  KnnAnswer ans =
+      TreeKnnSearch(tree, ctx, query, Exact(2), 0.0, nullptr).value();
   ASSERT_EQ(ans.size(), 2u);
   EXPECT_EQ(ans.ids[0], 3);  // 1.0 at distance 0.04
   EXPECT_EQ(ans.ids[1], 4);  // 1.1 at distance 0.06
@@ -95,7 +97,7 @@ TEST(TreeSearch, ExactPrunesFarSubtree) {
   std::vector<float> query = {0.02f};
   MockTree::Ctx ctx{0.02};
   QueryCounters c;
-  KnnAnswer ans = TreeKnnSearch(tree, ctx, query, Exact(1), 0.0, &c);
+  KnnAnswer ans = TreeKnnSearch(tree, ctx, query, Exact(1), 0.0, &c).value();
   ASSERT_EQ(ans.size(), 1u);
   EXPECT_EQ(ans.ids[0], 0);
   // Leaf d ({5.0,...}) must never be scanned: its lb (4.9²) exceeds bsf.
@@ -112,7 +114,7 @@ TEST(TreeSearch, NgBudgetOneScansExactlyOneLeaf) {
   p.k = 1;
   p.nprobe = 1;
   QueryCounters c;
-  KnnAnswer ans = TreeKnnSearch(tree, ctx, query, p, 0.0, &c);
+  KnnAnswer ans = TreeKnnSearch(tree, ctx, query, p, 0.0, &c).value();
   EXPECT_EQ(c.leaves_visited, 1u);
   ASSERT_EQ(ans.size(), 1u);
   EXPECT_EQ(ans.ids[0], 5);  // descent reaches leaf d, best is 5.0
@@ -129,7 +131,7 @@ TEST(TreeSearch, EpsilonPruningCanSkipEqualCostLeaves) {
   p.k = 1;
   p.epsilon = 2.0;
   p.delta = 1.0;
-  KnnAnswer ans = TreeKnnSearch(tree, ctx, query, p, 0.0, nullptr);
+  KnnAnswer ans = TreeKnnSearch(tree, ctx, query, p, 0.0, nullptr).value();
   ASSERT_EQ(ans.size(), 1u);
   double true_nn = 0.35;  // |0.55 - 0.2|
   EXPECT_LE(ans.distances[0], (1.0 + 2.0) * true_nn + 1e-9);
@@ -148,7 +150,7 @@ TEST(TreeSearch, DeltaRadiusStopsEarly) {
   // only the descent leaf is scanned.
   QueryCounters c;
   KnnAnswer ans = TreeKnnSearch(tree, ctx, query, p, /*delta_radius=*/10.0,
-                                &c);
+                                &c).value();
   EXPECT_EQ(c.leaves_visited, 1u);
   ASSERT_EQ(ans.size(), 1u);
   EXPECT_EQ(ans.ids[0], 0);
@@ -158,7 +160,8 @@ TEST(TreeSearch, KLargerThanDatasetReturnsEverything) {
   MockTree tree;
   std::vector<float> query = {3.0f};
   MockTree::Ctx ctx{3.0};
-  KnnAnswer ans = TreeKnnSearch(tree, ctx, query, Exact(100), 0.0, nullptr);
+  KnnAnswer ans =
+      TreeKnnSearch(tree, ctx, query, Exact(100), 0.0, nullptr).value();
   EXPECT_EQ(ans.size(), tree.values().size());
   for (size_t i = 1; i < ans.size(); ++i) {
     EXPECT_GE(ans.distances[i], ans.distances[i - 1]);
