@@ -202,6 +202,9 @@ inline void PrintFigure(const std::string& title, const Table& table) {
 }
 
 // Standard result row used by the accuracy/efficiency figures.
+// abandon_rate is the early-abandoning yield per method (share of raw
+// evaluations cut off by the running k-th bound) — the counter has been
+// split since the SIMD kernel work; the figures now report it.
 inline void AddResultRow(Table* table, const std::string& dataset,
                          const RunResult& r, double build_seconds,
                          size_t collection_size) {
@@ -213,13 +216,15 @@ inline void AddResultRow(Table* table, const std::string& dataset,
                  FormatDouble(build_seconds + r.timing.extrapolated_10k_sec,
                               1),
                  FormatPercent(r.DataAccessedFraction(collection_size)),
-                 FormatDouble(r.RandomIosPerQuery(), 1)});
+                 FormatDouble(r.RandomIosPerQuery(), 1),
+                 FormatDouble(r.AbandonRate(), 4)});
 }
 
 inline std::vector<std::string> ResultHeaders() {
-  return {"dataset",    "method",        "setting",        "MAP",
-          "recall",     "MRE",           "qrs_per_min",    "idx+100q_s",
-          "idx+10Kq_s", "data_accessed", "rand_io_per_q"};
+  return {"dataset",     "method",        "setting",       "MAP",
+          "recall",      "MRE",           "qrs_per_min",   "idx+100q_s",
+          "idx+10Kq_s",  "data_accessed", "rand_io_per_q",
+          "abandon_rate"};
 }
 
 }  // namespace hydra::bench

@@ -26,6 +26,11 @@
 //   HYDRA_SERVING_CAPACITIES  comma list of pool pages  (default
 //                             "64,512": a thrashing pool and a
 //                             comfortable one)
+//   HYDRA_PREFETCH            readahead depth in pages (unset = off);
+//                             the serving session splits the pool's
+//                             prefetch budget across in-flight queries,
+//                             and the prefetch_hit column reports the
+//                             pool-wide readahead usefulness
 //
 // Throughput context: whole queries are independent units, so on >= N
 // idle cores the speedup column should approach the concurrency level

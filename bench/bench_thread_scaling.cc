@@ -20,6 +20,11 @@
 //   HYDRA_SWEEP_CAPACITY    pooled pages             (default ~2% of the
 //                           data, floored at the largest thread count so
 //                           every worker can hold its pin)
+//   HYDRA_PREFETCH_DEPTHS   prefetch sweep depths    (default "4,16";
+//                           depth 0 is always the baseline row)
+//   HYDRA_PREFETCH          process default readahead depth applied to
+//                           the thread sweeps themselves (prefetch_hit
+//                           column; unset = off)
 //
 // Pass/fail context for CI and the ROADMAP acceptance bar: at 8 threads
 // on >= 8 idle cores the in-memory scan speedup should exceed 3x, and
@@ -120,6 +125,31 @@ int main() {
     std::printf("# pool: hits=%llu misses=%llu\n",
                 static_cast<unsigned long long>(bm.value()->cache_hits()),
                 static_cast<unsigned long long>(bm.value()->cache_misses()));
+  }
+
+  // Prefetch pipeline on the same scan: cold (pool dropped before every
+  // query) and warm rows per readahead depth — the overlap-I/O-with-
+  // compute win, with match_serial proving bit-identical answers.
+  {
+    auto bm = hydra::BufferManager::Open(path, page_series, capacity);
+    if (!bm.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   bm.status().ToString().c_str());
+      return 1;
+    }
+    hydra::LinearScanIndex scan(bm.value().get());
+    std::vector<hydra::PrefetchSweepPoint> points = hydra::RunPrefetchSweep(
+        scan, queries, ground_truth, params, hydra::PrefetchDepthsFromEnv(),
+        bm.value().get());
+    hydra::Table table = hydra::PrefetchSweepTable(points, data.size());
+    std::printf("\n## on-disk prefetch sweep (pool: %zu pages x %zu "
+                "series)\n%s\n",
+                capacity, page_series, table.ToAlignedText().c_str());
+    std::printf("# csv\n%s", table.ToCsv().c_str());
+    std::printf(
+        "# pool: prefetch_issued=%llu prefetch_useful=%llu\n",
+        static_cast<unsigned long long>(bm.value()->prefetch_issued()),
+        static_cast<unsigned long long>(bm.value()->prefetch_useful()));
   }
   fs::remove_all(dir);
   return 0;

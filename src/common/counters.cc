@@ -13,6 +13,8 @@ QueryCounters& QueryCounters::operator+=(const QueryCounters& other) {
   nodes_pushed += other.nodes_pushed;
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
+  prefetch_issued += other.prefetch_issued;
+  prefetch_useful += other.prefetch_useful;
   return *this;
 }
 

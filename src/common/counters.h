@@ -38,6 +38,14 @@ struct QueryCounters {
   // issued on its behalf), matching the pool's accounting.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  // Readahead attribution: pages this query queued for background
+  // prefetch (storage/buffer_manager.h Prefetch), and prefetched pages a
+  // demand fetch of this query then consumed. useful/issued is the
+  // prefetch hit rate the benches report; the consuming fetch also
+  // inherits the prefetcher's bytes_read/random_ios for the page, so the
+  // physical I/O measures stay comparable with prefetch off.
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_useful = 0;
 
   void Reset() { *this = QueryCounters(); }
   QueryCounters& operator+=(const QueryCounters& other);

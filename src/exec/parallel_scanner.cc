@@ -25,14 +25,17 @@ ParallelLeafScanner::ParallelLeafScanner(std::span<const float> query,
                                          AnswerSet* answers,
                                          QueryCounters* counters,
                                          size_t num_threads,
-                                         uint64_t pin_budget, ThreadPool* pool)
+                                         uint64_t pin_budget,
+                                         size_t prefetch_depth,
+                                         ThreadPool* pool)
     : query_(query),
       answers_(answers),
       counters_(counters),
       num_threads_(num_threads == 0 ? 1 : num_threads),
       pin_budget_(pin_budget),
+      prefetch_depth_(prefetch_depth),
       pool_(pool),
-      serial_(query, answers, counters),
+      serial_(query, answers, counters, prefetch_depth),
       kernels_(ActiveKernels()) {
   if (pool_ == nullptr && num_threads_ > 1) pool_ = &ThreadPool::Global();
 }
@@ -153,25 +156,64 @@ Result<size_t> ParallelLeafScanner::ScanIds(SeriesProvider* provider,
   if (shards <= 1) {
     return serial_.ScanIds(provider, ids);
   }
+  const bool announce =
+      prefetch_depth_ > 0 && provider->MaxPrefetchPages() > 0;
+  const uint64_t spp = announce ? provider->SeriesPerPage() : 1;
+  const size_t len = provider->series_length();
   // A failed fetch poisons the whole scan (see header): workers bail as
   // soon as any shard fails, the query is abandoned by the caller, so
   // which candidates the other shards got to no longer matters.
   std::atomic<bool> failed{false};
-  size_t evaluated =
-      RunSharded(ids.size(), shards,
-                 [&](WorkerState* ws, size_t begin, size_t end) {
-                   for (size_t i = begin; i < end; ++i) {
-                     if (failed.load(std::memory_order_relaxed)) return;
-                     PinnedRun run = provider->PinSeries(
-                         static_cast<uint64_t>(ids[i]), &ws->counters);
-                     if (run.empty()) {
-                       failed.store(true, std::memory_order_relaxed);
-                       return;
-                     }
-                     EvaluateOne(ws, run.span(), ids[i]);
-                     ++ws->evaluated;
-                   }
-                 });
+  size_t evaluated = RunSharded(
+      ids.size(), shards, [&](WorkerState* ws, size_t begin, size_t end) {
+        // Each worker walks its shard run by run: isolated ids take the
+        // single-candidate path, consecutive ids ride the batch kernel,
+        // and the shard's upcoming runs are announced to the prefetcher
+        // before the current one is evaluated.
+        std::span<const int64_t> shard_ids = ids.subspan(begin, end - begin);
+        // Re-announce once half the lookahead is consumed (see
+        // LeafScanner::ScanIds for the rationale).
+        const size_t announce_every =
+            std::max<size_t>(1, prefetch_depth_ / 2);
+        size_t runs_since_announce = announce_every;
+        size_t start = 0;
+        while (start < shard_ids.size()) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          const size_t stop = LeafScanner::RunEnd(shard_ids, start);
+          if (announce && stop < shard_ids.size() &&
+              ++runs_since_announce > announce_every) {
+            LeafScanner::AnnounceRuns(provider, shard_ids, stop,
+                                      prefetch_depth_, spp, &ws->counters);
+            runs_since_announce = 0;
+          }
+          if (stop - start == 1) {
+            PinnedRun run = provider->PinSeries(
+                static_cast<uint64_t>(shard_ids[start]), &ws->counters);
+            if (run.empty()) {
+              failed.store(true, std::memory_order_relaxed);
+              return;
+            }
+            EvaluateOne(ws, run.span(), shard_ids[start]);
+            ++ws->evaluated;
+          } else {
+            uint64_t i = static_cast<uint64_t>(shard_ids[start]);
+            const uint64_t run_end = i + (stop - start);
+            while (i < run_end) {
+              if (failed.load(std::memory_order_relaxed)) return;
+              PinnedRun run = provider->PinRun(i, run_end - i, &ws->counters);
+              if (run.empty()) {
+                failed.store(true, std::memory_order_relaxed);
+                return;
+              }
+              const size_t run_count = run.span().size() / len;
+              EvaluateBatch(ws, run.span().data(), run_count, len,
+                            static_cast<int64_t>(i));
+              i += run_count;
+            }
+          }
+          start = stop;
+        }
+      });
   if (failed.load(std::memory_order_relaxed)) {
     return Status::IoError("series fetch failed");
   }
@@ -210,6 +252,8 @@ Result<size_t> ParallelLeafScanner::ScanRange(SeriesProvider* provider,
   if (shards <= 1) {
     return serial_.ScanRange(provider, first, count);
   }
+  const uint64_t lookahead =
+      prefetch_depth_ > 0 ? prefetch_depth_ * provider->SeriesPerPage() : 0;
   std::atomic<bool> failed{false};
   size_t evaluated = RunSharded(
       static_cast<size_t>(count), shards,
@@ -217,6 +261,9 @@ Result<size_t> ParallelLeafScanner::ScanRange(SeriesProvider* provider,
         const size_t len = provider->series_length();
         uint64_t i = first + begin;
         const uint64_t stop = first + end;
+        // Re-announce once half the lookahead is consumed (see
+        // LeafScanner::ScanRange for the rationale).
+        uint64_t announce_at = i;
         while (i < stop) {
           if (failed.load(std::memory_order_relaxed)) return;
           PinnedRun run = provider->PinRun(i, stop - i, &ws->counters);
@@ -225,6 +272,15 @@ Result<size_t> ParallelLeafScanner::ScanRange(SeriesProvider* provider,
             return;
           }
           const size_t run_count = run.span().size() / len;
+          // Announce this shard's next window while the current pinned
+          // page is evaluated below.
+          const uint64_t next = i + run_count;
+          if (lookahead > 0 && next < stop && next >= announce_at) {
+            provider->Prefetch(next,
+                               std::min<uint64_t>(lookahead, stop - next),
+                               &ws->counters);
+            announce_at = next + std::max<uint64_t>(1, lookahead / 2);
+          }
           EvaluateBatch(ws, run.span().data(), run_count, len,
                         static_cast<int64_t>(i));
           i += run_count;
@@ -303,10 +359,13 @@ Result<size_t> ParallelLeafScanner::RefineOrdered(
         counters_->bytes_read += w.bytes_read;
         counters_->random_ios += w.random_ios;
         // Pool attribution is physical too: a speculative fetch really
-        // hit or missed the pool, and the per-query fields must sum to
-        // the pool's atomic totals (storage/buffer_manager.h).
+        // hit or missed the pool (and may have consumed another query's
+        // readahead), and the per-query fields must sum to the pool's
+        // atomic totals (storage/buffer_manager.h).
         counters_->cache_hits += w.cache_hits;
         counters_->cache_misses += w.cache_misses;
+        counters_->prefetch_issued += w.prefetch_issued;
+        counters_->prefetch_useful += w.prefetch_useful;
         w.Reset();
       }
     }

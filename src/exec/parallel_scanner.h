@@ -74,9 +74,15 @@ class ParallelLeafScanner {
  public:
   // `pool` defaults to ThreadPool::Global(). The calling thread runs
   // shard 0 itself, so a query only ever blocks on num_threads-1 workers.
+  // `prefetch_depth` is the readahead lookahead in pages (0 = off): each
+  // shard announces the next run(s) of its id stream to the provider's
+  // background prefetcher before evaluating the current pinned run (see
+  // index/leaf_scanner.h) — a pure cache hint, so the determinism
+  // contract above is unaffected at every depth.
   ParallelLeafScanner(std::span<const float> query, AnswerSet* answers,
                       QueryCounters* counters, size_t num_threads,
-                      uint64_t pin_budget = 0, ThreadPool* pool = nullptr);
+                      uint64_t pin_budget = 0, size_t prefetch_depth = 0,
+                      ThreadPool* pool = nullptr);
 
   // --- serial single-candidate paths, delegated to LeafScanner ---
   void Scan(std::span<const float> series, int64_t id) {
@@ -126,9 +132,19 @@ class ParallelLeafScanner {
                                const std::function<bool(size_t)>& after);
 
   size_t num_threads() const { return num_threads_; }
+  size_t prefetch_depth() const { return prefetch_depth_; }
   // The caller's counters (possibly null): for index bookkeeping that
   // happens on the query thread around scans (e.g. ADS+ refinement).
   QueryCounters* counters() const { return counters_; }
+
+  // Budgeted readahead hint for ids about to be scanned (the tree search
+  // uses it on the best-priority queued leaves while the current leaf
+  // scans). Returns the pages announced; 0 when the provider does not
+  // prefetch. Runs on the calling thread.
+  size_t PrefetchIds(SeriesProvider* provider, std::span<const int64_t> ids,
+                     size_t max_pages) {
+    return serial_.PrefetchIds(provider, ids, max_pages);
+  }
 
  private:
   // Below this many candidates a fan-out costs more than it saves.
@@ -169,6 +185,7 @@ class ParallelLeafScanner {
   QueryCounters* counters_;
   size_t num_threads_;
   uint64_t pin_budget_;
+  size_t prefetch_depth_;
   ThreadPool* pool_;
   LeafScanner serial_;
   const DistanceKernels& kernels_;

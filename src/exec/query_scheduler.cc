@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "index/leaf_scanner.h"
 #include "storage/buffer_manager.h"
 
 namespace hydra {
@@ -161,6 +162,15 @@ ServingSession::ServingSession(const Index& index, SeriesProvider* provider,
       per_query_pin_budget_ =
           std::max<uint64_t>(1, pins / scheduler_.concurrency());
     }
+    // The readahead carve-out is shared the same way. Floored at one
+    // page: the pool's own budget gate (storage/buffer_manager.h) is the
+    // hard bound, the per-query depth only paces how far ahead each
+    // query announces.
+    const uint64_t prefetch_pages = provider->MaxPrefetchPages();
+    if (prefetch_pages > 0) {
+      per_query_prefetch_budget_ =
+          std::max<uint64_t>(1, prefetch_pages / scheduler_.concurrency());
+    }
   }
 }
 
@@ -172,6 +182,17 @@ uint64_t ServingSession::Submit(std::span<const float> query,
                             ? per_query_pin_budget_
                             : std::min(params.pin_budget,
                                        per_query_pin_budget_);
+  }
+  // Clamp the query's effective readahead (explicit depth or the
+  // HYDRA_PREFETCH default) to its share of the pool's prefetch budget.
+  // Resolved here so the clamp also binds env-driven depths; a depth of 0
+  // (prefetch off) stays 0.
+  if (per_query_prefetch_budget_ != 0) {
+    const size_t resolved = ResolvePrefetchDepth(params);
+    if (resolved != 0) {
+      params.prefetch_depth = static_cast<size_t>(std::min<uint64_t>(
+          resolved, per_query_prefetch_budget_));
+    }
   }
   return scheduler_.Submit(query, params);
 }

@@ -150,8 +150,12 @@ class QueryScheduler {
 // provider's pin capacity (never more in-flight queries than pages —
 // excess queries just queue), and each admitted query gets a pin budget
 // of MaxConcurrentPins() / concurrency, which the scan layers clamp
-// their provider-backed fan-outs to. Both depend only on configuration
-// (pool capacity, concurrency level), never on timing, so answers stay
+// their provider-backed fan-outs to. The readahead budget is split the
+// same way: a query's effective prefetch_depth (explicit, or the
+// HYDRA_PREFETCH default) is clamped to MaxPrefetchPages() / concurrency
+// so overlapping queries share the pool's prefetch carve-out instead of
+// fighting over it. All splits depend only on configuration (pool
+// capacity, concurrency level), never on timing, so answers stay
 // deterministic — and the combined demand of N in-flight queries is
 // N * (capacity / N) <= capacity: overlapping queries can never starve
 // each other of buffer-pool pins. This is the object the harness serving
@@ -173,12 +177,17 @@ class ServingSession {
   // Effective values after capability clamping / budget negotiation.
   size_t concurrency() const { return scheduler_.concurrency(); }
   uint64_t per_query_pin_budget() const { return per_query_pin_budget_; }
+  // Per-query readahead cap (pages); 0 = the provider does not prefetch.
+  uint64_t per_query_prefetch_budget() const {
+    return per_query_prefetch_budget_;
+  }
 
  private:
   static ServingOptions NegotiateOptions(SeriesProvider* provider,
                                          ServingOptions options);
 
-  uint64_t per_query_pin_budget_ = 0;  // 0 = unconstrained provider
+  uint64_t per_query_pin_budget_ = 0;       // 0 = unconstrained provider
+  uint64_t per_query_prefetch_budget_ = 0;  // 0 = no prefetch support
   QueryScheduler scheduler_;
 };
 

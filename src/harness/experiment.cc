@@ -8,6 +8,7 @@
 
 #include "common/timer.h"
 #include "exec/query_scheduler.h"
+#include "storage/buffer_manager.h"
 
 namespace hydra {
 
@@ -22,6 +23,20 @@ double RunResult::RandomIosPerQuery() const {
   if (num_queries == 0) return 0.0;
   return static_cast<double>(counters.random_ios) /
          static_cast<double>(num_queries);
+}
+
+double RunResult::AbandonRate() const {
+  const uint64_t evaluated =
+      counters.full_distances + counters.abandoned_distances;
+  if (evaluated == 0) return 0.0;
+  return static_cast<double>(counters.abandoned_distances) /
+         static_cast<double>(evaluated);
+}
+
+double RunResult::PrefetchHitRate() const {
+  if (counters.prefetch_issued == 0) return 0.0;
+  return static_cast<double>(counters.prefetch_useful) /
+         static_cast<double>(counters.prefetch_issued);
 }
 
 RunResult RunWorkload(const Index& index, const Dataset& queries,
@@ -93,19 +108,11 @@ std::vector<ThreadSweepPoint> RunThreadSweep(
   return points;
 }
 
-double ThreadSweepPoint::AbandonRate() const {
-  const uint64_t evaluated =
-      result.counters.full_distances + result.counters.abandoned_distances;
-  if (evaluated == 0) return 0.0;
-  return static_cast<double>(result.counters.abandoned_distances) /
-         static_cast<double>(evaluated);
-}
-
 Table ThreadSweepTable(const std::vector<ThreadSweepPoint>& points,
                        size_t collection_size) {
   Table table({"method", "threads", "total_s", "avg_query_ms",
                "queries_per_min", "speedup", "avg_recall", "abandon_rate",
-               "pct_data"});
+               "prefetch_hit", "pct_data"});
   for (const ThreadSweepPoint& p : points) {
     const RunResult& r = p.result;
     const double avg_ms =
@@ -119,6 +126,7 @@ Table ThreadSweepTable(const std::vector<ThreadSweepPoint>& points,
                   FormatDouble(p.speedup, 2),
                   FormatDouble(r.accuracy.avg_recall, 4),
                   FormatDouble(p.AbandonRate(), 4),
+                  FormatDouble(r.PrefetchHitRate(), 4),
                   FormatDouble(
                       r.DataAccessedFraction(collection_size) * 100.0, 2)});
   }
@@ -254,7 +262,7 @@ std::vector<ServingSweepPoint> RunServingSweep(
 
 Table ServingSweepTable(const std::vector<ServingSweepPoint>& points) {
   Table table({"method", "concurrency", "wall_s", "qps", "p50_ms", "p95_ms",
-               "p99_ms", "speedup", "avg_recall", "hit_rate",
+               "p99_ms", "speedup", "avg_recall", "hit_rate", "prefetch_hit",
                "match_serial"});
   for (const ServingSweepPoint& p : points) {
     table.AddRow({p.result.method, std::to_string(p.concurrency),
@@ -263,9 +271,139 @@ Table ServingSweepTable(const std::vector<ServingSweepPoint>& points) {
                   FormatDouble(p.p99_ms, 3), FormatDouble(p.speedup, 2),
                   FormatDouble(p.result.accuracy.avg_recall, 4),
                   FormatDouble(p.HitRate(), 4),
+                  FormatDouble(p.result.PrefetchHitRate(), 4),
                   p.matches_serial ? "yes" : "NO"});
   }
   return table;
+}
+
+namespace {
+
+// One temperature-controlled measurement for the prefetch sweep: cold
+// drops (and drains) the pool before every query, warm leaves it as the
+// previous query left it.
+RunResult RunPrefetchWorkload(const Index& index, const Dataset& queries,
+                              const std::vector<KnnAnswer>& ground_truth,
+                              const SearchParams& params,
+                              const std::string& setting, BufferManager* pool,
+                              bool cold, std::vector<KnnAnswer>* answers_out) {
+  RunResult result;
+  result.method = index.name();
+  result.setting = setting;
+  result.index_bytes = index.MemoryBytes();
+
+  std::vector<double> per_query_seconds;
+  per_query_seconds.reserve(queries.size());
+  std::vector<KnnAnswer> answers;
+  answers.reserve(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    // DropCache cancels queued readahead and drains in-flight prefetch
+    // loads, so a cold query never inherits pages (or background reads)
+    // from the previous one.
+    if (cold) pool->DropCache();
+    QueryCounters counters;
+    Timer timer;
+    Result<KnnAnswer> ans = index.Search(queries.series(q), params, &counters);
+    per_query_seconds.push_back(timer.ElapsedSeconds());
+    answers.push_back(ans.ok() ? std::move(ans).value() : KnnAnswer{});
+    result.counters += counters;
+  }
+  result.timing = SummarizeWorkload(per_query_seconds);
+  result.accuracy = AggregateAccuracy(ground_truth, answers, params.k);
+  result.num_queries = queries.size();
+  if (answers_out != nullptr) *answers_out = std::move(answers);
+  return result;
+}
+
+}  // namespace
+
+std::vector<PrefetchSweepPoint> RunPrefetchSweep(
+    const Index& index, const Dataset& queries,
+    const std::vector<KnnAnswer>& ground_truth, SearchParams base,
+    const std::vector<size_t>& depths, BufferManager* pool) {
+  std::vector<PrefetchSweepPoint> points;
+  for (bool cold : {true, false}) {
+    if (!cold) {
+      // Warm steady state: one untimed pass charges the cold misses.
+      base.prefetch_depth = SearchParams::kPrefetchOff;
+      for (size_t q = 0; q < queries.size(); ++q) {
+        QueryCounters scratch;
+        (void)index.Search(queries.series(q), base, &scratch);
+      }
+    }
+    // Depth 0 is the serial-identical baseline: reference answers and
+    // the speedup denominator for this temperature. Forced off (not just
+    // unset), so an exported HYDRA_PREFETCH cannot contaminate it.
+    base.prefetch_depth = SearchParams::kPrefetchOff;
+    std::vector<KnnAnswer> baseline_answers;
+    const std::string temp = cold ? "cold" : "warm";
+    RunResult baseline = RunPrefetchWorkload(
+        index, queries, ground_truth, base, "depth=0," + temp, pool, cold,
+        &baseline_answers);
+    const double baseline_seconds = baseline.timing.total_seconds;
+
+    for (size_t depth : depths) {
+      PrefetchSweepPoint point;
+      point.depth = depth;
+      point.cold = cold;
+      if (depth == 0) {
+        point.result = baseline;
+      } else {
+        base.prefetch_depth = depth;
+        std::vector<KnnAnswer> answers;
+        point.result = RunPrefetchWorkload(
+            index, queries, ground_truth, base,
+            "depth=" + std::to_string(depth) + "," + temp, pool, cold,
+            &answers);
+        point.matches_serial =
+            answers.size() == baseline_answers.size() &&
+            std::equal(answers.begin(), answers.end(),
+                       baseline_answers.begin(), AnswersIdentical);
+      }
+      point.speedup = point.result.timing.total_seconds > 0.0
+                          ? baseline_seconds /
+                                point.result.timing.total_seconds
+                          : 0.0;
+      points.push_back(std::move(point));
+    }
+  }
+  return points;
+}
+
+Table PrefetchSweepTable(const std::vector<PrefetchSweepPoint>& points,
+                         size_t collection_size) {
+  Table table({"method", "depth", "pool", "total_s", "speedup", "avg_recall",
+               "abandon_rate", "prefetch_hit", "hit_rate", "pct_data",
+               "match_serial"});
+  for (const PrefetchSweepPoint& p : points) {
+    const RunResult& r = p.result;
+    const uint64_t pool_total =
+        r.counters.cache_hits + r.counters.cache_misses;
+    const double hit_rate =
+        pool_total > 0 ? static_cast<double>(r.counters.cache_hits) /
+                             static_cast<double>(pool_total)
+                       : 0.0;
+    table.AddRow({r.method, std::to_string(p.depth), p.cold ? "cold" : "warm",
+                  FormatDouble(r.timing.total_seconds, 4),
+                  FormatDouble(p.speedup, 2),
+                  FormatDouble(r.accuracy.avg_recall, 4),
+                  FormatDouble(r.AbandonRate(), 4),
+                  FormatDouble(r.PrefetchHitRate(), 4),
+                  FormatDouble(hit_rate, 4),
+                  FormatDouble(
+                      r.DataAccessedFraction(collection_size) * 100.0, 2),
+                  p.matches_serial ? "yes" : "NO"});
+  }
+  return table;
+}
+
+std::vector<size_t> PrefetchDepthsFromEnv() {
+  std::vector<size_t> depths = {0};  // the off baseline, always measured
+  for (size_t d :
+       ParseCountList(std::getenv("HYDRA_PREFETCH_DEPTHS"), {4, 16})) {
+    depths.push_back(d);
+  }
+  return depths;
 }
 
 std::vector<size_t> ParseCountList(const char* text,

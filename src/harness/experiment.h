@@ -15,6 +15,7 @@
 namespace hydra {
 
 class SeriesProvider;  // storage/buffer_manager.h
+class BufferManager;   // storage/buffer_manager.h
 
 // One (method, parameter point) measurement over a query workload:
 // timing under the paper's protocol plus accuracy against ground truth
@@ -34,6 +35,13 @@ struct RunResult {
   double DataAccessedFraction(size_t collection_size) const;
   // Random I/Os per query on average.
   double RandomIosPerQuery() const;
+  // Fraction of raw-distance evaluations cut off early — the paper's
+  // early-abandoning yield. QueryCounters::abandoned_distances has been
+  // split out since the SIMD kernel work; this is the per-method report.
+  double AbandonRate() const;
+  // Fraction of queued readahead pages a demand fetch then consumed
+  // (prefetch_useful / prefetch_issued); 0 when prefetch never ran.
+  double PrefetchHitRate() const;
 };
 
 // Runs `params` over every query in `queries` against `index`, scoring
@@ -74,7 +82,7 @@ struct ThreadSweepPoint {
   // Fraction of raw-distance evaluations cut off early — the
   // early-abandoning yield at this thread count (stale shared bounds can
   // shift the split vs. serial; totals account for every candidate).
-  double AbandonRate() const;
+  double AbandonRate() const { return result.AbandonRate(); }
 };
 
 std::vector<ThreadSweepPoint> RunThreadSweep(
@@ -85,13 +93,52 @@ std::vector<ThreadSweepPoint> RunThreadSweep(
 // Speedup report, one row per point. Columns (also the CSV schema, see
 // README "Running benchmarks"):
 //   method, threads, total_s, avg_query_ms, queries_per_min, speedup,
-//   avg_recall, abandon_rate, pct_data
+//   avg_recall, abandon_rate, prefetch_hit, pct_data
 // pct_data is the paper's %-data-accessed measure (series touched per
 // query / collection size); pass the collection size to enable it, 0
 // prints 0. For a disk-resident run it is fed by the buffer pool's
-// hit/miss accounting (only real fetches charge I/O).
+// hit/miss accounting (only real fetches charge I/O). prefetch_hit is
+// the readahead usefulness (prefetch_useful / prefetch_issued), 0 with
+// prefetch off.
 Table ThreadSweepTable(const std::vector<ThreadSweepPoint>& points,
                        size_t collection_size = 0);
+
+// Prefetch-depth sweep over the asynchronous readahead pipeline
+// (storage/buffer_manager.h, index/leaf_scanner.h): runs the same
+// workload at each SearchParams::prefetch_depth in `depths` (0 = off,
+// the serial-identical baseline), in both pool temperatures —
+//   cold: DropCache before every query, so each one pays its page
+//         misses and the only help is the pipeline overlapping them
+//         with the kernels;
+//   warm: one untimed warm-up pass, then steady-state serving.
+// Answers must be identical at every depth (match_serial column): the
+// readahead is a cache hint, never a semantic change.
+struct PrefetchSweepPoint {
+  size_t depth = 0;
+  bool cold = true;
+  RunResult result;
+  // Same-temperature depth-0 total_seconds / this point's total_seconds:
+  // the wall-clock win attributable to overlapping I/O with compute.
+  double speedup = 1.0;
+  // Answers identical (ids + bit-identical distances) to the
+  // same-temperature depth-0 run.
+  bool matches_serial = true;
+};
+
+std::vector<PrefetchSweepPoint> RunPrefetchSweep(
+    const Index& index, const Dataset& queries,
+    const std::vector<KnnAnswer>& ground_truth, SearchParams base,
+    const std::vector<size_t>& depths, BufferManager* pool);
+
+// One row per (temperature, depth). Columns (also the CSV schema):
+//   method, depth, pool, total_s, speedup, avg_recall, abandon_rate,
+//   prefetch_hit, hit_rate, pct_data, match_serial
+Table PrefetchSweepTable(const std::vector<PrefetchSweepPoint>& points,
+                         size_t collection_size = 0);
+
+// The prefetch sweep's depths from HYDRA_PREFETCH_DEPTHS (default
+// {4, 16}); depth 0 (off) is always prepended as the baseline.
+std::vector<size_t> PrefetchDepthsFromEnv();
 
 // Serving-mode sweep over the inter-query concurrency level: the same
 // workload pushed through the serving engine (exec/query_scheduler.h)
@@ -135,7 +182,9 @@ std::vector<ServingSweepPoint> RunServingSweep(
 
 // One row per level. Columns (also the CSV schema):
 //   method, concurrency, wall_s, qps, p50_ms, p95_ms, p99_ms, speedup,
-//   avg_recall, hit_rate, match_serial
+//   avg_recall, hit_rate, prefetch_hit, match_serial
+// prefetch_hit is the pool-wide readahead usefulness across the point's
+// queries (per-query prefetch attribution summed); 0 with prefetch off.
 Table ServingSweepTable(const std::vector<ServingSweepPoint>& points);
 
 // Comma-separated count list ("1,2,8"), e.g. from a sweep environment

@@ -33,6 +33,13 @@ Result<std::unique_ptr<AdsPlusIndex>> AdsPlusIndex::Build(
     index->Insert(static_cast<int64_t>(i),
                   index->encoder_->Encode(data.series(i)));
   }
+  // Sorted leaf ids coalesce into contiguous runs (batch kernel +
+  // sequential readahead, index/leaf_scanner.h). Query-time refinement
+  // splits partition in order, so descendants of a sorted leaf stay
+  // sorted across the index's whole adaptive life.
+  for (IsaxNode& node : index->nodes_) {
+    node.SortLeafByIds(options.segments);
+  }
 
   Rng rng(options.histogram_seed);
   index->histogram_ = std::make_unique<DistanceHistogram>(
@@ -211,6 +218,14 @@ Status AdsPlusIndex::ScanLeaf(int32_t id,
                               .status());
   }
   return Status::OK();
+}
+
+size_t AdsPlusIndex::PrefetchLeaf(int32_t id, ParallelLeafScanner* scanner,
+                                  size_t max_pages) const {
+  // An unrefined leaf keeps the same ids after refinement splits them
+  // across descendants, so announcing them before the ScanLeaf-triggered
+  // refinement is exactly the readahead the post-refinement scans want.
+  return scanner->PrefetchIds(provider_, nodes_[id].series_ids, max_pages);
 }
 
 Result<KnnAnswer> AdsPlusIndex::Search(std::span<const float> query,

@@ -80,6 +80,11 @@ class AdsPlusIndex : public Index {
   double MinDistSq(const QueryContext& ctx, int32_t id) const;
   // Adaptive: refines the leaf to query_leaf_capacity before scanning.
   Status ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const;
+  // Readahead hint for a queued leaf (tree_search.h): announces up to
+  // max_pages pages of the leaf's (sorted) id runs to the provider's
+  // prefetcher. Returns pages announced.
+  size_t PrefetchLeaf(int32_t id, ParallelLeafScanner* scanner,
+                      size_t max_pages) const;
 
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_leaves() const;

@@ -74,6 +74,16 @@ Result<std::unique_ptr<DSTreeIndex>> DSTreeIndex::Build(
   for (size_t i = 0; i < data.size(); ++i) {
     index->Insert(data, static_cast<int64_t>(i));
   }
+  // Leaf ids sorted once at build time so consecutive ids coalesce into
+  // contiguous runs (batch kernel + sequential readahead; see
+  // index/leaf_scanner.h). Ascending bulk load plus order-preserving
+  // splits leave leaves sorted already, so this is a guarantee, not a
+  // pass.
+  for (DSTreeNode& node : index->nodes_) {
+    if (node.is_leaf) {
+      std::sort(node.series_ids.begin(), node.series_ids.end());
+    }
+  }
 
   Rng rng(options.histogram_seed);
   index->histogram_ = std::make_unique<DistanceHistogram>(
@@ -266,6 +276,11 @@ Status DSTreeIndex::ScanLeaf(int32_t id,
   return scanner->ScanIds(provider_, nodes_[id].series_ids).status();
 }
 
+size_t DSTreeIndex::PrefetchLeaf(int32_t id, ParallelLeafScanner* scanner,
+                                 size_t max_pages) const {
+  return scanner->PrefetchIds(provider_, nodes_[id].series_ids, max_pages);
+}
+
 DSTreeIndex::QueryContext DSTreeIndex::MakeQueryContext(
     std::span<const float> query) const {
   QueryContext ctx;
@@ -413,6 +428,7 @@ Result<std::unique_ptr<DSTreeIndex>> DSTreeIndex::Load(
     n.left = r.ReadI32();
     n.right = r.ReadI32();
     n.series_ids = r.ReadVector<int64_t>();
+    std::sort(n.series_ids.begin(), n.series_ids.end());  // run coalescing
     index->nodes_.push_back(std::move(n));
   }
   DistanceHistogram::State hs;

@@ -84,6 +84,11 @@ class DSTreeIndex : public Index {
   std::vector<int32_t> NodeChildren(int32_t id) const;
   double MinDistSq(const QueryContext& ctx, int32_t id) const;
   Status ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const;
+  // Readahead hint for a queued leaf (tree_search.h): announces up to
+  // max_pages pages of the leaf's (sorted) id runs to the provider's
+  // prefetcher. Returns pages announced.
+  size_t PrefetchLeaf(int32_t id, ParallelLeafScanner* scanner,
+                      size_t max_pages) const;
 
   // Introspection for tests and benches.
   size_t num_nodes() const { return nodes_.size(); }

@@ -56,6 +56,21 @@ struct SearchParams {
   // provider-backed fan-outs to it (exec/parallel_scanner.h). Affects
   // only shard counts, never answers.
   uint64_t pin_budget = 0;
+  // Asynchronous readahead depth in buffer-pool pages: the scan layers
+  // announce this many pages of their upcoming id stream to the
+  // provider's background prefetcher before evaluating the current run,
+  // overlapping disk reads with distance kernels
+  // (index/leaf_scanner.h, storage/buffer_manager.h). 0 = unset, which
+  // falls back to the HYDRA_PREFETCH environment default (itself 0 = off,
+  // the serial-identical seed behavior). A pure cache hint: answers are
+  // bit-identical at every depth; only wall-clock and the hit/miss &
+  // prefetch counters move. The serving engine clamps it so concurrent
+  // queries share the pool's readahead budget (MaxPrefetchPages()).
+  size_t prefetch_depth = 0;
+  // Sentinel for prefetch_depth: readahead FORCED off, even when
+  // HYDRA_PREFETCH is set — the harness uses it for the depth-0 baseline
+  // rows so an exported env default cannot contaminate them.
+  static constexpr size_t kPrefetchOff = static_cast<size_t>(-1);
 };
 
 // Capability flags for the taxonomy table (paper Table 1 / Fig. 1).

@@ -38,6 +38,14 @@ Result<std::unique_ptr<IsaxIndex>> IsaxIndex::Build(
     index->Insert(static_cast<int64_t>(i),
                   index->encoder_->Encode(data.series(i)));
   }
+  // Leaf ids sorted once at build time: consecutive ids coalesce into
+  // contiguous runs that ride the SIMD batch kernel and the buffer
+  // pool's sequential readahead (index/leaf_scanner.h). Ascending bulk
+  // load plus order-preserving splits leave leaves sorted already, so
+  // this is a guarantee (and a no-op check), not a pass.
+  for (IsaxNode& node : index->nodes_) {
+    node.SortLeafByIds(options.segments);
+  }
 
   Rng rng(options.histogram_seed);
   index->histogram_ = std::make_unique<DistanceHistogram>(
@@ -180,6 +188,11 @@ Status IsaxIndex::ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const {
   return scanner->ScanIds(provider_, nodes_[id].series_ids).status();
 }
 
+size_t IsaxIndex::PrefetchLeaf(int32_t id, ParallelLeafScanner* scanner,
+                               size_t max_pages) const {
+  return scanner->PrefetchIds(provider_, nodes_[id].series_ids, max_pages);
+}
+
 Result<KnnAnswer> IsaxIndex::Search(std::span<const float> query,
                                     const SearchParams& params,
                                     QueryCounters* counters) const {
@@ -310,6 +323,7 @@ Result<std::unique_ptr<IsaxIndex>> IsaxIndex::Load(const std::string& path,
     n.count = r.ReadU64();
     n.series_ids = r.ReadVector<int64_t>();
     n.leaf_words = r.ReadVector<uint16_t>();
+    n.SortLeafByIds(options.segments);  // run-coalescing invariant
     index->nodes_.push_back(std::move(n));
   }
   index->root_children_ = r.ReadVector<int32_t>();

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "index/leaf_sort.h"
+
 namespace hydra {
 
 // One iSAX tree node. A node is identified by an iSAX word: one symbol
@@ -31,6 +33,15 @@ struct IsaxNode {
     return sizeof(IsaxNode) + word.size() * sizeof(uint16_t) +
            bits.size() + series_ids.size() * sizeof(int64_t) +
            leaf_words.size() * sizeof(uint16_t);
+  }
+
+  // Sorts the leaf payload by series id, permuting leaf_words (stride
+  // `segments`) alongside — see index/leaf_sort.h. Splits partition in
+  // order, so children of a sorted leaf stay sorted — including ADS+'s
+  // query-time refinement splits.
+  void SortLeafByIds(size_t segments) {
+    if (!is_leaf) return;
+    SortLeafPayloadByIds(&series_ids, &leaf_words, segments);
   }
 };
 

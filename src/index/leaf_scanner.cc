@@ -1,9 +1,61 @@
 #include "index/leaf_scanner.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 
+#include "index/index.h"
+
 namespace hydra {
+
+size_t DefaultPrefetchDepth() {
+  static const size_t depth = [] {
+    const char* v = std::getenv("HYDRA_PREFETCH");
+    if (v == nullptr) return size_t{0};
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    return (end != v && *end == '\0') ? static_cast<size_t>(parsed)
+                                      : size_t{0};
+  }();
+  return depth;
+}
+
+size_t ResolvePrefetchDepth(const SearchParams& params) {
+  if (params.prefetch_depth == SearchParams::kPrefetchOff) return 0;
+  return params.prefetch_depth != 0 ? params.prefetch_depth
+                                    : DefaultPrefetchDepth();
+}
+
+size_t LeafScanner::RunEnd(std::span<const int64_t> ids, size_t start) {
+  size_t stop = start + 1;
+  while (stop < ids.size() && ids[stop] == ids[stop - 1] + 1) ++stop;
+  return stop;
+}
+
+size_t LeafScanner::AnnounceRuns(SeriesProvider* provider,
+                                 std::span<const int64_t> ids, size_t from,
+                                 size_t max_pages, uint64_t series_per_page,
+                                 QueryCounters* counters) {
+  uint64_t pages = 0;
+  size_t j = from;
+  while (j < ids.size() && pages < max_pages) {
+    const size_t stop = RunEnd(ids, j);
+    const uint64_t first = static_cast<uint64_t>(ids[j]);
+    uint64_t count = stop - j;
+    // Clip the run to the remaining page budget: one long consecutive
+    // run must not announce past max_pages (the serving session's
+    // per-query share depends on this bound holding).
+    const uint64_t last_allowed_page =
+        first / series_per_page + (max_pages - pages) - 1;
+    count = std::min(count,
+                     (last_allowed_page + 1) * series_per_page - first);
+    provider->Prefetch(first, count, counters);
+    pages += (first + count - 1) / series_per_page -
+             first / series_per_page + 1;
+    j = stop;
+  }
+  return static_cast<size_t>(pages);
+}
 
 void LeafScanner::Scan(std::span<const float> series, int64_t id) {
   bool abandoned = false;
@@ -24,13 +76,61 @@ bool LeafScanner::ScanFrom(SeriesProvider* provider, int64_t id) {
   return true;
 }
 
+size_t LeafScanner::PrefetchIds(SeriesProvider* provider,
+                                std::span<const int64_t> ids,
+                                size_t max_pages) {
+  if (provider == nullptr || max_pages == 0 || ids.empty() ||
+      provider->MaxPrefetchPages() == 0) {
+    return 0;
+  }
+  return AnnounceRuns(provider, ids, 0, max_pages, provider->SeriesPerPage(),
+                      counters_);
+}
+
 Result<size_t> LeafScanner::ScanIds(SeriesProvider* provider,
                                     std::span<const int64_t> ids) {
-  for (int64_t id : ids) {
-    if (!ScanFrom(provider, id)) {
-      return Status::IoError("series " + std::to_string(id) +
-                             " fetch failed");
+  const bool announce =
+      prefetch_depth_ > 0 && provider->MaxPrefetchPages() > 0;
+  const uint64_t spp = announce ? provider->SeriesPerPage() : 1;
+  const size_t len = provider->series_length();
+  // Re-announce once half the lookahead window is consumed, not at every
+  // run: scattered id lists (~1 page per run) would otherwise pay a
+  // queue-lock round trip per candidate.
+  const size_t announce_every = std::max<size_t>(1, prefetch_depth_ / 2);
+  size_t runs_since_announce = announce_every;
+  size_t start = 0;
+  while (start < ids.size()) {
+    const size_t stop = RunEnd(ids, start);
+    // Announce the runs after this one before evaluating it, so the
+    // prefetch workers read ahead while the kernels run.
+    if (announce && stop < ids.size() &&
+        ++runs_since_announce > announce_every) {
+      AnnounceRuns(provider, ids, stop, prefetch_depth_, spp, counters_);
+      runs_since_announce = 0;
     }
+    if (stop - start == 1) {
+      // Isolated id: the seed single-candidate path, bit for bit.
+      if (!ScanFrom(provider, ids[start])) {
+        return Status::IoError("series " + std::to_string(ids[start]) +
+                               " fetch failed");
+      }
+    } else {
+      // Consecutive ids ride the batch kernel page-run by page-run.
+      uint64_t i = static_cast<uint64_t>(ids[start]);
+      const uint64_t end = i + (stop - start);
+      while (i < end) {
+        PinnedRun run = provider->PinRun(i, end - i, counters_);
+        if (run.empty()) {
+          return Status::IoError("series run at " + std::to_string(i) +
+                                 " fetch failed");
+        }
+        const size_t run_count = run.span().size() / len;
+        ScanContiguous(run.span().data(), run_count, len,
+                       static_cast<int64_t>(i));
+        i += run_count;
+      }
+    }
+    start = stop;
   }
   return ids.size();
 }
@@ -68,9 +168,15 @@ size_t LeafScanner::ScanContiguous(const float* block, size_t count,
 Result<size_t> LeafScanner::ScanRange(SeriesProvider* provider,
                                       uint64_t first, uint64_t count) {
   const size_t len = provider->series_length();
+  const uint64_t lookahead =
+      prefetch_depth_ > 0 ? prefetch_depth_ * provider->SeriesPerPage() : 0;
   size_t scanned = 0;
   uint64_t i = first;
   const uint64_t end = first + count;
+  // Re-announce once half the lookahead window is consumed, not per
+  // page: the prefetcher dedups, but each call still costs a queue-lock
+  // round trip.
+  uint64_t announce_at = i;
   while (i < end) {
     PinnedRun run = provider->PinRun(i, end - i, counters_);
     if (run.empty()) {
@@ -78,6 +184,14 @@ Result<size_t> LeafScanner::ScanRange(SeriesProvider* provider,
                              " fetch failed");
     }
     const size_t run_count = run.span().size() / len;
+    // The current page is pinned; announce the next window before
+    // evaluating it so its reads overlap these kernels.
+    const uint64_t next = i + run_count;
+    if (lookahead > 0 && next < end && next >= announce_at) {
+      provider->Prefetch(next, std::min<uint64_t>(lookahead, end - next),
+                         counters_);
+      announce_at = next + std::max<uint64_t>(1, lookahead / 2);
+    }
     ScanContiguous(run.span().data(), run_count, len,
                    static_cast<int64_t>(i));
     scanned += run_count;

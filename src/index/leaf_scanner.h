@@ -33,13 +33,25 @@ namespace hydra {
 // exactly the duration of its evaluation, so the scanned span stays valid
 // even while other threads' scans churn a bounded buffer pool. At most
 // one pin is held per scanner at any time.
+//
+// Readahead: with prefetch_depth > 0 (pages of lookahead), the scanner
+// announces the NEXT portion of its id stream to the provider
+// (SeriesProvider::Prefetch) right after pinning — and before evaluating
+// — the current run, so the background prefetch workers overlap the next
+// page's read with the current page's distance kernels. ScanIds
+// additionally coalesces consecutive ids into contiguous runs (tree
+// indexes sort their leaf ids at build time to expose them), which both
+// rides the SIMD batch kernel and turns the leaf's I/O footprint into
+// sequential readahead windows. Prefetch is a pure cache hint: answers
+// are identical at every depth, including 0 (off).
 class LeafScanner {
  public:
   LeafScanner(std::span<const float> query, AnswerSet* answers,
-              QueryCounters* counters)
+              QueryCounters* counters, size_t prefetch_depth = 0)
       : query_(query),
         answers_(answers),
         counters_(counters),
+        prefetch_depth_(prefetch_depth),
         kernels_(ActiveKernels()) {}
 
   // Evaluates one candidate already in memory.
@@ -75,6 +87,29 @@ class LeafScanner {
   Result<size_t> ScanRange(SeriesProvider* provider, uint64_t first,
                            uint64_t count);
 
+  // Announces (at most) the first `max_pages` pages covering the id list
+  // to the provider's prefetcher; returns the pages announced. Used by
+  // the tree search to warm the best-priority queued leaves while the
+  // current leaf scans. No-op (0) unless the provider supports prefetch.
+  size_t PrefetchIds(SeriesProvider* provider, std::span<const int64_t> ids,
+                     size_t max_pages);
+
+  size_t prefetch_depth() const { return prefetch_depth_; }
+
+  // End (exclusive) of the maximal run of consecutive ids starting at
+  // `start` — the unit that batches and prefetches as one contiguous
+  // stretch. Shared by the serial and parallel scan loops.
+  static size_t RunEnd(std::span<const int64_t> ids, size_t start);
+
+  // Announces the runs of ids[from..) to `provider`'s prefetcher until
+  // `max_pages` pages are covered, charging `counters` (a worker's own
+  // instance during fan-outs); returns the pages announced. The one
+  // implementation of the run/page arithmetic both scanners use.
+  static size_t AnnounceRuns(SeriesProvider* provider,
+                             std::span<const int64_t> ids, size_t from,
+                             size_t max_pages, uint64_t series_per_page,
+                             QueryCounters* counters);
+
  private:
   // Candidates per batch-kernel call; bounds threshold staleness while
   // keeping per-call overhead negligible.
@@ -83,9 +118,21 @@ class LeafScanner {
   std::span<const float> query_;
   AnswerSet* answers_;
   QueryCounters* counters_;
+  size_t prefetch_depth_;
   const DistanceKernels& kernels_;
   std::vector<double> batch_out_;  // scratch reused across chunks
 };
+
+// The process-default prefetch depth from HYDRA_PREFETCH (pages of
+// lookahead; unset/invalid = 0 = off), parsed once. SearchParams::
+// prefetch_depth = 0 falls back to this, so the env knob turns the whole
+// scan path's readahead on without touching call sites.
+size_t DefaultPrefetchDepth();
+
+// The effective lookahead of a query: its explicit prefetch_depth, or
+// the HYDRA_PREFETCH default when unset (0).
+struct SearchParams;  // index/index.h
+size_t ResolvePrefetchDepth(const SearchParams& params);
 
 }  // namespace hydra
 

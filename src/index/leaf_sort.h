@@ -1,0 +1,41 @@
+#ifndef HYDRA_INDEX_LEAF_SORT_H_
+#define HYDRA_INDEX_LEAF_SORT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace hydra {
+
+// Sorts a leaf's payload by series id, permuting the per-id summary
+// words (stride `stride` Words per id) alongside. Done once after bulk
+// load so consecutive ids form contiguous runs that ride the SIMD batch
+// kernel and the buffer pool's sequential readahead
+// (index/leaf_scanner.h). Ascending bulk loads whose splits partition in
+// order leave leaves sorted already — the is_sorted early-out makes the
+// guarantee free there.
+template <typename Word>
+void SortLeafPayloadByIds(std::vector<int64_t>* ids,
+                          std::vector<Word>* words, size_t stride) {
+  if (ids->size() < 2) return;
+  if (std::is_sorted(ids->begin(), ids->end())) return;
+  std::vector<size_t> order(ids->size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return (*ids)[a] < (*ids)[b];
+  });
+  std::vector<int64_t> sorted_ids(ids->size());
+  std::vector<Word> sorted_words(words->size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    sorted_ids[i] = (*ids)[order[i]];
+    std::copy_n(words->begin() + order[i] * stride, stride,
+                sorted_words.begin() + i * stride);
+  }
+  *ids = std::move(sorted_ids);
+  *words = std::move(sorted_words);
+}
+
+}  // namespace hydra
+
+#endif  // HYDRA_INDEX_LEAF_SORT_H_

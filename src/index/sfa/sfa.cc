@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "index/leaf_scanner.h"
+#include "index/leaf_sort.h"
 #include "index/tree_search.h"
 
 namespace hydra {
@@ -78,6 +79,14 @@ Result<std::unique_ptr<SfaIndex>> SfaIndex::Build(const Dataset& data,
       word[d] = index->Quantize(d, features[i * f + d]);
     }
     index->Insert(static_cast<int64_t>(i), word);
+  }
+  // Leaf ids sorted once at build time so consecutive ids coalesce into
+  // contiguous runs (batch kernel + sequential readahead; see
+  // index/leaf_scanner.h). Ascending bulk load plus order-preserving
+  // splits leave leaves sorted already, so this is a guarantee, not a
+  // pass.
+  for (Node& node : index->nodes_) {
+    index->SortLeafByIds(&node);
   }
 
   index->histogram_ = std::make_unique<DistanceHistogram>(
@@ -170,8 +179,20 @@ double SfaIndex::MinDistSq(const QueryContext& ctx, int32_t id) const {
   return sum;
 }
 
+void SfaIndex::SortLeafByIds(Node* node) const {
+  if (node->children.empty()) {  // leaves are the childless nodes
+    SortLeafPayloadByIds(&node->series_ids, &node->leaf_words,
+                         dft_->num_features());
+  }
+}
+
 Status SfaIndex::ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const {
   return scanner->ScanIds(provider_, nodes_[id].series_ids).status();
+}
+
+size_t SfaIndex::PrefetchLeaf(int32_t id, ParallelLeafScanner* scanner,
+                              size_t max_pages) const {
+  return scanner->PrefetchIds(provider_, nodes_[id].series_ids, max_pages);
 }
 
 Result<KnnAnswer> SfaIndex::Search(std::span<const float> query,

@@ -75,6 +75,11 @@ class SfaIndex : public Index {
   }
   double MinDistSq(const QueryContext& ctx, int32_t id) const;
   Status ScanLeaf(int32_t id, ParallelLeafScanner* scanner) const;
+  // Readahead hint for a queued leaf (tree_search.h): announces up to
+  // max_pages pages of the leaf's (sorted) id runs to the provider's
+  // prefetcher. Returns pages announced.
+  size_t PrefetchLeaf(int32_t id, ParallelLeafScanner* scanner,
+                      size_t max_pages) const;
 
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_leaves() const;
@@ -97,6 +102,8 @@ class SfaIndex : public Index {
   uint8_t Quantize(size_t dim, double value) const;
   void Insert(int64_t id, const std::vector<uint8_t>& word);
   void SplitLeaf(int32_t node_id);
+  // Sorts a leaf's ids (permuting leaf_words alongside); see Build.
+  void SortLeafByIds(Node* node) const;
   // Squared distance from value to symbol bin `sym` of dimension `dim`.
   double BinDistSq(size_t dim, uint8_t sym, double value) const;
 

@@ -1,10 +1,12 @@
 #ifndef HYDRA_INDEX_TREE_SEARCH_H_
 #define HYDRA_INDEX_TREE_SEARCH_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <limits>
-#include <queue>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "common/counters.h"
@@ -38,6 +40,16 @@ namespace hydra {
 // propagates — a leaf silently dropped could hold a true neighbor, so
 // degraded answers are never returned as if they were exact.
 //
+// Optionally, `Tree` may also provide
+//   size_t PrefetchLeaf(NodeId, ParallelLeafScanner*, size_t max_pages);
+// (detected at compile time): with SearchParams::prefetch_depth > 0, the
+// search announces the best-priority leaves still waiting in the
+// priority queue to the provider's background prefetcher while the
+// current leaf scans, so the likely-next leaves' pages are already
+// resident when the loop reaches them. The hint never changes which
+// leaves are visited or what any scan returns — prefetch only warms the
+// cache — so answers are identical at every depth.
+//
 // `Ctx` is whatever per-query precomputation the index needs (query PAA,
 // prefix sums, ...), built by the caller.
 template <typename Tree, typename Ctx>
@@ -67,24 +79,71 @@ Result<KnnAnswer> TreeKnnSearch(const Tree& tree, const Ctx& ctx,
       ng ? (params.nprobe == 0 ? 1 : params.nprobe)
          : std::numeric_limits<size_t>::max();
 
+  const size_t prefetch_depth = ResolvePrefetchDepth(params);
   ParallelLeafScanner scanner(query, &answers, counters, params.num_threads,
-                              params.pin_budget);
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pqueue;
+                              params.pin_budget, prefetch_depth);
+  // Min-heap on a plain vector (std::push_heap/pop_heap) instead of
+  // std::priority_queue: the readahead below needs to PEEK at the
+  // best-priority pending entries, which priority_queue hides. heap[0] is
+  // the minimum; the shallow prefix of the array is biased toward small
+  // lower bounds, which is all a cache hint needs.
+  std::vector<Entry> heap;
+  auto heap_push = [&heap](Entry e) {
+    heap.push_back(e);
+    std::push_heap(heap.begin(), heap.end(), std::greater<Entry>{});
+  };
+  auto heap_pop = [&heap] {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<Entry>{});
+    Entry top = heap.back();
+    heap.pop_back();
+    return top;
+  };
   for (NodeId root : tree.SearchRoots()) {
     double lb = tree.MinDistSq(ctx, root);
     if (counters != nullptr) {
       ++counters->lb_distances;
       ++counters->nodes_pushed;
     }
-    pqueue.push({lb, root});
+    heap_push({lb, root});
   }
+
+  // Announces the most promising leaves still queued (up to
+  // prefetch_depth pages' worth) so their reads overlap the scan of the
+  // node currently being processed. Purely advisory: never touches the
+  // answer state. `announced` remembers what earlier iterations already
+  // handed the prefetcher, so a leaf that lingers near the top of the
+  // heap is not re-announced (and its pages' residency re-probed) on
+  // every pop — the heap-side analog of the scanners' half-window
+  // re-announce throttle.
+  std::unordered_set<int64_t> announced;
+  auto prefetch_queued_leaves = [&] {
+    if constexpr (requires {
+                    tree.PrefetchLeaf(heap[0].node, &scanner, size_t{1});
+                  }) {
+      if (prefetch_depth == 0 || heap.empty()) return;
+      size_t budget = prefetch_depth;
+      // Scan a shallow prefix of the heap array; entries there are the
+      // best candidates without paying for a full ordering.
+      const size_t window = std::min(heap.size(), 4 * prefetch_depth);
+      const double prune_sq = answers.KthDistanceSq() * prune_shrink;
+      for (size_t i = 0; i < window && budget > 0; ++i) {
+        if (heap[i].lb_sq > prune_sq) continue;  // will be pruned anyway
+        if (!tree.IsLeaf(heap[i].node)) continue;
+        const int64_t key = static_cast<int64_t>(heap[i].node);
+        if (!announced.insert(key).second) continue;  // already announced
+        const size_t announced_pages =
+            tree.PrefetchLeaf(heap[i].node, &scanner, budget);
+        budget -= std::min(budget, announced_pages);
+      }
+    }
+  };
 
   // Initial ng-approximate descent (paper Algorithm 1, line 6): greedily
   // follow the min-LB child to one leaf to obtain a baseline bsf.
   size_t leaves_visited = 0;
   NodeId descent_leaf = NodeId{-1};
-  if (!pqueue.empty()) {
-    NodeId node = pqueue.top().node;
+  if (!heap.empty()) {
+    NodeId node = heap[0].node;
     while (!tree.IsLeaf(node)) {
       double best = std::numeric_limits<double>::infinity();
       NodeId best_child = NodeId{-1};
@@ -107,9 +166,8 @@ Result<KnnAnswer> TreeKnnSearch(const Tree& tree, const Ctx& ctx,
     }
   }
 
-  while (!pqueue.empty() && leaves_visited < leaf_budget) {
-    Entry top = pqueue.top();
-    pqueue.pop();
+  while (!heap.empty() && leaves_visited < leaf_budget) {
+    Entry top = heap_pop();
     // Algorithm 2 line 10: stop when the closest unexplored region cannot
     // improve the (ε-relaxed) bsf.
     if (top.lb_sq > answers.KthDistanceSq() * prune_shrink) break;
@@ -118,6 +176,9 @@ Result<KnnAnswer> TreeKnnSearch(const Tree& tree, const Ctx& ctx,
     // internal node since, and re-expanding it would rescan its series.
     if (top.node == descent_leaf) continue;
     if (tree.IsLeaf(top.node)) {
+      // Warm the likely-next leaves while this one scans: their reads
+      // proceed in the background through the pool's prefetch workers.
+      prefetch_queued_leaves();
       HYDRA_RETURN_IF_ERROR(tree.ScanLeaf(top.node, &scanner));
       if (counters != nullptr) ++counters->leaves_visited;
       ++leaves_visited;
@@ -131,7 +192,7 @@ Result<KnnAnswer> TreeKnnSearch(const Tree& tree, const Ctx& ctx,
         double lb = tree.MinDistSq(ctx, child);
         if (counters != nullptr) ++counters->lb_distances;
         if (lb <= answers.KthDistanceSq() * prune_shrink) {
-          pqueue.push({lb, child});
+          heap_push({lb, child});
           if (counters != nullptr) ++counters->nodes_pushed;
         }
       }

@@ -13,6 +13,14 @@ namespace {
 // the same pool clears within a few yields; only long-lived caller pins
 // exhaust the bound.
 constexpr int kAdmitRetries = 64;
+// Retries after joining another thread's load that then failed. The
+// joined load may have been a prefetch that lost its ring slot (not an
+// I/O error), so the demand fetch tries again as its own loader; a real
+// read error still surfaces after one extra attempt.
+constexpr int kJoinRetries = 8;
+// Background readahead workers per pool. Two keep one read in flight
+// while the next one queues without oversubscribing small machines.
+constexpr size_t kPrefetchWorkers = 2;
 }  // namespace
 
 Result<std::unique_ptr<BufferManager>> BufferManager::Open(
@@ -23,6 +31,17 @@ Result<std::unique_ptr<BufferManager>> BufferManager::Open(
   HYDRA_ASSIGN_OR_RETURN(auto reader, SeriesFileReader::Open(path));
   return std::unique_ptr<BufferManager>(
       new BufferManager(std::move(reader), page_series, capacity_pages));
+}
+
+BufferManager::~BufferManager() {
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    prefetch_stop_ = true;
+    prefetch_queue_.clear();
+    prefetch_pending_.clear();
+  }
+  prefetch_cv_.notify_all();
+  for (std::thread& worker : prefetch_workers_) worker.join();
 }
 
 std::shared_ptr<PageFrame> BufferManager::AwaitReady(
@@ -39,12 +58,35 @@ std::shared_ptr<PageFrame> BufferManager::AwaitReady(
   return nullptr;
 }
 
-bool BufferManager::EvictOneLocked() {
+void BufferManager::ReleasePrefetchCredit(
+    const std::shared_ptr<PageFrame>& f) {
+  if (f->prefetched.exchange(false, std::memory_order_acq_rel)) {
+    prefetch_resident_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void BufferManager::ConsumePrefetched(const std::shared_ptr<PageFrame>& frame,
+                                      QueryCounters* counters) {
+  if (!frame->prefetched.exchange(false, std::memory_order_acq_rel)) return;
+  prefetch_resident_.fetch_sub(1, std::memory_order_relaxed);
+  prefetch_useful_.fetch_add(1, std::memory_order_relaxed);
+  if (counters != nullptr) {
+    ++counters->prefetch_useful;
+    // The readahead's physical I/O lands on the query that profited from
+    // it: bytes_read/random_ios stay comparable with prefetch off.
+    counters->bytes_read += frame->load_bytes;
+    counters->random_ios += frame->load_ios;
+  }
+}
+
+bool BufferManager::EvictOneLocked(bool clear_reference) {
   if (ring_.empty()) return false;
   // Two full sweeps give every referenced frame its second chance; the
   // extra rounds absorb frames whose pin appeared between the unlocked
-  // observation and the shard-locked recheck.
-  const size_t limit = 4 * ring_.size();
+  // observation and the shard-locked recheck. A non-clearing (prefetch)
+  // sweep takes one pass at most: it may only claim frames that are
+  // already unreferenced.
+  const size_t limit = clear_reference ? 4 * ring_.size() : ring_.size();
   for (size_t step = 0; step < limit; ++step) {
     if (hand_ >= ring_.size()) hand_ = 0;
     const std::shared_ptr<PageFrame>& frame = ring_[hand_];
@@ -52,8 +94,10 @@ bool BufferManager::EvictOneLocked() {
       ++hand_;
       continue;
     }
-    if (frame->referenced.exchange(false, std::memory_order_relaxed)) {
-      ++hand_;  // second chance
+    if (clear_reference
+            ? frame->referenced.exchange(false, std::memory_order_relaxed)
+            : frame->referenced.load(std::memory_order_relaxed)) {
+      ++hand_;  // second chance (prefetch sweeps never grant one)
       continue;
     }
     // Candidate. Re-check the pin under the shard's exclusive lock: the
@@ -72,15 +116,17 @@ bool BufferManager::EvictOneLocked() {
     }
     ring_.erase(ring_.begin() + static_cast<ptrdiff_t>(hand_));
     if (!ring_.empty()) hand_ %= ring_.size();
+    ReleasePrefetchCredit(victim);
     return true;
   }
   return false;
 }
 
-bool BufferManager::AdmitToRing(const std::shared_ptr<PageFrame>& frame) {
+bool BufferManager::AdmitToRing(const std::shared_ptr<PageFrame>& frame,
+                                bool for_prefetch) {
   std::lock_guard<std::mutex> lock(clock_mu_);
   while (ring_.size() >= capacity_pages_) {
-    if (!EvictOneLocked()) return false;
+    if (!EvictOneLocked(/*clear_reference=*/!for_prefetch)) return false;
   }
   ring_.push_back(frame);
   return true;
@@ -113,8 +159,9 @@ void BufferManager::AbortLoad(const std::shared_ptr<PageFrame>& frame,
   frame->pins.fetch_sub(1, std::memory_order_release);  // the loader's pin
 }
 
-std::shared_ptr<PageFrame> BufferManager::FetchPinned(
-    uint64_t page_id, QueryCounters* counters) {
+std::shared_ptr<PageFrame> BufferManager::FetchPinnedOnce(
+    uint64_t page_id, QueryCounters* counters, bool* joined_failed) {
+  *joined_failed = false;
   Shard& shard = ShardFor(page_id);
   std::shared_ptr<PageFrame> frame;
   {
@@ -133,6 +180,9 @@ std::shared_ptr<PageFrame> BufferManager::FetchPinned(
     if (frame != nullptr) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       if (counters != nullptr) ++counters->cache_hits;
+      ConsumePrefetched(frame, counters);
+    } else {
+      *joined_failed = true;
     }
     return frame;
   }
@@ -158,6 +208,9 @@ std::shared_ptr<PageFrame> BufferManager::FetchPinned(
     if (frame != nullptr) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       if (counters != nullptr) ++counters->cache_hits;
+      ConsumePrefetched(frame, counters);
+    } else {
+      *joined_failed = true;
     }
     return frame;
   }
@@ -170,12 +223,12 @@ std::shared_ptr<PageFrame> BufferManager::FetchPinned(
   // resolve its state, or waiters would block on kLoading forever.
   bool in_ring = false;
   try {
-    in_ring = AdmitToRing(frame);
+    in_ring = AdmitToRing(frame, /*for_prefetch=*/false);
     // All pinned: another scan's worker holds the last slot for one
     // candidate evaluation; yield briefly before failing for real.
     for (int retry = 0; !in_ring && retry < kAdmitRetries; ++retry) {
       std::this_thread::yield();
-      in_ring = AdmitToRing(frame);
+      in_ring = AdmitToRing(frame, /*for_prefetch=*/false);
     }
     if (!in_ring) {
       // Every pooled page is pinned beyond transient scan contention:
@@ -214,6 +267,179 @@ std::shared_ptr<PageFrame> BufferManager::FetchPinned(
   }
   frame->cv.notify_all();
   return frame;
+}
+
+std::shared_ptr<PageFrame> BufferManager::FetchPinned(
+    uint64_t page_id, QueryCounters* counters) {
+  bool joined_failed = false;
+  for (int attempt = 0; attempt < kJoinRetries; ++attempt) {
+    std::shared_ptr<PageFrame> frame =
+        FetchPinnedOnce(page_id, counters, &joined_failed);
+    if (frame != nullptr || !joined_failed) return frame;
+    // The load we joined was aborted (possibly a prefetch that lost its
+    // ring slot): retry as our own loader instead of failing the scan.
+  }
+  return nullptr;
+}
+
+// --- prefetch pipeline ---
+
+void BufferManager::EnsurePrefetchWorkersLocked() {
+  if (!prefetch_workers_.empty()) return;
+  prefetch_workers_.reserve(kPrefetchWorkers);
+  for (size_t i = 0; i < kPrefetchWorkers; ++i) {
+    prefetch_workers_.emplace_back([this] { PrefetchWorkerLoop(); });
+  }
+}
+
+void BufferManager::PrefetchWorkerLoop() {
+  std::unique_lock<std::mutex> lock(prefetch_mu_);
+  while (true) {
+    prefetch_cv_.wait(lock, [this] {
+      return prefetch_stop_ || !prefetch_queue_.empty();
+    });
+    if (prefetch_stop_) return;
+    const uint64_t page_id = prefetch_queue_.front();
+    prefetch_queue_.pop_front();
+    ++prefetch_inflight_;
+    lock.unlock();
+    try {
+      PrefetchOne(page_id);
+    } catch (...) {
+      // Readahead is a hint; a failed speculative load (OOM included)
+      // must never take the process down. The demand fetch will retry
+      // and surface a real error through the normal path.
+    }
+    lock.lock();
+    --prefetch_inflight_;
+    prefetch_pending_.erase(page_id);
+    if (prefetch_queue_.empty() && prefetch_inflight_ == 0) {
+      prefetch_idle_cv_.notify_all();
+    }
+  }
+}
+
+void BufferManager::PrefetchOne(uint64_t page_id) {
+  // Over-budget loads are dropped, not deferred: by the time the budget
+  // frees up the scan has usually moved past this page anyway.
+  if (prefetch_resident_.load(std::memory_order_relaxed) >=
+      MaxPrefetchPages()) {
+    return;
+  }
+  Shard& shard = ShardFor(page_id);
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    if (shard.pages.count(page_id) != 0) return;  // resident or in flight
+  }
+  std::shared_ptr<PageFrame> frame;
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    if (shard.pages.count(page_id) != 0) return;
+    frame = std::make_shared<PageFrame>(page_id);
+    frame->pins.store(1, std::memory_order_relaxed);  // loader pin
+    frame->prefetched.store(true, std::memory_order_relaxed);
+    // Cleared reference bit: untouched readahead is evicted first.
+    frame->referenced.store(false, std::memory_order_relaxed);
+    shard.pages.emplace(page_id, frame);
+  }
+  // The frame is now published: a racing demand fetch joins this load
+  // (single flight). Every exit below must resolve the frame's state.
+  bool in_ring = false;
+  try {
+    // One polite admission attempt: prefetch never clears reference bits
+    // and never retries, so it can only displace frames that are already
+    // unpinned AND unreferenced — losing the slot just drops the hint.
+    in_ring = AdmitToRing(frame, /*for_prefetch=*/true);
+    if (!in_ring) {
+      AbortLoad(frame, /*in_ring=*/false);
+      return;
+    }
+    const uint64_t len = reader_->series_length();
+    const uint64_t first = page_id * page_series_;
+    const uint64_t count =
+        std::min(page_series_, reader_->num_series() - first);
+    frame->data.resize(count * len);
+    QueryCounters io;
+    Status st = reader_->ReadSeries(first, count, frame->data.data(), &io);
+    if (!st.ok()) {
+      AbortLoad(frame, /*in_ring=*/true);
+      return;
+    }
+    // Deferred charge, claimed by the demand fetch that consumes the
+    // frame (ConsumePrefetched).
+    frame->load_bytes = io.bytes_read;
+    frame->load_ios = io.random_ios;
+  } catch (...) {
+    AbortLoad(frame, in_ring);
+    throw;
+  }
+  prefetch_resident_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(frame->mu);
+    frame->state = PageFrame::State::kReady;
+  }
+  frame->cv.notify_all();
+  frame->pins.fetch_sub(1, std::memory_order_release);  // loader pin
+}
+
+void BufferManager::Prefetch(uint64_t first, uint64_t count,
+                             QueryCounters* counters) {
+  const uint64_t budget = MaxPrefetchPages();
+  if (budget == 0 || count == 0 || first >= reader_->num_series()) return;
+  const uint64_t last =
+      std::min(first + count, reader_->num_series()) - 1;
+  const uint64_t first_page = first / page_series_;
+  const uint64_t last_page = last / page_series_;
+
+  bool queued_any = false;
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    if (prefetch_stop_) return;
+    EnsurePrefetchWorkersLocked();
+    for (uint64_t page = first_page; page <= last_page; ++page) {
+      // Budget gate: queued/in-flight plus resident-unconsumed readahead
+      // never exceeds the carve-out, so prefetch cannot crowd out demand.
+      if (prefetch_pending_.size() +
+              prefetch_resident_.load(std::memory_order_relaxed) >=
+          budget) {
+        break;
+      }
+      if (prefetch_pending_.count(page) != 0) continue;
+      {
+        Shard& shard = ShardFor(page);
+        std::shared_lock<std::shared_mutex> shard_lock(shard.mu);
+        if (shard.pages.count(page) != 0) continue;  // already resident
+      }
+      prefetch_pending_.insert(page);
+      prefetch_queue_.push_back(page);
+      queued_any = true;
+      prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
+      if (counters != nullptr) ++counters->prefetch_issued;
+    }
+  }
+  if (queued_any) {
+    // One waiter per queued page is plenty; notify_all would stampede
+    // both workers for a single-page hint.
+    if (last_page - first_page == 0) {
+      prefetch_cv_.notify_one();
+    } else {
+      prefetch_cv_.notify_all();
+    }
+  }
+}
+
+void BufferManager::CancelPrefetches() {
+  std::unique_lock<std::mutex> lock(prefetch_mu_);
+  for (uint64_t page : prefetch_queue_) prefetch_pending_.erase(page);
+  prefetch_queue_.clear();
+  prefetch_idle_cv_.wait(lock, [this] { return prefetch_inflight_ == 0; });
+}
+
+void BufferManager::DrainPrefetches() {
+  std::unique_lock<std::mutex> lock(prefetch_mu_);
+  prefetch_idle_cv_.wait(lock, [this] {
+    return prefetch_queue_.empty() && prefetch_inflight_ == 0;
+  });
 }
 
 PinnedRun BufferManager::PinSeries(uint64_t i, QueryCounters* counters) {
@@ -261,6 +487,9 @@ std::span<const float> BufferManager::GetSeriesRun(uint64_t first,
 }
 
 size_t BufferManager::DropCache() {
+  // No late prefetch completion may repopulate (or race) the sweep below:
+  // queued readahead is cancelled and in-flight loads are waited out.
+  CancelPrefetches();
   std::lock_guard<std::mutex> lock(clock_mu_);
   std::vector<std::shared_ptr<PageFrame>> retained;
   for (const std::shared_ptr<PageFrame>& frame : ring_) {
@@ -268,6 +497,7 @@ size_t BufferManager::DropCache() {
     std::unique_lock<std::shared_mutex> shard_lock(shard.mu);
     if (frame->pins.load(std::memory_order_acquire) == 0) {
       shard.pages.erase(frame->id);
+      ReleasePrefetchCredit(frame);
     } else {
       retained.push_back(frame);
     }

@@ -5,11 +5,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/counters.h"
@@ -42,8 +45,22 @@ struct PageFrame {
   // "observed unpinned" a stable eviction license.
   std::atomic<uint64_t> pins{0};
   // CLOCK reference bit: set on every access, cleared (one second chance)
-  // by the sweep before a frame becomes an eviction candidate.
+  // by the sweep before a frame becomes an eviction candidate. Prefetched
+  // frames enter the ring with the bit CLEARED, so readahead that nobody
+  // touches is always the first thing evicted.
   std::atomic<bool> referenced{true};
+  // Set while the frame was faulted in by the prefetcher and no demand
+  // fetch has consumed it yet. The first demand fetch clears it (claiming
+  // the prefetch_useful credit and the frame's deferred I/O charge);
+  // eviction and DropCache clear it when the readahead turned out
+  // useless. Exactly one party observes the true->false edge.
+  std::atomic<bool> prefetched{false};
+  // Physical cost of the prefetcher's read of this page, charged to the
+  // first demand fetch that consumes the frame (so per-query bytes_read /
+  // random_ios stay comparable with prefetch off). Written by the loader
+  // before `state` flips to kReady, immutable afterwards.
+  uint64_t load_bytes = 0;
+  uint64_t load_ios = 0;
 
   // Single-flight load state: concurrent misses on the same page find the
   // kLoading frame in the table and block on `cv` instead of issuing
@@ -170,6 +187,33 @@ class SeriesProvider {
   // stay deterministic.
   virtual uint64_t MaxConcurrentPins() const { return UINT64_MAX; }
 
+  // --- asynchronous readahead (no-ops except on a bounded pool) ---
+
+  // Hints that series [first, first + count) will be fetched soon: a
+  // disk-backed provider queues the covering pages for its background
+  // prefetch workers and returns immediately. Purely a performance hint —
+  // it never changes what any fetch returns, only whether the fetch finds
+  // the page already resident. Newly queued pages are charged to
+  // `counters->prefetch_issued` (may be null).
+  virtual void Prefetch(uint64_t first, uint64_t count,
+                        QueryCounters* counters) {
+    (void)first;
+    (void)count;
+    (void)counters;
+  }
+
+  // Series per pooled page, for converting a page-denominated lookahead
+  // depth (SearchParams::prefetch_depth) into a series window. Providers
+  // without paging report their whole collection as one "page".
+  virtual uint64_t SeriesPerPage() const { return num_series(); }
+
+  // Pages the prefetcher may keep resident-but-unconsumed at once: the
+  // readahead budget carved out of the pool's capacity (0 = prefetch
+  // unsupported, every Prefetch call is a no-op). The serving engine
+  // splits this across concurrent queries the same way it splits the pin
+  // budget.
+  virtual uint64_t MaxPrefetchPages() const { return 0; }
+
   // True when Pin* may be called from several threads at once (and the
   // pinned spans honor the PinnedRun lifetime contract). Parallel scans
   // (exec/parallel_scanner.h) require this; providers that answer false
@@ -229,15 +273,41 @@ class InMemoryProvider : public SeriesProvider {
 //    cleanly (empty PinnedRun) instead of over-committing memory.
 //  * Page loads are single-flight: concurrent misses on one page find
 //    the loading frame in the table and wait; exactly one read is issued
-//    and exactly one miss is counted (waiters count as hits).
+//    and exactly one miss is counted (waiters count as hits). Prefetch
+//    loads ride the same mechanism: a demand fetch racing a prefetch of
+//    the same page joins the in-flight load instead of re-reading, and a
+//    demand fetch joined to a load that was aborted (a prefetch that lost
+//    its ring slot) retries the fetch itself rather than reporting a
+//    spurious failure.
 //
-// Lock order: pool (clock) mutex before shard mutex; frame state mutexes
-// are leaves. No path holds a shard lock while acquiring the pool lock.
+//  * Prefetch (readahead): Prefetch(first, count) queues the covering
+//    pages for a small pool of background workers, which fault them in
+//    through the single-flight path with the CLOCK reference bit CLEARED
+//    and no pin, so untouched readahead is the first thing evicted.
+//    Readahead is bounded by a budget carved out of capacity_pages_
+//    (MaxPrefetchPages() = capacity / 2): at most that many prefetched
+//    pages may be queued/resident-unconsumed at once, and a prefetch
+//    admission may only evict frames that are ALREADY unpinned and
+//    unreferenced — it never clears reference bits, so it can never push
+//    out a pinned or imminently-needed page; when no such victim exists
+//    the prefetch is simply dropped. prefetch_issued_/prefetch_useful_
+//    count queued pages and consumed-by-a-demand-fetch pages; the same
+//    events are charged to the requesting/consuming query's QueryCounters
+//    (prefetch_issued at Prefetch(), prefetch_useful — plus the page's
+//    deferred bytes_read/random_ios — at the consuming fetch), so
+//    per-query sums match the pool atomics.
+//
+// Lock order: prefetch queue mutex before pool (clock) mutex before
+// shard mutex; frame state mutexes are leaves. No path holds a shard
+// lock while acquiring the pool lock.
 //
 // DropCache is pin-aware: it drops every unpinned page and *retains*
 // pinned ones (returning how many were retained), so outstanding spans
 // are never invalidated; a retained page is dropped by a later DropCache
-// once its pins are gone. cache_hits/cache_misses are atomics and feed
+// once its pins are gone. DropCache also cancels every queued prefetch
+// and waits out the in-flight ones first, so a test (or a cold-sweep
+// harness) that resets the pool can never race a late prefetch
+// completion repopulating it. cache_hits/cache_misses are atomics and feed
 // the %-data-accessed measure exactly as in serial use: every successful
 // fetch counts exactly one hit or one miss, never both. Failed fetches
 // follow the seed's accounting: an attempted load that fails (I/O error,
@@ -261,6 +331,10 @@ class BufferManager : public SeriesProvider {
   static Result<std::unique_ptr<BufferManager>> Open(const std::string& path,
                                                      uint64_t page_series,
                                                      uint64_t capacity_pages);
+
+  // Stops the prefetch workers (pending readahead is discarded, in-flight
+  // loads are completed) before any member is torn down.
+  ~BufferManager() override;
 
   uint64_t num_series() const override { return reader_->num_series(); }
   uint64_t series_length() const override {
@@ -288,6 +362,24 @@ class BufferManager : public SeriesProvider {
   bool SupportsConcurrentReads() const override { return true; }
   uint64_t MaxConcurrentPins() const override { return capacity_pages_; }
 
+  // Queues the pages covering [first, first + count) for background
+  // readahead (see the class comment); returns immediately. Bounded by
+  // MaxPrefetchPages(); pages already resident, already queued, or past
+  // the budget are skipped. Thread-safe.
+  void Prefetch(uint64_t first, uint64_t count,
+                QueryCounters* counters) override;
+  uint64_t SeriesPerPage() const override { return page_series_; }
+  // Half the capacity: demand fetches always keep at least half the pool,
+  // so readahead can help but never dominate. 0 on a capacity-1 pool.
+  uint64_t MaxPrefetchPages() const override {
+    return capacity_pages_ >= 2 ? capacity_pages_ / 2 : 0;
+  }
+
+  // Blocks until the prefetch queue is empty and no prefetch load is in
+  // flight (pages stay resident). For tests and cold/warm sweeps that
+  // need deterministic "readahead has landed" points.
+  void DrainPrefetches();
+
   // Cache statistics, for tests and for the %-data-accessed measure.
   uint64_t cache_hits() const {
     return hits_.load(std::memory_order_relaxed);
@@ -295,11 +387,22 @@ class BufferManager : public SeriesProvider {
   uint64_t cache_misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+  // Prefetch statistics: pages queued for readahead, and prefetched pages
+  // that a demand fetch then consumed. useful/issued is the readahead hit
+  // rate the benches report.
+  uint64_t prefetch_issued() const {
+    return prefetch_issued_.load(std::memory_order_relaxed);
+  }
+  uint64_t prefetch_useful() const {
+    return prefetch_useful_.load(std::memory_order_relaxed);
+  }
 
   // Drops every unpinned page. Pages pinned at call time are retained —
   // their spans stay valid — and the count of retained pages is returned
   // (0 = the pool is now empty). Call again after the pins are released
-  // to drop the stragglers.
+  // to drop the stragglers. Queued prefetches are cancelled and in-flight
+  // ones drained first, so no late prefetch completion can repopulate
+  // (or race) the freshly emptied pool.
   size_t DropCache();
 
  private:
@@ -322,22 +425,47 @@ class BufferManager : public SeriesProvider {
 
   // Returns the pooled (or freshly read) page with one pin taken on
   // behalf of the caller; nullptr on read failure or an all-pinned pool.
+  // A caller joined to an in-flight load that fails retries (bounded):
+  // the load may have been an aborted prefetch, not a real I/O error.
   std::shared_ptr<internal::PageFrame> FetchPinned(uint64_t page_id,
                                                    QueryCounters* counters);
+  // One attempt of FetchPinned. Sets *joined_failed when the caller
+  // joined another thread's load and that load failed (retryable).
+  std::shared_ptr<internal::PageFrame> FetchPinnedOnce(uint64_t page_id,
+                                                       QueryCounters* counters,
+                                                       bool* joined_failed);
   // Blocks until `frame` finished loading. Returns the frame on success;
   // on a failed load, drops the caller's pin and returns nullptr.
   std::shared_ptr<internal::PageFrame> AwaitReady(
       std::shared_ptr<internal::PageFrame> frame);
+  // Claims a prefetched frame for the demand fetch that consumed it:
+  // counts prefetch_useful and charges the deferred load cost.
+  void ConsumePrefetched(const std::shared_ptr<internal::PageFrame>& frame,
+                         QueryCounters* counters);
   // Makes room (evicting if needed) and adds `frame` to the CLOCK ring.
-  // False when capacity is exhausted by pinned frames.
-  bool AdmitToRing(const std::shared_ptr<internal::PageFrame>& frame);
+  // False when capacity is exhausted by pinned frames. Prefetch
+  // admissions never clear reference bits (see class comment).
+  bool AdmitToRing(const std::shared_ptr<internal::PageFrame>& frame,
+                   bool for_prefetch);
   // CLOCK sweep under clock_mu_; evicts one unpinned frame from ring and
-  // table. False when no frame could be evicted.
-  bool EvictOneLocked();
+  // table. False when no frame could be evicted. With
+  // `clear_reference` false the sweep only takes frames whose reference
+  // bit is already clear (single pass, no second chances granted).
+  bool EvictOneLocked(bool clear_reference);
   // Unwinds a failed load: removes the frame from table (and ring when
   // `in_ring`), marks it failed, wakes waiters, drops the loader's pin.
   void AbortLoad(const std::shared_ptr<internal::PageFrame>& frame,
                  bool in_ring);
+  // Bookkeeping for a prefetched frame leaving the pool unconsumed.
+  void ReleasePrefetchCredit(const std::shared_ptr<internal::PageFrame>& f);
+
+  // --- prefetch worker machinery (all under prefetch_mu_) ---
+  void EnsurePrefetchWorkersLocked();
+  void PrefetchWorkerLoop();
+  // Loads one page for the prefetcher (no pin kept, reference bit clear).
+  void PrefetchOne(uint64_t page_id);
+  // Clears the queue and waits until no prefetch load is in flight.
+  void CancelPrefetches();
 
   std::unique_ptr<SeriesFileReader> reader_;
   uint64_t page_series_;
@@ -351,6 +479,22 @@ class BufferManager : public SeriesProvider {
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> prefetch_issued_{0};
+  std::atomic<uint64_t> prefetch_useful_{0};
+  // Prefetched pages currently resident and not yet consumed by a demand
+  // fetch; together with the queued/in-flight set this is what the
+  // MaxPrefetchPages() budget bounds.
+  std::atomic<uint64_t> prefetch_resident_{0};
+
+  std::mutex prefetch_mu_;
+  std::condition_variable prefetch_cv_;       // workers: work available
+  std::condition_variable prefetch_idle_cv_;  // drain/cancel waiters
+  std::deque<uint64_t> prefetch_queue_;
+  // Pages queued or currently loading (dedup + budget accounting).
+  std::unordered_set<uint64_t> prefetch_pending_;
+  size_t prefetch_inflight_ = 0;
+  bool prefetch_stop_ = false;
+  std::vector<std::thread> prefetch_workers_;
 };
 
 }  // namespace hydra

@@ -1,11 +1,25 @@
 #include "storage/series_file.h"
 
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 
 namespace hydra {
 namespace {
 
 constexpr size_t kHeaderBytes = 4 * sizeof(uint64_t);  // magic+ver+n+len
+
+// HYDRA_SIM_IO_DELAY_US, parsed at every Open so a bench can flip the
+// knob between sections (see the header comment).
+uint64_t SimIoDelayUs() {
+  const char* v = std::getenv("HYDRA_SIM_IO_DELAY_US");
+  if (v == nullptr) return 0;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end != v && *end == '\0') ? static_cast<uint64_t>(parsed)
+                                    : uint64_t{0};
+}
 
 }  // namespace
 
@@ -50,7 +64,7 @@ Result<std::unique_ptr<SeriesFileReader>> SeriesFileReader::Open(
   header.num_series = head[2];
   header.length = head[3];
   return std::unique_ptr<SeriesFileReader>(
-      new SeriesFileReader(f, header));
+      new SeriesFileReader(f, header, SimIoDelayUs()));
 }
 
 SeriesFileReader::~SeriesFileReader() {
@@ -64,6 +78,12 @@ Status SeriesFileReader::ReadSeries(uint64_t first, uint64_t count,
   }
   const uint64_t stride = header_.length * sizeof(float);
   const uint64_t offset = kHeaderBytes + first * stride;
+  if (sim_delay_us_ > 0) {
+    // Emulated device latency, outside the mutex: concurrent issuers
+    // (demand fetch + prefetch workers) overlap their waits, as requests
+    // overlap in a real disk's queue.
+    std::this_thread::sleep_for(std::chrono::microseconds(sim_delay_us_));
+  }
   std::lock_guard<std::mutex> lock(io_mu_);
   if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
     return Status::IoError("seek failed");

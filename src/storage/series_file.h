@@ -27,6 +27,15 @@ namespace hydra {
 // pair and the sequentiality tracking, so the buffer pool's single-flight
 // page loads may run from several threads at once. (Serializing reads
 // models one disk arm; the paper's seek accounting assumes it anyway.)
+//
+// Emulated latency: HYDRA_SIM_IO_DELAY_US (microseconds per ReadSeries
+// call, default 0 = off) injects a sleep BEFORE the mutex, emulating a
+// storage device whose request latency overlaps across issuers. On dev
+// boxes and CI the "disk" is the page cache — reads cost nanoseconds and
+// nothing overlaps — so this is the honest way to study I/O-bound
+// behavior (the async prefetch pipeline, pool thrashing) on such
+// machines. Benches that enable it print the value; it never changes
+// WHAT is read, only how long it takes.
 struct SeriesFileHeader {
   static constexpr uint32_t kMagic = 0x48594452;  // "HYDR"
   static constexpr uint32_t kVersion = 1;
@@ -59,11 +68,13 @@ class SeriesFileReader {
   Result<Dataset> ReadAll(QueryCounters* counters);
 
  private:
-  SeriesFileReader(std::FILE* file, SeriesFileHeader header)
-      : file_(file), header_(header) {}
+  SeriesFileReader(std::FILE* file, SeriesFileHeader header,
+                   uint64_t sim_delay_us)
+      : file_(file), header_(header), sim_delay_us_(sim_delay_us) {}
 
   std::FILE* file_;
   SeriesFileHeader header_;
+  uint64_t sim_delay_us_;  // emulated per-read latency (see above)
   std::mutex io_mu_;              // serializes seek+read+tracking below
   uint64_t next_sequential_ = 0;  // series index right after the last read
   bool any_read_ = false;

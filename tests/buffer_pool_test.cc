@@ -3,7 +3,15 @@
 // over-pinned pool fails fetches cleanly instead of over-committing,
 // racing misses on one page issue a single read (single-flight), the
 // hit/miss counters stay exact, and DropCache never invalidates an
-// outstanding pin. The TSan and ASan/UBSan CI shards run this suite.
+// outstanding pin. The prefetch pipeline rides the same machinery:
+// readahead joins the single-flight path (one physical read no matter
+// how fetches and prefetches race), never evicts pinned or referenced
+// pages, leaves the pool's demand accounting untouched at depth 0 (the
+// pool itself is byte-identical to the seed; the scan layers' run
+// coalescing can merge same-page fetches, which REDUCES fetch events —
+// honestly, fewer fetches — but never changes answers), and is
+// cancelled/drained by DropCache. The TSan and ASan/UBSan CI shards run
+// this suite (with HYDRA_PREFETCH=8 runs racing the background workers).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -15,6 +23,8 @@
 
 #include "common/rng.h"
 #include "core/generators.h"
+#include "index/answer_set.h"
+#include "index/leaf_scanner.h"
 #include "storage/buffer_manager.h"
 #include "storage/series_file.h"
 
@@ -177,6 +187,181 @@ TEST_F(BufferPoolTest, DropCacheRetainsPinnedPages) {
   misses = bm->cache_misses();
   bm->GetSeries(0, nullptr);
   EXPECT_EQ(bm->cache_misses(), misses + 1);
+}
+
+// --- prefetch pipeline ---
+
+TEST_F(BufferPoolTest, PrefetchWarmsPoolAndDefersChargesToConsumer) {
+  auto bm = OpenPool(64, 8, /*page_series=*/4, /*capacity_pages=*/8);
+  ASSERT_NE(bm, nullptr);
+  EXPECT_EQ(bm->MaxPrefetchPages(), 4u);  // capacity / 2
+  EXPECT_EQ(bm->SeriesPerPage(), 4u);
+
+  // Queue 4 pages (the whole budget) and let the workers land them.
+  QueryCounters issuer;
+  bm->Prefetch(/*first=*/0, /*count=*/16, &issuer);
+  bm->DrainPrefetches();
+  EXPECT_EQ(issuer.prefetch_issued, 4u);
+  EXPECT_EQ(bm->prefetch_issued(), 4u);
+  // Background loads are not demand fetches: no hit/miss yet, and the
+  // read cost is parked on the frames, not charged to the issuer.
+  EXPECT_EQ(bm->cache_hits(), 0u);
+  EXPECT_EQ(bm->cache_misses(), 0u);
+  EXPECT_EQ(issuer.bytes_read, 0u);
+
+  // Demand fetches now find every page resident: all hits, and each
+  // page's deferred read cost lands on its first consumer.
+  QueryCounters consumer;
+  for (uint64_t i = 0; i < 16; ++i) {
+    PinnedRun run = bm->PinSeries(i, &consumer);
+    ASSERT_FALSE(run.empty());
+    ExpectIsSeries(run.span(), i);
+  }
+  EXPECT_EQ(bm->cache_hits(), 16u);
+  EXPECT_EQ(bm->cache_misses(), 0u);
+  EXPECT_EQ(bm->prefetch_useful(), 4u);
+  EXPECT_EQ(consumer.prefetch_useful, 4u);
+  EXPECT_EQ(consumer.cache_hits, 16u);
+  EXPECT_EQ(consumer.bytes_read, 16u * 8u * sizeof(float));
+}
+
+TEST_F(BufferPoolTest, PrefetchJoinsSingleFlightUnderRacingFetches) {
+  // A prefetch and 8 racing demand fetches of the SAME page must issue
+  // exactly one physical read between them, whoever wins: the losers
+  // join the in-flight load. Physical reads are observable as bytes_read
+  // (the loader charges its own read; a consumed prefetched frame defers
+  // its read cost to exactly one consumer).
+  constexpr size_t kThreads = 8;
+  for (int round = 0; round < 8; ++round) {
+    auto bm = OpenPool(64, 8, /*page_series=*/8, /*capacity_pages=*/4);
+    ASSERT_NE(bm, nullptr);
+    std::latch start(kThreads + 1);
+    std::vector<QueryCounters> counters(kThreads);
+    std::vector<PinnedRun> pins(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        start.arrive_and_wait();
+        pins[t] = bm->PinSeries(t % 8, &counters[t]);
+      });
+    }
+    QueryCounters issuer;
+    start.arrive_and_wait();
+    bm->Prefetch(/*first=*/0, /*count=*/8, &issuer);
+    for (std::thread& t : threads) t.join();
+    bm->DrainPrefetches();
+
+    uint64_t bytes = issuer.bytes_read;
+    uint64_t demand_events = 0;
+    for (size_t t = 0; t < kThreads; ++t) {
+      ASSERT_FALSE(pins[t].empty()) << "round " << round;
+      ExpectIsSeries(pins[t].span(), t % 8);
+      bytes += counters[t].bytes_read;
+      demand_events += counters[t].cache_hits + counters[t].cache_misses;
+    }
+    // One read's worth of bytes across every participant, and every
+    // demand fetch counted exactly one hit-or-miss event.
+    EXPECT_EQ(bytes, 8u * 8u * sizeof(float)) << "round " << round;
+    EXPECT_EQ(demand_events, kThreads) << "round " << round;
+    EXPECT_EQ(bm->cache_hits() + bm->cache_misses(), kThreads)
+        << "round " << round;
+  }
+}
+
+TEST_F(BufferPoolTest, PrefetchNeverEvictsPinnedOrReferencedAtCapacity) {
+  auto bm = OpenPool(64, 8, /*page_series=*/4, /*capacity_pages=*/4);
+  ASSERT_NE(bm, nullptr);
+
+  // Fill the pool: pages 0 and 1 pinned, pages 2 and 3 resident with
+  // their reference bits set (just fetched).
+  PinnedRun pin_a = bm->PinSeries(0, nullptr);
+  PinnedRun pin_b = bm->PinSeries(4, nullptr);
+  ASSERT_FALSE(pin_a.empty());
+  ASSERT_FALSE(pin_b.empty());
+  bm->GetSeries(8, nullptr);
+  bm->GetSeries(12, nullptr);
+
+  // Aggressive readahead against the full pool: prefetch admission never
+  // clears reference bits and never touches pins, so it finds no victim
+  // and drops every hint instead of displacing a single resident page.
+  QueryCounters issuer;
+  bm->Prefetch(/*first=*/16, /*count=*/48, &issuer);
+  bm->DrainPrefetches();
+
+  std::vector<float> a_before(pin_a.span().begin(), pin_a.span().end());
+  EXPECT_TRUE(
+      std::equal(a_before.begin(), a_before.end(), pin_a.span().begin()));
+  uint64_t hits = bm->cache_hits();
+  bm->GetSeries(0, nullptr);
+  bm->GetSeries(4, nullptr);
+  bm->GetSeries(8, nullptr);
+  bm->GetSeries(12, nullptr);
+  EXPECT_EQ(bm->cache_hits(), hits + 4) << "a resident page was displaced";
+  EXPECT_EQ(bm->prefetch_useful(), 0u);
+}
+
+TEST_F(BufferPoolTest, PrefetchRespectsBudgetCarveOut) {
+  auto bm = OpenPool(64, 8, /*page_series=*/4, /*capacity_pages=*/8);
+  ASSERT_NE(bm, nullptr);
+  // Budget is 4 of 8 pages: a 16-page announcement queues at most 4.
+  QueryCounters issuer;
+  bm->Prefetch(/*first=*/0, /*count=*/64, &issuer);
+  bm->DrainPrefetches();
+  EXPECT_LE(issuer.prefetch_issued, 4u);
+  EXPECT_EQ(bm->prefetch_issued(), issuer.prefetch_issued);
+}
+
+TEST_F(BufferPoolTest, DepthZeroHitMissCountsMatchSeed) {
+  // Two identical pools, one scanned through a LeafScanner::ScanRange
+  // with prefetch_depth = 0, one with the seed pin loop: identical
+  // hit/miss accounting — the pool's demand path is bit-identical to
+  // pre-prefetch behavior. (ScanIds' run coalescing merges same-page
+  // consecutive-id fetches into one PinRun, so tree-leaf hit counts can
+  // legitimately DROP vs per-id fetching; answers are covered by
+  // parallel_search_test.)
+  auto bm = OpenPool(32, 8, /*page_series=*/8, /*capacity_pages=*/4);
+  ASSERT_NE(bm, nullptr);
+  QueryCounters c;
+  for (uint64_t i = 0; i < 32; ++i) {
+    PinnedRun run = bm->PinSeries(i, &c);
+    ASSERT_FALSE(run.empty());
+  }
+  const uint64_t seed_hits = bm->cache_hits();
+  const uint64_t seed_misses = bm->cache_misses();
+
+  auto bm2 = OpenPool(32, 8, /*page_series=*/8, /*capacity_pages=*/4);
+  ASSERT_NE(bm2, nullptr);
+  AnswerSet answers(4);
+  QueryCounters c2;
+  LeafScanner scanner(data_.series(0), &answers, &c2, /*prefetch_depth=*/0);
+  auto scanned = scanner.ScanRange(bm2.get(), 0, 32);
+  ASSERT_TRUE(scanned.ok());
+  // ScanRange pins page-sized runs: one fetch per page, all misses.
+  EXPECT_EQ(bm2->cache_misses(), seed_misses);
+  EXPECT_EQ(bm2->prefetch_issued(), 0u);
+  EXPECT_EQ(bm2->prefetch_useful(), 0u);
+  EXPECT_EQ(c2.cache_misses, c.cache_misses);
+  EXPECT_EQ(c2.series_accessed, c.series_accessed);
+  EXPECT_EQ(c2.bytes_read, c.bytes_read);
+  EXPECT_EQ(seed_hits + seed_misses, 32u);  // every fetch: hit xor miss
+}
+
+TEST_F(BufferPoolTest, DropCacheCancelsAndDrainsInFlightPrefetches) {
+  // DropCache's contract: no late prefetch completion may repopulate the
+  // freshly emptied pool. Race it hard: queue readahead and immediately
+  // drop, repeatedly; after every drop, a fetch of a prefetched page
+  // must MISS (the page is gone or was never loaded).
+  auto bm = OpenPool(256, 8, /*page_series=*/4, /*capacity_pages=*/16);
+  ASSERT_NE(bm, nullptr);
+  for (int round = 0; round < 32; ++round) {
+    bm->Prefetch(/*first=*/0, /*count=*/32, nullptr);
+    EXPECT_EQ(bm->DropCache(), 0u);
+    uint64_t misses = bm->cache_misses();
+    bm->GetSeries(0, nullptr);
+    EXPECT_EQ(bm->cache_misses(), misses + 1) << "round " << round;
+    EXPECT_EQ(bm->DropCache(), 0u);
+  }
 }
 
 TEST_F(BufferPoolTest, ConcurrentScansSeeConsistentDataAndCounters) {

@@ -471,6 +471,112 @@ TEST(ParallelSearchOnDisk, TinyPoolClampStaysExact) {
   CheckDeterminism(index, w.queries, Exact(10), &gt);
 }
 
+// --- Prefetch-depth determinism: the asynchronous readahead pipeline
+// (SearchParams::prefetch_depth, storage/buffer_manager.h) is a pure
+// cache hint. Every depth, at every thread count, must return answers
+// identical to depth 0 (the serial-identical seed behavior), across the
+// rewired on-disk indexes. ---
+
+constexpr size_t kPrefetchDepths[] = {0, 4, 16};
+
+void CheckPrefetchDeterminism(const Index& index, BufferManager* pool,
+                              const Dataset& queries,
+                              const SearchParams& base,
+                              const std::vector<KnnAnswer>* ground_truth) {
+  for (size_t q = 0; q < queries.size(); ++q) {
+    SearchParams params = base;
+    params.prefetch_depth = SearchParams::kPrefetchOff;
+    KnnAnswer baseline = Search(index, queries.series(q), params, 1);
+    if (ground_truth != nullptr) {
+      ExpectIdentical((*ground_truth)[q], baseline,
+                      index.name() + " prefetch baseline vs ground truth, "
+                                     "query " + std::to_string(q));
+    }
+    for (size_t depth : kPrefetchDepths) {
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        // Cold pool per point: the depth knob must not change answers
+        // whether the pages come from readahead, demand misses, or hits.
+        pool->DropCache();
+        params.prefetch_depth =
+            depth == 0 ? SearchParams::kPrefetchOff : depth;
+        KnnAnswer ans = Search(index, queries.series(q), params, threads);
+        ExpectIdentical(baseline, ans,
+                        index.name() + " prefetch_depth=" +
+                            std::to_string(depth) + " threads=" +
+                            std::to_string(threads) + ", query " +
+                            std::to_string(q));
+      }
+    }
+  }
+}
+
+TEST(ParallelSearchOnDisk, PrefetchDepthsReturnIdenticalAnswersLinearScan) {
+  DiskWorkload w;
+  ASSERT_NE(w.bm, nullptr);
+  EXPECT_EQ(w.bm->MaxPrefetchPages(), 8u);  // 16-page pool: half carve-out
+  std::vector<KnnAnswer> gt = ExactKnnWorkload(w.data, w.queries, 10);
+  LinearScanIndex index(w.provider());
+  CheckPrefetchDeterminism(index, w.bm.get(), w.queries, Exact(10), &gt);
+}
+
+TEST(ParallelSearchOnDisk, PrefetchDepthsReturnIdenticalAnswersIsax) {
+  DiskWorkload w;
+  ASSERT_NE(w.bm, nullptr);
+  std::vector<KnnAnswer> gt = ExactKnnWorkload(w.data, w.queries, 10);
+  IsaxOptions opts;
+  opts.leaf_capacity = 256;
+  opts.histogram_pairs = 2000;
+  auto index = IsaxIndex::Build(w.data, w.provider(), opts);
+  ASSERT_TRUE(index.ok());
+  CheckPrefetchDeterminism(*index.value(), w.bm.get(), w.queries, Exact(10),
+                           &gt);
+  CheckPrefetchDeterminism(*index.value(), w.bm.get(), w.queries, Ng(10, 4),
+                           nullptr);
+}
+
+TEST(ParallelSearchOnDisk, PrefetchDepthsReturnIdenticalAnswersDstree) {
+  DiskWorkload w;
+  ASSERT_NE(w.bm, nullptr);
+  std::vector<KnnAnswer> gt = ExactKnnWorkload(w.data, w.queries, 10);
+  DSTreeOptions opts;
+  opts.leaf_capacity = 256;
+  opts.histogram_pairs = 2000;
+  auto index = DSTreeIndex::Build(w.data, w.provider(), opts);
+  ASSERT_TRUE(index.ok());
+  CheckPrefetchDeterminism(*index.value(), w.bm.get(), w.queries, Exact(10),
+                           &gt);
+}
+
+TEST(ParallelSearchOnDisk, PrefetchDepthsReturnIdenticalAnswersSfa) {
+  DiskWorkload w;
+  ASSERT_NE(w.bm, nullptr);
+  std::vector<KnnAnswer> gt = ExactKnnWorkload(w.data, w.queries, 10);
+  SfaOptions opts;
+  opts.leaf_capacity = 256;
+  opts.histogram_pairs = 2000;
+  auto index = SfaIndex::Build(w.data, w.provider(), opts);
+  ASSERT_TRUE(index.ok());
+  CheckPrefetchDeterminism(*index.value(), w.bm.get(), w.queries, Exact(10),
+                           &gt);
+}
+
+TEST(ParallelSearchOnDisk, PrefetchedScanReportsReadaheadCounters) {
+  DiskWorkload w;
+  ASSERT_NE(w.bm, nullptr);
+  LinearScanIndex index(w.provider());
+  w.bm->DropCache();
+  SearchParams params = Exact(10);
+  params.prefetch_depth = 4;
+  QueryCounters counters;
+  auto ans = index.Search(w.queries.series(0), params, &counters);
+  ASSERT_TRUE(ans.ok());
+  w.bm->DrainPrefetches();
+  EXPECT_GT(counters.prefetch_issued, 0u);
+  EXPECT_EQ(w.bm->prefetch_issued(),
+            counters.prefetch_issued);  // attribution sums to pool total
+  EXPECT_LE(w.bm->prefetch_useful(), w.bm->prefetch_issued());
+}
+
 TEST(ParallelLeafScannerTest, RefineOrderedBudgetZeroCommitsNothing) {
   Workload w;
   const auto query = w.queries.series(0);

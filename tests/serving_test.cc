@@ -274,6 +274,67 @@ TEST(ServingDeterminism, NestedFanOutOnDisk) {
   CheckServingDeterminism(index, w.bm.get(), w.queries, params);
 }
 
+// Asynchronous readahead composes with serving: concurrent queries share
+// the pool's prefetch budget (ServingSession splits it like the pin
+// budget), the background workers race the in-flight queries' fetches
+// and evictions, and every answer must still be identical to sequential
+// execution at every depth and concurrency level.
+TEST(ServingDeterminism, PrefetchedServingMatchesSequentialLinearScan) {
+  DiskWorkload w;
+  ASSERT_NE(w.bm, nullptr);
+  LinearScanIndex index(w.bm.get());
+  for (size_t depth : {size_t{4}, size_t{16}}) {
+    SearchParams params = Exact(10);
+    params.prefetch_depth = depth;
+    CheckServingDeterminism(index, w.bm.get(), w.queries, params);
+  }
+}
+
+TEST(ServingDeterminism, PrefetchedServingMatchesSequentialDstree) {
+  DiskWorkload w;
+  ASSERT_NE(w.bm, nullptr);
+  DSTreeOptions opts;
+  opts.leaf_capacity = 256;
+  opts.histogram_pairs = 2000;
+  auto index = DSTreeIndex::Build(w.data, w.bm.get(), opts);
+  ASSERT_TRUE(index.ok());
+  for (size_t depth : {size_t{4}, size_t{16}}) {
+    SearchParams params = Exact(10);
+    params.prefetch_depth = depth;
+    CheckServingDeterminism(*index.value(), w.bm.get(), w.queries, params);
+  }
+}
+
+// The session splits the readahead carve-out the way it splits pins:
+// depth clamps to MaxPrefetchPages() / concurrency (floored at 1).
+TEST(Serving, PrefetchBudgetSplitsAcrossQueries) {
+  DiskWorkload w(/*capacity_pages=*/16);
+  ASSERT_NE(w.bm, nullptr);
+  ASSERT_EQ(w.bm->MaxPrefetchPages(), 8u);
+  LinearScanIndex index(w.bm.get());
+  ServingOptions options;
+  options.concurrency = 4;
+  ServingSession session(index, w.bm.get(), options);
+  EXPECT_EQ(session.per_query_prefetch_budget(), 2u);  // 8 / 4
+
+  // Submitted queries run under the clamped depth and still answer
+  // exactly; per-query readahead attribution reaches the stream.
+  SearchParams params = Exact(10);
+  params.prefetch_depth = 16;  // above the per-query share
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    session.Submit(w.queries.series(q), params);
+  }
+  session.Finish();
+  QueryCounters summed;
+  while (std::optional<ServedQuery> served = session.Next()) {
+    ASSERT_TRUE(served->answer.ok());
+    summed += served->counters;
+  }
+  w.bm->DrainPrefetches();
+  EXPECT_EQ(summed.prefetch_issued, w.bm->prefetch_issued());
+  EXPECT_LE(w.bm->prefetch_useful(), w.bm->prefetch_issued());
+}
+
 // --- Capability clamp: ADS+ refines its tree during queries and must
 // not serve overlapping queries; the session admits them one at a time
 // and the answers stay exact. ---
