@@ -1,0 +1,82 @@
+#ifndef HYDRA_COMMON_CANCELLATION_H_
+#define HYDRA_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/status.h"
+
+namespace hydra {
+
+// Cooperative per-query cancellation: one token per query, shared between
+// the submitter (who may Cancel()), the serving engine (which arms the
+// deadline) and every scan-layer worker (which polls at its cancellation
+// points — page fetches, tree node pops, refinement commits).
+//
+// There is no cancellation thread: a token with a deadline checks the
+// steady clock itself inside Check(), so "timed out" is discovered by the
+// query's own workers at their next cancellation point. Once a token has
+// fired (either way), the verdict is sticky and every later Check()
+// returns the same typed status, so a query's failure reason is stable
+// no matter which worker observes it first.
+//
+// Thread safety: all members are safe to call from any thread. Tokens are
+// shared by std::shared_ptr (SearchParams::cancel) because queued work —
+// announced prefetches in particular — can outlive the Search() call that
+// spawned it.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  // Token that expires `deadline_ms` milliseconds from now (<= 0 arms an
+  // already-expired deadline: the first Check() fires it).
+  static std::shared_ptr<CancellationToken> WithDeadline(double deadline_ms) {
+    auto token = std::make_shared<CancellationToken>();
+    token->has_deadline_ = true;
+    token->deadline_ =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(deadline_ms));
+    return token;
+  }
+
+  // Explicit cancellation (client disconnect, shutdown). Sticky.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  // Flag-only probe: true once the token has fired (cancelled or a past
+  // Check() observed the deadline). Cheap — two relaxed atomic loads, no
+  // clock read — so workers may poll it per candidate.
+  bool Fired() const {
+    return cancelled_.load(std::memory_order_relaxed) ||
+           expired_.load(std::memory_order_relaxed);
+  }
+
+  // The full check, run at every cancellation point: explicit
+  // cancellation wins, then the deadline clock. The deadline verdict is
+  // latched into `expired_` so subsequent checks (and Fired()) are cheap
+  // and consistent across workers.
+  Status Check() {
+    if (cancelled_.load(std::memory_order_acquire)) {
+      return Status::Cancelled("query cancelled");
+    }
+    if (expired_.load(std::memory_order_acquire)) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      expired_.store(true, std::memory_order_release);
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> expired_{false};
+  bool has_deadline_ = false;  // written before sharing, then immutable
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_COMMON_CANCELLATION_H_

@@ -15,6 +15,8 @@ QueryCounters& QueryCounters::operator+=(const QueryCounters& other) {
   cache_misses += other.cache_misses;
   prefetch_issued += other.prefetch_issued;
   prefetch_useful += other.prefetch_useful;
+  io_retries += other.io_retries;
+  io_giveups += other.io_giveups;
   return *this;
 }
 

@@ -46,6 +46,14 @@ struct QueryCounters {
   // physical I/O measures stay comparable with prefetch off.
   uint64_t prefetch_issued = 0;
   uint64_t prefetch_useful = 0;
+  // Fault-tolerance attribution: page reads re-issued on behalf of this
+  // query after a transient failure or a checksum mismatch
+  // (storage/buffer_manager.h retry-with-backoff), and reads abandoned
+  // after the retry budget was exhausted (each give-up surfaces as a
+  // typed non-OK Status on the query). Waiters joined to another query's
+  // load charge nothing here, matching the cache_hits convention.
+  uint64_t io_retries = 0;
+  uint64_t io_giveups = 0;
 
   void Reset() { *this = QueryCounters(); }
   QueryCounters& operator+=(const QueryCounters& other);

@@ -19,6 +19,22 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  // Transient I/O failure (EINTR/EAGAIN-class errors, injected transient
+  // faults): safe to retry, and the storage layer's bounded
+  // retry-with-backoff does so before giving up (a give-up is reported as
+  // kIoError with the last attempt's detail).
+  kUnavailable,
+  // A page/series read whose checksum did not match: the bytes returned
+  // by the device are not the bytes written. Retried once as a re-read
+  // (the corruption may live in a transient path, not on the platter);
+  // surfaced typed so callers can never mistake it for a clean miss.
+  kDataCorruption,
+  // Per-query wall-clock budget (SearchParams::deadline_ms) exhausted;
+  // the query was abandoned at a cancellation point with partial work
+  // discarded. Never returned alongside answers.
+  kDeadlineExceeded,
+  // The query's CancellationToken was cancelled explicitly.
+  kCancelled,
 };
 
 // Plain-value error type: no exceptions cross the public API.
@@ -50,8 +66,27 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataCorruption(std::string msg) {
+    return Status(StatusCode::kDataCorruption, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  // Transient-failure classification used by the storage retry loop: a
+  // kUnavailable read may succeed on the next attempt, and a
+  // kDataCorruption read is retried once as a re-read.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kDataCorruption;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

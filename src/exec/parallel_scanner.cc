@@ -10,6 +10,27 @@ namespace {
 // Candidates per batch-kernel call inside a worker; bounds threshold
 // staleness exactly like LeafScanner's serial chunking does.
 constexpr size_t kBatchChunk = 64;
+
+// First-failure capture for a fan-out: workers poll Failed() (one relaxed
+// load) at their run boundaries and bail; the first recorder wins and its
+// typed Status survives the join. Take() is only called after every
+// worker has joined, so the unsynchronized read of `status` is safe.
+struct FirstError {
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  Status status;
+
+  void Record(Status st) {
+    bool expected = false;
+    if (failed.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+      std::lock_guard<std::mutex> lock(mu);
+      status = std::move(st);
+    }
+  }
+  bool Failed() const { return failed.load(std::memory_order_relaxed); }
+  Status Take() { return status; }
+};
 }  // namespace
 
 struct ParallelLeafScanner::WorkerState {
@@ -21,21 +42,19 @@ struct ParallelLeafScanner::WorkerState {
   std::vector<double> batch_out;  // scratch reused across chunks
 };
 
-ParallelLeafScanner::ParallelLeafScanner(std::span<const float> query,
-                                         AnswerSet* answers,
-                                         QueryCounters* counters,
-                                         size_t num_threads,
-                                         uint64_t pin_budget,
-                                         size_t prefetch_depth,
-                                         ThreadPool* pool)
+ParallelLeafScanner::ParallelLeafScanner(
+    std::span<const float> query, AnswerSet* answers, QueryCounters* counters,
+    size_t num_threads, uint64_t pin_budget, size_t prefetch_depth,
+    std::shared_ptr<CancellationToken> cancel, ThreadPool* pool)
     : query_(query),
       answers_(answers),
       counters_(counters),
       num_threads_(num_threads == 0 ? 1 : num_threads),
       pin_budget_(pin_budget),
       prefetch_depth_(prefetch_depth),
+      cancel_(cancel),
       pool_(pool),
-      serial_(query, answers, counters, prefetch_depth),
+      serial_(query, answers, counters, prefetch_depth, std::move(cancel)),
       kernels_(ActiveKernels()) {
   if (pool_ == nullptr && num_threads_ > 1) pool_ = &ThreadPool::Global();
 }
@@ -160,10 +179,12 @@ Result<size_t> ParallelLeafScanner::ScanIds(SeriesProvider* provider,
       prefetch_depth_ > 0 && provider->MaxPrefetchPages() > 0;
   const uint64_t spp = announce ? provider->SeriesPerPage() : 1;
   const size_t len = provider->series_length();
-  // A failed fetch poisons the whole scan (see header): workers bail as
-  // soon as any shard fails, the query is abandoned by the caller, so
-  // which candidates the other shards got to no longer matters.
-  std::atomic<bool> failed{false};
+  // A failed fetch (or a fired cancellation token) poisons the whole scan
+  // (see header): workers bail as soon as any shard fails, releasing
+  // their RAII pins on the way out; the first typed status survives the
+  // join and the query is abandoned by the caller, so which candidates
+  // the other shards got to no longer matters.
+  FirstError err;
   size_t evaluated = RunSharded(
       ids.size(), shards, [&](WorkerState* ws, size_t begin, size_t end) {
         // Each worker walks its shard run by run: isolated ids take the
@@ -178,35 +199,45 @@ Result<size_t> ParallelLeafScanner::ScanIds(SeriesProvider* provider,
         size_t runs_since_announce = announce_every;
         size_t start = 0;
         while (start < shard_ids.size()) {
-          if (failed.load(std::memory_order_relaxed)) return;
+          if (err.Failed()) return;
+          // Cancellation point: one check per run, on every worker.
+          if (cancel_ != nullptr) {
+            Status cs = cancel_->Check();
+            if (!cs.ok()) {
+              err.Record(std::move(cs));
+              return;
+            }
+          }
           const size_t stop = LeafScanner::RunEnd(shard_ids, start);
           if (announce && stop < shard_ids.size() &&
               ++runs_since_announce > announce_every) {
             LeafScanner::AnnounceRuns(provider, shard_ids, stop,
-                                      prefetch_depth_, spp, &ws->counters);
+                                      prefetch_depth_, spp, &ws->counters,
+                                      cancel_);
             runs_since_announce = 0;
           }
           if (stop - start == 1) {
-            PinnedRun run = provider->PinSeries(
+            Result<PinnedRun> run = provider->PinSeriesChecked(
                 static_cast<uint64_t>(shard_ids[start]), &ws->counters);
-            if (run.empty()) {
-              failed.store(true, std::memory_order_relaxed);
+            if (!run.ok()) {
+              err.Record(run.status());
               return;
             }
-            EvaluateOne(ws, run.span(), shard_ids[start]);
+            EvaluateOne(ws, run.value().span(), shard_ids[start]);
             ++ws->evaluated;
           } else {
             uint64_t i = static_cast<uint64_t>(shard_ids[start]);
             const uint64_t run_end = i + (stop - start);
             while (i < run_end) {
-              if (failed.load(std::memory_order_relaxed)) return;
-              PinnedRun run = provider->PinRun(i, run_end - i, &ws->counters);
-              if (run.empty()) {
-                failed.store(true, std::memory_order_relaxed);
+              if (err.Failed()) return;
+              Result<PinnedRun> run =
+                  provider->PinRunChecked(i, run_end - i, &ws->counters);
+              if (!run.ok()) {
+                err.Record(run.status());
                 return;
               }
-              const size_t run_count = run.span().size() / len;
-              EvaluateBatch(ws, run.span().data(), run_count, len,
+              const size_t run_count = run.value().span().size() / len;
+              EvaluateBatch(ws, run.value().span().data(), run_count, len,
                             static_cast<int64_t>(i));
               i += run_count;
             }
@@ -214,9 +245,7 @@ Result<size_t> ParallelLeafScanner::ScanIds(SeriesProvider* provider,
           start = stop;
         }
       });
-  if (failed.load(std::memory_order_relaxed)) {
-    return Status::IoError("series fetch failed");
-  }
+  if (err.Failed()) return err.Take();
   return evaluated;
 }
 
@@ -254,7 +283,7 @@ Result<size_t> ParallelLeafScanner::ScanRange(SeriesProvider* provider,
   }
   const uint64_t lookahead =
       prefetch_depth_ > 0 ? prefetch_depth_ * provider->SeriesPerPage() : 0;
-  std::atomic<bool> failed{false};
+  FirstError err;
   size_t evaluated = RunSharded(
       static_cast<size_t>(count), shards,
       [&](WorkerState* ws, size_t begin, size_t end) {
@@ -265,30 +294,37 @@ Result<size_t> ParallelLeafScanner::ScanRange(SeriesProvider* provider,
         // LeafScanner::ScanRange for the rationale).
         uint64_t announce_at = i;
         while (i < stop) {
-          if (failed.load(std::memory_order_relaxed)) return;
-          PinnedRun run = provider->PinRun(i, stop - i, &ws->counters);
-          if (run.empty()) {
-            failed.store(true, std::memory_order_relaxed);
+          if (err.Failed()) return;
+          // Cancellation point: once per pinned page, on every worker.
+          if (cancel_ != nullptr) {
+            Status cs = cancel_->Check();
+            if (!cs.ok()) {
+              err.Record(std::move(cs));
+              return;
+            }
+          }
+          Result<PinnedRun> run =
+              provider->PinRunChecked(i, stop - i, &ws->counters);
+          if (!run.ok()) {
+            err.Record(run.status());
             return;
           }
-          const size_t run_count = run.span().size() / len;
+          const size_t run_count = run.value().span().size() / len;
           // Announce this shard's next window while the current pinned
           // page is evaluated below.
           const uint64_t next = i + run_count;
           if (lookahead > 0 && next < stop && next >= announce_at) {
             provider->Prefetch(next,
                                std::min<uint64_t>(lookahead, stop - next),
-                               &ws->counters);
+                               &ws->counters, cancel_);
             announce_at = next + std::max<uint64_t>(1, lookahead / 2);
           }
-          EvaluateBatch(ws, run.span().data(), run_count, len,
+          EvaluateBatch(ws, run.value().span().data(), run_count, len,
                         static_cast<int64_t>(i));
           i += run_count;
         }
       });
-  if (failed.load(std::memory_order_relaxed)) {
-    return Status::IoError("series fetch failed");
-  }
+  if (err.Failed()) return err.Take();
   return evaluated;
 }
 
@@ -301,10 +337,17 @@ Result<size_t> ParallelLeafScanner::RefineOrdered(
   if (shards <= 1) {
     size_t committed = 0;
     for (size_t i = 0; i < count; ++i) {
-      if (!before(i)) break;
-      if (!serial_.ScanFrom(provider, id_at(i))) {
-        return Status::IoError("series fetch failed");
+      // Cancellation point: refinement commits one candidate at a time.
+      if (cancel_ != nullptr) {
+        HYDRA_RETURN_IF_ERROR(cancel_->Check());
       }
+      if (!before(i)) break;
+      HYDRA_ASSIGN_OR_RETURN(
+          PinnedRun run,
+          provider->PinSeriesChecked(static_cast<uint64_t>(id_at(i)),
+                                     counters_));
+      serial_.Scan(run.span(), id_at(i));
+      run.Release();
       ++committed;
       if (!after(i)) break;
     }
@@ -315,6 +358,10 @@ Result<size_t> ParallelLeafScanner::RefineOrdered(
   const size_t block = shards * kRefineGrain;
   std::vector<double> vals(block);
   std::vector<uint8_t> state(block);
+  // The typed status behind each kFailed slot, reported when (and only
+  // when) the commit loop actually reaches that candidate — speculative
+  // failures past a stop point are discarded with the rest of the block.
+  std::vector<Status> errors(block);
   // Per-worker I/O scratch: logical measures (series_accessed, distance
   // splits) are committed serially below and stay serial-identical, but
   // the physical I/O a speculative page load performs is real, so
@@ -322,6 +369,12 @@ Result<size_t> ParallelLeafScanner::RefineOrdered(
   std::vector<QueryCounters> io(shards);
   size_t committed = 0;
   for (size_t base = 0; base < count; base += block) {
+    // Cancellation point: once per speculative block, on the committing
+    // thread — this is also what latches a deadline expiry so the
+    // workers' cheap Fired() polls below observe it.
+    if (cancel_ != nullptr) {
+      HYDRA_RETURN_IF_ERROR(cancel_->Check());
+    }
     const size_t b = std::min(block, count - base);
     // One threshold per block, read before any commit of the block: it is
     // the serial loop's threshold or looser, so abandons here imply serial
@@ -331,15 +384,21 @@ Result<size_t> ParallelLeafScanner::RefineOrdered(
       TaskGroup group(pool_);
       auto evaluate = [&](size_t worker, size_t begin, size_t end) {
         for (size_t j = begin; j < end; ++j) {
-          PinnedRun run = provider->PinSeries(
-              static_cast<uint64_t>(id_at(base + j)), &io[worker]);
-          if (run.empty()) {
+          if (cancel_ != nullptr && cancel_->Fired()) {
             state[j] = kFailed;
+            errors[j] = cancel_->Check();
+            continue;
+          }
+          Result<PinnedRun> run = provider->PinSeriesChecked(
+              static_cast<uint64_t>(id_at(base + j)), &io[worker]);
+          if (!run.ok()) {
+            state[j] = kFailed;
+            errors[j] = run.status();
             continue;
           }
           bool abandoned = false;
           vals[j] = kernels_.squared_euclidean_ea(query_.data(),
-                                                  run.span().data(),
+                                                  run.value().span().data(),
                                                   query_.size(), t0,
                                                   &abandoned);
           state[j] = abandoned ? kAbandoned : kCompleted;
@@ -366,6 +425,8 @@ Result<size_t> ParallelLeafScanner::RefineOrdered(
         counters_->cache_misses += w.cache_misses;
         counters_->prefetch_issued += w.prefetch_issued;
         counters_->prefetch_useful += w.prefetch_useful;
+        counters_->io_retries += w.io_retries;
+        counters_->io_giveups += w.io_giveups;
         w.Reset();
       }
     }
@@ -373,7 +434,7 @@ Result<size_t> ParallelLeafScanner::RefineOrdered(
     // stop point are discarded without touching answers or counters.
     for (size_t j = 0; j < b; ++j) {
       if (!before(base + j)) return committed;
-      if (state[j] == kFailed) return Status::IoError("series fetch failed");
+      if (state[j] == kFailed) return errors[j];
       if (counters_ != nullptr) {
         ++counters_->series_accessed;
         ++(state[j] == kAbandoned ? counters_->abandoned_distances

@@ -65,11 +65,21 @@ namespace hydra {
 // so the determinism contract is unaffected.
 //
 // Error contract: provider-backed ScanIds/ScanRange/RefineOrdered return
-// IoError when any fetch fails (read error, or a pool whose every page
-// is pinned beyond the admission retries) instead of silently skipping
-// candidates — a skipped candidate could be a true neighbor. Answers
-// offered before the failure remain in the caller's set; callers are
-// expected to abandon the query on error.
+// the provider's typed Status when any fetch fails — DataCorruption for
+// a checksum mismatch, IoError for a read error that survived its
+// retries, Unavailable for a pool whose every page is pinned beyond the
+// admission retries — instead of silently skipping candidates (a skipped
+// candidate could be a true neighbor). The FIRST failure wins: workers
+// observe a shared flag and bail, their pins are released on the way out
+// (PinnedRun is RAII and each worker holds at most one), and the join
+// then reports that first typed status. Answers offered before the
+// failure remain in the caller's set; callers are expected to abandon
+// the query on error.
+//
+// Cancellation: when a token is supplied, every worker checks it at its
+// run/page boundaries and the scan returns DeadlineExceeded/Cancelled
+// the same way — first verdict wins, all pins released, announced
+// prefetches skipped by the pool's workers once the token has fired.
 class ParallelLeafScanner {
  public:
   // `pool` defaults to ThreadPool::Global(). The calling thread runs
@@ -78,10 +88,12 @@ class ParallelLeafScanner {
   // shard announces the next run(s) of its id stream to the provider's
   // background prefetcher before evaluating the current pinned run (see
   // index/leaf_scanner.h) — a pure cache hint, so the determinism
-  // contract above is unaffected at every depth.
+  // contract above is unaffected at every depth. `cancel` is the query's
+  // cooperative cancellation token (null = not cancellable).
   ParallelLeafScanner(std::span<const float> query, AnswerSet* answers,
                       QueryCounters* counters, size_t num_threads,
                       uint64_t pin_budget = 0, size_t prefetch_depth = 0,
+                      std::shared_ptr<CancellationToken> cancel = nullptr,
                       ThreadPool* pool = nullptr);
 
   // --- serial single-candidate paths, delegated to LeafScanner ---
@@ -186,6 +198,7 @@ class ParallelLeafScanner {
   size_t num_threads_;
   uint64_t pin_budget_;
   size_t prefetch_depth_;
+  std::shared_ptr<CancellationToken> cancel_;  // null = not cancellable
   ThreadPool* pool_;
   LeafScanner serial_;
   const DistanceKernels& kernels_;

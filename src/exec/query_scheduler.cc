@@ -42,9 +42,16 @@ uint64_t QueryScheduler::Submit(std::span<const float> query,
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++submitters_;
-    space_cv_.wait(lock, [this] {
-      return pending_.size() < queue_capacity_ || finished_;
-    });
+    if (pending_.size() >= queue_capacity_ && !finished_) {
+      // Count only submitters actually parked on backpressure: tests
+      // wait for blocked_submitters() to rise instead of sleeping and
+      // hoping the producer thread got there.
+      ++blocked_submitters_;
+      space_cv_.wait(lock, [this] {
+        return pending_.size() < queue_capacity_ || finished_;
+      });
+      --blocked_submitters_;
+    }
     --submitters_;
     if (finished_) {
       // Shutdown (or Finish) raced this submission: the query is
@@ -79,6 +86,28 @@ void QueryScheduler::DispatchLocked() {
 void QueryScheduler::Serve(const std::shared_ptr<Request>& req) {
   ServedQuery out;
   out.ticket = req->ticket;
+  // A deadline bounds the latency a CLIENT observes, so the budget is
+  // measured from Submit — queue wait counts against it. Arm the token
+  // here with whatever budget is left (not in Search's
+  // ResolveCancellation, which would restart the clock at execution
+  // time). A query whose budget the queue already consumed fails fast
+  // without touching the index or the pool's pages.
+  if (req->params.deadline_ms > 0 && req->params.cancel == nullptr) {
+    const double waited_ms = req->submitted.ElapsedSeconds() * 1000.0;
+    const double remaining_ms = req->params.deadline_ms - waited_ms;
+    if (remaining_ms <= 0) {
+      out.answer = Status::DeadlineExceeded(
+          "query deadline expired in the submission queue");
+      out.seconds = req->submitted.ElapsedSeconds();
+      std::lock_guard<std::mutex> lock(mu_);
+      done_.emplace(req->ticket, std::move(out));
+      --in_flight_;
+      DispatchLocked();
+      results_cv_.notify_all();
+      return;
+    }
+    req->params.cancel = CancellationToken::WithDeadline(remaining_ms);
+  }
   try {
     out.answer = index_.Search(
         std::span<const float>(req->query.data(), req->query.size()),
@@ -128,6 +157,11 @@ void QueryScheduler::Finish() {
 size_t QueryScheduler::in_flight() const {
   std::lock_guard<std::mutex> lock(mu_);
   return in_flight_;
+}
+
+size_t QueryScheduler::blocked_submitters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocked_submitters_;
 }
 
 ServingOptions ServingSession::NegotiateOptions(SeriesProvider* provider,

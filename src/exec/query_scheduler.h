@@ -108,6 +108,10 @@ class QueryScheduler {
   // Admitted-but-not-completed queries right now (for tests/monitoring;
   // racy by nature).
   size_t in_flight() const;
+  // Producers currently parked inside Submit on backpressure. Lets tests
+  // wait for "the producer has actually blocked" as an observable event
+  // instead of sleeping an arbitrary interval.
+  size_t blocked_submitters() const;
   size_t concurrency() const { return max_in_flight_; }
   size_t queue_capacity() const { return queue_capacity_; }
 
@@ -142,6 +146,8 @@ class QueryScheduler {
   // Producers currently inside Submit (blocked or not): the destructor
   // waits them out so a woken submitter never touches freed state.
   size_t submitters_ = 0;
+  // The subset of submitters_ parked on the backpressure wait.
+  size_t blocked_submitters_ = 0;
   bool finished_ = false;
 };
 
@@ -176,6 +182,9 @@ class ServingSession {
 
   // Effective values after capability clamping / budget negotiation.
   size_t concurrency() const { return scheduler_.concurrency(); }
+  size_t blocked_submitters() const {
+    return scheduler_.blocked_submitters();
+  }
   uint64_t per_query_pin_budget() const { return per_query_pin_budget_; }
   // Per-query readahead cap (pages); 0 = the provider does not prefetch.
   uint64_t per_query_prefetch_budget() const {

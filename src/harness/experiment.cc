@@ -156,8 +156,13 @@ double PercentileMs(std::vector<double> seconds, double pct) {
   return seconds[rank] * 1000.0;
 }
 
-// Same ids and bit-identical distances.
+// Same ids and bit-identical distances. A failed query is recorded as an
+// empty KnnAnswer (k >= 1, so a successful answer is never empty);
+// pairs with a failure on either side are excluded from the
+// determinism comparison — the contract is "every SUCCESSFUL answer is
+// exactly right", failures are accounted separately (errors/timeouts).
 bool AnswersIdentical(const KnnAnswer& a, const KnnAnswer& b) {
+  if (a.ids.empty() || b.ids.empty()) return true;
   return a.ids == b.ids && a.distances == b.distances;
 }
 
@@ -194,8 +199,18 @@ ServingSweepPoint RunServingPoint(const Index& index, const Dataset& queries,
   session.Finish();
   while (std::optional<ServedQuery> served = session.Next()) {
     latencies.push_back(served->seconds);
-    answers.push_back(served->answer.ok() ? std::move(served->answer).value()
-                                          : KnnAnswer{});
+    if (served->answer.ok()) {
+      answers.push_back(std::move(served->answer).value());
+    } else {
+      const StatusCode code = served->answer.status().code();
+      if (code == StatusCode::kDeadlineExceeded ||
+          code == StatusCode::kCancelled) {
+        ++point.timeouts;
+      } else {
+        ++point.errors;
+      }
+      answers.push_back(KnnAnswer{});
+    }
     point.result.counters += served->counters;
   }
   point.wall_seconds = wall.ElapsedSeconds();
@@ -263,7 +278,7 @@ std::vector<ServingSweepPoint> RunServingSweep(
 Table ServingSweepTable(const std::vector<ServingSweepPoint>& points) {
   Table table({"method", "concurrency", "wall_s", "qps", "p50_ms", "p95_ms",
                "p99_ms", "speedup", "avg_recall", "hit_rate", "prefetch_hit",
-               "match_serial"});
+               "errors", "timeouts", "io_retries", "match_serial"});
   for (const ServingSweepPoint& p : points) {
     table.AddRow({p.result.method, std::to_string(p.concurrency),
                   FormatDouble(p.wall_seconds, 4), FormatDouble(p.qps, 1),
@@ -272,6 +287,8 @@ Table ServingSweepTable(const std::vector<ServingSweepPoint>& points) {
                   FormatDouble(p.result.accuracy.avg_recall, 4),
                   FormatDouble(p.HitRate(), 4),
                   FormatDouble(p.result.PrefetchHitRate(), 4),
+                  std::to_string(p.errors), std::to_string(p.timeouts),
+                  std::to_string(p.result.counters.io_retries),
                   p.matches_serial ? "yes" : "NO"});
   }
   return table;

@@ -160,7 +160,17 @@ struct ServingSweepPoint {
   double speedup = 1.0;  // sequential wall_seconds / this wall_seconds
   // Every answer identical (ids + bit-identical distances) to the
   // sequential (concurrency = 1) run — the serving determinism contract.
+  // Under fault injection or deadlines only successful answers are
+  // compared: a query may legitimately fail with a typed status, but a
+  // query that SUCCEEDS must still be exactly right.
   bool matches_serial = true;
+  // Graceful-degradation accounting: queries that returned a typed
+  // non-OK status instead of an answer. `timeouts` counts
+  // DeadlineExceeded/Cancelled, `errors` everything else (IoError,
+  // DataCorruption, Unavailable, ...). The retry column of the table
+  // comes from result.counters.io_retries.
+  size_t errors = 0;
+  size_t timeouts = 0;
 
   // Buffer-pool hit rate of this point's queries (per-query attribution
   // summed); 0 when the workload never touched a pool.
@@ -182,7 +192,8 @@ std::vector<ServingSweepPoint> RunServingSweep(
 
 // One row per level. Columns (also the CSV schema):
 //   method, concurrency, wall_s, qps, p50_ms, p95_ms, p99_ms, speedup,
-//   avg_recall, hit_rate, prefetch_hit, match_serial
+//   avg_recall, hit_rate, prefetch_hit, errors, timeouts, io_retries,
+//   match_serial
 // prefetch_hit is the pool-wide readahead usefulness across the point's
 // queries (per-query prefetch attribution summed); 0 with prefetch off.
 Table ServingSweepTable(const std::vector<ServingSweepPoint>& points);

@@ -7,6 +7,7 @@
 
 #include "distance/euclidean.h"
 #include "index/answer_set.h"
+#include "index/leaf_scanner.h"
 
 namespace hydra {
 
@@ -44,8 +45,9 @@ Result<std::unique_ptr<HnswIndex>> HnswIndex::Build(
     }
     // Beam insertion on layers min(level, max_level_) .. 0.
     for (size_t l = std::min(level, index->max_level_) + 1; l-- > 0;) {
-      auto cands = index->SearchLayer(query, entry, l,
-                                      options.ef_construction, nullptr);
+      HYDRA_ASSIGN_OR_RETURN(
+          auto cands, index->SearchLayer(query, entry, l,
+                                         options.ef_construction, nullptr));
       if (!cands.empty()) entry = cands.front().second;
       // Layer 0 traditionally allows 2M links.
       size_t m_max = l == 0 ? 2 * options.M : options.M;
@@ -98,9 +100,10 @@ size_t HnswIndex::GreedyClosest(std::span<const float> query, size_t entry,
   return cur;
 }
 
-std::vector<std::pair<double, size_t>> HnswIndex::SearchLayer(
+Result<std::vector<std::pair<double, size_t>>> HnswIndex::SearchLayer(
     std::span<const float> query, size_t entry, size_t level, size_t ef,
-    QueryCounters* counters) const {
+    QueryCounters* counters,
+    const std::shared_ptr<CancellationToken>& cancel) const {
   std::unordered_set<size_t> visited{entry};
   using Pair = std::pair<double, size_t>;
   // Candidates: min-heap by distance. Results: max-heap bounded by ef.
@@ -112,6 +115,9 @@ std::vector<std::pair<double, size_t>> HnswIndex::SearchLayer(
   results.emplace(d0, entry);
 
   while (!cands.empty()) {
+    if (cancel != nullptr) {
+      HYDRA_RETURN_IF_ERROR(cancel->Check());
+    }
     auto [d, node] = cands.top();
     if (results.size() >= ef && d > results.top().first) break;
     cands.pop();
@@ -171,11 +177,18 @@ Result<KnnAnswer> HnswIndex::Search(std::span<const float> query,
   size_t ef = params.efs == 0 ? options_.default_ef_search : params.efs;
   ef = std::max(ef, params.k);
 
+  std::shared_ptr<CancellationToken> cancel = ResolveCancellation(params);
   size_t entry = entry_point_;
   for (size_t l = max_level_; l > 0; --l) {
+    // Cancellation point between descent layers; the greedy walk per
+    // layer is short, so the beam below carries the per-pop checks.
+    if (cancel != nullptr) {
+      HYDRA_RETURN_IF_ERROR(cancel->Check());
+    }
     entry = GreedyClosest(query, entry, l, counters);
   }
-  auto found = SearchLayer(query, entry, 0, ef, counters);
+  HYDRA_ASSIGN_OR_RETURN(auto found,
+                         SearchLayer(query, entry, 0, ef, counters, cancel));
 
   AnswerSet answers(params.k);
   for (const auto& [d, id] : found) {

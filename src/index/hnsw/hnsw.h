@@ -58,10 +58,13 @@ class HnswIndex : public Index {
   size_t GreedyClosest(std::span<const float> query, size_t entry,
                        size_t level, QueryCounters* counters) const;
   // Best-first beam search on one layer; returns up to ef closest
-  // (dist_sq, id), ascending.
-  std::vector<std::pair<double, size_t>> SearchLayer(
+  // (dist_sq, id), ascending. Checks `cancel` (null = not cancellable) at
+  // every candidate pop — the layer-0 beam dominates query time, so this
+  // is where a deadline must be able to interrupt.
+  Result<std::vector<std::pair<double, size_t>>> SearchLayer(
       std::span<const float> query, size_t entry, size_t level, size_t ef,
-      QueryCounters* counters) const;
+      QueryCounters* counters,
+      const std::shared_ptr<CancellationToken>& cancel = nullptr) const;
   // The paper-original neighbor selection heuristic.
   std::vector<size_t> SelectNeighbors(
       size_t node, std::vector<std::pair<double, size_t>> candidates,

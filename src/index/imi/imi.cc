@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "distance/euclidean.h"
 #include "index/answer_set.h"
+#include "index/leaf_scanner.h"
 #include "transform/kmeans.h"
 
 namespace hydra {
@@ -193,10 +194,16 @@ Result<KnnAnswer> ImiIndex::Search(std::span<const float> query,
   // approximation uses the query relative to the *visited* cell, which we
   // compute per cell below (exact ADC per cell, table per cell half).
   AnswerSet answers(params.k);
+  std::shared_ptr<CancellationToken> cancel = ResolveCancellation(params);
   const size_t nprobe = std::max<size_t>(params.nprobe, 1);
   size_t visited_lists = 0;
   std::vector<float> qres(dim_);
   while (!frontier.empty() && visited_lists < nprobe) {
+    // Cancellation point: once per frontier cell — an inverted list's ADC
+    // sweep is the unit of work between deadline checks.
+    if (cancel != nullptr) {
+      HYDRA_RETURN_IF_ERROR(cancel->Check());
+    }
     Cell cell = frontier.top();
     frontier.pop();
     push_cell(cell.i + 1, cell.j);

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <string>
 
+#include "common/cancellation.h"
 #include "common/counters.h"
 #include "common/status.h"
 #include "core/dataset.h"
@@ -71,6 +73,21 @@ struct SearchParams {
   // HYDRA_PREFETCH is set — the harness uses it for the depth-0 baseline
   // rows so an exported env default cannot contaminate them.
   static constexpr size_t kPrefetchOff = static_cast<size_t>(-1);
+  // Per-query wall-clock budget in milliseconds (0 = none). When set and
+  // no `cancel` token is supplied, the search layers arm a deadline token
+  // themselves (index/leaf_scanner.h ResolveCancellation); the serving
+  // engine instead measures the budget from Submit time, so queue wait
+  // counts against it. On expiry the query abandons work at its next
+  // cancellation point and returns Status::DeadlineExceeded — never a
+  // silently truncated answer.
+  double deadline_ms = 0;
+  // Cooperative cancellation handle shared with the caller: fire it and
+  // every worker of this query stops at its next cancellation point
+  // (page fetch, tree node pop, refinement commit), pins are released and
+  // still-queued prefetches are skipped. Null = not cancellable (beyond
+  // deadline_ms above). Shared because announced readahead can outlive
+  // the Search() call itself.
+  std::shared_ptr<CancellationToken> cancel;
 };
 
 // Capability flags for the taxonomy table (paper Table 1 / Fig. 1).

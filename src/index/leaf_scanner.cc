@@ -26,6 +26,15 @@ size_t ResolvePrefetchDepth(const SearchParams& params) {
                                     : DefaultPrefetchDepth();
 }
 
+std::shared_ptr<CancellationToken> ResolveCancellation(
+    const SearchParams& params) {
+  if (params.cancel != nullptr) return params.cancel;
+  if (params.deadline_ms > 0) {
+    return CancellationToken::WithDeadline(params.deadline_ms);
+  }
+  return nullptr;
+}
+
 size_t LeafScanner::RunEnd(std::span<const int64_t> ids, size_t start) {
   size_t stop = start + 1;
   while (stop < ids.size() && ids[stop] == ids[stop - 1] + 1) ++stop;
@@ -35,7 +44,8 @@ size_t LeafScanner::RunEnd(std::span<const int64_t> ids, size_t start) {
 size_t LeafScanner::AnnounceRuns(SeriesProvider* provider,
                                  std::span<const int64_t> ids, size_t from,
                                  size_t max_pages, uint64_t series_per_page,
-                                 QueryCounters* counters) {
+                                 QueryCounters* counters,
+                                 std::shared_ptr<CancellationToken> cancel) {
   uint64_t pages = 0;
   size_t j = from;
   while (j < ids.size() && pages < max_pages) {
@@ -49,7 +59,7 @@ size_t LeafScanner::AnnounceRuns(SeriesProvider* provider,
         first / series_per_page + (max_pages - pages) - 1;
     count = std::min(count,
                      (last_allowed_page + 1) * series_per_page - first);
-    provider->Prefetch(first, count, counters);
+    provider->Prefetch(first, count, counters, cancel);
     pages += (first + count - 1) / series_per_page -
              first / series_per_page + 1;
     j = stop;
@@ -84,7 +94,7 @@ size_t LeafScanner::PrefetchIds(SeriesProvider* provider,
     return 0;
   }
   return AnnounceRuns(provider, ids, 0, max_pages, provider->SeriesPerPage(),
-                      counters_);
+                      counters_, cancel_);
 }
 
 Result<size_t> LeafScanner::ScanIds(SeriesProvider* provider,
@@ -100,30 +110,34 @@ Result<size_t> LeafScanner::ScanIds(SeriesProvider* provider,
   size_t runs_since_announce = announce_every;
   size_t start = 0;
   while (start < ids.size()) {
+    // Cancellation point: one clock check per run keeps deadline
+    // responsiveness at page granularity without taxing the inner loop.
+    if (cancel_ != nullptr) {
+      HYDRA_RETURN_IF_ERROR(cancel_->Check());
+    }
     const size_t stop = RunEnd(ids, start);
     // Announce the runs after this one before evaluating it, so the
     // prefetch workers read ahead while the kernels run.
     if (announce && stop < ids.size() &&
         ++runs_since_announce > announce_every) {
-      AnnounceRuns(provider, ids, stop, prefetch_depth_, spp, counters_);
+      AnnounceRuns(provider, ids, stop, prefetch_depth_, spp, counters_,
+                   cancel_);
       runs_since_announce = 0;
     }
     if (stop - start == 1) {
       // Isolated id: the seed single-candidate path, bit for bit.
-      if (!ScanFrom(provider, ids[start])) {
-        return Status::IoError("series " + std::to_string(ids[start]) +
-                               " fetch failed");
-      }
+      HYDRA_ASSIGN_OR_RETURN(
+          PinnedRun run,
+          provider->PinSeriesChecked(static_cast<uint64_t>(ids[start]),
+                                     counters_));
+      Scan(run.span(), ids[start]);
     } else {
       // Consecutive ids ride the batch kernel page-run by page-run.
       uint64_t i = static_cast<uint64_t>(ids[start]);
       const uint64_t end = i + (stop - start);
       while (i < end) {
-        PinnedRun run = provider->PinRun(i, end - i, counters_);
-        if (run.empty()) {
-          return Status::IoError("series run at " + std::to_string(i) +
-                                 " fetch failed");
-        }
+        HYDRA_ASSIGN_OR_RETURN(PinnedRun run,
+                               provider->PinRunChecked(i, end - i, counters_));
         const size_t run_count = run.span().size() / len;
         ScanContiguous(run.span().data(), run_count, len,
                        static_cast<int64_t>(i));
@@ -178,18 +192,19 @@ Result<size_t> LeafScanner::ScanRange(SeriesProvider* provider,
   // round trip.
   uint64_t announce_at = i;
   while (i < end) {
-    PinnedRun run = provider->PinRun(i, end - i, counters_);
-    if (run.empty()) {
-      return Status::IoError("series run at " + std::to_string(i) +
-                             " fetch failed");
+    // Cancellation point: once per pinned page.
+    if (cancel_ != nullptr) {
+      HYDRA_RETURN_IF_ERROR(cancel_->Check());
     }
+    HYDRA_ASSIGN_OR_RETURN(PinnedRun run,
+                           provider->PinRunChecked(i, end - i, counters_));
     const size_t run_count = run.span().size() / len;
     // The current page is pinned; announce the next window before
     // evaluating it so its reads overlap these kernels.
     const uint64_t next = i + run_count;
     if (lookahead > 0 && next < end && next >= announce_at) {
       provider->Prefetch(next, std::min<uint64_t>(lookahead, end - next),
-                         counters_);
+                         counters_, cancel_);
       announce_at = next + std::max<uint64_t>(1, lookahead / 2);
     }
     ScanContiguous(run.span().data(), run_count, len,

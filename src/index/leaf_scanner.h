@@ -2,9 +2,11 @@
 #define HYDRA_INDEX_LEAF_SCANNER_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/counters.h"
 #include "common/status.h"
 #include "core/dataset.h"
@@ -44,14 +46,25 @@ namespace hydra {
 // rides the SIMD batch kernel and turns the leaf's I/O footprint into
 // sequential readahead windows. Prefetch is a pure cache hint: answers
 // are identical at every depth, including 0 (off).
+//
+// Failure semantics: provider-backed scans surface the provider's typed
+// Status (DataCorruption, IoError, Unavailable — PinSeriesChecked /
+// PinRunChecked) the moment a fetch fails, and check the optional
+// CancellationToken at every run/page boundary, returning
+// DeadlineExceeded/Cancelled with partial work discarded. Either way the
+// held pin is released before returning, so an abandoned query leaves no
+// residue on a shared pool. Announced prefetches carry the token too,
+// so the background workers drop a dead query's readahead.
 class LeafScanner {
  public:
   LeafScanner(std::span<const float> query, AnswerSet* answers,
-              QueryCounters* counters, size_t prefetch_depth = 0)
+              QueryCounters* counters, size_t prefetch_depth = 0,
+              std::shared_ptr<CancellationToken> cancel = nullptr)
       : query_(query),
         answers_(answers),
         counters_(counters),
         prefetch_depth_(prefetch_depth),
+        cancel_(std::move(cancel)),
         kernels_(ActiveKernels()) {}
 
   // Evaluates one candidate already in memory.
@@ -61,11 +74,12 @@ class LeafScanner {
   // candidate is skipped, nothing else changes).
   bool ScanFrom(SeriesProvider* provider, int64_t id);
 
-  // Evaluates every id; IoError as soon as a fetch fails (a buffer pool
-  // exhausted by concurrent queries, or a real read error) — a silently
-  // skipped candidate could be a true neighbor, so the failure must
-  // surface instead of degrading exactness. Candidates evaluated before
-  // the failure have already been offered to the answer set; the caller
+  // Evaluates every id; the provider's typed Status as soon as a fetch
+  // fails (a buffer pool exhausted by concurrent queries, a read error
+  // that survived its retries, a checksum mismatch) — a silently skipped
+  // candidate could be a true neighbor, so the failure must surface
+  // instead of degrading exactness. Candidates evaluated before the
+  // failure have already been offered to the answer set; the caller
   // abandons the query, not the answers. Returns ids.size() on success.
   Result<size_t> ScanIds(SeriesProvider* provider,
                          std::span<const int64_t> ids);
@@ -82,8 +96,8 @@ class LeafScanner {
 
   // Fetches maximal contiguous runs of [first, first + count) from the
   // provider (SeriesProvider::GetSeriesRun) and batch-evaluates them.
-  // IoError when a fetch fails (same contract as ScanIds); `count` on
-  // success.
+  // The provider's typed Status when a fetch fails (same contract as
+  // ScanIds); `count` on success.
   Result<size_t> ScanRange(SeriesProvider* provider, uint64_t first,
                            uint64_t count);
 
@@ -105,10 +119,14 @@ class LeafScanner {
   // `max_pages` pages are covered, charging `counters` (a worker's own
   // instance during fan-outs); returns the pages announced. The one
   // implementation of the run/page arithmetic both scanners use.
+  // `cancel` travels with each announced page so a dead query's queued
+  // readahead is skipped, not loaded.
   static size_t AnnounceRuns(SeriesProvider* provider,
                              std::span<const int64_t> ids, size_t from,
                              size_t max_pages, uint64_t series_per_page,
-                             QueryCounters* counters);
+                             QueryCounters* counters,
+                             std::shared_ptr<CancellationToken> cancel =
+                                 nullptr);
 
  private:
   // Candidates per batch-kernel call; bounds threshold staleness while
@@ -119,6 +137,7 @@ class LeafScanner {
   AnswerSet* answers_;
   QueryCounters* counters_;
   size_t prefetch_depth_;
+  std::shared_ptr<CancellationToken> cancel_;  // null = not cancellable
   const DistanceKernels& kernels_;
   std::vector<double> batch_out_;  // scratch reused across chunks
 };
@@ -133,6 +152,15 @@ size_t DefaultPrefetchDepth();
 // the HYDRA_PREFETCH default when unset (0).
 struct SearchParams;  // index/index.h
 size_t ResolvePrefetchDepth(const SearchParams& params);
+
+// The effective cancellation token of a query: its explicit token, or a
+// fresh deadline token when only deadline_ms is set (measured from this
+// call — the serving engine passes an explicit token instead so queue
+// wait counts against the budget), or null when the query is not
+// cancellable. Every index Search() resolves through this one helper so
+// the deadline knob behaves identically across methods.
+std::shared_ptr<CancellationToken> ResolveCancellation(
+    const SearchParams& params);
 
 }  // namespace hydra
 

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "distance/euclidean.h"
+#include "index/leaf_scanner.h"
 
 namespace hydra {
 
@@ -16,6 +17,16 @@ double MTreeIndex::Distance(std::span<const float> a, int64_t id,
       provider_->GetSeries(static_cast<uint64_t>(id), counters);
   if (counters != nullptr) ++counters->full_distances;
   return Euclidean(a, b);
+}
+
+Result<double> MTreeIndex::CheckedDistance(std::span<const float> a,
+                                           int64_t id,
+                                           QueryCounters* counters) const {
+  HYDRA_ASSIGN_OR_RETURN(
+      PinnedRun run,
+      provider_->PinSeriesChecked(static_cast<uint64_t>(id), counters));
+  if (counters != nullptr) ++counters->full_distances;
+  return Euclidean(a, run.span());
 }
 
 Result<std::unique_ptr<MTreeIndex>> MTreeIndex::Build(
@@ -244,8 +255,15 @@ Result<KnnAnswer> MTreeIndex::Search(std::span<const float> query,
   if (counters != nullptr) ++counters->nodes_pushed;
 
   AnswerSet answers(params.k);
+  std::shared_ptr<CancellationToken> cancel = ResolveCancellation(params);
   size_t leaves_visited = 0;
   while (!pq.empty() && leaves_visited < leaf_budget) {
+    // Cancellation point: once per node pop — the M-tree computes full
+    // distances while routing, so this bounds deadline response to one
+    // node's worth of pivot evaluations.
+    if (cancel != nullptr) {
+      HYDRA_RETURN_IF_ERROR(cancel->Check());
+    }
     QEntry top = pq.top();
     pq.pop();
     double kth = std::sqrt(answers.KthDistanceSq());
@@ -255,7 +273,8 @@ Result<KnnAnswer> MTreeIndex::Search(std::span<const float> query,
       ++leaves_visited;
       if (counters != nullptr) ++counters->leaves_visited;
       for (const Entry& e : node.entries) {
-        double d = Distance(query, e.pivot_id, counters);
+        HYDRA_ASSIGN_OR_RETURN(double d,
+                               CheckedDistance(query, e.pivot_id, counters));
         answers.Offer(d * d, e.pivot_id);
       }
       if (params.mode == SearchMode::kDeltaEpsilon && answers.full() &&
@@ -264,7 +283,8 @@ Result<KnnAnswer> MTreeIndex::Search(std::span<const float> query,
       }
     } else {
       for (const Entry& e : node.entries) {
-        double d = Distance(query, e.pivot_id, counters);
+        HYDRA_ASSIGN_OR_RETURN(double d,
+                               CheckedDistance(query, e.pivot_id, counters));
         double lb = std::max(0.0, d - e.covering_radius);
         if (lb <= std::sqrt(answers.KthDistanceSq()) / one_plus_eps) {
           pq.push({lb, e.child});

@@ -82,6 +82,13 @@ class MTreeIndex : public Index {
 
   double Distance(std::span<const float> a, int64_t id,
                   QueryCounters* counters) const;
+  // Search-path variant of Distance: pins the pivot series through the
+  // checked provider API and surfaces its typed Status (DataCorruption,
+  // IoError, Unavailable) instead of evaluating a failed fetch's empty
+  // span — which would feed NaN distances into the answer set and return
+  // a silently wrong result.
+  Result<double> CheckedDistance(std::span<const float> a, int64_t id,
+                                 QueryCounters* counters) const;
   void Insert(int64_t id, QueryCounters* counters);
   // Splits an overfull node, promoting two pivots (mM_RAD split policy:
   // the pair minimizing the larger covering radius among sampled pairs).

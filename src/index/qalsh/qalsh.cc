@@ -125,8 +125,8 @@ Result<KnnAnswer> QalshIndex::Search(std::span<const float> query,
   // sweeps, only the per-round δ-ε termination check below, so answers
   // are identical to num_threads = 1.
   ParallelLeafScanner scanner(query, &answers, counters, params.num_threads,
-                              params.pin_budget,
-                              ResolvePrefetchDepth(params));
+                              params.pin_budget, ResolvePrefetchDepth(params),
+                              ResolveCancellation(params));
   std::vector<int64_t> round_ids;
   auto refine = [&](int64_t id) -> Status {
     if (probed >= budget || refined[id]) return Status::OK();

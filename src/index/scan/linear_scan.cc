@@ -17,8 +17,8 @@ Result<KnnAnswer> LinearScanIndex::Search(std::span<const float> query,
   // is the partition-parallel scaling primitive — with num_threads = 1 it
   // is exactly the serial batched scan.
   ParallelLeafScanner scanner(query, &answers, counters, params.num_threads,
-                              params.pin_budget,
-                              ResolvePrefetchDepth(params));
+                              params.pin_budget, ResolvePrefetchDepth(params),
+                              ResolveCancellation(params));
   HYDRA_ASSIGN_OR_RETURN(size_t scanned, scanner.ScanRange(provider_, 0, n));
   if (scanned != n) {
     return Status::IoError("series fetch failed");

@@ -82,7 +82,8 @@ Result<KnnAnswer> SrsIndex::Search(std::span<const float> query,
   // answers match num_threads = 1.
   AnswerSet answers(params.k);
   ParallelLeafScanner scanner(query, &answers, counters, params.num_threads,
-                              params.pin_budget);
+                              params.pin_budget, /*prefetch_depth=*/0,
+                              ResolveCancellation(params));
   Result<size_t> probed = scanner.RefineOrdered(
       provider_, order.size(),
       /*id_at=*/[&](size_t i) { return order[i].second; },

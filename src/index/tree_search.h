@@ -80,8 +80,13 @@ Result<KnnAnswer> TreeKnnSearch(const Tree& tree, const Ctx& ctx,
          : std::numeric_limits<size_t>::max();
 
   const size_t prefetch_depth = ResolvePrefetchDepth(params);
+  // One token per query, threaded through every scan and prefetch this
+  // search issues: leaf scans check it at page boundaries, and the loop
+  // below checks it at node pops, so a deadline or external Cancel()
+  // surfaces within one leaf-chunk of work.
+  std::shared_ptr<CancellationToken> cancel = ResolveCancellation(params);
   ParallelLeafScanner scanner(query, &answers, counters, params.num_threads,
-                              params.pin_budget, prefetch_depth);
+                              params.pin_budget, prefetch_depth, cancel);
   // Min-heap on a plain vector (std::push_heap/pop_heap) instead of
   // std::priority_queue: the readahead below needs to PEEK at the
   // best-priority pending entries, which priority_queue hides. heap[0] is
@@ -143,6 +148,9 @@ Result<KnnAnswer> TreeKnnSearch(const Tree& tree, const Ctx& ctx,
   size_t leaves_visited = 0;
   NodeId descent_leaf = NodeId{-1};
   if (!heap.empty()) {
+    if (cancel != nullptr) {
+      HYDRA_RETURN_IF_ERROR(cancel->Check());
+    }
     NodeId node = heap[0].node;
     while (!tree.IsLeaf(node)) {
       double best = std::numeric_limits<double>::infinity();
@@ -167,6 +175,12 @@ Result<KnnAnswer> TreeKnnSearch(const Tree& tree, const Ctx& ctx,
   }
 
   while (!heap.empty() && leaves_visited < leaf_budget) {
+    // Cancellation point: once per node pop, so an expired deadline stops
+    // the best-first loop even when every remaining node is pruned
+    // without touching the (token-checking) scan path.
+    if (cancel != nullptr) {
+      HYDRA_RETURN_IF_ERROR(cancel->Check());
+    }
     Entry top = heap_pop();
     // Algorithm 2 line 10: stop when the closest unexplored region cannot
     // improve the (ε-relaxed) bsf.

@@ -168,7 +168,8 @@ Result<KnnAnswer> VaFileIndex::Search(std::span<const float> query,
   // exactly the serial order, so answers match num_threads = 1.
   AnswerSet answers(params.k);
   ParallelLeafScanner scanner(query, &answers, counters, params.num_threads,
-                              params.pin_budget);
+                              params.pin_budget, /*prefetch_depth=*/0,
+                              ResolveCancellation(params));
   Result<size_t> probed = scanner.RefineOrdered(
       provider_, order.size(),
       /*id_at=*/[&](size_t i) { return order[i].second; },

@@ -1,6 +1,8 @@
 #include "storage/buffer_manager.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <thread>
 
 namespace hydra {
@@ -21,6 +23,14 @@ constexpr int kJoinRetries = 8;
 // Background readahead workers per pool. Two keep one read in flight
 // while the next one queues without oversubscribing small machines.
 constexpr size_t kPrefetchWorkers = 2;
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end != v && *end == '\0') ? static_cast<uint64_t>(parsed) : fallback;
+}
 }  // namespace
 
 Result<std::unique_ptr<BufferManager>> BufferManager::Open(
@@ -29,8 +39,11 @@ Result<std::unique_ptr<BufferManager>> BufferManager::Open(
     return Status::InvalidArgument("page_series and capacity must be > 0");
   }
   HYDRA_ASSIGN_OR_RETURN(auto reader, SeriesFileReader::Open(path));
-  return std::unique_ptr<BufferManager>(
-      new BufferManager(std::move(reader), page_series, capacity_pages));
+  // Retry policy knobs, fixed per pool at open (see buffer_manager.h).
+  const uint64_t retries = EnvU64("HYDRA_IO_RETRIES", 3);
+  const uint64_t backoff_us = EnvU64("HYDRA_IO_BACKOFF_US", 100);
+  return std::unique_ptr<BufferManager>(new BufferManager(
+      std::move(reader), page_series, capacity_pages, retries, backoff_us));
 }
 
 BufferManager::~BufferManager() {
@@ -45,17 +58,60 @@ BufferManager::~BufferManager() {
 }
 
 std::shared_ptr<PageFrame> BufferManager::AwaitReady(
-    std::shared_ptr<PageFrame> frame) {
+    std::shared_ptr<PageFrame> frame, Status* error) {
   {
     std::unique_lock<std::mutex> lock(frame->mu);
     frame->cv.wait(lock,
                    [&] { return frame->state != PageFrame::State::kLoading; });
     if (frame->state == PageFrame::State::kReady) return frame;
+    if (error != nullptr) *error = frame->error;
   }
   // Failed load: the loader already removed the frame from the table, so
   // the next fetch retries the read. Give back the pin we took.
   frame->pins.fetch_sub(1, std::memory_order_release);
   return nullptr;
+}
+
+Status BufferManager::ReadPageWithRetry(uint64_t first, uint64_t count,
+                                        float* out, QueryCounters* io,
+                                        QueryCounters* counters) {
+  Status st;
+  for (uint64_t attempt = 0;; ++attempt) {
+    st = reader_->ReadSeries(first, count, out, io);
+    if (st.ok() || !st.IsRetryable()) return st;
+    if (attempt >= io_retry_limit_) break;
+    io_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (counters != nullptr) ++counters->io_retries;
+    BackoffSleep(attempt, first);
+  }
+  io_giveups_.fetch_add(1, std::memory_order_relaxed);
+  if (counters != nullptr) ++counters->io_giveups;
+  // Terminal verdict: an exhausted transient budget is no longer
+  // retryable, so it is rewritten to IoError with the last attempt's
+  // detail. A checksum mismatch that survived its re-reads stays typed —
+  // callers must be able to tell "device kept lying" apart from "device
+  // kept failing".
+  if (st.code() == StatusCode::kUnavailable) {
+    return Status::IoError("I/O retry budget exhausted after " +
+                           std::to_string(io_retry_limit_ + 1) +
+                           " attempts: " + st.message());
+  }
+  return st;
+}
+
+void BufferManager::BackoffSleep(uint64_t attempt, uint64_t key) {
+  if (io_backoff_us_ == 0) return;
+  // Exponential with a cap (a pool stall should heal in microseconds to
+  // milliseconds, not seconds) plus deterministic jitter from (key,
+  // attempt) so concurrent retriers of different pages decorrelate
+  // without a shared RNG.
+  uint64_t delay = io_backoff_us_ << std::min<uint64_t>(attempt, 6);
+  delay = std::min<uint64_t>(delay, 20000);
+  uint64_t h = (key + 1) * 0x9E3779B97F4A7C15ull;
+  h ^= (attempt + 1) * 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 29;
+  delay += h % (delay / 2 + 1);
+  std::this_thread::sleep_for(std::chrono::microseconds(delay));
 }
 
 void BufferManager::ReleasePrefetchCredit(
@@ -133,7 +189,7 @@ bool BufferManager::AdmitToRing(const std::shared_ptr<PageFrame>& frame,
 }
 
 void BufferManager::AbortLoad(const std::shared_ptr<PageFrame>& frame,
-                              bool in_ring) {
+                              bool in_ring, Status error) {
   {
     Shard& shard = ShardFor(frame->id);
     std::unique_lock<std::shared_mutex> lock(shard.mu);
@@ -153,6 +209,7 @@ void BufferManager::AbortLoad(const std::shared_ptr<PageFrame>& frame,
   }
   {
     std::lock_guard<std::mutex> lock(frame->mu);
+    frame->error = std::move(error);
     frame->state = PageFrame::State::kFailed;
   }
   frame->cv.notify_all();
@@ -160,7 +217,8 @@ void BufferManager::AbortLoad(const std::shared_ptr<PageFrame>& frame,
 }
 
 std::shared_ptr<PageFrame> BufferManager::FetchPinnedOnce(
-    uint64_t page_id, QueryCounters* counters, bool* joined_failed) {
+    uint64_t page_id, QueryCounters* counters, bool* joined_failed,
+    Status* error) {
   *joined_failed = false;
   Shard& shard = ShardFor(page_id);
   std::shared_ptr<PageFrame> frame;
@@ -176,7 +234,7 @@ std::shared_ptr<PageFrame> BufferManager::FetchPinnedOnce(
     }
   }
   if (frame != nullptr) {
-    frame = AwaitReady(std::move(frame));
+    frame = AwaitReady(std::move(frame), error);
     if (frame != nullptr) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       if (counters != nullptr) ++counters->cache_hits;
@@ -204,7 +262,7 @@ std::shared_ptr<PageFrame> BufferManager::FetchPinnedOnce(
     }
   }
   if (!loader) {
-    frame = AwaitReady(std::move(frame));
+    frame = AwaitReady(std::move(frame), error);
     if (frame != nullptr) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       if (counters != nullptr) ++counters->cache_hits;
@@ -234,7 +292,11 @@ std::shared_ptr<PageFrame> BufferManager::FetchPinnedOnce(
       // Every pooled page is pinned beyond transient scan contention:
       // admitting would over-commit the memory budget, so the fetch
       // fails cleanly. Callers see an empty PinnedRun.
-      AbortLoad(frame, /*in_ring=*/false);
+      Status st = Status::Unavailable(
+          "buffer pool exhausted: all " + std::to_string(capacity_pages_) +
+          " pages pinned");
+      if (error != nullptr) *error = st;
+      AbortLoad(frame, /*in_ring=*/false, std::move(st));
       return nullptr;
     }
 
@@ -247,10 +309,12 @@ std::shared_ptr<PageFrame> BufferManager::FetchPinnedOnce(
     // bytes and (possibly) a seek, but only the series the caller asked
     // for count as logical accesses — prefetched page neighbors do not.
     QueryCounters io;
-    Status st = reader_->ReadSeries(first, count, frame->data.data(),
-                                    counters != nullptr ? &io : nullptr);
+    Status st = ReadPageWithRetry(first, count, frame->data.data(),
+                                  counters != nullptr ? &io : nullptr,
+                                  counters);
     if (!st.ok()) {
-      AbortLoad(frame, /*in_ring=*/true);
+      if (error != nullptr) *error = st;
+      AbortLoad(frame, /*in_ring=*/true, std::move(st));
       return nullptr;
     }
     if (counters != nullptr) {
@@ -258,7 +322,7 @@ std::shared_ptr<PageFrame> BufferManager::FetchPinnedOnce(
       counters->random_ios += io.random_ios;
     }
   } catch (...) {
-    AbortLoad(frame, in_ring);
+    AbortLoad(frame, in_ring, Status::Internal("page load threw"));
     throw;
   }
   {
@@ -270,14 +334,23 @@ std::shared_ptr<PageFrame> BufferManager::FetchPinnedOnce(
 }
 
 std::shared_ptr<PageFrame> BufferManager::FetchPinned(
-    uint64_t page_id, QueryCounters* counters) {
+    uint64_t page_id, QueryCounters* counters, Status* error) {
   bool joined_failed = false;
+  Status err;
   for (int attempt = 0; attempt < kJoinRetries; ++attempt) {
     std::shared_ptr<PageFrame> frame =
-        FetchPinnedOnce(page_id, counters, &joined_failed);
-    if (frame != nullptr || !joined_failed) return frame;
+        FetchPinnedOnce(page_id, counters, &joined_failed, &err);
+    if (frame != nullptr || !joined_failed) {
+      if (frame == nullptr && error != nullptr) *error = std::move(err);
+      return frame;
+    }
     // The load we joined was aborted (possibly a prefetch that lost its
     // ring slot): retry as our own loader instead of failing the scan.
+  }
+  if (error != nullptr) {
+    *error = err.ok() ? Status::IoError("page fetch failed: page " +
+                                        std::to_string(page_id))
+                      : std::move(err);
   }
   return nullptr;
 }
@@ -299,20 +372,27 @@ void BufferManager::PrefetchWorkerLoop() {
       return prefetch_stop_ || !prefetch_queue_.empty();
     });
     if (prefetch_stop_) return;
-    const uint64_t page_id = prefetch_queue_.front();
+    const PrefetchRequest req = prefetch_queue_.front();
     prefetch_queue_.pop_front();
     ++prefetch_inflight_;
     lock.unlock();
-    try {
-      PrefetchOne(page_id);
-    } catch (...) {
-      // Readahead is a hint; a failed speculative load (OOM included)
-      // must never take the process down. The demand fetch will retry
-      // and surface a real error through the normal path.
+    // A hint whose query already failed, timed out, or was cancelled is
+    // dead weight: skip the load entirely so a dying query stops
+    // consuming the device the instant its token fires.
+    if (req.cancel != nullptr && req.cancel->Fired()) {
+      prefetch_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      try {
+        PrefetchOne(req.page_id);
+      } catch (...) {
+        // Readahead is a hint; a failed speculative load (OOM included)
+        // must never take the process down. The demand fetch will retry
+        // and surface a real error through the normal path.
+      }
     }
     lock.lock();
     --prefetch_inflight_;
-    prefetch_pending_.erase(page_id);
+    prefetch_pending_.erase(req.page_id);
     if (prefetch_queue_.empty() && prefetch_inflight_ == 0) {
       prefetch_idle_cv_.notify_all();
     }
@@ -351,7 +431,10 @@ void BufferManager::PrefetchOne(uint64_t page_id) {
     // unpinned AND unreferenced — losing the slot just drops the hint.
     in_ring = AdmitToRing(frame, /*for_prefetch=*/true);
     if (!in_ring) {
-      AbortLoad(frame, /*in_ring=*/false);
+      // Not an I/O error: a joined demand fetch retries as its own
+      // loader, so this status is only ever seen transiently.
+      AbortLoad(frame, /*in_ring=*/false,
+                Status::Unavailable("prefetch admission lost its ring slot"));
       return;
     }
     const uint64_t len = reader_->series_length();
@@ -360,9 +443,12 @@ void BufferManager::PrefetchOne(uint64_t page_id) {
         std::min(page_series_, reader_->num_series() - first);
     frame->data.resize(count * len);
     QueryCounters io;
-    Status st = reader_->ReadSeries(first, count, frame->data.data(), &io);
+    // Same retry policy as demand fetches (retries land on the pool
+    // atomics only — no query owns a speculative load).
+    Status st = ReadPageWithRetry(first, count, frame->data.data(), &io,
+                                  /*counters=*/nullptr);
     if (!st.ok()) {
-      AbortLoad(frame, /*in_ring=*/true);
+      AbortLoad(frame, /*in_ring=*/true, std::move(st));
       return;
     }
     // Deferred charge, claimed by the demand fetch that consumes the
@@ -370,7 +456,7 @@ void BufferManager::PrefetchOne(uint64_t page_id) {
     frame->load_bytes = io.bytes_read;
     frame->load_ios = io.random_ios;
   } catch (...) {
-    AbortLoad(frame, in_ring);
+    AbortLoad(frame, in_ring, Status::Internal("prefetch load threw"));
     throw;
   }
   prefetch_resident_.fetch_add(1, std::memory_order_relaxed);
@@ -383,9 +469,12 @@ void BufferManager::PrefetchOne(uint64_t page_id) {
 }
 
 void BufferManager::Prefetch(uint64_t first, uint64_t count,
-                             QueryCounters* counters) {
+                             QueryCounters* counters,
+                             std::shared_ptr<CancellationToken> cancel) {
   const uint64_t budget = MaxPrefetchPages();
   if (budget == 0 || count == 0 || first >= reader_->num_series()) return;
+  // A dead query announces nothing.
+  if (cancel != nullptr && cancel->Fired()) return;
   const uint64_t last =
       std::min(first + count, reader_->num_series()) - 1;
   const uint64_t first_page = first / page_series_;
@@ -411,7 +500,7 @@ void BufferManager::Prefetch(uint64_t first, uint64_t count,
         if (shard.pages.count(page) != 0) continue;  // already resident
       }
       prefetch_pending_.insert(page);
-      prefetch_queue_.push_back(page);
+      prefetch_queue_.push_back(PrefetchRequest{page, cancel});
       queued_any = true;
       prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
       if (counters != nullptr) ++counters->prefetch_issued;
@@ -430,7 +519,9 @@ void BufferManager::Prefetch(uint64_t first, uint64_t count,
 
 void BufferManager::CancelPrefetches() {
   std::unique_lock<std::mutex> lock(prefetch_mu_);
-  for (uint64_t page : prefetch_queue_) prefetch_pending_.erase(page);
+  for (const PrefetchRequest& req : prefetch_queue_) {
+    prefetch_pending_.erase(req.page_id);
+  }
   prefetch_queue_.clear();
   prefetch_idle_cv_.wait(lock, [this] { return prefetch_inflight_ == 0; });
 }
@@ -442,19 +533,22 @@ void BufferManager::DrainPrefetches() {
   });
 }
 
-PinnedRun BufferManager::PinSeries(uint64_t i, QueryCounters* counters) {
+Result<PinnedRun> BufferManager::PinSeriesChecked(uint64_t i,
+                                                  QueryCounters* counters) {
   const uint64_t len = reader_->series_length();
   const uint64_t page_id = i / page_series_;
   if (counters != nullptr) ++counters->series_accessed;
-  std::shared_ptr<PageFrame> frame = FetchPinned(page_id, counters);
-  if (frame == nullptr) return {};
+  Status error;
+  std::shared_ptr<PageFrame> frame = FetchPinned(page_id, counters, &error);
+  if (frame == nullptr) return error;
   std::span<const float> span{
       frame->data.data() + (i - page_id * page_series_) * len, len};
   return PinnedRun(span, std::move(frame));
 }
 
-PinnedRun BufferManager::PinRun(uint64_t first, uint64_t max_count,
-                                QueryCounters* counters) {
+Result<PinnedRun> BufferManager::PinRunChecked(uint64_t first,
+                                               uint64_t max_count,
+                                               QueryCounters* counters) {
   const uint64_t len = reader_->series_length();
   const uint64_t page_id = first / page_series_;
   const uint64_t page_first = page_id * page_series_;
@@ -463,12 +557,35 @@ PinnedRun BufferManager::PinRun(uint64_t first, uint64_t max_count,
   const uint64_t count =
       std::min(max_count, page_first + page_count - first);
   if (counters != nullptr) counters->series_accessed += count;
-  std::shared_ptr<PageFrame> frame = FetchPinned(page_id, counters);
-  if (frame == nullptr) return {};
+  Status error;
+  std::shared_ptr<PageFrame> frame = FetchPinned(page_id, counters, &error);
+  if (frame == nullptr) return error;
   std::span<const float> span{
       frame->data.data() + (first - page_first) * len,
       static_cast<size_t>(count * len)};
   return PinnedRun(span, std::move(frame));
+}
+
+PinnedRun BufferManager::PinSeries(uint64_t i, QueryCounters* counters) {
+  Result<PinnedRun> run = PinSeriesChecked(i, counters);
+  return run.ok() ? std::move(run).value() : PinnedRun{};
+}
+
+PinnedRun BufferManager::PinRun(uint64_t first, uint64_t max_count,
+                                QueryCounters* counters) {
+  Result<PinnedRun> run = PinRunChecked(first, max_count, counters);
+  return run.ok() ? std::move(run).value() : PinnedRun{};
+}
+
+size_t BufferManager::PinnedPages() {
+  size_t pinned = 0;
+  for (Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [id, frame] : shard.pages) {
+      if (frame->pins.load(std::memory_order_acquire) > 0) ++pinned;
+    }
+  }
+  return pinned;
 }
 
 std::span<const float> BufferManager::GetSeries(uint64_t i,

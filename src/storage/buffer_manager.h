@@ -15,6 +15,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/counters.h"
 #include "common/status.h"
 #include "core/dataset.h"
@@ -71,6 +72,11 @@ struct PageFrame {
   std::mutex mu;
   std::condition_variable cv;
   State state = State::kLoading;  // guarded by mu
+  // Why the load failed (set before `state` flips to kFailed, guarded by
+  // mu): waiters joined to the failed load read the real typed status —
+  // DataCorruption vs. transient give-up vs. pool exhaustion — instead of
+  // inventing a generic one.
+  Status error;
 };
 
 }  // namespace internal
@@ -179,6 +185,30 @@ class SeriesProvider {
     return PinnedRun(GetSeriesRun(first, max_count, counters));
   }
 
+  // Typed-error variants of the pin fetches: where PinSeries/PinRun
+  // collapse every failure into an empty handle, these surface the
+  // provider's actual Status — DataCorruption vs. I/O give-up vs. pool
+  // exhaustion — so the scan layers can fail a query with its real cause.
+  // The defaults wrap the unchecked fetches with a generic IoError;
+  // providers with richer diagnostics (BufferManager) override.
+  virtual Result<PinnedRun> PinSeriesChecked(uint64_t i,
+                                             QueryCounters* counters) {
+    PinnedRun run = PinSeries(i, counters);
+    if (run.empty()) {
+      return Status::IoError("series fetch failed: id " + std::to_string(i));
+    }
+    return run;
+  }
+  virtual Result<PinnedRun> PinRunChecked(uint64_t first, uint64_t max_count,
+                                          QueryCounters* counters) {
+    PinnedRun run = PinRun(first, max_count, counters);
+    if (run.empty()) {
+      return Status::IoError("series run fetch failed: first " +
+                             std::to_string(first));
+    }
+    return run;
+  }
+
   // Upper bound on the number of pins that can be held concurrently
   // without starving fetches (for a bounded pool: its page capacity).
   // The exec layer clamps a provider-backed fan-out to this many workers
@@ -194,12 +224,17 @@ class SeriesProvider {
   // prefetch workers and returns immediately. Purely a performance hint —
   // it never changes what any fetch returns, only whether the fetch finds
   // the page already resident. Newly queued pages are charged to
-  // `counters->prefetch_issued` (may be null).
+  // `counters->prefetch_issued` (may be null). `cancel` (optional) ties
+  // the hint to its query: readahead still queued when the token fires is
+  // skipped instead of loaded, so a failed or timed-out query stops
+  // consuming I/O the moment its workers stop.
   virtual void Prefetch(uint64_t first, uint64_t count,
-                        QueryCounters* counters) {
+                        QueryCounters* counters,
+                        std::shared_ptr<CancellationToken> cancel = nullptr) {
     (void)first;
     (void)count;
     (void)counters;
+    (void)cancel;
   }
 
   // Series per pooled page, for converting a page-denominated lookahead
@@ -358,6 +393,16 @@ class BufferManager : public SeriesProvider {
   PinnedRun PinSeries(uint64_t i, QueryCounters* counters) override;
   PinnedRun PinRun(uint64_t first, uint64_t max_count,
                    QueryCounters* counters) override;
+  // Typed-error fetches: the real load status behind an empty handle.
+  // Transient read failures have already been retried with backoff by the
+  // time these report; the status is the terminal verdict (IoError for an
+  // exhausted retry budget or a permanent error, DataCorruption for a
+  // checksum mismatch that survived a re-read, Unavailable for a pool
+  // whose every page is pinned).
+  Result<PinnedRun> PinSeriesChecked(uint64_t i,
+                                     QueryCounters* counters) override;
+  Result<PinnedRun> PinRunChecked(uint64_t first, uint64_t max_count,
+                                  QueryCounters* counters) override;
 
   bool SupportsConcurrentReads() const override { return true; }
   uint64_t MaxConcurrentPins() const override { return capacity_pages_; }
@@ -365,9 +410,10 @@ class BufferManager : public SeriesProvider {
   // Queues the pages covering [first, first + count) for background
   // readahead (see the class comment); returns immediately. Bounded by
   // MaxPrefetchPages(); pages already resident, already queued, or past
-  // the budget are skipped. Thread-safe.
-  void Prefetch(uint64_t first, uint64_t count,
-                QueryCounters* counters) override;
+  // the budget are skipped. Thread-safe. Pages still queued when `cancel`
+  // fires are skipped by the workers (counted by prefetch_cancelled()).
+  void Prefetch(uint64_t first, uint64_t count, QueryCounters* counters,
+                std::shared_ptr<CancellationToken> cancel = nullptr) override;
   uint64_t SeriesPerPage() const override { return page_series_; }
   // Half the capacity: demand fetches always keep at least half the pool,
   // so readahead can help but never dominate. 0 on a capacity-1 pool.
@@ -396,6 +442,33 @@ class BufferManager : public SeriesProvider {
   uint64_t prefetch_useful() const {
     return prefetch_useful_.load(std::memory_order_relaxed);
   }
+  // Queued readahead skipped because its query's token fired first.
+  uint64_t prefetch_cancelled() const {
+    return prefetch_cancelled_.load(std::memory_order_relaxed);
+  }
+  // Fault-tolerance statistics: page reads re-issued after a retryable
+  // failure (transient error or checksum mismatch), and loads abandoned
+  // with the retry budget exhausted. Pool-wide totals; the per-query
+  // split lands on QueryCounters::io_retries/io_giveups.
+  uint64_t io_retries() const {
+    return io_retries_.load(std::memory_order_relaxed);
+  }
+  uint64_t io_giveups() const {
+    return io_giveups_.load(std::memory_order_relaxed);
+  }
+
+  // Pages currently held by at least one pin. Test/debug instrumentation:
+  // the leak regressions assert a pool returns to zero pinned frames
+  // after a query fails mid-scan.
+  size_t PinnedPages();
+
+  // Replaces the underlying reader's fault-injection config (tests).
+  // Call while no fetch is in flight.
+  void set_fault_config(const FaultConfig& config) {
+    reader_->set_fault_config(config);
+  }
+  // Injection telemetry of the underlying reader.
+  const SeriesFileReader& reader() const { return *reader_; }
 
   // Drops every unpinned page. Pages pinned at call time are retained —
   // their spans stay valid — and the count of retained pages is returned
@@ -414,30 +487,47 @@ class BufferManager : public SeriesProvider {
   };
 
   BufferManager(std::unique_ptr<SeriesFileReader> reader,
-                uint64_t page_series, uint64_t capacity_pages)
+                uint64_t page_series, uint64_t capacity_pages,
+                uint64_t io_retry_limit, uint64_t io_backoff_us)
       : reader_(std::move(reader)),
         page_series_(page_series),
-        capacity_pages_(capacity_pages) {}
+        capacity_pages_(capacity_pages),
+        io_retry_limit_(io_retry_limit),
+        io_backoff_us_(io_backoff_us) {}
 
   Shard& ShardFor(uint64_t page_id) {
     return shards_[page_id % kNumShards];
   }
 
+  // One page read through the retry policy: retryable failures
+  // (Unavailable, DataCorruption) are re-issued up to io_retry_limit_
+  // times with exponential backoff + deterministic jitter; retries and
+  // give-ups land on the pool atomics and on `counters`. The returned
+  // status is the terminal verdict (an exhausted transient budget is
+  // rewritten to IoError; DataCorruption stays typed).
+  Status ReadPageWithRetry(uint64_t first, uint64_t count, float* out,
+                           QueryCounters* io, QueryCounters* counters);
+  void BackoffSleep(uint64_t attempt, uint64_t key);
+
   // Returns the pooled (or freshly read) page with one pin taken on
-  // behalf of the caller; nullptr on read failure or an all-pinned pool.
-  // A caller joined to an in-flight load that fails retries (bounded):
-  // the load may have been an aborted prefetch, not a real I/O error.
+  // behalf of the caller; nullptr on read failure or an all-pinned pool
+  // (`*error` then holds the typed cause). A caller joined to an
+  // in-flight load that fails retries (bounded): the load may have been
+  // an aborted prefetch, not a real I/O error.
   std::shared_ptr<internal::PageFrame> FetchPinned(uint64_t page_id,
-                                                   QueryCounters* counters);
+                                                   QueryCounters* counters,
+                                                   Status* error);
   // One attempt of FetchPinned. Sets *joined_failed when the caller
   // joined another thread's load and that load failed (retryable).
   std::shared_ptr<internal::PageFrame> FetchPinnedOnce(uint64_t page_id,
                                                        QueryCounters* counters,
-                                                       bool* joined_failed);
+                                                       bool* joined_failed,
+                                                       Status* error);
   // Blocks until `frame` finished loading. Returns the frame on success;
-  // on a failed load, drops the caller's pin and returns nullptr.
+  // on a failed load, copies the frame's typed error into `*error`,
+  // drops the caller's pin and returns nullptr.
   std::shared_ptr<internal::PageFrame> AwaitReady(
-      std::shared_ptr<internal::PageFrame> frame);
+      std::shared_ptr<internal::PageFrame> frame, Status* error);
   // Claims a prefetched frame for the demand fetch that consumed it:
   // counts prefetch_useful and charges the deferred load cost.
   void ConsumePrefetched(const std::shared_ptr<internal::PageFrame>& frame,
@@ -452,14 +542,25 @@ class BufferManager : public SeriesProvider {
   // `clear_reference` false the sweep only takes frames whose reference
   // bit is already clear (single pass, no second chances granted).
   bool EvictOneLocked(bool clear_reference);
-  // Unwinds a failed load: removes the frame from table (and ring when
-  // `in_ring`), marks it failed, wakes waiters, drops the loader's pin.
+  // Unwinds a failed load: records `error` on the frame, removes it from
+  // table (and ring when `in_ring`), marks it failed, wakes waiters,
+  // drops the loader's pin.
   void AbortLoad(const std::shared_ptr<internal::PageFrame>& frame,
-                 bool in_ring);
+                 bool in_ring, Status error);
   // Bookkeeping for a prefetched frame leaving the pool unconsumed.
   void ReleasePrefetchCredit(const std::shared_ptr<internal::PageFrame>& f);
 
   // --- prefetch worker machinery (all under prefetch_mu_) ---
+
+  // A queued readahead hint: the page plus the announcing query's token
+  // (null = not cancellable). The token travels with the entry so a
+  // worker popping it long after Search() returned still knows whether
+  // the query is alive.
+  struct PrefetchRequest {
+    uint64_t page_id = 0;
+    std::shared_ptr<CancellationToken> cancel;
+  };
+
   void EnsurePrefetchWorkersLocked();
   void PrefetchWorkerLoop();
   // Loads one page for the prefetcher (no pin kept, reference bit clear).
@@ -470,6 +571,11 @@ class BufferManager : public SeriesProvider {
   std::unique_ptr<SeriesFileReader> reader_;
   uint64_t page_series_;
   uint64_t capacity_pages_;
+  // Retry policy, fixed at Open from HYDRA_IO_RETRIES (extra attempts
+  // after the first, default 3) and HYDRA_IO_BACKOFF_US (base backoff,
+  // default 100; 0 disables the sleeps but not the retries).
+  uint64_t io_retry_limit_;
+  uint64_t io_backoff_us_;
 
   std::array<Shard, kNumShards> shards_;
 
@@ -481,6 +587,9 @@ class BufferManager : public SeriesProvider {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> prefetch_issued_{0};
   std::atomic<uint64_t> prefetch_useful_{0};
+  std::atomic<uint64_t> prefetch_cancelled_{0};
+  std::atomic<uint64_t> io_retries_{0};
+  std::atomic<uint64_t> io_giveups_{0};
   // Prefetched pages currently resident and not yet consumed by a demand
   // fetch; together with the queued/in-flight set this is what the
   // MaxPrefetchPages() budget bounds.
@@ -489,7 +598,7 @@ class BufferManager : public SeriesProvider {
   std::mutex prefetch_mu_;
   std::condition_variable prefetch_cv_;       // workers: work available
   std::condition_variable prefetch_idle_cv_;  // drain/cancel waiters
-  std::deque<uint64_t> prefetch_queue_;
+  std::deque<PrefetchRequest> prefetch_queue_;
   // Pages queued or currently loading (dedup + budget accounting).
   std::unordered_set<uint64_t> prefetch_pending_;
   size_t prefetch_inflight_ = 0;

@@ -1,9 +1,12 @@
 #include "storage/series_file.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
+
+#include "common/crc32.h"
 
 namespace hydra {
 namespace {
@@ -21,12 +24,25 @@ uint64_t SimIoDelayUs() {
                                     : uint64_t{0};
 }
 
+// "path @ offset N" context appended to every I/O status so a failure in
+// a multi-file experiment names the file and byte it died on.
+std::string IoContext(const std::string& path, uint64_t offset) {
+  return path + " @ offset " + std::to_string(offset);
+}
+
+std::string ErrnoDetail(int err) {
+  return err != 0 ? std::string(" (errno ") + std::to_string(err) + ": " +
+                        std::strerror(err) + ")"
+                  : std::string();
+}
+
 }  // namespace
 
 Status WriteSeriesFile(const std::string& path, const Dataset& dataset) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
-    return Status::IoError("cannot open for write: " + path);
+    return Status::IoError("cannot open for write: " + path +
+                           ErrnoDetail(errno));
   }
   uint64_t head[4] = {SeriesFileHeader::kMagic, SeriesFileHeader::kVersion,
                       dataset.size(), dataset.length()};
@@ -36,8 +52,20 @@ Status WriteSeriesFile(const std::string& path, const Dataset& dataset) {
                      dataset.values().size(),
                      f) == dataset.values().size();
   }
+  // Integrity footer: one CRC-32C per series, computed from the payload
+  // being written so verification catches anything the storage stack
+  // changes afterwards.
+  if (ok && dataset.size() > 0) {
+    std::vector<uint32_t> checksums(dataset.size());
+    for (uint64_t i = 0; i < dataset.size(); ++i) {
+      checksums[i] =
+          Crc32c(dataset.series(i).data(), dataset.length() * sizeof(float));
+    }
+    ok = std::fwrite(checksums.data(), sizeof(uint32_t), checksums.size(),
+                     f) == checksums.size();
+  }
   std::fclose(f);
-  if (!ok) return Status::IoError("short write: " + path);
+  if (!ok) return Status::IoError("short write: " + path + ErrnoDetail(errno));
   return Status::OK();
 }
 
@@ -45,7 +73,8 @@ Result<std::unique_ptr<SeriesFileReader>> SeriesFileReader::Open(
     const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    return Status::IoError("cannot open for read: " + path);
+    return Status::IoError("cannot open for read: " + path +
+                           ErrnoDetail(errno));
   }
   uint64_t head[4];
   if (std::fread(head, sizeof(head), 1, f) != 1) {
@@ -56,15 +85,33 @@ Result<std::unique_ptr<SeriesFileReader>> SeriesFileReader::Open(
     std::fclose(f);
     return Status::InvalidArgument("bad magic in " + path);
   }
-  if (head[1] != SeriesFileHeader::kVersion) {
+  if (head[1] != 1 && head[1] != SeriesFileHeader::kVersion) {
     std::fclose(f);
-    return Status::InvalidArgument("unsupported version in " + path);
+    return Status::InvalidArgument("unsupported version " +
+                                   std::to_string(head[1]) + " in " + path);
   }
   SeriesFileHeader header;
   header.num_series = head[2];
   header.length = head[3];
-  return std::unique_ptr<SeriesFileReader>(
-      new SeriesFileReader(f, header, SimIoDelayUs()));
+  // Version 2 carries the checksum footer after the payload; load it up
+  // front so every ReadSeries can verify without extra seeks. Version-1
+  // files leave `checksums` empty and skip verification.
+  std::vector<uint32_t> checksums;
+  if (head[1] >= 2 && header.num_series > 0) {
+    const uint64_t footer_at =
+        kHeaderBytes +
+        header.num_series * header.length * sizeof(float);
+    checksums.resize(header.num_series);
+    if (std::fseek(f, static_cast<long>(footer_at), SEEK_SET) != 0 ||
+        std::fread(checksums.data(), sizeof(uint32_t), checksums.size(), f) !=
+            checksums.size()) {
+      std::fclose(f);
+      return Status::IoError("short checksum footer read: " +
+                             IoContext(path, footer_at));
+    }
+  }
+  return std::unique_ptr<SeriesFileReader>(new SeriesFileReader(
+      f, header, path, std::move(checksums), SimIoDelayUs()));
 }
 
 SeriesFileReader::~SeriesFileReader() {
@@ -74,33 +121,89 @@ SeriesFileReader::~SeriesFileReader() {
 Status SeriesFileReader::ReadSeries(uint64_t first, uint64_t count,
                                     float* out, QueryCounters* counters) {
   if (first + count > header_.num_series) {
-    return Status::OutOfRange("read past end of series file");
+    return Status::OutOfRange(
+        "read past end of series file: series [" + std::to_string(first) +
+        ", " + std::to_string(first + count) + ") of " +
+        std::to_string(header_.num_series) + " in " + path_);
   }
   const uint64_t stride = header_.length * sizeof(float);
   const uint64_t offset = kHeaderBytes + first * stride;
+  // Fault-injection verdict for this attempt, drawn before any real work
+  // so injected failures cost no I/O (a failed device request returns
+  // without transferring data).
+  FaultInjector::Decision fault;
+  if (injector_->enabled()) {
+    fault = injector_->Decide(first, count, count * header_.length);
+    if (fault.latency_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(fault.latency_us));
+    }
+    if (fault.permanent_error) {
+      return Status::IoError("injected permanent I/O error: " +
+                             IoContext(path_, offset));
+    }
+    if (fault.transient_error) {
+      return Status::Unavailable("injected transient I/O error: " +
+                                 IoContext(path_, offset));
+    }
+    if (fault.short_read) {
+      return Status::Unavailable("injected short read: " +
+                                 IoContext(path_, offset));
+    }
+  }
   if (sim_delay_us_ > 0) {
     // Emulated device latency, outside the mutex: concurrent issuers
     // (demand fetch + prefetch workers) overlap their waits, as requests
     // overlap in a real disk's queue.
     std::this_thread::sleep_for(std::chrono::microseconds(sim_delay_us_));
   }
-  std::lock_guard<std::mutex> lock(io_mu_);
-  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-    return Status::IoError("seek failed");
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IoError("seek failed: " + IoContext(path_, offset) +
+                             ErrnoDetail(errno));
+    }
+    size_t want = static_cast<size_t>(count * header_.length);
+    size_t got = std::fread(out, sizeof(float), want, file_);
+    if (got != want) {
+      // A true end-of-file here means the file is shorter than its header
+      // claims — that never heals, so it is a plain IoError. A stream
+      // error (EINTR, EIO from a flaky device) may clear on re-read, so
+      // it surfaces as retryable Unavailable.
+      const bool at_eof = std::feof(file_) != 0;
+      const int err = at_eof ? 0 : errno;
+      std::clearerr(file_);
+      const std::string detail =
+          "short payload read: got " + std::to_string(got) + " of " +
+          std::to_string(want) + " floats, series [" + std::to_string(first) +
+          ", " + std::to_string(first + count) + ") in " +
+          IoContext(path_, offset) + ErrnoDetail(err);
+      return at_eof ? Status::IoError(detail) : Status::Unavailable(detail);
+    }
+    if (counters != nullptr) {
+      counters->bytes_read += count * stride;
+      counters->series_accessed += count;
+      if (!any_read_ || first != next_sequential_) {
+        ++counters->random_ios;
+      }
+    }
+    any_read_ = true;
+    next_sequential_ = first + count;
   }
-  size_t want = static_cast<size_t>(count * header_.length);
-  if (std::fread(out, sizeof(float), want, file_) != want) {
-    return Status::IoError("short payload read");
-  }
-  if (counters != nullptr) {
-    counters->bytes_read += count * stride;
-    counters->series_accessed += count;
-    if (!any_read_ || first != next_sequential_) {
-      ++counters->random_ios;
+  // Injected corruption flips payload bits AFTER the (correct) disk read,
+  // modeling the device lying; on version-2 files the checksum pass below
+  // is what catches it.
+  injector_->CorruptPayload(fault, out, count * header_.length);
+  if (!checksums_.empty()) {
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint32_t actual =
+          Crc32c(out + i * header_.length, stride);
+      if (actual != checksums_[first + i]) {
+        return Status::DataCorruption(
+            "checksum mismatch on series " + std::to_string(first + i) +
+            ": " + IoContext(path_, offset + i * stride));
+      }
     }
   }
-  any_read_ = true;
-  next_sequential_ = first + count;
   return Status::OK();
 }
 

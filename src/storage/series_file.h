@@ -6,10 +6,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/counters.h"
 #include "common/status.h"
 #include "core/dataset.h"
+#include "storage/fault_injector.h"
 
 namespace hydra {
 
@@ -18,10 +20,21 @@ namespace hydra {
 // layout the original data-series tools consume, with an explicit header
 // so files are self-describing.
 //
+// Format version 2 appends an integrity footer after the payload:
+// num_series × uint32 CRC-32C, one checksum per series. Checksums are
+// per-series rather than per-page because the pool's page size
+// (series_per_page) is chosen at BufferManager::Open time, long after the
+// file was written; per-series checksums verify any read granularity.
+// Version-1 files (no footer) remain readable — verification is simply
+// skipped, so pre-existing datasets keep working.
+//
 // All reads funnel through SeriesFileReader, which charges bytes and
 // random-I/O counts to the caller's QueryCounters. A read is "random"
 // when it is not contiguous with the previous read, matching how the
-// paper counts disk seeks.
+// paper counts disk seeks. Every read of a version-2 file is verified
+// against the footer; a mismatch surfaces as Status::DataCorruption
+// (retryable: the buffer pool re-reads once before giving up). I/O
+// failures carry errno, file path and byte offset in the status message.
 //
 // ReadSeries is thread-safe: an internal mutex serializes the seek+read
 // pair and the sequentiality tracking, so the buffer pool's single-flight
@@ -36,14 +49,24 @@ namespace hydra {
 // behavior (the async prefetch pipeline, pool thrashing) on such
 // machines. Benches that enable it print the value; it never changes
 // WHAT is read, only how long it takes.
+//
+// Fault injection: Open() arms a FaultInjector from the HYDRA_FAULT_*
+// environment knobs (storage/fault_injector.h); tests can override with
+// set_fault_config before issuing reads. Injected transient errors and
+// short reads surface as Status::Unavailable (retryable), injected
+// permanent errors as Status::IoError (not retryable), and injected
+// bit flips corrupt the returned payload AFTER the disk read — on a
+// version-2 file the checksum pass then catches them, which is exactly
+// the detection path real corruption would take.
 struct SeriesFileHeader {
   static constexpr uint32_t kMagic = 0x48594452;  // "HYDR"
-  static constexpr uint32_t kVersion = 1;
+  static constexpr uint32_t kVersion = 2;         // 1 = no checksum footer
   uint64_t num_series = 0;
   uint64_t length = 0;
 };
 
-// Writes `dataset` to `path`, overwriting any existing file.
+// Writes `dataset` to `path` (format version 2, with the CRC-32C
+// footer), overwriting any existing file.
 Status WriteSeriesFile(const std::string& path, const Dataset& dataset);
 
 class SeriesFileReader {
@@ -57,24 +80,49 @@ class SeriesFileReader {
 
   uint64_t num_series() const { return header_.num_series; }
   uint64_t series_length() const { return header_.length; }
+  const std::string& path() const { return path_; }
+
+  // True when the file carries the version-2 checksum footer and every
+  // read is verified.
+  bool verifies_checksums() const { return !checksums_.empty(); }
 
   // Reads series [first, first + count) into `out` (count × length
   // floats). Charges bytes_read always, and one random_ios when the range
-  // does not start where the previous read ended.
+  // does not start where the previous read ended. On a version-2 file the
+  // payload is verified against the checksum footer; a mismatch returns
+  // Status::DataCorruption and the contents of `out` are unspecified.
   Status ReadSeries(uint64_t first, uint64_t count, float* out,
                     QueryCounters* counters);
 
   // Convenience: whole file into a Dataset (sequential, one seek).
   Result<Dataset> ReadAll(QueryCounters* counters);
 
+  // Replaces the fault-injection config (normally armed from the
+  // environment at Open). Call before issuing reads — the injector swap
+  // is not synchronized against concurrent ReadSeries.
+  void set_fault_config(const FaultConfig& config) {
+    injector_ = std::make_unique<FaultInjector>(config);
+  }
+
+  // Injection telemetry for tests; never null.
+  const FaultInjector& fault_injector() const { return *injector_; }
+
  private:
-  SeriesFileReader(std::FILE* file, SeriesFileHeader header,
-                   uint64_t sim_delay_us)
-      : file_(file), header_(header), sim_delay_us_(sim_delay_us) {}
+  SeriesFileReader(std::FILE* file, SeriesFileHeader header, std::string path,
+                   std::vector<uint32_t> checksums, uint64_t sim_delay_us)
+      : file_(file),
+        header_(header),
+        path_(std::move(path)),
+        checksums_(std::move(checksums)),
+        sim_delay_us_(sim_delay_us),
+        injector_(std::make_unique<FaultInjector>(FaultConfig::FromEnv())) {}
 
   std::FILE* file_;
   SeriesFileHeader header_;
+  std::string path_;
+  std::vector<uint32_t> checksums_;  // empty for version-1 files
   uint64_t sim_delay_us_;  // emulated per-read latency (see above)
+  std::unique_ptr<FaultInjector> injector_;
   std::mutex io_mu_;              // serializes seek+read+tracking below
   uint64_t next_sequential_ = 0;  // series index right after the last read
   bool any_read_ = false;

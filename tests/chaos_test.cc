@@ -1,0 +1,346 @@
+// Chaos suite: the serving engine over a fault-injecting buffer pool.
+// The graceful-degradation contract under test: every query either
+// returns the bit-identical exact answer (its transient faults absorbed
+// by retries) or a typed non-OK Status — NEVER a silently wrong answer —
+// and a failed or cancelled query leaves no residue (no pinned frames,
+// no outstanding prefetches) and never poisons its neighbors. The CI
+// chaos lane re-runs this suite across HYDRA_FAULT_SEED values under
+// the sanitizers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/rng.h"
+#include "core/generators.h"
+#include "exec/query_scheduler.h"
+#include "index/leaf_scanner.h"
+#include "index/scan/linear_scan.h"
+#include "storage/buffer_manager.h"
+#include "storage/fault_injector.h"
+#include "storage/series_file.h"
+#include "transform/znorm.h"
+
+namespace hydra {
+namespace {
+
+// The chaos lane varies the decision seed; locally it defaults to 0.
+uint64_t FaultSeed() {
+  const char* v = std::getenv("HYDRA_FAULT_SEED");
+  if (v == nullptr) return 0;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end != v && *end == '\0') ? parsed : 0;
+}
+
+struct ChaosWorkload {
+  Dataset data;
+  Dataset queries;
+  std::filesystem::path dir;
+  std::string path;
+  std::unique_ptr<BufferManager> bm;        // faulty pool under test
+  std::unique_ptr<BufferManager> clean_bm;  // pristine pool for the oracle
+
+  explicit ChaosWorkload(size_t n = 2000, size_t len = 64,
+                         size_t num_queries = 8,
+                         uint64_t capacity_pages = 16)
+      : data([&] {
+          Rng rng(7);
+          Dataset ds = MakeRandomWalk(n, len, rng);
+          ZNormalizeDataset(ds);
+          return ds;
+        }()),
+        queries([&] {
+          Rng rng(1234);
+          return MakeNoiseQueries(data, num_queries, 0.15, rng);
+        }()) {
+    static std::atomic<int> counter{0};
+    dir = std::filesystem::temp_directory_path() /
+          ("hydra_chaos_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1)));
+    std::filesystem::create_directories(dir);
+    path = (dir / "data.hsf").string();
+    EXPECT_TRUE(WriteSeriesFile(path, data).ok());
+    auto faulty = BufferManager::Open(path, /*page_series=*/16,
+                                      capacity_pages);
+    auto clean = BufferManager::Open(path, /*page_series=*/16,
+                                     capacity_pages);
+    EXPECT_TRUE(faulty.ok() && clean.ok());
+    if (faulty.ok()) bm = std::move(faulty).value();
+    if (clean.ok()) clean_bm = std::move(clean).value();
+    // Open() arms injectors from the HYDRA_FAULT_* environment (the
+    // chaos lane sets them); both pools start explicitly clean so each
+    // test controls exactly which faults it runs under.
+    if (bm != nullptr) bm->set_fault_config(FaultConfig{});
+    if (clean_bm != nullptr) clean_bm->set_fault_config(FaultConfig{});
+  }
+  ~ChaosWorkload() { std::filesystem::remove_all(dir); }
+
+  // Exact serial answers from the pristine pool: the oracle every
+  // successful chaos answer must match bit for bit.
+  std::vector<KnnAnswer> Oracle(size_t k) {
+    LinearScanIndex index(clean_bm.get());
+    SearchParams params;
+    params.k = k;
+    std::vector<KnnAnswer> out;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      QueryCounters c;
+      auto ans = index.Search(queries.series(q), params, &c);
+      EXPECT_TRUE(ans.ok()) << ans.status().message();
+      out.push_back(ans.ok() ? std::move(ans).value() : KnnAnswer{});
+    }
+    return out;
+  }
+};
+
+void ExpectBitIdentical(const KnnAnswer& oracle, const KnnAnswer& got,
+                        const std::string& context) {
+  ASSERT_EQ(got.ids.size(), oracle.ids.size()) << context;
+  for (size_t i = 0; i < oracle.ids.size(); ++i) {
+    EXPECT_EQ(got.ids[i], oracle.ids[i]) << context << " position " << i;
+    EXPECT_EQ(got.distances[i], oracle.distances[i])
+        << context << " position " << i;
+  }
+}
+
+bool IsTypedFailure(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kIoError:
+    case StatusCode::kDataCorruption:
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// The acceptance matrix: concurrency {2, 8} x threads {1, 4} x prefetch
+// {0, 4}, under transient faults + one-shot corruption. Every query is
+// either exactly right or a typed failure; the pool ends every cell with
+// zero pins and a drained prefetch queue.
+TEST(Chaos, RightOrTypedAcrossServingMatrix) {
+  ChaosWorkload w;
+  ASSERT_NE(w.bm, nullptr);
+  ASSERT_NE(w.clean_bm, nullptr);
+  const size_t k = 10;
+  std::vector<KnnAnswer> oracle = w.Oracle(k);
+
+  FaultConfig config;
+  config.seed = FaultSeed();
+  config.transient_rate = 0.10;
+  config.corrupt_rate = 0.05;  // one-shot: the retry re-reads clean
+  w.bm->set_fault_config(config);
+  LinearScanIndex index(w.bm.get());
+
+  for (size_t concurrency : {2u, 8u}) {
+    for (size_t threads : {1u, 4u}) {
+      for (size_t prefetch : {0u, 4u}) {
+        const std::string context =
+            "concurrency=" + std::to_string(concurrency) +
+            " threads=" + std::to_string(threads) +
+            " prefetch=" + std::to_string(prefetch);
+        SearchParams params;
+        params.k = k;
+        params.num_threads = threads;
+        params.prefetch_depth =
+            prefetch == 0 ? SearchParams::kPrefetchOff : prefetch;
+
+        ServingOptions options;
+        options.concurrency = concurrency;
+        size_t failures = 0;
+        {
+          ServingSession session(index, w.bm.get(), options);
+          for (size_t q = 0; q < w.queries.size(); ++q) {
+            session.Submit(w.queries.series(q), params);
+          }
+          session.Finish();
+          size_t ticket = 0;
+          while (std::optional<ServedQuery> served = session.Next()) {
+            if (served->answer.ok()) {
+              ExpectBitIdentical(oracle[ticket], served->answer.value(),
+                                 context);
+            } else {
+              ++failures;
+              EXPECT_TRUE(IsTypedFailure(served->answer.status()))
+                  << context << ": " << served->answer.status().message();
+            }
+            ++ticket;
+          }
+          EXPECT_EQ(ticket, w.queries.size()) << context;
+        }
+        // Zero residue once the session is gone: no pinned frames, no
+        // queued or in-flight readahead.
+        w.bm->DrainPrefetches();
+        EXPECT_EQ(w.bm->PinnedPages(), 0u) << context;
+        // At these rates the retry budget absorbs nearly everything;
+        // whatever still failed had to fail typed (checked above).
+        (void)failures;
+      }
+    }
+  }
+  // The injector really fired: this suite is not vacuously green.
+  EXPECT_GT(w.bm->reader().fault_injector().attempts(), 0u);
+  EXPECT_GT(w.bm->io_retries(), 0u);
+}
+
+// Degradation isolation: K queries forced to fail (pre-fired tokens),
+// the other N-K must still return bit-identical exact answers — a dead
+// query's pins and readahead never leak into its neighbors.
+TEST(Chaos, CancelledQueriesDoNotPoisonNeighbors) {
+  ChaosWorkload w;
+  ASSERT_NE(w.bm, nullptr);
+  const size_t k = 10;
+  std::vector<KnnAnswer> oracle = w.Oracle(k);
+
+  LinearScanIndex index(w.bm.get());
+  ServingOptions options;
+  options.concurrency = 4;
+  size_t cancelled = 0, succeeded = 0;
+  {
+    ServingSession session(index, w.bm.get(), options);
+    std::vector<bool> doomed(w.queries.size());
+    for (size_t q = 0; q < w.queries.size(); ++q) {
+      SearchParams params;
+      params.k = k;
+      params.num_threads = 2;
+      params.prefetch_depth = 4;
+      if (q % 3 == 1) {  // every third query is killed before it runs
+        params.cancel = std::make_shared<CancellationToken>();
+        params.cancel->Cancel();
+        doomed[q] = true;
+      }
+      session.Submit(w.queries.series(q), params);
+    }
+    session.Finish();
+    size_t ticket = 0;
+    while (std::optional<ServedQuery> served = session.Next()) {
+      if (doomed[ticket]) {
+        ASSERT_FALSE(served->answer.ok()) << "query " << ticket;
+        EXPECT_EQ(served->answer.status().code(), StatusCode::kCancelled)
+            << served->answer.status().message();
+        ++cancelled;
+      } else {
+        ASSERT_TRUE(served->answer.ok())
+            << "query " << ticket << ": "
+            << served->answer.status().message();
+        ExpectBitIdentical(oracle[ticket], served->answer.value(),
+                           "query " + std::to_string(ticket));
+        ++succeeded;
+      }
+      ++ticket;
+    }
+  }
+  EXPECT_GT(cancelled, 0u);
+  EXPECT_EQ(cancelled + succeeded, w.queries.size());
+  w.bm->DrainPrefetches();
+  EXPECT_EQ(w.bm->PinnedPages(), 0u);
+}
+
+// Permanent faults: queries over a pool with a dead page all fail typed
+// (linear scan visits every page), and the failures leave zero pins even
+// at high concurrency.
+TEST(Chaos, PermanentFaultsFailTypedUnderConcurrency) {
+  ChaosWorkload w;
+  ASSERT_NE(w.bm, nullptr);
+  FaultConfig config;
+  config.seed = 21;  // kills at least one page at this rate
+  config.permanent_rate = 0.15;
+  w.bm->set_fault_config(config);
+  LinearScanIndex index(w.bm.get());
+
+  ServingOptions options;
+  options.concurrency = 4;
+  size_t failures = 0, completions = 0;
+  {
+    ServingSession session(index, w.bm.get(), options);
+    SearchParams params;
+    params.k = 10;
+    params.num_threads = 4;
+    for (size_t q = 0; q < w.queries.size(); ++q) {
+      session.Submit(w.queries.series(q), params);
+    }
+    session.Finish();
+    while (std::optional<ServedQuery> served = session.Next()) {
+      ++completions;
+      if (!served->answer.ok()) {
+        ++failures;
+        EXPECT_EQ(served->answer.status().code(), StatusCode::kIoError)
+            << served->answer.status().message();
+      }
+    }
+  }
+  EXPECT_EQ(completions, w.queries.size());
+  EXPECT_GT(failures, 0u);
+  w.bm->DrainPrefetches();
+  EXPECT_EQ(w.bm->PinnedPages(), 0u);
+}
+
+// A deadline that has already expired when the query is admitted fails
+// fast with DeadlineExceeded — queue wait counts against the budget and
+// the index is never entered.
+TEST(Chaos, ExpiredDeadlineFailsFastInQueue) {
+  ChaosWorkload w(/*n=*/500, /*len=*/32, /*num_queries=*/4);
+  ASSERT_NE(w.bm, nullptr);
+  LinearScanIndex index(w.bm.get());
+  ServingOptions options;
+  options.concurrency = 1;
+  ServingSession session(index, w.bm.get(), options);
+  SearchParams params;
+  params.k = 5;
+  // 1 nanosecond of budget: gone before Serve() can possibly run.
+  params.deadline_ms = 1e-6;
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    session.Submit(w.queries.series(q), params);
+  }
+  session.Finish();
+  size_t expired = 0;
+  while (std::optional<ServedQuery> served = session.Next()) {
+    ASSERT_FALSE(served->answer.ok());
+    EXPECT_EQ(served->answer.status().code(),
+              StatusCode::kDeadlineExceeded)
+        << served->answer.status().message();
+    ++expired;
+  }
+  EXPECT_EQ(expired, w.queries.size());
+  EXPECT_EQ(w.bm->PinnedPages(), 0u);
+}
+
+// A generous deadline changes nothing: the deadline machinery must be
+// free when it does not fire.
+TEST(Chaos, GenerousDeadlineReturnsExactAnswers) {
+  ChaosWorkload w(/*n=*/500, /*len=*/32, /*num_queries=*/4);
+  ASSERT_NE(w.bm, nullptr);
+  const size_t k = 5;
+  std::vector<KnnAnswer> oracle = w.Oracle(k);
+  LinearScanIndex index(w.bm.get());
+  ServingOptions options;
+  options.concurrency = 2;
+  ServingSession session(index, w.bm.get(), options);
+  SearchParams params;
+  params.k = k;
+  params.deadline_ms = 60000.0;
+  params.num_threads = 2;
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    session.Submit(w.queries.series(q), params);
+  }
+  session.Finish();
+  size_t ticket = 0;
+  while (std::optional<ServedQuery> served = session.Next()) {
+    ASSERT_TRUE(served->answer.ok()) << served->answer.status().message();
+    ExpectBitIdentical(oracle[ticket], served->answer.value(),
+                       "query " + std::to_string(ticket));
+    ++ticket;
+  }
+  EXPECT_EQ(ticket, w.queries.size());
+}
+
+}  // namespace
+}  // namespace hydra

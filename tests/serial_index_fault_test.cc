@@ -1,0 +1,211 @@
+// Serial indexes under a faulty or exhausted provider: the M-tree (the
+// one serial method that fetches pivot series while routing) must
+// surface the provider's typed Status instead of evaluating a failed
+// fetch's empty span into NaN answers, and every serial index must honor
+// deadlines/cancellation at its search-loop boundaries.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/cancellation.h"
+#include "common/rng.h"
+#include "core/generators.h"
+#include "index/hnsw/hnsw.h"
+#include "index/imi/imi.h"
+#include "index/mtree/mtree.h"
+#include "storage/buffer_manager.h"
+#include "storage/fault_injector.h"
+#include "storage/series_file.h"
+#include "transform/znorm.h"
+
+namespace hydra {
+namespace {
+
+struct MTreeWorkload {
+  Dataset data;
+  Dataset queries;
+  std::filesystem::path dir;
+  std::unique_ptr<BufferManager> bm;
+  std::unique_ptr<MTreeIndex> index;
+
+  explicit MTreeWorkload(size_t n = 300, size_t len = 16) {
+    Rng rng(7);
+    data = MakeRandomWalk(n, len, rng);
+    ZNormalizeDataset(data);
+    Rng qrng(1234);
+    queries = MakeNoiseQueries(data, 4, 0.15, qrng);
+    static std::atomic<int> counter{0};
+    dir = std::filesystem::temp_directory_path() /
+          ("hydra_serial_fault_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter.fetch_add(1)));
+    std::filesystem::create_directories(dir);
+    std::string path = (dir / "data.hsf").string();
+    EXPECT_TRUE(WriteSeriesFile(path, data).ok());
+    auto opened = BufferManager::Open(path, /*page_series=*/16,
+                                      /*capacity_pages=*/8);
+    EXPECT_TRUE(opened.ok());
+    if (opened.ok()) bm = std::move(opened).value();
+    // Build over a clean provider; tests inject faults afterwards.
+    bm->set_fault_config(FaultConfig{});
+    auto built = MTreeIndex::Build(data, bm.get());
+    EXPECT_TRUE(built.ok()) << built.status().message();
+    if (built.ok()) index = std::move(built).value();
+  }
+  ~MTreeWorkload() { std::filesystem::remove_all(dir); }
+};
+
+SearchParams Exact(size_t k = 5) {
+  SearchParams p;
+  p.mode = SearchMode::kExact;
+  p.k = k;
+  return p;
+}
+
+TEST(SerialIndexFault, MTreeSurfacesPermanentFaultAsTypedStatus) {
+  MTreeWorkload w;
+  ASSERT_NE(w.index, nullptr);
+  FaultConfig config;
+  config.seed = 21;
+  config.permanent_rate = 0.15;  // kills at least one page
+  w.bm->set_fault_config(config);
+  size_t failures = 0;
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    QueryCounters c;
+    auto ans = w.index->Search(w.queries.series(q), Exact(), &c);
+    if (!ans.ok()) {
+      ++failures;
+      EXPECT_EQ(ans.status().code(), StatusCode::kIoError)
+          << ans.status().message();
+    } else {
+      // A successful answer must be finite — never a NaN smuggled in
+      // from an empty span.
+      for (double d : ans.value().distances) {
+        EXPECT_TRUE(std::isfinite(d));
+      }
+    }
+  }
+  // Exact M-tree search touches most pivots, so the dead page is hit.
+  EXPECT_GT(failures, 0u);
+  EXPECT_EQ(w.bm->PinnedPages(), 0u);
+}
+
+TEST(SerialIndexFault, MTreeSurfacesStickyCorruptionAsTypedStatus) {
+  MTreeWorkload w;
+  ASSERT_NE(w.index, nullptr);
+  FaultConfig config;
+  config.seed = 4;
+  config.corrupt_rate = 1.0;
+  config.sticky_corruption = true;
+  w.bm->set_fault_config(config);
+  w.bm->DropCache();  // force re-reads through the corrupting injector
+  QueryCounters c;
+  auto ans = w.index->Search(w.queries.series(0), Exact(), &c);
+  ASSERT_FALSE(ans.ok());
+  EXPECT_EQ(ans.status().code(), StatusCode::kDataCorruption)
+      << ans.status().message();
+  EXPECT_EQ(w.bm->PinnedPages(), 0u);
+}
+
+TEST(SerialIndexFault, MTreeHonorsCancellation) {
+  MTreeWorkload w;
+  ASSERT_NE(w.index, nullptr);
+  SearchParams params = Exact();
+  params.cancel = std::make_shared<CancellationToken>();
+  params.cancel->Cancel();
+  QueryCounters c;
+  auto ans = w.index->Search(w.queries.series(0), params, &c);
+  ASSERT_FALSE(ans.ok());
+  EXPECT_EQ(ans.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(w.bm->PinnedPages(), 0u);
+}
+
+TEST(SerialIndexFault, MTreeGenerousDeadlineMatchesNoDeadline) {
+  MTreeWorkload w;
+  ASSERT_NE(w.index, nullptr);
+  QueryCounters c1, c2;
+  auto plain = w.index->Search(w.queries.series(0), Exact(), &c1);
+  SearchParams timed = Exact();
+  timed.deadline_ms = 60000.0;
+  auto deadlined = w.index->Search(w.queries.series(0), timed, &c2);
+  ASSERT_TRUE(plain.ok() && deadlined.ok());
+  EXPECT_EQ(plain.value().ids, deadlined.value().ids);
+  EXPECT_EQ(plain.value().distances, deadlined.value().distances);
+}
+
+// --- In-memory serial indexes: deadline/cancellation plumbing ---
+
+struct MemoryWorkload {
+  Dataset data;
+  Dataset queries;
+  MemoryWorkload(size_t n = 400, size_t len = 16) {
+    Rng rng(7);
+    data = MakeRandomWalk(n, len, rng);
+    ZNormalizeDataset(data);
+    Rng qrng(1234);
+    queries = MakeNoiseQueries(data, 2, 0.15, qrng);
+  }
+};
+
+TEST(SerialIndexFault, HnswHonorsCancellationAndDeadline) {
+  MemoryWorkload w;
+  auto built = HnswIndex::Build(w.data);
+  ASSERT_TRUE(built.ok());
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 5;
+  params.cancel = std::make_shared<CancellationToken>();
+  params.cancel->Cancel();
+  QueryCounters c;
+  auto ans = built.value()->Search(w.queries.series(0), params, &c);
+  ASSERT_FALSE(ans.ok());
+  EXPECT_EQ(ans.status().code(), StatusCode::kCancelled);
+
+  // A generous deadline returns the same answers as none.
+  SearchParams plain;
+  plain.mode = SearchMode::kNgApproximate;
+  plain.k = 5;
+  SearchParams timed = plain;
+  timed.deadline_ms = 60000.0;
+  QueryCounters c1, c2;
+  auto a = built.value()->Search(w.queries.series(0), plain, &c1);
+  auto b = built.value()->Search(w.queries.series(0), timed, &c2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().ids, b.value().ids);
+}
+
+TEST(SerialIndexFault, ImiHonorsCancellationAndDeadline) {
+  MemoryWorkload w;
+  ImiOptions options;
+  options.coarse_k = 8;
+  options.train_sample = 200;
+  auto built = ImiIndex::Build(w.data, options);
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  SearchParams params;
+  params.mode = SearchMode::kNgApproximate;
+  params.k = 5;
+  params.nprobe = 16;
+  params.cancel = std::make_shared<CancellationToken>();
+  params.cancel->Cancel();
+  QueryCounters c;
+  auto ans = built.value()->Search(w.queries.series(0), params, &c);
+  ASSERT_FALSE(ans.ok());
+  EXPECT_EQ(ans.status().code(), StatusCode::kCancelled);
+
+  SearchParams plain;
+  plain.mode = SearchMode::kNgApproximate;
+  plain.k = 5;
+  plain.nprobe = 16;
+  SearchParams timed = plain;
+  timed.deadline_ms = 60000.0;
+  QueryCounters c1, c2;
+  auto a = built.value()->Search(w.queries.series(0), plain, &c1);
+  auto b = built.value()->Search(w.queries.series(0), timed, &c2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().ids, b.value().ids);
+}
+
+}  // namespace
+}  // namespace hydra

@@ -576,11 +576,15 @@ TEST(Serving, BoundedQueueExertsBackpressure) {
     scheduler.Submit(q, Exact(1));
     submitted.store(true);
   });
-  // Releasing nothing: the submitter stays blocked. (A sleep cannot
-  // prove blocking forever, but a regression to unbounded admission
-  // makes this fail deterministically.)
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Wait for the observable "parked on backpressure" state instead of
+  // sleeping and hoping the thread got there: a regression to unbounded
+  // admission lets Submit() return immediately, submitted flips to true,
+  // and blocked_submitters() never rises — the expectation below fails.
+  while (scheduler.blocked_submitters() == 0 && !submitted.load()) {
+    std::this_thread::yield();
+  }
   EXPECT_FALSE(submitted.load());
+  EXPECT_EQ(scheduler.blocked_submitters(), 1u);
 
   // Completing query 0 admits query 1, freeing one queue slot: the
   // blocked submitter gets through.
@@ -645,7 +649,11 @@ TEST(Serving, ShutdownWakesBlockedSubmitter) {
       // fake ticket for a discarded query.
       EXPECT_TRUE(ticket == QueryScheduler::kDropped || ticket == 2u);
     });
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    // The destructor path under test needs the submitter actually parked
+    // in Submit first; wait for that observable state, not a timer.
+    while (scheduler.blocked_submitters() == 0) {
+      std::this_thread::yield();
+    }
     index.ReleaseAll(3);
     // Destructor: wakes the blocked submitter (its query is dropped) and
     // waits until it has left Submit before tearing down the mutex/cvs.
