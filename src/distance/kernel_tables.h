@@ -44,6 +44,38 @@ inline size_t BatchLoop(EaFn ea, const float* query, size_t n,
   return completed;
 }
 
+// The multi-query batch-loop shape shared by every target: candidates in
+// the outer loop (one pass over the pinned block serves every query while
+// the candidate is cache-hot, with the same lookahead prefetch as
+// BatchLoop), queries in the inner loop, each pair evaluated by the
+// target's single-query early-abandon kernel at that query's own
+// threshold. Per-pair results are therefore bit-identical to per-query
+// execution by construction — the batched path shares I/O and cache
+// locality, never arithmetic shortcuts.
+template <typename EaFn>
+inline size_t MultiLoop(EaFn ea, const float* const* queries,
+                        size_t num_queries, size_t n, const float* block,
+                        size_t count, size_t stride, const double* thresholds,
+                        double* out, uint8_t* abandoned) {
+  size_t completed = 0;
+  for (size_t c = 0; c < count; ++c) {
+    if (c + 1 < count) {
+      __builtin_prefetch(block + (c + 1) * stride, 0, 1);
+    }
+    const float* candidate = block + c * stride;
+    for (size_t q = 0; q < num_queries; ++q) {
+      bool pair_abandoned = false;
+      out[q * count + c] =
+          ea(queries[q], candidate, n, thresholds[q], &pair_abandoned);
+      if (abandoned != nullptr) {
+        abandoned[q * count + c] = pair_abandoned ? 1 : 0;
+      }
+      completed += pair_abandoned ? 0 : 1;
+    }
+  }
+  return completed;
+}
+
 // Scalar reference implementations (also the fallback bodies above).
 double ScalarSquaredEuclidean(const float* a, const float* b, size_t n);
 double ScalarSquaredEuclideanEa(const float* a, const float* b, size_t n,
@@ -52,6 +84,11 @@ size_t ScalarSquaredEuclideanBatch(const float* query, size_t n,
                                    const float* block, size_t count,
                                    size_t stride, double threshold,
                                    double* out);
+size_t ScalarSquaredEuclideanMulti(const float* const* queries,
+                                   size_t num_queries, size_t n,
+                                   const float* block, size_t count,
+                                   size_t stride, const double* thresholds,
+                                   double* out, uint8_t* abandoned);
 double ScalarWeightedClampedDistSq(const double* x, const double* lo,
                                    const double* hi, const double* w,
                                    size_t n);

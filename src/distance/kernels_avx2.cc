@@ -101,6 +101,15 @@ size_t Avx2SquaredEuclideanBatch(const float* query, size_t n,
                    threshold, out);
 }
 
+size_t Avx2SquaredEuclideanMulti(const float* const* queries,
+                                 size_t num_queries, size_t n,
+                                 const float* block, size_t count,
+                                 size_t stride, const double* thresholds,
+                                 double* out, uint8_t* abandoned) {
+  return MultiLoop(Avx2SquaredEuclideanEa, queries, num_queries, n, block,
+                   count, stride, thresholds, out, abandoned);
+}
+
 double Avx2WeightedClampedDistSq(const double* x, const double* lo,
                                  const double* hi, const double* w,
                                  size_t n) {
@@ -147,6 +156,7 @@ void Avx2LutAccumulate(const double* lut, const uint32_t* cells, size_t count,
 
 const DistanceKernels kAvx2Kernels = {
     Avx2SquaredEuclidean,  Avx2SquaredEuclideanEa, Avx2SquaredEuclideanBatch,
+    Avx2SquaredEuclideanMulti,
     Avx2WeightedClampedDistSq, Avx2LutAccumulate,  "avx2",
 };
 const bool kAvx2CompiledWithSimd = true;
@@ -161,7 +171,8 @@ namespace detail {
 
 const DistanceKernels kAvx2Kernels = {
     ScalarSquaredEuclidean,  ScalarSquaredEuclideanEa,
-    ScalarSquaredEuclideanBatch, ScalarWeightedClampedDistSq,
+    ScalarSquaredEuclideanBatch, ScalarSquaredEuclideanMulti,
+    ScalarWeightedClampedDistSq,
     ScalarLutAccumulate,     "avx2-unavailable",
 };
 const bool kAvx2CompiledWithSimd = false;

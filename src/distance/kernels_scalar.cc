@@ -68,6 +68,15 @@ size_t ScalarSquaredEuclideanBatch(const float* query, size_t n,
                    threshold, out);
 }
 
+size_t ScalarSquaredEuclideanMulti(const float* const* queries,
+                                   size_t num_queries, size_t n,
+                                   const float* block, size_t count,
+                                   size_t stride, const double* thresholds,
+                                   double* out, uint8_t* abandoned) {
+  return MultiLoop(ScalarSquaredEuclideanEa, queries, num_queries, n, block,
+                   count, stride, thresholds, out, abandoned);
+}
+
 double ScalarWeightedClampedDistSq(const double* x, const double* lo,
                                    const double* hi, const double* w,
                                    size_t n) {
@@ -100,7 +109,8 @@ void ScalarLutAccumulate(const double* lut, const uint32_t* cells,
 
 const DistanceKernels kScalarKernels = {
     ScalarSquaredEuclidean,  ScalarSquaredEuclideanEa,
-    ScalarSquaredEuclideanBatch, ScalarWeightedClampedDistSq,
+    ScalarSquaredEuclideanBatch, ScalarSquaredEuclideanMulti,
+    ScalarWeightedClampedDistSq,
     ScalarLutAccumulate,     "scalar",
 };
 

@@ -85,6 +85,15 @@ size_t Sse2SquaredEuclideanBatch(const float* query, size_t n,
                    threshold, out);
 }
 
+size_t Sse2SquaredEuclideanMulti(const float* const* queries,
+                                 size_t num_queries, size_t n,
+                                 const float* block, size_t count,
+                                 size_t stride, const double* thresholds,
+                                 double* out, uint8_t* abandoned) {
+  return MultiLoop(Sse2SquaredEuclideanEa, queries, num_queries, n, block,
+                   count, stride, thresholds, out, abandoned);
+}
+
 double Sse2WeightedClampedDistSq(const double* x, const double* lo,
                                  const double* hi, const double* w,
                                  size_t n) {
@@ -114,6 +123,7 @@ double Sse2WeightedClampedDistSq(const double* x, const double* lo,
 
 const DistanceKernels kSse2Kernels = {
     Sse2SquaredEuclidean,  Sse2SquaredEuclideanEa, Sse2SquaredEuclideanBatch,
+    Sse2SquaredEuclideanMulti,
     Sse2WeightedClampedDistSq,
     // No gather below AVX2; the unrolled scalar loop is already bound by
     // the cell-id loads.
@@ -131,7 +141,8 @@ namespace detail {
 
 const DistanceKernels kSse2Kernels = {
     ScalarSquaredEuclidean,  ScalarSquaredEuclideanEa,
-    ScalarSquaredEuclideanBatch, ScalarWeightedClampedDistSq,
+    ScalarSquaredEuclideanBatch, ScalarSquaredEuclideanMulti,
+    ScalarWeightedClampedDistSq,
     ScalarLutAccumulate,     "sse2-unavailable",
 };
 const bool kSse2CompiledWithSimd = false;

@@ -47,6 +47,20 @@ inline constexpr int kNumSimdTargets = 3;
 //    The asymmetric-distance trick used by the VA+file phase-1 scan: per
 //    query, per dimension, cell -> min-distance contributions are
 //    tabulated once and the scan over all series becomes table lookups.
+//
+//  * squared_euclidean_multi: the query-batched row. Evaluates each of
+//    `num_queries` queries (queries[q], each of length n) against `count`
+//    candidates laid out at block + c * stride, carrying a PER-QUERY
+//    early-abandon threshold (thresholds[q]). out[q * count + c] receives
+//    EXACTLY the value squared_euclidean_ea(queries[q], candidate c, n,
+//    thresholds[q]) would return — the batched kernel reuses the target's
+//    single-query ea kernel per pair, so batched execution is bit-identical
+//    to per-query execution by construction, on every target. `abandoned`,
+//    when non-null, records the per-pair abandon flag in the same
+//    q * count + c layout. Returns how many (query, candidate) pairs ran
+//    to completion. Candidates are walked in the outer loop (one pass over
+//    the pinned block serves every query while it is cache-hot), queries
+//    in the inner loop.
 struct DistanceKernels {
   double (*squared_euclidean)(const float* a, const float* b, size_t n);
   double (*squared_euclidean_ea)(const float* a, const float* b, size_t n,
@@ -55,6 +69,11 @@ struct DistanceKernels {
                                     const float* block, size_t count,
                                     size_t stride, double threshold,
                                     double* out);
+  size_t (*squared_euclidean_multi)(const float* const* queries,
+                                    size_t num_queries, size_t n,
+                                    const float* block, size_t count,
+                                    size_t stride, const double* thresholds,
+                                    double* out, uint8_t* abandoned);
   double (*weighted_clamped_dist_sq)(const double* x, const double* lo,
                                      const double* hi, const double* w,
                                      size_t n);

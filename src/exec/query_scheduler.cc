@@ -1,12 +1,22 @@
 #include "exec/query_scheduler.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "index/leaf_scanner.h"
 #include "storage/buffer_manager.h"
 
 namespace hydra {
+
+size_t DefaultBatchWindow() {
+  const char* env = std::getenv("HYDRA_BATCH_WINDOW");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return 1;
+  return static_cast<size_t>(v);
+}
 
 QueryScheduler::QueryScheduler(const Index& index,
                                const ServingOptions& options)
@@ -19,7 +29,17 @@ QueryScheduler::QueryScheduler(const Index& index,
                          ? std::max<size_t>(1, options.concurrency)
                          : 1),
       queue_capacity_(options.queue_capacity != 0 ? options.queue_capacity
-                                                  : 2 * max_in_flight_) {}
+                                                  : 2 * max_in_flight_),
+      // Coalescing requires batched_queries (the index can serve a
+      // batch) AND concurrent_queries (its Search is stateless enough
+      // that member queries may interleave): an ADS+-style adaptive
+      // index is excluded even when a window was requested.
+      batch_window_(index.capabilities().batched_queries &&
+                            index.capabilities().concurrent_queries
+                        ? std::max<size_t>(1, options.batch_window != 0
+                                                  ? options.batch_window
+                                                  : DefaultBatchWindow())
+                        : 1) {}
 
 QueryScheduler::~QueryScheduler() {
   std::unique_lock<std::mutex> lock(mu_);
@@ -73,13 +93,34 @@ uint64_t QueryScheduler::Submit(std::span<const float> query,
 
 void QueryScheduler::DispatchLocked() {
   while (in_flight_ < max_in_flight_ && !pending_.empty()) {
-    std::shared_ptr<Request> req = std::move(pending_.front());
-    pending_.pop_front();
+    // Opportunistic coalescing: take whatever is ALREADY waiting, up to
+    // the window — never wait for more to arrive. The batch fills ONE
+    // in-flight slot (its execution holds pins like a single query; see
+    // ServingOptions::batch_window), which is also what lets batches
+    // form at all: completions free slots one at a time, so a window
+    // gated on free slots would collapse to solo serving as soon as the
+    // session saturates.
+    const size_t take = std::min(batch_window_, pending_.size());
+    std::vector<std::shared_ptr<Request>> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+      space_cv_.notify_one();
+    }
     ++in_flight_;
-    space_cv_.notify_one();
-    // The pool task holds the request alive; completion re-enters
+    // The pool task holds the requests alive; completion re-enters
     // DispatchLocked, so admission needs no dispatcher thread.
-    pool_->Submit([this, req] { Serve(req); });
+    if (take == 1) {
+      std::shared_ptr<Request> req = std::move(batch.front());
+      pool_->Submit([this, req] { Serve(req); });
+    } else {
+      ++batches_served_;
+      coalesced_queries_ += take;
+      auto reqs = std::make_shared<std::vector<std::shared_ptr<Request>>>(
+          std::move(batch));
+      pool_->Submit([this, reqs] { ServeBatch(*reqs); });
+    }
   }
 }
 
@@ -133,6 +174,80 @@ void QueryScheduler::Serve(const std::shared_ptr<Request>& req) {
   }
 }
 
+void QueryScheduler::ServeBatch(
+    const std::vector<std::shared_ptr<Request>>& reqs) {
+  const size_t n = reqs.size();
+  std::vector<ServedQuery> outs(n);
+  // Members that actually join the index call. A member whose deadline
+  // the queue already consumed degrades ALONE — it gets its typed
+  // DeadlineExceeded without costing the index a look, and the rest of
+  // the batch proceeds (same per-query deadline semantics as Serve).
+  std::vector<size_t> live;
+  live.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Request& req = *reqs[i];
+    outs[i].ticket = req.ticket;
+    if (req.params.deadline_ms > 0 && req.params.cancel == nullptr) {
+      const double waited_ms = req.submitted.ElapsedSeconds() * 1000.0;
+      const double remaining_ms = req.params.deadline_ms - waited_ms;
+      if (remaining_ms <= 0) {
+        outs[i].answer = Status::DeadlineExceeded(
+            "query deadline expired in the submission queue");
+        outs[i].seconds = req.submitted.ElapsedSeconds();
+        continue;
+      }
+      req.params.cancel = CancellationToken::WithDeadline(remaining_ms);
+    }
+    live.push_back(i);
+  }
+  if (!live.empty()) {
+    std::vector<BatchQuery> batch;
+    batch.reserve(live.size());
+    for (size_t i : live) {
+      batch.push_back(BatchQuery{
+          std::span<const float>(reqs[i]->query.data(),
+                                 reqs[i]->query.size()),
+          reqs[i]->params, &outs[i].counters});
+    }
+    try {
+      std::vector<Result<KnnAnswer>> answers =
+          index_.BatchSearch(std::span<const BatchQuery>(batch));
+      if (answers.size() != batch.size()) {
+        for (size_t i : live) {
+          outs[i].answer =
+              Status::Internal("BatchSearch result count mismatch");
+        }
+      } else {
+        for (size_t m = 0; m < live.size(); ++m) {
+          outs[live[m]].answer = std::move(answers[m]);
+        }
+      }
+    } catch (const std::exception& e) {
+      // No exception crosses the serving boundary (see Serve). A
+      // throwing batch fails its members as typed errors; deadline
+      // expiries already filed above are untouched.
+      for (size_t i : live) outs[i].answer = Status::Internal(e.what());
+    } catch (...) {
+      for (size_t i : live) {
+        outs[i].answer = Status::Internal("unknown exception in BatchSearch");
+      }
+    }
+    for (size_t i : live) {
+      outs[i].seconds = reqs[i]->submitted.ElapsedSeconds();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < n; ++i) {
+      done_.emplace(outs[i].ticket, std::move(outs[i]));
+    }
+    --in_flight_;  // the whole batch held one slot
+    DispatchLocked();
+    // Under the lock for the same destructor-lifetime reason as Serve.
+    results_cv_.notify_all();
+  }
+}
+
 std::optional<ServedQuery> QueryScheduler::Next() {
   std::unique_lock<std::mutex> lock(mu_);
   results_cv_.wait(lock, [this] {
@@ -162,6 +277,16 @@ size_t QueryScheduler::in_flight() const {
 size_t QueryScheduler::blocked_submitters() const {
   std::lock_guard<std::mutex> lock(mu_);
   return blocked_submitters_;
+}
+
+uint64_t QueryScheduler::batches_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_served_;
+}
+
+uint64_t QueryScheduler::coalesced_queries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coalesced_queries_;
 }
 
 ServingOptions ServingSession::NegotiateOptions(SeriesProvider* provider,

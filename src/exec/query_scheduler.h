@@ -62,7 +62,30 @@ struct ServingOptions {
   // ThreadPool::Global(). Intra-query fan-outs of an admitted query run
   // on the same pool (TaskGroup::Wait helps, so nesting cannot deadlock).
   ThreadPool* pool = nullptr;
+  // Opportunistic coalescing: when admission finds several queries
+  // waiting, up to this many are popped together into one
+  // Index::BatchSearch call (one pass over the shared pages instead of
+  // one per query). 0 = the HYDRA_BATCH_WINDOW env default (itself 1 =
+  // batching off). Clamped to 1 unless the index declares BOTH
+  // batched_queries and concurrent_queries (an ADS+-style index whose
+  // Search mutates state is never coalesced). The window is a bound, not
+  // a quota: a lone queued query is served solo immediately — coalescing
+  // never waits for stragglers, so an idle stream keeps solo latency.
+  // A coalesced batch occupies ONE in-flight slot: it executes as a
+  // single task whose pin-holding phases are shared or member-serial
+  // (the shared scan pins at most one run at a time, tree co-traversal
+  // pins like one search, VA+file refines members one at a time), so its
+  // instantaneous pin demand is bounded by a single query's budget and
+  // the pin-capacity admission clamp stays sound. Batching therefore
+  // RAISES the number of queries in flight (up to concurrency *
+  // batch_window) without raising pin demand — that is the throughput
+  // win.
+  size_t batch_window = 0;
 };
+
+// The HYDRA_BATCH_WINDOW resolution used when ServingOptions::batch_window
+// is 0: the env value if set to a positive integer, else 1 (off).
+size_t DefaultBatchWindow();
 
 // Bounded-admission scheduler: a submission queue in front of N in-flight
 // whole-query tasks on the ThreadPool, with a completion stream that
@@ -114,6 +137,13 @@ class QueryScheduler {
   size_t blocked_submitters() const;
   size_t concurrency() const { return max_in_flight_; }
   size_t queue_capacity() const { return queue_capacity_; }
+  // Effective coalescing window after the capability clamp (1 = off).
+  size_t batch_window() const { return batch_window_; }
+  // Coalescing observability: BatchSearch calls issued (size >= 2 only)
+  // and the total queries they carried. A deterministic test can assert
+  // coalesced_queries() > 0 by stuffing the queue before serving starts.
+  uint64_t batches_served() const;
+  uint64_t coalesced_queries() const;
 
  private:
   struct Request {
@@ -123,17 +153,26 @@ class QueryScheduler {
     Timer submitted;  // starts at Submit()
   };
 
-  // Admits pending queries while in-flight slots are free. Called with
-  // mu_ held, from Submit and from every completion (direct handoff: no
+  // Admits pending queries while in-flight slots are free, coalescing up
+  // to batch_window_ waiting queries into one pool task. Called with mu_
+  // held, from Submit and from every completion (direct handoff: no
   // dispatcher thread exists).
   void DispatchLocked();
   // Runs one query on the pool and files its result.
   void Serve(const std::shared_ptr<Request>& req);
+  // Runs a coalesced batch (size >= 2) through Index::BatchSearch and
+  // files every member's result by ticket. Deadlines are armed per
+  // member from ITS OWN Submit time; a member whose budget the queue
+  // already consumed fails fast and never joins the index call. The
+  // batch holds one in-flight slot (see ServingOptions::batch_window),
+  // released at the end.
+  void ServeBatch(const std::vector<std::shared_ptr<Request>>& reqs);
 
   const Index& index_;
   ThreadPool* pool_;
   size_t max_in_flight_;
   size_t queue_capacity_;
+  size_t batch_window_;
 
   mutable std::mutex mu_;
   std::condition_variable space_cv_;    // submitters: queue has room
@@ -149,6 +188,9 @@ class QueryScheduler {
   // The subset of submitters_ parked on the backpressure wait.
   size_t blocked_submitters_ = 0;
   bool finished_ = false;
+  // Coalescing stats (guarded by mu_).
+  uint64_t batches_served_ = 0;
+  uint64_t coalesced_queries_ = 0;
 };
 
 // Binds a scheduler to one index + the shared storage it serves from and
@@ -184,6 +226,11 @@ class ServingSession {
   size_t concurrency() const { return scheduler_.concurrency(); }
   size_t blocked_submitters() const {
     return scheduler_.blocked_submitters();
+  }
+  size_t batch_window() const { return scheduler_.batch_window(); }
+  uint64_t batches_served() const { return scheduler_.batches_served(); }
+  uint64_t coalesced_queries() const {
+    return scheduler_.coalesced_queries();
   }
   uint64_t per_query_pin_budget() const { return per_query_pin_budget_; }
   // Per-query readahead cap (pages); 0 = the provider does not prefetch.

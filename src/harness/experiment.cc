@@ -173,7 +173,8 @@ ServingSweepPoint RunServingPoint(const Index& index, const Dataset& queries,
                                   const SearchParams& base,
                                   size_t concurrency,
                                   SeriesProvider* provider,
-                                  std::vector<KnnAnswer>* answers_out) {
+                                  std::vector<KnnAnswer>* answers_out,
+                                  size_t batch_window = 1) {
   ServingSweepPoint point;
   point.concurrency = concurrency;
   point.result.method = index.name();
@@ -187,6 +188,12 @@ ServingSweepPoint RunServingPoint(const Index& index, const Dataset& queries,
 
   ServingOptions options;
   options.concurrency = concurrency;
+  options.batch_window = batch_window;
+  // Coalescing feeds on queue depth: give the closed loop enough room
+  // that full windows can actually pile up behind the in-flight slots.
+  if (batch_window > 1) {
+    options.queue_capacity = std::max(queries.size(), size_t{1});
+  }
   ServingSession session(index, provider, options);
   Timer wall;
   // Closed-loop load generation: Submit() blocks on the bounded queue, so
@@ -214,6 +221,8 @@ ServingSweepPoint RunServingPoint(const Index& index, const Dataset& queries,
     point.result.counters += served->counters;
   }
   point.wall_seconds = wall.ElapsedSeconds();
+  point.batches_served = session.batches_served();
+  point.coalesced_queries = session.coalesced_queries();
 
   point.qps = point.wall_seconds > 0.0
                   ? static_cast<double>(queries.size()) / point.wall_seconds
@@ -234,7 +243,10 @@ std::vector<ServingSweepPoint> RunServingSweep(
     const Index& index, const Dataset& queries,
     const std::vector<KnnAnswer>& ground_truth, SearchParams base,
     const std::vector<size_t>& concurrency_levels,
-    SeriesProvider* provider) {
+    SeriesProvider* provider, size_t batch_window) {
+  const bool batching = batch_window > 1 &&
+                        index.capabilities().batched_queries &&
+                        index.capabilities().concurrent_queries;
   // Untimed warm-up pass: every point then measures steady-state serving
   // from a comparably warmed buffer pool. Without it the sequential
   // baseline would pay all the cold page misses and the concurrency
@@ -270,6 +282,26 @@ std::vector<ServingSweepPoint> RunServingSweep(
     point.speedup = point.wall_seconds > 0.0
                         ? serial.wall_seconds / point.wall_seconds
                         : 0.0;
+    if (batching) {
+      // Same level again with the coalescing window armed: the batched
+      // run is the comparison column, and its answers are held to the
+      // same bit-identity contract as the unbatched one.
+      std::vector<KnnAnswer> batched_answers;
+      ServingSweepPoint batched =
+          RunServingPoint(index, queries, ground_truth, base, concurrency,
+                          provider, &batched_answers, batch_window);
+      point.batched_qps = batched.qps;
+      point.batched_p99_ms = batched.p99_ms;
+      point.batched_gain =
+          point.qps > 0.0 ? batched.qps / point.qps : 0.0;
+      point.batches_served = batched.batches_served;
+      point.coalesced_queries = batched.coalesced_queries;
+      point.matches_serial =
+          point.matches_serial &&
+          batched_answers.size() == serial_answers.size() &&
+          std::equal(batched_answers.begin(), batched_answers.end(),
+                     serial_answers.begin(), AnswersIdentical);
+    }
     points.push_back(std::move(point));
   }
   return points;
@@ -277,13 +309,18 @@ std::vector<ServingSweepPoint> RunServingSweep(
 
 Table ServingSweepTable(const std::vector<ServingSweepPoint>& points) {
   Table table({"method", "concurrency", "wall_s", "qps", "p50_ms", "p95_ms",
-               "p99_ms", "speedup", "avg_recall", "hit_rate", "prefetch_hit",
-               "errors", "timeouts", "io_retries", "match_serial"});
+               "p99_ms", "speedup", "b_qps", "b_p99_ms", "b_gain", "batches",
+               "avg_recall", "hit_rate", "prefetch_hit", "errors", "timeouts",
+               "io_retries", "match_serial"});
   for (const ServingSweepPoint& p : points) {
     table.AddRow({p.result.method, std::to_string(p.concurrency),
                   FormatDouble(p.wall_seconds, 4), FormatDouble(p.qps, 1),
                   FormatDouble(p.p50_ms, 3), FormatDouble(p.p95_ms, 3),
                   FormatDouble(p.p99_ms, 3), FormatDouble(p.speedup, 2),
+                  FormatDouble(p.batched_qps, 1),
+                  FormatDouble(p.batched_p99_ms, 3),
+                  FormatDouble(p.batched_gain, 2),
+                  std::to_string(p.batches_served),
                   FormatDouble(p.result.accuracy.avg_recall, 4),
                   FormatDouble(p.HitRate(), 4),
                   FormatDouble(p.result.PrefetchHitRate(), 4),

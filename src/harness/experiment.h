@@ -172,6 +172,18 @@ struct ServingSweepPoint {
   size_t errors = 0;
   size_t timeouts = 0;
 
+  // Batched-vs-unbatched comparison, filled when the sweep ran with a
+  // coalescing window > 1 and the index declares batched_queries: the
+  // same workload re-served through the same session shape with
+  // ServingOptions::batch_window = window. batched answers are held to
+  // the same bit-identity contract (folded into matches_serial), so the
+  // gain column can never be bought with wrong answers.
+  double batched_qps = 0.0;
+  double batched_p99_ms = 0.0;
+  double batched_gain = 0.0;       // batched_qps / qps (0 = not measured)
+  uint64_t batches_served = 0;     // BatchSearch calls the scheduler issued
+  uint64_t coalesced_queries = 0;  // queries those calls carried
+
   // Buffer-pool hit rate of this point's queries (per-query attribution
   // summed); 0 when the workload never touched a pool.
   double HitRate() const;
@@ -183,19 +195,24 @@ struct ServingSweepPoint {
 // entry), then each requested level. `provider` is the shared storage
 // the index serves from (nullptr for in-memory indexes that own their
 // data): the serving session splits its pin capacity across in-flight
-// queries.
+// queries. When `batch_window` > 1 and the index supports batching,
+// every level is measured a second time with that coalescing window and
+// the point's batched_* comparison fields are filled (the batched
+// answers must match the sequential baseline too).
 std::vector<ServingSweepPoint> RunServingSweep(
     const Index& index, const Dataset& queries,
     const std::vector<KnnAnswer>& ground_truth, SearchParams base,
     const std::vector<size_t>& concurrency_levels,
-    SeriesProvider* provider = nullptr);
+    SeriesProvider* provider = nullptr, size_t batch_window = 1);
 
 // One row per level. Columns (also the CSV schema):
 //   method, concurrency, wall_s, qps, p50_ms, p95_ms, p99_ms, speedup,
-//   avg_recall, hit_rate, prefetch_hit, errors, timeouts, io_retries,
-//   match_serial
+//   b_qps, b_p99_ms, b_gain, batches, avg_recall, hit_rate,
+//   prefetch_hit, errors, timeouts, io_retries, match_serial
 // prefetch_hit is the pool-wide readahead usefulness across the point's
 // queries (per-query prefetch attribution summed); 0 with prefetch off.
+// b_qps/b_p99_ms/b_gain/batches are the batched-serving comparison
+// (ServingSweepPoint::batched_*), all 0 when the sweep ran unbatched.
 Table ServingSweepTable(const std::vector<ServingSweepPoint>& points);
 
 // Comma-separated count list ("1,2,8"), e.g. from a sweep environment

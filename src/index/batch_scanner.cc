@@ -1,0 +1,195 @@
+#include "index/batch_scanner.h"
+
+#include <algorithm>
+
+#include "index/leaf_scanner.h"
+
+namespace hydra {
+
+size_t BatchLeafScanner::AddQuery(std::span<const float> query,
+                                  AnswerSet* answers, QueryCounters* counters,
+                                  std::shared_ptr<CancellationToken> cancel) {
+  slots_.push_back(Slot{query, answers, counters, std::move(cancel), Status()});
+  return slots_.size() - 1;
+}
+
+size_t BatchLeafScanner::live_count() const {
+  size_t live = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.status.ok()) ++live;
+  }
+  return live;
+}
+
+void BatchLeafScanner::Fail(size_t slot, Status status) {
+  if (slots_[slot].status.ok()) {
+    slots_[slot].status = std::move(status);
+  }
+}
+
+void BatchLeafScanner::CheckCancellations() {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (!slot.status.ok() || slot.cancel == nullptr) continue;
+    Status st = slot.cancel->Check();
+    if (!st.ok()) slot.status = std::move(st);
+  }
+}
+
+std::span<const size_t> BatchLeafScanner::ActiveLive(
+    std::span<const size_t> slots) {
+  active_scratch_.clear();
+  for (size_t slot : slots) {
+    Slot& s = slots_[slot];
+    if (!s.status.ok()) continue;
+    if (s.cancel != nullptr) {
+      Status st = s.cancel->Check();
+      if (!st.ok()) {
+        s.status = std::move(st);
+        continue;
+      }
+    }
+    active_scratch_.push_back(slot);
+  }
+  return active_scratch_;
+}
+
+void BatchLeafScanner::FailAll(std::span<const size_t> slots,
+                               const Status& status) {
+  for (size_t slot : slots) {
+    if (slots_[slot].status.ok()) slots_[slot].status = status;
+  }
+}
+
+void BatchLeafScanner::ScanContiguous(const float* block, size_t count,
+                                      size_t stride, int64_t first_id,
+                                      std::span<const size_t> slots) {
+  if (slots.empty() || count == 0) return;
+  const size_t nq = slots.size();
+  query_ptrs_.resize(nq);
+  thresholds_.resize(nq);
+  if (out_.size() < nq * std::min(count, kChunk)) {
+    out_.resize(nq * std::min(count, kChunk));
+    abandoned_.resize(nq * std::min(count, kChunk));
+  }
+  const size_t n = slots_[slots[0]].query.size();
+  for (size_t done = 0; done < count; done += kChunk) {
+    const size_t chunk = std::min(kChunk, count - done);
+    // Per-query thresholds from each query's OWN answer set, refreshed at
+    // the same chunk granularity as the per-query scanner.
+    for (size_t qi = 0; qi < nq; ++qi) {
+      const Slot& slot = slots_[slots[qi]];
+      query_ptrs_[qi] = slot.query.data();
+      thresholds_[qi] = slot.answers->KthDistanceSq();
+    }
+    kernels_.squared_euclidean_multi(query_ptrs_.data(), nq, n,
+                                     block + done * stride, chunk, stride,
+                                     thresholds_.data(), out_.data(),
+                                     abandoned_.data());
+    for (size_t qi = 0; qi < nq; ++qi) {
+      Slot& slot = slots_[slots[qi]];
+      const double* row = out_.data() + qi * chunk;
+      const uint8_t* flags = abandoned_.data() + qi * chunk;
+      if (slot.counters != nullptr) {
+        size_t completed = 0;
+        for (size_t c = 0; c < chunk; ++c) completed += flags[c] ? 0 : 1;
+        slot.counters->full_distances += completed;
+        slot.counters->abandoned_distances += chunk - completed;
+      }
+      for (size_t c = 0; c < chunk; ++c) {
+        slot.answers->Offer(row[c], first_id + static_cast<int64_t>(done + c));
+      }
+    }
+  }
+}
+
+void BatchLeafScanner::ScanIds(SeriesProvider* provider,
+                               std::span<const int64_t> ids,
+                               std::span<const size_t> slots) {
+  std::span<const size_t> active = ActiveLive(slots);
+  if (active.empty() || ids.empty()) return;
+  const bool announce =
+      prefetch_depth_ > 0 && provider->MaxPrefetchPages() > 0;
+  const uint64_t spp = announce ? provider->SeriesPerPage() : 1;
+  const size_t len = provider->series_length();
+  const size_t announce_every = std::max<size_t>(1, prefetch_depth_ / 2);
+  size_t runs_since_announce = announce_every;
+  size_t start = 0;
+  while (start < ids.size()) {
+    // Cancellation point per run, per participating slot: a fired token
+    // removes only its own slot (same granularity as LeafScanner).
+    active = ActiveLive(active);
+    if (active.empty()) return;
+    // Shared physical I/O is charged to the leader so every hit/miss/
+    // byte lands on exactly one query (sums match pool totals).
+    const Slot& leader = slots_[active.front()];
+    const size_t stop = LeafScanner::RunEnd(ids, start);
+    if (announce && stop < ids.size() &&
+        ++runs_since_announce > announce_every) {
+      LeafScanner::AnnounceRuns(provider, ids, stop, prefetch_depth_, spp,
+                                leader.counters, leader.cancel);
+      runs_since_announce = 0;
+    }
+    if (stop - start == 1) {
+      Result<PinnedRun> run = provider->PinSeriesChecked(
+          static_cast<uint64_t>(ids[start]), leader.counters);
+      if (!run.ok()) {
+        FailAll(active, run.status());
+        return;
+      }
+      ScanContiguous(run.value().span().data(), 1, len, ids[start], active);
+    } else {
+      uint64_t i = static_cast<uint64_t>(ids[start]);
+      const uint64_t end = i + (stop - start);
+      while (i < end) {
+        Result<PinnedRun> run =
+            provider->PinRunChecked(i, end - i, leader.counters);
+        if (!run.ok()) {
+          FailAll(active, run.status());
+          return;
+        }
+        const size_t run_count = run.value().span().size() / len;
+        ScanContiguous(run.value().span().data(), run_count, len,
+                       static_cast<int64_t>(i), active);
+        i += run_count;
+      }
+    }
+    start = stop;
+  }
+}
+
+void BatchLeafScanner::ScanRange(SeriesProvider* provider, uint64_t first,
+                                 uint64_t count,
+                                 std::span<const size_t> slots) {
+  std::span<const size_t> active = ActiveLive(slots);
+  if (active.empty() || count == 0) return;
+  const size_t len = provider->series_length();
+  const uint64_t lookahead =
+      prefetch_depth_ > 0 ? prefetch_depth_ * provider->SeriesPerPage() : 0;
+  uint64_t i = first;
+  const uint64_t end = first + count;
+  uint64_t announce_at = i;
+  while (i < end) {
+    // Cancellation point per pinned page, per participating slot.
+    active = ActiveLive(active);
+    if (active.empty()) return;
+    const Slot& leader = slots_[active.front()];
+    Result<PinnedRun> run = provider->PinRunChecked(i, end - i, leader.counters);
+    if (!run.ok()) {
+      FailAll(active, run.status());
+      return;
+    }
+    const size_t run_count = run.value().span().size() / len;
+    const uint64_t next = i + run_count;
+    if (lookahead > 0 && next < end && next >= announce_at) {
+      provider->Prefetch(next, std::min<uint64_t>(lookahead, end - next),
+                         leader.counters, leader.cancel);
+      announce_at = next + std::max<uint64_t>(1, lookahead / 2);
+    }
+    ScanContiguous(run.value().span().data(), run_count, len,
+                   static_cast<int64_t>(i), active);
+    i += run_count;
+  }
+}
+
+}  // namespace hydra

@@ -1,0 +1,148 @@
+#ifndef HYDRA_INDEX_BATCH_SCANNER_H_
+#define HYDRA_INDEX_BATCH_SCANNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/counters.h"
+#include "common/status.h"
+#include "distance/simd_dispatch.h"
+#include "index/answer_set.h"
+#include "storage/buffer_manager.h"
+
+namespace hydra {
+
+// The query-batched counterpart of LeafScanner: evaluates the SAME
+// candidate stream for several queries in one pass, so each pinned page
+// is fetched once and fed to every query's distance kernel while it is
+// cache-hot (DistanceKernels::squared_euclidean_multi). This is the
+// amortization axis the per-query scanners cannot reach — their pin,
+// prefetch, and thread-fan-out machinery all divide one query's work,
+// while a serving batch wants to divide the *data touches* across
+// queries.
+//
+// Equivalence contract (tests/batch_search_test.cc): each registered
+// query's AnswerSet ends up exactly as its own solo LeafScanner pass over
+// the same candidates would leave it. The multi-query kernel evaluates
+// every (query, candidate) pair with the target's single-query
+// early-abandon kernel at that query's own threshold, and thresholds are
+// refreshed from each query's own answer set at the same chunk
+// granularity (kChunk) the per-query scanner uses — the batch shares I/O
+// and cache locality, never arithmetic. Candidate order within a scan is
+// identical to the serial scanner's, so for a shared full scan the
+// per-query state evolves bit for bit as in the solo run; for
+// co-traversals that reorder candidates across leaves, exact top-k
+// answers still match because completed distances are exact values and a
+// true neighbor is never abandoned (its distance can never exceed the
+// running k-th bound).
+//
+// The batched scan is serial across candidates: cross-query amortization
+// replaces intra-query sharding, so SearchParams::num_threads does not
+// shard it (answers are trivially independent of the thread count, which
+// keeps the serving determinism contract intact when the scheduler mixes
+// batched and unbatched execution).
+//
+// Failure isolation: every query is a slot with its own sticky Status,
+// its own cancellation token, and its own QueryCounters. A fired
+// deadline/cancel token kills only its slot, at the same run/page
+// boundaries where LeafScanner checks; the rest of the batch continues.
+// A failed FETCH (typed provider status) kills exactly the slots that
+// were actively scanning that candidate stream — slots not participating
+// in the scan (co-traversal queries whose lower bound pruned this leaf)
+// are untouched. Pins: at most one pin is held at any time, released
+// before every return, so a failed or expired batch member leaves no
+// residue on a shared pool.
+//
+// Counter attribution: distance counters (full/abandoned) are charged to
+// each slot from its own per-pair abandon flags. Shared physical I/O
+// (cache hits/misses, bytes, random I/Os, prefetch, retries) is charged
+// to the scan's LEADER — the first live slot of the active set at fetch
+// time — so every physical event lands on exactly one query and
+// per-query sums still equal the pool's atomics (the invariant the
+// serving harness reports against).
+class BatchLeafScanner {
+ public:
+  explicit BatchLeafScanner(size_t prefetch_depth = 0)
+      : prefetch_depth_(prefetch_depth), kernels_(ActiveKernels()) {}
+
+  // Registers one query; returns its slot index. `answers`/`counters`
+  // must outlive the scanner (counters may be null).
+  size_t AddQuery(std::span<const float> query, AnswerSet* answers,
+                  QueryCounters* counters,
+                  std::shared_ptr<CancellationToken> cancel = nullptr);
+
+  size_t num_queries() const { return slots_.size(); }
+  bool alive(size_t slot) const { return slots_[slot].status.ok(); }
+  const Status& status(size_t slot) const { return slots_[slot].status; }
+  QueryCounters* counters(size_t slot) const { return slots_[slot].counters; }
+  double KthDistanceSq(size_t slot) const {
+    return slots_[slot].answers->KthDistanceSq();
+  }
+  size_t live_count() const;
+
+  // Marks a slot failed with a typed status (sticky; later scans skip
+  // it). Used by callers for per-query conditions the scanner cannot see.
+  void Fail(size_t slot, Status status);
+
+  // Cancellation point for co-traversal loops: checks every live slot's
+  // token and fails fired slots with their typed status. The scans below
+  // run the same check per run/page for their active slots.
+  void CheckCancellations();
+
+  // Evaluates every id for the live members of `slots` (slot indices;
+  // dead members are skipped). Mirrors LeafScanner::ScanIds: consecutive
+  // ids coalesce into pinned runs, lookahead is announced to the
+  // provider's prefetcher (charged to the leader), fetch failures fail
+  // all participating slots with the provider's typed status.
+  void ScanIds(SeriesProvider* provider, std::span<const int64_t> ids,
+               std::span<const size_t> slots);
+
+  // Evaluates [first, first + count) for the live members of `slots`,
+  // page-run by page-run (the shared-full-scan path).
+  void ScanRange(SeriesProvider* provider, uint64_t first, uint64_t count,
+                 std::span<const size_t> slots);
+
+  // Evaluates `count` in-memory candidates at block + c * stride with ids
+  // first_id, first_id + 1, ... for the given live slots, chunk-wise
+  // through the multi-query kernel.
+  void ScanContiguous(const float* block, size_t count, size_t stride,
+                      int64_t first_id, std::span<const size_t> slots);
+
+  size_t prefetch_depth() const { return prefetch_depth_; }
+
+ private:
+  // Same chunk size as LeafScanner: thresholds refresh at identical
+  // granularity, bounding staleness exactly as the per-query path does.
+  static constexpr size_t kChunk = 64;
+
+  struct Slot {
+    std::span<const float> query;
+    AnswerSet* answers;
+    QueryCounters* counters;  // may be null
+    std::shared_ptr<CancellationToken> cancel;
+    Status status;  // sticky; non-OK = slot dead
+  };
+
+  // The live members of `slots`, after a cancellation check on each.
+  // Result lives in active_scratch_.
+  std::span<const size_t> ActiveLive(std::span<const size_t> slots);
+  void FailAll(std::span<const size_t> slots, const Status& status);
+
+  std::vector<Slot> slots_;
+  size_t prefetch_depth_;
+  const DistanceKernels& kernels_;
+
+  // Scratch reused across chunks/calls.
+  std::vector<size_t> active_scratch_;
+  std::vector<const float*> query_ptrs_;
+  std::vector<double> thresholds_;
+  std::vector<double> out_;
+  std::vector<uint8_t> abandoned_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_INDEX_BATCH_SCANNER_H_

@@ -1,0 +1,222 @@
+#ifndef HYDRA_INDEX_BATCH_TREE_SEARCH_H_
+#define HYDRA_INDEX_BATCH_TREE_SEARCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/counters.h"
+#include "index/answer_set.h"
+#include "index/batch_scanner.h"
+#include "index/index.h"
+#include "index/leaf_scanner.h"
+#include "storage/buffer_manager.h"
+
+namespace hydra {
+
+// Query-batched best-first k-NN co-traversal for EXACT search: one heap
+// walk over the tree serves every query in the batch, computing all
+// queries' lower bounds at each node visit (the node's summarization is
+// touched once, cache-hot, for Q bound evaluations) and scanning each
+// leaf ONCE for the subset of queries whose bound does not prune it
+// (BatchLeafScanner — one page fetch feeds Q distance kernels).
+//
+// `Tree` must provide the TreeKnnSearch concept (SearchRoots, IsLeaf,
+// NodeChildren, MinDistSq) plus
+//   std::span<const int64_t> LeafIds(NodeId) const;
+// so the shared scanner can walk a leaf's candidates directly.
+//
+// Exactness argument (why batching cannot change any exact answer): the
+// heap is keyed by the MINIMUM lower bound across live queries, so the
+// visit order differs from each query's solo best-first order — but a
+// query only participates in a leaf scan when its own admissible bound
+// passes its own current k-th distance, every completed distance is the
+// exact value (BatchLeafScanner evaluates pairs with the single-query
+// kernel), and a true k-NN member can never be abandoned or pruned
+// (bound <= true distance <= running k-th). Evaluation order therefore
+// cannot move any query's exact top-k, up to id choice on exact distance
+// ties at the k-th boundary — the same caveat the parallel fan-out
+// already carries. Approximate modes (ng / δ-ε) are order-sensitive by
+// design, so callers route them through per-query Search instead.
+//
+// Failure isolation: a leaf fetch failure fails exactly the queries that
+// were actively scanning that leaf; a fired deadline/cancel token fails
+// only its own slot (checked per node pop and per pinned page). Both
+// leave the slot's typed Status in the scanner; surviving queries keep
+// traversing.
+//
+// ctxs[q] is query q's per-query precomputation (the same Ctx solo
+// search builds); slot q of `scanner` must be query q.
+template <typename Tree, typename Ctx>
+void BatchedTreeKnnSearch(const Tree& tree, SeriesProvider* provider,
+                          std::span<const Ctx> ctxs,
+                          BatchLeafScanner* scanner) {
+  struct Entry {
+    double key;  // min over live-at-push queries of lbs[q]
+    typename std::decay_t<decltype(tree.SearchRoots())>::value_type node;
+    std::vector<double> lbs;  // per-query admissible LB², inf for dead
+    bool operator>(const Entry& o) const { return key > o.key; }
+  };
+  using NodeId = decltype(Entry::node);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const size_t nq = ctxs.size();
+
+  std::vector<Entry> heap;
+  auto heap_push = [&heap](Entry e) {
+    heap.push_back(std::move(e));
+    std::push_heap(heap.begin(), heap.end(), std::greater<Entry>{});
+  };
+  auto heap_pop = [&heap] {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<Entry>{});
+    Entry top = std::move(heap.back());
+    heap.pop_back();
+    return top;
+  };
+  // All live queries' bounds for one node, computed while the node's
+  // summarization is cache-hot. Each bound is charged to its query.
+  auto compute_entry = [&](NodeId node) {
+    Entry e{kInf, node, std::vector<double>(nq, kInf)};
+    for (size_t q = 0; q < nq; ++q) {
+      if (!scanner->alive(q)) continue;
+      e.lbs[q] = tree.MinDistSq(ctxs[q], node);
+      if (scanner->counters(q) != nullptr) {
+        ++scanner->counters(q)->lb_distances;
+      }
+      e.key = std::min(e.key, e.lbs[q]);
+    }
+    return e;
+  };
+
+  for (NodeId root : tree.SearchRoots()) {
+    Entry e = compute_entry(root);
+    if (e.key == kInf) continue;  // no live query
+    for (size_t q = 0; q < nq; ++q) {
+      if (e.lbs[q] < kInf && scanner->counters(q) != nullptr) {
+        ++scanner->counters(q)->nodes_pushed;
+      }
+    }
+    heap_push(std::move(e));
+  }
+
+  std::vector<size_t> active;
+  while (!heap.empty()) {
+    // Cancellation point per node pop: a fired token removes only its
+    // own slot; the loop ends when nobody is left.
+    scanner->CheckCancellations();
+    if (scanner->live_count() == 0) return;
+    Entry top = heap_pop();
+    // Every remaining entry has key >= top.key and per-query bounds
+    // >= its key, so once the min bound exceeds every live query's
+    // k-th distance nothing below can improve any answer.
+    double max_kth = 0.0;
+    for (size_t q = 0; q < nq; ++q) {
+      if (scanner->alive(q)) {
+        max_kth = std::max(max_kth, scanner->KthDistanceSq(q));
+      }
+    }
+    if (top.key > max_kth) break;
+    if (tree.IsLeaf(top.node)) {
+      // Per-query prune against CURRENT k-th distances (bounds were
+      // computed at push time; the recheck only shrinks the active set).
+      active.clear();
+      for (size_t q = 0; q < nq; ++q) {
+        if (scanner->alive(q) && top.lbs[q] <= scanner->KthDistanceSq(q)) {
+          active.push_back(q);
+        }
+      }
+      if (active.empty()) continue;
+      for (size_t q : active) {
+        if (scanner->counters(q) != nullptr) {
+          ++scanner->counters(q)->leaves_visited;
+        }
+      }
+      scanner->ScanIds(provider, tree.LeafIds(top.node), active);
+    } else {
+      for (NodeId child : tree.NodeChildren(top.node)) {
+        Entry e = compute_entry(child);
+        bool wanted = false;
+        for (size_t q = 0; q < nq; ++q) {
+          if (!scanner->alive(q)) continue;
+          if (e.lbs[q] <= scanner->KthDistanceSq(q)) {
+            wanted = true;
+            if (scanner->counters(q) != nullptr) {
+              ++scanner->counters(q)->nodes_pushed;
+            }
+          }
+        }
+        if (wanted) heap_push(std::move(e));
+      }
+    }
+  }
+}
+
+// The shared BatchSearch body of the tree indexes (iSAX2+, DSTree):
+// exact-mode members co-traverse through BatchedTreeKnnSearch; members in
+// the order-sensitive approximate modes (ng visits leaves in bsf order,
+// δ-ε stops on a bsf condition — batching would legitimately change their
+// answers) fall back to their own solo Search inside the batch, as does a
+// lone exact member (which keeps its intra-query fan-out). Invalid
+// members fail alone with the same statuses solo Search returns.
+// `TreeIndex` must provide the BatchedTreeKnnSearch concept plus
+// MakeQueryContext and Search.
+template <typename TreeIndex>
+std::vector<Result<KnnAnswer>> TreeIndexBatchSearch(
+    const TreeIndex& index, SeriesProvider* provider, size_t series_length,
+    std::span<const BatchQuery> batch) {
+  std::vector<Result<KnnAnswer>> results(batch.size(),
+                                         Status::Internal("unset"));
+  std::vector<size_t> shared;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const BatchQuery& member = batch[i];
+    if (member.params.k == 0) {
+      results[i] = Status::InvalidArgument("k must be > 0");
+    } else if (member.query.size() != series_length) {
+      results[i] = Status::InvalidArgument("query length mismatch");
+    } else if (member.params.mode == SearchMode::kExact) {
+      shared.push_back(i);
+    } else {
+      results[i] = index.Search(member.query, member.params, member.counters);
+    }
+  }
+  if (shared.size() <= 1) {
+    for (size_t i : shared) {
+      results[i] = index.Search(batch[i].query, batch[i].params,
+                                batch[i].counters);
+    }
+    return results;
+  }
+  size_t prefetch_depth = 0;
+  for (size_t i : shared) {
+    prefetch_depth =
+        std::max(prefetch_depth, ResolvePrefetchDepth(batch[i].params));
+  }
+  using Ctx = decltype(index.MakeQueryContext(batch.front().query));
+  BatchLeafScanner scanner(prefetch_depth);
+  std::vector<Ctx> ctxs;
+  std::vector<std::unique_ptr<AnswerSet>> answers;
+  ctxs.reserve(shared.size());
+  answers.reserve(shared.size());
+  for (size_t i : shared) {
+    ctxs.push_back(index.MakeQueryContext(batch[i].query));
+    answers.push_back(std::make_unique<AnswerSet>(batch[i].params.k));
+    scanner.AddQuery(batch[i].query, answers.back().get(), batch[i].counters,
+                     ResolveCancellation(batch[i].params));
+  }
+  BatchedTreeKnnSearch(index, provider, std::span<const Ctx>(ctxs), &scanner);
+  for (size_t m = 0; m < shared.size(); ++m) {
+    if (scanner.alive(m)) {
+      results[shared[m]] = answers[m]->Finish();
+    } else {
+      results[shared[m]] = scanner.status(m);
+    }
+  }
+  return results;
+}
+
+}  // namespace hydra
+
+#endif  // HYDRA_INDEX_BATCH_TREE_SEARCH_H_

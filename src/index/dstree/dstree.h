@@ -48,6 +48,7 @@ class DSTreeIndex : public Index {
     c.epsilon_approximate = true;
     c.delta_epsilon_approximate = true;
     c.disk_resident = true;
+    c.batched_queries = true;
     c.summarization = "EAPCA";
     return c;
   }
@@ -56,6 +57,13 @@ class DSTreeIndex : public Index {
   Result<KnnAnswer> Search(std::span<const float> query,
                            const SearchParams& params,
                            QueryCounters* counters) const override;
+
+  // Exact-mode members co-traverse the tree in one best-first walk with
+  // shared lower-bound computation and one scan per leaf for the queries
+  // it survives (index/batch_tree_search.h); approximate-mode members run
+  // their own solo Search inside the batch.
+  std::vector<Result<KnnAnswer>> BatchSearch(
+      std::span<const BatchQuery> batch) const override;
 
   // r-range query (paper Definition 2): all series within `radius`.
   // epsilon > 0 trades completeness near the boundary for speed; returned
@@ -89,6 +97,11 @@ class DSTreeIndex : public Index {
   // prefetcher. Returns pages announced.
   size_t PrefetchLeaf(int32_t id, ParallelLeafScanner* scanner,
                       size_t max_pages) const;
+  // A leaf's candidate ids (sorted ascending at build/load), for the
+  // batched co-traversal's shared leaf scans (batch_tree_search.h).
+  std::span<const int64_t> LeafIds(int32_t id) const {
+    return nodes_[id].series_ids;
+  }
 
   // Introspection for tests and benches.
   size_t num_nodes() const { return nodes_.size(); }

@@ -1,5 +1,21 @@
 #include "index/index.h"
 
-// Index is an interface; this translation unit anchors its vtable.
+// Index is an interface; this translation unit anchors its vtable and
+// holds the reference BatchSearch implementation.
 
-namespace hydra {}  // namespace hydra
+namespace hydra {
+
+std::vector<Result<KnnAnswer>> Index::BatchSearch(
+    std::span<const BatchQuery> batch) const {
+  // The reference semantics every batched override must reproduce: Q
+  // independent Search() calls, each with its own params, counters, and
+  // failure isolation.
+  std::vector<Result<KnnAnswer>> results;
+  results.reserve(batch.size());
+  for (const BatchQuery& member : batch) {
+    results.push_back(Search(member.query, member.params, member.counters));
+  }
+  return results;
+}
+
+}  // namespace hydra

@@ -6,6 +6,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/cancellation.h"
 #include "common/counters.h"
@@ -103,7 +104,24 @@ struct IndexCapabilities {
   // the tree in place. The serving engine clamps its admission to 1 for
   // such indexes instead of racing them.
   bool concurrent_queries = true;
+  // BatchSearch() does better than the default per-query loop: the index
+  // amortizes page fetches and distance kernels across the batch (shared
+  // scans, tree co-traversal, batched LUT phase). The serving engine only
+  // coalesces queued queries for indexes that answer true — and never for
+  // indexes with concurrent_queries == false (ADS+ mutates per query, so
+  // it must not even see a multi-query call).
+  bool batched_queries = false;
   std::string summarization;  // e.g. "EAPCA", "iSAX", "OPQ"
+};
+
+// One member of a BatchSearch() call: a query plus its own parameters and
+// its own counter sink. Queries in a batch are independent requests that
+// happen to be evaluated together — each keeps its own k, mode, abandon
+// thresholds, deadline/cancel token, and QueryCounters attribution.
+struct BatchQuery {
+  std::span<const float> query;
+  SearchParams params;
+  QueryCounters* counters = nullptr;  // may be null
 };
 
 // Common interface of the ten methods under evaluation. Indexes are built
@@ -125,6 +143,23 @@ class Index {
   virtual Result<KnnAnswer> Search(std::span<const float> query,
                                    const SearchParams& params,
                                    QueryCounters* counters) const = 0;
+
+  // Evaluates a batch of independent queries in one call, returning one
+  // Result per member in batch order. The contract mirrors Q separate
+  // Search() calls exactly: every member's answer is what its own
+  // Search(query, params, counters) would return (bit-identical for exact
+  // search, up to id choice on exact distance ties at the k-th boundary),
+  // and a member that fails — typed I/O error, expired deadline, fired
+  // cancel token — fails alone with its own Status while the rest of the
+  // batch completes. The base implementation IS the per-query loop;
+  // indexes that set capabilities().batched_queries override it to share
+  // page fetches, SIMD kernel passes, and lower-bound computation across
+  // the batch (see index/batch_scanner.h). Only I/O and cache locality
+  // are shared, never arithmetic, which is what makes the equivalence
+  // provable (tests/batch_search_test.cc holds every covered index to
+  // it).
+  virtual std::vector<Result<KnnAnswer>> BatchSearch(
+      std::span<const BatchQuery> batch) const;
 };
 
 }  // namespace hydra

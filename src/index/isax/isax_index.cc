@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/rng.h"
+#include "index/batch_tree_search.h"
 #include "index/leaf_scanner.h"
 #include "index/tree_search.h"
 #include "storage/serialize.h"
@@ -207,6 +208,11 @@ Result<KnnAnswer> IsaxIndex::Search(std::span<const float> query,
     r_delta = histogram_->DeltaRadius(params.delta, provider_->num_series());
   }
   return TreeKnnSearch(*this, ctx, query, params, r_delta, counters);
+}
+
+std::vector<Result<KnnAnswer>> IsaxIndex::BatchSearch(
+    std::span<const BatchQuery> batch) const {
+  return TreeIndexBatchSearch(*this, provider_, series_length_, batch);
 }
 
 Result<KnnAnswer> IsaxIndex::RangeSearch(std::span<const float> query,

@@ -45,6 +45,7 @@ class IsaxIndex : public Index {
     c.epsilon_approximate = true;
     c.delta_epsilon_approximate = true;
     c.disk_resident = true;
+    c.batched_queries = true;
     c.summarization = "iSAX";
     return c;
   }
@@ -53,6 +54,13 @@ class IsaxIndex : public Index {
   Result<KnnAnswer> Search(std::span<const float> query,
                            const SearchParams& params,
                            QueryCounters* counters) const override;
+
+  // Exact-mode members co-traverse the tree in one best-first walk with
+  // shared lower-bound computation and one scan per leaf for the queries
+  // it survives (index/batch_tree_search.h); approximate-mode members run
+  // their own solo Search inside the batch.
+  std::vector<Result<KnnAnswer>> BatchSearch(
+      std::span<const BatchQuery> batch) const override;
 
   // r-range query (paper Definition 2); see DSTreeIndex::RangeSearch.
   Result<KnnAnswer> RangeSearch(std::span<const float> query, double radius,
@@ -86,6 +94,11 @@ class IsaxIndex : public Index {
   // prefetcher. Returns pages announced.
   size_t PrefetchLeaf(int32_t id, ParallelLeafScanner* scanner,
                       size_t max_pages) const;
+  // A leaf's candidate ids (sorted ascending at build/load), for the
+  // batched co-traversal's shared leaf scans (batch_tree_search.h).
+  std::span<const int64_t> LeafIds(int32_t id) const {
+    return nodes_[id].series_ids;
+  }
 
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_leaves() const;

@@ -20,6 +20,7 @@ class LinearScanIndex : public Index {
     IndexCapabilities c;
     c.exact = true;
     c.disk_resident = true;
+    c.batched_queries = true;
     c.summarization = "raw";
     return c;
   }
@@ -28,6 +29,15 @@ class LinearScanIndex : public Index {
   Result<KnnAnswer> Search(std::span<const float> query,
                            const SearchParams& params,
                            QueryCounters* counters) const override;
+
+  // Shared full scan: the whole collection is walked ONCE, each pinned
+  // page evaluated for every batch member through the multi-query kernel
+  // (index/batch_scanner.h). Per-member answers match solo Search bit for
+  // bit — the batched scan pins the same page runs in the same order and
+  // refreshes each query's abandon threshold at the same chunk
+  // granularity as the serial scanner.
+  std::vector<Result<KnnAnswer>> BatchSearch(
+      std::span<const BatchQuery> batch) const override;
 
  private:
   SeriesProvider* provider_;  // not owned

@@ -132,6 +132,45 @@ std::vector<double> VaFileIndex::LowerBoundsSq(
   return lb;
 }
 
+std::vector<std::vector<double>> VaFileIndex::LowerBoundsSqBatch(
+    std::span<const std::vector<double>> query_features) const {
+  const size_t nq = query_features.size();
+  const size_t qd = quantized_dims_.size();
+  // Same per-query LUT layout as LowerBoundsSq (offsets are
+  // query-independent: one table per quantized dimension).
+  std::vector<size_t> lut_offset(qd);
+  size_t lut_size = 0;
+  for (size_t j = 0; j < qd; ++j) {
+    lut_offset[j] = lut_size;
+    lut_size += quantizers_[j]->num_cells();
+  }
+  std::vector<std::vector<double>> luts(nq, std::vector<double>(lut_size));
+  for (size_t q = 0; q < nq; ++q) {
+    for (size_t j = 0; j < qd; ++j) {
+      const LloydQuantizer& quant = *quantizers_[j];
+      const double qv = query_features[q][quantized_dims_[j]];
+      for (uint32_t cell = 0; cell < quant.num_cells(); ++cell) {
+        luts[q][lut_offset[j] + cell] = quant.MinDistSqToCell(qv, cell);
+      }
+    }
+  }
+  // Column-major across the batch: dimension j's cell column is streamed
+  // once and accumulated into every query's bounds while it is cache-hot.
+  // Within each query, dimensions still accumulate in ascending j — the
+  // exact order of LowerBoundsSq — so per-query sums are bit-identical.
+  std::vector<std::vector<double>> lb(nq,
+                                      std::vector<double>(num_series_, 0.0));
+  const DistanceKernels& kernels = ActiveKernels();
+  for (size_t j = 0; j < qd; ++j) {
+    for (size_t q = 0; q < nq; ++q) {
+      kernels.lut_accumulate(luts[q].data() + lut_offset[j],
+                             cells_.data() + j, num_series_, qd,
+                             lb[q].data());
+    }
+  }
+  return lb;
+}
+
 Result<KnnAnswer> VaFileIndex::Search(std::span<const float> query,
                                       const SearchParams& params,
                                       QueryCounters* counters) const {
@@ -142,7 +181,13 @@ Result<KnnAnswer> VaFileIndex::Search(std::span<const float> query,
   std::vector<double> qf = dft_->Transform(query);
 
   // Phase 1: lower bound for every series from the approximation file.
-  std::vector<double> lb = LowerBoundsSq(qf);
+  return RefineCandidates(query, params, counters, LowerBoundsSq(qf));
+}
+
+Result<KnnAnswer> VaFileIndex::RefineCandidates(std::span<const float> query,
+                                                const SearchParams& params,
+                                                QueryCounters* counters,
+                                                std::vector<double> lb) const {
   std::vector<std::pair<double, int64_t>> order(num_series_);
   for (size_t i = 0; i < num_series_; ++i) {
     order[i] = {lb[i], static_cast<int64_t>(i)};
@@ -185,6 +230,45 @@ Result<KnnAnswer> VaFileIndex::Search(std::span<const float> query,
       });
   HYDRA_RETURN_IF_ERROR(probed.status());
   return answers.Finish();
+}
+
+std::vector<Result<KnnAnswer>> VaFileIndex::BatchSearch(
+    std::span<const BatchQuery> batch) const {
+  std::vector<Result<KnnAnswer>> results(batch.size(),
+                                         Status::Internal("unset"));
+  std::vector<size_t> members;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].params.k == 0) {
+      results[i] = Status::InvalidArgument("k must be > 0");
+    } else if (batch[i].query.size() != series_length_) {
+      results[i] = Status::InvalidArgument("query length mismatch");
+    } else {
+      members.push_back(i);
+    }
+  }
+  if (members.size() <= 1) {
+    for (size_t i : members) {
+      results[i] =
+          Search(batch[i].query, batch[i].params, batch[i].counters);
+    }
+    return results;
+  }
+  // Phase 1 batched (every mode: the LUT scan is mode-independent), then
+  // phase 2 per member — ordered refinement already commits in serial
+  // order per query, and a member that fails mid-refinement fails alone.
+  std::vector<std::vector<double>> features;
+  features.reserve(members.size());
+  for (size_t i : members) {
+    features.push_back(dft_->Transform(batch[i].query));
+  }
+  std::vector<std::vector<double>> bounds =
+      LowerBoundsSqBatch(std::span<const std::vector<double>>(features));
+  for (size_t m = 0; m < members.size(); ++m) {
+    const size_t i = members[m];
+    results[i] = RefineCandidates(batch[i].query, batch[i].params,
+                                  batch[i].counters, std::move(bounds[m]));
+  }
+  return results;
 }
 
 size_t VaFileIndex::MemoryBytes() const {

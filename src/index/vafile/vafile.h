@@ -50,6 +50,7 @@ class VaFileIndex : public Index {
     c.epsilon_approximate = true;
     c.delta_epsilon_approximate = true;
     c.disk_resident = true;
+    c.batched_queries = true;
     c.summarization = "DFT";
     return c;
   }
@@ -58,6 +59,15 @@ class VaFileIndex : public Index {
   Result<KnnAnswer> Search(std::span<const float> query,
                            const SearchParams& params,
                            QueryCounters* counters) const override;
+
+  // Query-batched two-phase search: phase 1 (the LUT scan over the
+  // approximation file) runs column-major across the whole batch — each
+  // cells_ column is walked once, cache-hot, accumulating every query's
+  // lower bounds — then phase 2 refines per query (ordered refinement is
+  // already per-query serial-order committed, so answers are identical to
+  // solo Search by construction; a member that fails refines alone).
+  std::vector<Result<KnnAnswer>> BatchSearch(
+      std::span<const BatchQuery> batch) const override;
 
   // Introspection for tests.
   const std::vector<uint8_t>& bit_allocation() const { return bits_; }
@@ -70,10 +80,24 @@ class VaFileIndex : public Index {
   // to the dispatched LUT-accumulation kernel (phase 1 of Search).
   std::vector<double> LowerBoundsSq(
       std::span<const double> query_features) const;
+  // Batched phase 1: lower bounds for every series for EVERY query in one
+  // column-major pass over the approximation file. Each query's bounds
+  // accumulate dimensions in the same ascending order as LowerBoundsSq,
+  // so lb[q] matches LowerBoundsSq(query_features[q]) bit for bit.
+  std::vector<std::vector<double>> LowerBoundsSqBatch(
+      std::span<const std::vector<double>> query_features) const;
 
  private:
   VaFileIndex(SeriesProvider* provider, const VaFileOptions& options)
       : provider_(provider), options_(options) {}
+
+  // Phase 2 shared by Search and BatchSearch: sorts `lb` ascending and
+  // refines raw candidates in that order under the mode's prune/stop
+  // rules. Charges the phase-1 lb_distances to `counters`.
+  Result<KnnAnswer> RefineCandidates(std::span<const float> query,
+                                     const SearchParams& params,
+                                     QueryCounters* counters,
+                                     std::vector<double> lb) const;
 
   SeriesProvider* provider_;  // not owned
   VaFileOptions options_;

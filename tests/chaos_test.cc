@@ -342,5 +342,160 @@ TEST(Chaos, GenerousDeadlineReturnsExactAnswers) {
   EXPECT_EQ(ticket, w.queries.size());
 }
 
+// --- The same contracts with query coalescing enabled ---
+//
+// Batching changes the execution shape (one shared pass serves several
+// queries) but must not change the degradation contract: every member of
+// every batch is either exactly right or a typed failure, a dead member
+// degrades alone, and no batch leaves pins or readahead behind.
+
+// The acceptance matrix re-run with a coalescing window: queued queries
+// are popped into shared BatchSearch passes, and each member still comes
+// back right-or-typed on the ordered stream.
+TEST(ChaosBatched, RightOrTypedAcrossServingMatrixWithCoalescing) {
+  ChaosWorkload w;
+  ASSERT_NE(w.bm, nullptr);
+  ASSERT_NE(w.clean_bm, nullptr);
+  const size_t k = 10;
+  std::vector<KnnAnswer> oracle = w.Oracle(k);
+
+  FaultConfig config;
+  config.seed = FaultSeed();
+  config.transient_rate = 0.10;
+  config.corrupt_rate = 0.05;
+  w.bm->set_fault_config(config);
+  LinearScanIndex index(w.bm.get());
+  ASSERT_TRUE(index.capabilities().batched_queries);
+
+  for (size_t concurrency : {2u, 8u}) {
+    for (size_t threads : {1u, 4u}) {
+      for (size_t prefetch : {0u, 4u}) {
+        const std::string context =
+            "batched concurrency=" + std::to_string(concurrency) +
+            " threads=" + std::to_string(threads) +
+            " prefetch=" + std::to_string(prefetch);
+        SearchParams params;
+        params.k = k;
+        params.num_threads = threads;
+        params.prefetch_depth =
+            prefetch == 0 ? SearchParams::kPrefetchOff : prefetch;
+
+        ServingOptions options;
+        options.concurrency = concurrency;
+        options.batch_window = 4;
+        options.queue_capacity = w.queries.size() + 1;
+        {
+          ServingSession session(index, w.bm.get(), options);
+          EXPECT_EQ(session.batch_window(), 4u) << context;
+          for (size_t q = 0; q < w.queries.size(); ++q) {
+            session.Submit(w.queries.series(q), params);
+          }
+          session.Finish();
+          size_t ticket = 0;
+          while (std::optional<ServedQuery> served = session.Next()) {
+            if (served->answer.ok()) {
+              ExpectBitIdentical(oracle[ticket], served->answer.value(),
+                                 context);
+            } else {
+              EXPECT_TRUE(IsTypedFailure(served->answer.status()))
+                  << context << ": " << served->answer.status().message();
+            }
+            ++ticket;
+          }
+          EXPECT_EQ(ticket, w.queries.size()) << context;
+        }
+        w.bm->DrainPrefetches();
+        EXPECT_EQ(w.bm->PinnedPages(), 0u) << context;
+      }
+    }
+  }
+  EXPECT_GT(w.bm->reader().fault_injector().attempts(), 0u);
+}
+
+// Degradation isolation inside batches: pre-fired members coalesced with
+// healthy ones fail typed kCancelled at their own slot while the healthy
+// members of the SAME batch return bit-identical answers.
+TEST(ChaosBatched, CancelledMemberDoesNotPoisonBatchNeighbors) {
+  ChaosWorkload w;
+  ASSERT_NE(w.bm, nullptr);
+  const size_t k = 10;
+  std::vector<KnnAnswer> oracle = w.Oracle(k);
+
+  LinearScanIndex index(w.bm.get());
+  ServingOptions options;
+  options.concurrency = 2;
+  options.batch_window = 4;
+  options.queue_capacity = w.queries.size() + 1;
+  size_t cancelled = 0, succeeded = 0;
+  {
+    ServingSession session(index, w.bm.get(), options);
+    std::vector<bool> doomed(w.queries.size());
+    for (size_t q = 0; q < w.queries.size(); ++q) {
+      SearchParams params;
+      params.k = k;
+      params.prefetch_depth = 4;
+      if (q % 3 == 1) {
+        params.cancel = std::make_shared<CancellationToken>();
+        params.cancel->Cancel();
+        doomed[q] = true;
+      }
+      session.Submit(w.queries.series(q), params);
+    }
+    session.Finish();
+    size_t ticket = 0;
+    while (std::optional<ServedQuery> served = session.Next()) {
+      if (doomed[ticket]) {
+        ASSERT_FALSE(served->answer.ok()) << "batched query " << ticket;
+        EXPECT_EQ(served->answer.status().code(), StatusCode::kCancelled)
+            << served->answer.status().message();
+        ++cancelled;
+      } else {
+        ASSERT_TRUE(served->answer.ok())
+            << "batched query " << ticket << ": "
+            << served->answer.status().message();
+        ExpectBitIdentical(oracle[ticket], served->answer.value(),
+                           "batched query " + std::to_string(ticket));
+        ++succeeded;
+      }
+      ++ticket;
+    }
+  }
+  EXPECT_GT(cancelled, 0u);
+  EXPECT_EQ(cancelled + succeeded, w.queries.size());
+  w.bm->DrainPrefetches();
+  EXPECT_EQ(w.bm->PinnedPages(), 0u);
+}
+
+// Pre-expired deadlines under coalescing: every member fails fast with
+// DeadlineExceeded on the ordered stream, the index is never entered,
+// and nothing stays pinned.
+TEST(ChaosBatched, ExpiredDeadlineFailsFastWithCoalescing) {
+  ChaosWorkload w(/*n=*/500, /*len=*/32, /*num_queries=*/4);
+  ASSERT_NE(w.bm, nullptr);
+  LinearScanIndex index(w.bm.get());
+  ServingOptions options;
+  options.concurrency = 1;
+  options.batch_window = 4;
+  options.queue_capacity = w.queries.size() + 1;
+  ServingSession session(index, w.bm.get(), options);
+  SearchParams params;
+  params.k = 5;
+  params.deadline_ms = 1e-6;
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    session.Submit(w.queries.series(q), params);
+  }
+  session.Finish();
+  size_t expired = 0;
+  while (std::optional<ServedQuery> served = session.Next()) {
+    ASSERT_FALSE(served->answer.ok());
+    EXPECT_EQ(served->answer.status().code(),
+              StatusCode::kDeadlineExceeded)
+        << served->answer.status().message();
+    ++expired;
+  }
+  EXPECT_EQ(expired, w.queries.size());
+  EXPECT_EQ(w.bm->PinnedPages(), 0u);
+}
+
 }  // namespace
 }  // namespace hydra

@@ -164,6 +164,128 @@ TEST(KernelEquivalence, BatchMatchesSingleKernel) {
   }
 }
 
+// The multi-query kernel (query-batched execution) must produce, for
+// every (query, candidate) pair, EXACTLY the single-query early-abandon
+// kernel's value at that query's own threshold — same distance, same
+// abandon verdict — on every dispatch target, including ragged candidate
+// counts that leave partial chunks.
+TEST(KernelEquivalence, MultiQueryMatchesPerPairSingleKernel) {
+  Rng rng(41);
+  const size_t n = 100;  // not a multiple of the 32-value abandon block
+  const size_t max_count = 65;
+  const size_t nq = 4;
+  Dataset ds = MakeRandomWalk(max_count + nq, n, rng);
+  std::vector<const float*> queries(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    queries[q] = ds.series(max_count + q).data();
+  }
+  for (SimdTarget target : SupportedTargets()) {
+    const DistanceKernels& k = KernelsFor(target);
+    // Mixed per-query thresholds: one tight (abandons most), one exactly
+    // at a mid candidate's distance, one loose, one infinite.
+    std::vector<double> thresholds(nq);
+    thresholds[0] = 0.25 * k.squared_euclidean(queries[0],
+                                               ds.series(0).data(), n);
+    thresholds[1] =
+        k.squared_euclidean(queries[1], ds.series(max_count / 2).data(), n);
+    thresholds[2] =
+        4.0 * k.squared_euclidean(queries[2], ds.series(1).data(), n);
+    thresholds[3] = std::numeric_limits<double>::infinity();
+    // Ragged tails: counts around and below the chunk/unroll widths.
+    for (size_t count : {size_t{1}, size_t{7}, size_t{37}, size_t{64},
+                         size_t{65}}) {
+      std::vector<double> out(nq * count);
+      std::vector<uint8_t> abandoned(nq * count);
+      size_t completed = k.squared_euclidean_multi(
+          queries.data(), nq, n, ds.data(), count, n, thresholds.data(),
+          out.data(), abandoned.data());
+      size_t expect_completed = 0;
+      for (size_t q = 0; q < nq; ++q) {
+        for (size_t c = 0; c < count; ++c) {
+          bool solo_abandoned = false;
+          double solo = k.squared_euclidean_ea(queries[q],
+                                               ds.series(c).data(), n,
+                                               thresholds[q],
+                                               &solo_abandoned);
+          ASSERT_EQ(solo, out[q * count + c])
+              << SimdTargetName(target) << " q=" << q << " c=" << c
+              << " count=" << count;
+          ASSERT_EQ(solo_abandoned, abandoned[q * count + c] != 0)
+              << SimdTargetName(target) << " q=" << q << " c=" << c
+              << " count=" << count;
+          expect_completed += solo_abandoned ? 0 : 1;
+        }
+      }
+      EXPECT_EQ(completed, expect_completed)
+          << SimdTargetName(target) << " count=" << count;
+    }
+    // The infinite-threshold query never abandons; the tight one must
+    // abandon at least once over the full block (sanity that the mixed
+    // thresholds actually exercised both paths).
+    std::vector<double> out(nq * max_count);
+    std::vector<uint8_t> abandoned(nq * max_count);
+    k.squared_euclidean_multi(queries.data(), nq, n, ds.data(), max_count,
+                              n, thresholds.data(), out.data(),
+                              abandoned.data());
+    size_t tight_abandons = 0, inf_abandons = 0;
+    for (size_t c = 0; c < max_count; ++c) {
+      tight_abandons += abandoned[0 * max_count + c] != 0 ? 1 : 0;
+      inf_abandons += abandoned[3 * max_count + c] != 0 ? 1 : 0;
+    }
+    EXPECT_GT(tight_abandons, 0u) << SimdTargetName(target);
+    EXPECT_EQ(inf_abandons, 0u) << SimdTargetName(target);
+  }
+}
+
+// Cross-target agreement: every supported target's multi kernel agrees
+// with the scalar reference pair-for-pair (completed distances within
+// rounding, abandon verdicts identical — thresholds away from exact
+// distances, as in EarlyAbandonAgreesWithScalar).
+TEST(KernelEquivalence, MultiQueryAgreesAcrossTargets) {
+  Rng rng(43);
+  const size_t n = 96;
+  const size_t count = 50;
+  const size_t nq = 3;
+  Dataset ds = MakeRandomWalk(count + nq, n, rng);
+  std::vector<const float*> queries(nq);
+  for (size_t q = 0; q < nq; ++q) queries[q] = ds.series(count + q).data();
+  const DistanceKernels& ref = KernelsFor(SimdTarget::kScalar);
+  std::vector<double> thresholds(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    thresholds[q] =
+        0.5 * ref.squared_euclidean(queries[q], ds.series(0).data(), n);
+  }
+  std::vector<double> expected(nq * count);
+  std::vector<uint8_t> expected_abandoned(nq * count);
+  ref.squared_euclidean_multi(queries.data(), nq, n, ds.data(), count, n,
+                              thresholds.data(), expected.data(),
+                              expected_abandoned.data());
+  for (SimdTarget target : SupportedTargets()) {
+    const DistanceKernels& k = KernelsFor(target);
+    std::vector<double> got(nq * count);
+    // Null abandoned pointer is part of the contract (callers that only
+    // need distances).
+    size_t completed = k.squared_euclidean_multi(
+        queries.data(), nq, n, ds.data(), count, n, thresholds.data(),
+        got.data(), nullptr);
+    std::vector<uint8_t> got_abandoned(nq * count);
+    k.squared_euclidean_multi(queries.data(), nq, n, ds.data(), count, n,
+                              thresholds.data(), got.data(),
+                              got_abandoned.data());
+    size_t expect_completed = 0;
+    for (size_t i = 0; i < nq * count; ++i) {
+      ASSERT_EQ(expected_abandoned[i], got_abandoned[i])
+          << SimdTargetName(target) << " pair " << i;
+      if (!expected_abandoned[i]) {
+        ASSERT_LT(RelDiff(expected[i], got[i]), 1e-6)
+            << SimdTargetName(target) << " pair " << i;
+        ++expect_completed;
+      }
+    }
+    EXPECT_EQ(completed, expect_completed) << SimdTargetName(target);
+  }
+}
+
 TEST(KernelEquivalence, WeightedClampedDistSqMatchesScalar) {
   Rng rng(19);
   const size_t n = 67;

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/generators.h"
@@ -11,6 +14,7 @@
 #include "index/adsplus/adsplus.h"
 #include "index/dstree/dstree.h"
 #include "index/mtree/mtree.h"
+#include "index/scan/linear_scan.h"
 #include "index/sfa/sfa.h"
 #include "index/isax/isax_index.h"
 #include "index/vafile/vafile.h"
@@ -375,6 +379,158 @@ INSTANTIATE_TEST_SUITE_P(
       return "eps" + std::to_string(eps_pct) + "_k" +
              std::to_string(std::get<1>(info.param));
     });
+
+// ---------------------------------------------------------------------
+// Query-batched execution properties (Index::BatchSearch): random query
+// sets heavy with duplicates and near-duplicates must come back from a
+// batch with ground-truth exact answers, and batch COMPOSITION — order,
+// grouping — must never change any member's answer. The duplicate-heavy
+// shape matters: identical queries maximize shared work (the very case
+// batching optimizes), so divergence from cross-query state leakage
+// would show here first.
+
+std::vector<std::unique_ptr<Index>> BuildBatchedIndexes(
+    const Dataset& ds, InMemoryProvider* provider) {
+  std::vector<std::unique_ptr<Index>> indexes;
+  indexes.push_back(std::make_unique<LinearScanIndex>(provider));
+  {
+    DSTreeOptions opts;
+    opts.leaf_capacity = 32;
+    opts.histogram_pairs = 200;
+    auto built = DSTreeIndex::Build(ds, provider, opts);
+    EXPECT_TRUE(built.ok());
+    if (built.ok()) indexes.push_back(std::move(built).value());
+  }
+  {
+    IsaxOptions opts;
+    opts.segments = 8;
+    opts.leaf_capacity = 32;
+    opts.histogram_pairs = 200;
+    auto built = IsaxIndex::Build(ds, provider, opts);
+    EXPECT_TRUE(built.ok());
+    if (built.ok()) indexes.push_back(std::move(built).value());
+  }
+  {
+    VaFileOptions opts;
+    opts.histogram_pairs = 200;
+    auto built = VaFileIndex::Build(ds, provider, opts);
+    EXPECT_TRUE(built.ok());
+    if (built.ok()) indexes.push_back(std::move(built).value());
+  }
+  return indexes;
+}
+
+class BatchCompositionProperty : public ::testing::TestWithParam<Gen> {};
+
+TEST_P(BatchCompositionProperty, DuplicateHeavyBatchMatchesGroundTruth) {
+  Rng rng(301);
+  Dataset ds = Generate(GetParam(), 300, 48, rng);
+  ZNormalizeDataset(ds);
+  InMemoryProvider provider(&ds);
+  auto indexes = BuildBatchedIndexes(ds, &provider);
+
+  // 8 members from 3 distinct sources: exact duplicates and
+  // near-duplicates (tiny perturbations) of a few base queries.
+  Dataset bases = MakeNoiseQueries(ds, 3, 0.3, rng);
+  Dataset members(8, ds.length());
+  const size_t source[8] = {0, 0, 1, 0, 2, 1, 1, 2};
+  for (size_t i = 0; i < 8; ++i) {
+    std::span<const float> base = bases.series(source[i]);
+    std::span<float> out = members.mutable_series(i);
+    const bool exact_dup = i % 2 == 0;
+    for (size_t d = 0; d < base.size(); ++d) {
+      out[d] = exact_dup ? base[d]
+                         : base[d] + 0.001f *
+                               static_cast<float>(rng.NextGaussian());
+    }
+  }
+
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 5;
+  for (const auto& index : indexes) {
+    std::vector<BatchQuery> batch(8);
+    for (size_t i = 0; i < 8; ++i) {
+      batch[i] = BatchQuery{members.series(i), params, nullptr};
+    }
+    std::vector<Result<KnnAnswer>> results =
+        index->BatchSearch(std::span<const BatchQuery>(batch));
+    ASSERT_EQ(results.size(), 8u);
+    for (size_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(results[i].ok())
+          << index->name() << ": " << results[i].status().ToString();
+      KnnAnswer truth = ExactKnn(ds, members.series(i), 5);
+      for (size_t r = 0; r < 5; ++r) {
+        EXPECT_NEAR(results[i].value().distances[r], truth.distances[r],
+                    1e-5)
+            << index->name() << " member " << i << " rank " << r;
+      }
+    }
+  }
+}
+
+TEST_P(BatchCompositionProperty, CompositionNeverChangesAnswers) {
+  Rng rng(302);
+  Dataset ds = Generate(GetParam(), 300, 48, rng);
+  ZNormalizeDataset(ds);
+  InMemoryProvider provider(&ds);
+  auto indexes = BuildBatchedIndexes(ds, &provider);
+  Dataset queries = MakeNoiseQueries(ds, 6, 0.3, rng);
+
+  SearchParams params;
+  params.mode = SearchMode::kExact;
+  params.k = 5;
+  for (const auto& index : indexes) {
+    // Reference: each query alone.
+    std::vector<KnnAnswer> solo;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      QueryCounters counters;
+      auto ans = index->Search(queries.series(q), params, &counters);
+      ASSERT_TRUE(ans.ok()) << index->name();
+      solo.push_back(std::move(ans).value());
+    }
+    // Compositions: one batch of 6, two batches of 3, three of 2, and
+    // one batch of 6 in REVERSED member order. Every composition must
+    // reproduce the solo answers exactly.
+    const std::vector<std::vector<size_t>> compositions[] = {
+        {{0, 1, 2, 3, 4, 5}},
+        {{0, 1, 2}, {3, 4, 5}},
+        {{0, 1}, {2, 3}, {4, 5}},
+        {{5, 4, 3, 2, 1, 0}},
+    };
+    for (const auto& groups : compositions) {
+      for (const auto& group : groups) {
+        std::vector<BatchQuery> batch;
+        batch.reserve(group.size());
+        for (size_t q : group) {
+          batch.push_back(BatchQuery{queries.series(q), params, nullptr});
+        }
+        std::vector<Result<KnnAnswer>> results =
+            index->BatchSearch(std::span<const BatchQuery>(batch));
+        ASSERT_EQ(results.size(), group.size());
+        for (size_t j = 0; j < group.size(); ++j) {
+          ASSERT_TRUE(results[j].ok()) << index->name();
+          const KnnAnswer& expect = solo[group[j]];
+          const KnnAnswer& got = results[j].value();
+          ASSERT_EQ(expect.size(), got.size()) << index->name();
+          for (size_t r = 0; r < expect.size(); ++r) {
+            EXPECT_EQ(expect.ids[r], got.ids[r])
+                << index->name() << " query " << group[j] << " rank " << r;
+            EXPECT_EQ(expect.distances[r], got.distances[r])
+                << index->name() << " query " << group[j] << " rank " << r;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BatchCompositionProperty,
+                         ::testing::Values(Gen::kWalk, Gen::kSift,
+                                           Gen::kSald),
+                         [](const ::testing::TestParamInfo<Gen>& info) {
+                           return GenName(info.param);
+                         });
 
 // ---------------------------------------------------------------------
 // Workload-protocol invariants over random timings.

@@ -678,9 +678,13 @@ TEST(Serving, FinishThenDrainYieldsEveryResult) {
 }
 
 // --- Error plumbing (ROADMAP): a pool exhausted beyond transient
-// contention surfaces IoError instead of silently skipping candidates. ---
+// contention surfaces a typed error instead of silently skipping
+// candidates. Since the fault-tolerance work the typed verdict is
+// Unavailable ("every page is pinned" is a retryable caller-side
+// condition — see BufferManager::PinSeriesChecked), distinct from the
+// IoError a failing device earns after its retry budget. ---
 
-TEST(Serving, ExhaustedPoolSurfacesIoError) {
+TEST(Serving, ExhaustedPoolSurfacesTypedUnavailable) {
   DiskWorkload w(/*capacity_pages=*/2);
   ASSERT_NE(w.bm, nullptr);
 
@@ -699,20 +703,20 @@ TEST(Serving, ExhaustedPoolSurfacesIoError) {
   std::vector<int64_t> ids = {40, 41};  // page 2: not pinned, not pooled
   Result<size_t> scanned = scanner.ScanIds(w.bm.get(), ids);
   ASSERT_FALSE(scanned.ok());
-  EXPECT_EQ(scanned.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(scanned.status().code(), StatusCode::kUnavailable);
 
   Result<size_t> ranged = scanner.ScanRange(w.bm.get(), 40, 8);
   ASSERT_FALSE(ranged.ok());
-  EXPECT_EQ(ranged.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(ranged.status().code(), StatusCode::kUnavailable);
 
-  // The index-level contract: the whole search reports IoError rather
-  // than returning an answer missing candidates.
+  // The index-level contract: the whole search reports the typed error
+  // rather than returning an answer missing candidates.
   LinearScanIndex index(w.bm.get());
   QueryCounters search_counters;
   Result<KnnAnswer> ans =
       index.Search(w.queries.series(0), Exact(5), &search_counters);
   ASSERT_FALSE(ans.ok());
-  EXPECT_EQ(ans.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(ans.status().code(), StatusCode::kUnavailable);
 
   // Once the pins are gone the same searches succeed again.
   pin0.Release();
@@ -720,6 +724,385 @@ TEST(Serving, ExhaustedPoolSurfacesIoError) {
   Result<KnnAnswer> retry =
       index.Search(w.queries.series(0), Exact(5), &search_counters);
   EXPECT_TRUE(retry.ok());
+}
+
+// --- Query coalescing (ServingOptions::batch_window) ---
+//
+// The scheduler opportunistically pops up to batch_window queued queries
+// into one Index::BatchSearch call. The serving contract is unchanged:
+// ordered completion stream, per-query answers bit-identical to
+// sequential execution, per-query counters that still sum to the pool's
+// totals.
+
+std::vector<KnnAnswer> ServeCoalesced(const Index& index,
+                                      SeriesProvider* provider,
+                                      const Dataset& queries,
+                                      const SearchParams& params,
+                                      size_t concurrency, size_t window) {
+  ServingOptions options;
+  options.concurrency = concurrency;
+  options.batch_window = window;
+  // A deep queue so submissions can actually pile up behind the
+  // in-flight queries and give coalescing something to pop.
+  options.queue_capacity = queries.size() + 1;
+  ServingSession session(index, provider, options);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    session.Submit(queries.series(q), params);
+  }
+  session.Finish();
+  std::vector<KnnAnswer> answers;
+  uint64_t expected_ticket = 0;
+  while (std::optional<ServedQuery> served = session.Next()) {
+    EXPECT_EQ(served->ticket, expected_ticket++)
+        << "batched completion stream out of submission order";
+    EXPECT_TRUE(served->answer.ok())
+        << index.name() << ": " << served->answer.status().ToString();
+    answers.push_back(served->answer.ok() ? std::move(served->answer).value()
+                                          : KnnAnswer{});
+  }
+  EXPECT_EQ(answers.size(), queries.size());
+  return answers;
+}
+
+void CheckCoalescedDeterminism(const Index& index, SeriesProvider* provider,
+                               const Dataset& queries,
+                               const SearchParams& params) {
+  std::vector<KnnAnswer> serial = Sequential(index, queries, params);
+  for (size_t window : {2u, 4u, 8u}) {
+    std::vector<KnnAnswer> served =
+        ServeCoalesced(index, provider, queries, params, 2, window);
+    ASSERT_EQ(served.size(), serial.size());
+    for (size_t q = 0; q < serial.size(); ++q) {
+      ExpectIdentical(serial[q], served[q],
+                      index.name() + " window=" + std::to_string(window) +
+                          ", query " + std::to_string(q));
+    }
+  }
+}
+
+TEST(ServingBatched, CoalescedServingMatchesSequentialLinearScanOnDisk) {
+  DiskWorkload w;
+  ASSERT_NE(w.bm, nullptr);
+  LinearScanIndex index(w.bm.get());
+  CheckCoalescedDeterminism(index, w.bm.get(), w.queries, Exact(10));
+}
+
+TEST(ServingBatched, CoalescedServingMatchesSequentialDstreeOnDisk) {
+  DiskWorkload w;
+  ASSERT_NE(w.bm, nullptr);
+  DSTreeOptions opts;
+  opts.leaf_capacity = 256;
+  opts.histogram_pairs = 2000;
+  auto index = DSTreeIndex::Build(w.data, w.bm.get(), opts);
+  ASSERT_TRUE(index.ok());
+  CheckCoalescedDeterminism(*index.value(), w.bm.get(), w.queries, Exact(10));
+}
+
+TEST(ServingBatched, CoalescedServingMatchesSequentialVafileInMemory) {
+  Workload w;
+  VaFileOptions opts;
+  opts.histogram_pairs = 2000;
+  auto index = VaFileIndex::Build(w.data, &w.provider, opts);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index.value()->capabilities().batched_queries);
+  CheckCoalescedDeterminism(*index.value(), &w.provider, w.queries,
+                            Exact(10));
+}
+
+TEST(ServingBatched, CoalescedCountersSumToPoolTotals) {
+  DiskWorkload w;
+  ASSERT_NE(w.bm, nullptr);
+  LinearScanIndex index(w.bm.get());
+
+  const uint64_t hits_before = w.bm->cache_hits();
+  const uint64_t misses_before = w.bm->cache_misses();
+
+  ServingOptions options;
+  options.concurrency = 2;
+  options.batch_window = 4;
+  options.queue_capacity = w.queries.size() + 1;
+  ServingSession session(index, w.bm.get(), options);
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    session.Submit(w.queries.series(q), Exact(10));
+  }
+  session.Finish();
+  QueryCounters summed;
+  while (std::optional<ServedQuery> served = session.Next()) {
+    ASSERT_TRUE(served->answer.ok());
+    summed += served->counters;
+  }
+  w.bm->DrainPrefetches();
+
+  // Leader-charged shared fetches: whichever member is charged, the
+  // members' sums must account for exactly the pool's activity.
+  EXPECT_EQ(summed.cache_hits, w.bm->cache_hits() - hits_before);
+  EXPECT_EQ(summed.cache_misses, w.bm->cache_misses() - misses_before);
+  EXPECT_GT(summed.cache_misses, 0u);
+  EXPECT_EQ(w.bm->PinnedPages(), 0u);
+}
+
+TEST(ServingBatched, WindowResolvesFromOptionsAndEnvironment) {
+  Workload w;
+  LinearScanIndex index(&w.provider);
+  ASSERT_TRUE(index.capabilities().batched_queries);
+
+  // The CI batch lane exports HYDRA_BATCH_WINDOW for the whole binary;
+  // restore whatever was there so later suites keep their lane behavior.
+  const char* prior = std::getenv("HYDRA_BATCH_WINDOW");
+  const std::string saved = prior != nullptr ? prior : "";
+  struct EnvRestore {
+    bool had;
+    std::string value;
+    ~EnvRestore() {
+      if (had) {
+        ::setenv("HYDRA_BATCH_WINDOW", value.c_str(), 1);
+      } else {
+        ::unsetenv("HYDRA_BATCH_WINDOW");
+      }
+    }
+  } restore{prior != nullptr, saved};
+
+  // An explicit option wins.
+  ServingOptions explicit_opts;
+  explicit_opts.concurrency = 2;
+  explicit_opts.batch_window = 6;
+  ServingSession explicit_session(index, &w.provider, explicit_opts);
+  EXPECT_EQ(explicit_session.batch_window(), 6u);
+
+  // batch_window = 0 falls back to HYDRA_BATCH_WINDOW.
+  ASSERT_EQ(::setenv("HYDRA_BATCH_WINDOW", "5", 1), 0);
+  EXPECT_EQ(DefaultBatchWindow(), 5u);
+  ServingOptions env_opts;
+  env_opts.concurrency = 2;
+  ServingSession env_session(index, &w.provider, env_opts);
+  EXPECT_EQ(env_session.batch_window(), 5u);
+
+  // Garbage env values fall back to 1 (off) instead of exploding.
+  ASSERT_EQ(::setenv("HYDRA_BATCH_WINDOW", "banana", 1), 0);
+  EXPECT_EQ(DefaultBatchWindow(), 1u);
+
+  ASSERT_EQ(::unsetenv("HYDRA_BATCH_WINDOW"), 0);
+  EXPECT_EQ(DefaultBatchWindow(), 1u);
+  ServingSession off_session(index, &w.provider, env_opts);
+  EXPECT_EQ(off_session.batch_window(), 1u);
+}
+
+// ADS+ refines its tree inside Search, so it must never see a
+// multi-query call: the capability clamp pins its window to 1 no matter
+// what was requested, and serving stays sequential and exact.
+TEST(ServingBatched, AdsPlusExcludedFromCoalescing) {
+  Workload w;
+  AdsPlusOptions opts;
+  opts.query_leaf_capacity = 256;
+  opts.histogram_pairs = 2000;
+  auto index = AdsPlusIndex::Build(w.data, &w.provider, opts);
+  ASSERT_TRUE(index.ok());
+  ASSERT_FALSE(index.value()->capabilities().concurrent_queries);
+
+  ServingOptions options;
+  options.concurrency = 8;
+  options.batch_window = 8;
+  options.queue_capacity = w.queries.size() + 1;
+  ServingSession session(*index.value(), &w.provider, options);
+  EXPECT_EQ(session.batch_window(), 1u);
+  EXPECT_EQ(session.concurrency(), 1u);
+
+  std::vector<KnnAnswer> gt = ExactKnnWorkload(w.data, w.queries, 10);
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    session.Submit(w.queries.series(q), Exact(10));
+  }
+  session.Finish();
+  size_t q = 0;
+  while (std::optional<ServedQuery> served = session.Next()) {
+    ASSERT_TRUE(served->answer.ok());
+    ExpectIdentical(gt[q], served->answer.value(),
+                    "adsplus coalescing-clamped query " + std::to_string(q));
+    ++q;
+  }
+  EXPECT_EQ(q, w.queries.size());
+  EXPECT_EQ(session.batches_served(), 0u);
+  EXPECT_EQ(session.coalesced_queries(), 0u);
+}
+
+// Test double for deterministic coalescing observation: Search gates
+// like GatedIndex (so a solo query can park and let the queue deepen),
+// BatchSearch answers immediately and records every batch size it saw.
+class BatchRecordingIndex : public Index {
+ public:
+  std::string name() const override { return "batch-recorder"; }
+  IndexCapabilities capabilities() const override {
+    IndexCapabilities caps;
+    caps.exact = true;
+    caps.concurrent_queries = true;
+    caps.batched_queries = true;
+    return caps;
+  }
+  size_t MemoryBytes() const override { return sizeof(*this); }
+
+  Result<KnnAnswer> Search(std::span<const float> query,
+                           const SearchParams& params,
+                           QueryCounters* counters) const override {
+    (void)params;
+    (void)counters;
+    const int id = static_cast<int>(query[0]);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++started_;
+      started_cv_.notify_all();
+      cv_.wait(lock, [&] { return released_.count(id) != 0; });
+    }
+    return Echo(id);
+  }
+
+  std::vector<Result<KnnAnswer>> BatchSearch(
+      std::span<const BatchQuery> batch) const override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_sizes_.push_back(batch.size());
+    }
+    std::vector<Result<KnnAnswer>> results;
+    results.reserve(batch.size());
+    for (const BatchQuery& member : batch) {
+      results.push_back(Echo(static_cast<int>(member.query[0])));
+    }
+    return results;
+  }
+
+  void Release(int id) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_.insert(id);
+    }
+    cv_.notify_all();
+  }
+
+  void AwaitStarted(int n) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    started_cv_.wait(lock, [&] { return started_ >= n; });
+  }
+
+  int started() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return started_;
+  }
+
+  std::vector<size_t> batch_sizes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batch_sizes_;
+  }
+
+ private:
+  static KnnAnswer Echo(int id) {
+    KnnAnswer ans;
+    ans.ids.push_back(id);
+    ans.distances.push_back(static_cast<double>(id));
+    return ans;
+  }
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  mutable std::condition_variable started_cv_;
+  mutable std::set<int> released_;
+  mutable int started_ = 0;
+  mutable std::vector<size_t> batch_sizes_;
+};
+
+// The coalescing mechanics, deterministically: query 0 is admitted solo
+// and parks its worker; seven more pile up behind it. When the slot
+// frees, the scheduler pops window-sized batches — 4 then 3 — and the
+// ordered stream still yields every ticket in submission order.
+TEST(ServingBatched, OpportunisticCoalescingFormsBatchesUnderQueueDepth) {
+  BatchRecordingIndex index;
+  ThreadPool pool(2);
+  ServingOptions options;
+  options.concurrency = 1;
+  options.batch_window = 4;
+  options.queue_capacity = 16;
+  options.pool = &pool;
+  QueryScheduler scheduler(index, options);
+  EXPECT_EQ(scheduler.batch_window(), 4u);
+
+  std::vector<float> q0 = Query(0);
+  scheduler.Submit(q0, Exact(1));
+  index.AwaitStarted(1);  // parked solo; the in-flight slot is occupied
+  for (int i = 1; i < 8; ++i) {
+    std::vector<float> q = Query(i);
+    scheduler.Submit(q, Exact(1));
+  }
+  index.Release(0);
+  scheduler.Finish();
+
+  for (int i = 0; i < 8; ++i) {
+    std::optional<ServedQuery> served = scheduler.Next();
+    ASSERT_TRUE(served.has_value());
+    EXPECT_EQ(served->ticket, static_cast<uint64_t>(i));
+    ASSERT_TRUE(served->answer.ok());
+    EXPECT_EQ(served->answer.value().ids[0], i);
+  }
+  EXPECT_FALSE(scheduler.Next().has_value());
+
+  // Exactly one solo Search (the parked bootstrap query), then batches
+  // of 4 and 3 — a lone queued query is never held back waiting for
+  // company, and a full window is never exceeded.
+  EXPECT_EQ(index.started(), 1);
+  EXPECT_EQ(scheduler.batches_served(), 2u);
+  EXPECT_EQ(scheduler.coalesced_queries(), 7u);
+  const std::vector<size_t> expected_sizes = {4, 3};
+  EXPECT_EQ(index.batch_sizes(), expected_sizes);
+}
+
+// A member whose deadline the queue already consumed degrades ALONE: it
+// gets its typed DeadlineExceeded on the ordered stream without ever
+// joining the index call, and the rest of the batch completes normally.
+TEST(ServingBatched, ExpiredMemberDegradesAloneInBatch) {
+  BatchRecordingIndex index;
+  ThreadPool pool(2);
+  ServingOptions options;
+  options.concurrency = 1;
+  options.batch_window = 4;
+  options.queue_capacity = 16;
+  options.pool = &pool;
+  QueryScheduler scheduler(index, options);
+
+  std::vector<float> q0 = Query(0);
+  scheduler.Submit(q0, Exact(1));
+  index.AwaitStarted(1);
+
+  SearchParams doomed = Exact(1);
+  doomed.deadline_ms = 1;  // will expire while parked behind query 0
+  std::vector<float> q1 = Query(1);
+  scheduler.Submit(q1, doomed);
+  for (int i = 2; i < 4; ++i) {
+    std::vector<float> q = Query(i);
+    scheduler.Submit(q, Exact(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  index.Release(0);
+  scheduler.Finish();
+
+  std::optional<ServedQuery> first = scheduler.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->answer.ok());
+
+  std::optional<ServedQuery> expired = scheduler.Next();
+  ASSERT_TRUE(expired.has_value());
+  EXPECT_EQ(expired->ticket, 1u);
+  ASSERT_FALSE(expired->answer.ok());
+  EXPECT_EQ(expired->answer.status().code(), StatusCode::kDeadlineExceeded);
+
+  for (int i = 2; i < 4; ++i) {
+    std::optional<ServedQuery> served = scheduler.Next();
+    ASSERT_TRUE(served.has_value());
+    EXPECT_EQ(served->ticket, static_cast<uint64_t>(i));
+    ASSERT_TRUE(served->answer.ok());
+    EXPECT_EQ(served->answer.value().ids[0], i);
+  }
+  EXPECT_FALSE(scheduler.Next().has_value());
+
+  // The expired member never reached the index: the one batch the index
+  // saw carried only the two live members.
+  const std::vector<size_t> expected_sizes = {2};
+  EXPECT_EQ(index.batch_sizes(), expected_sizes);
 }
 
 }  // namespace
