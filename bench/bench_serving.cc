@@ -49,11 +49,31 @@
 //                             it to 150 so page fetches have a visible
 //                             cost for batching to amortize even on a
 //                             fast CI disk
+//   HYDRA_OFFERED_QPS         comma list of absolute offered arrival
+//                             rates for the open-loop section (default:
+//                             fractions {0.5,0.8,1.0,1.2} of each
+//                             method's measured closed-loop capacity)
+//   HYDRA_SHARDS              comma list of shard counts for the sharded
+//                             serving section (default 1,4 smoke;
+//                             1,2,4,8 full)
 //
 // Throughput context: whole queries are independent units, so on >= N
 // idle cores the speedup column should approach the concurrency level
 // until the pool (capacity sweep) or the disk becomes the bottleneck; on
 // a loaded or small machine the answer columns still prove determinism.
+//
+// Three sections per run:
+//   1. closed-loop concurrency x pool-capacity sweep (as before), with
+//      every build routed through the Index factory (index/factory.h);
+//   2. an OPEN-LOOP offered-load sweep: a fixed arrival schedule drives
+//      each method at rates below/at/above its measured capacity, and
+//      the table reports tail latency vs offered load with latencies
+//      charged from each query's SCHEDULED arrival (coordinated
+//      omission included, the honest open-loop number);
+//   3. a sharded scatter-gather sweep (index/sharded/sharded_index.h):
+//      the same workload against S disk-resident shards, whose answers
+//      must stay bit-identical to the unsharded serial protocol at
+//      every shard count x concurrency.
 
 #include <algorithm>
 #include <cstdio>
@@ -70,10 +90,8 @@
 #include "core/generators.h"
 #include "core/ground_truth.h"
 #include "harness/experiment.h"
-#include "index/dstree/dstree.h"
-#include "index/isax/isax_index.h"
-#include "index/scan/linear_scan.h"
-#include "index/vafile/vafile.h"
+#include "index/factory.h"
+#include "index/sharded/sharded_index.h"
 #include "storage/buffer_manager.h"
 #include "storage/series_file.h"
 #include "transform/znorm.h"
@@ -81,16 +99,6 @@
 namespace {
 
 using hydra::EnvCount;
-
-struct MethodSweep {
-  std::string name;
-  // Builds the index against `provider` (indexes bind their provider at
-  // build time, so each pool capacity gets its own build — the builds
-  // are identical, only the serving storage differs).
-  std::function<std::unique_ptr<hydra::Index>(const hydra::Dataset&,
-                                              hydra::SeriesProvider*)>
-      build;
-};
 
 }  // namespace
 
@@ -160,64 +168,44 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<MethodSweep> methods;
+  // Every method build goes through the ONE factory the serving stack
+  // uses (index/factory.h): same knobs, no per-method special-casing.
   // The sequential scan is where shared page passes pay off most — every
   // query touches every page, so a batch of Q turns Q full sweeps into
   // one; it is the batching headline row.
-  methods.push_back(
-      {"scan", [&](const hydra::Dataset& d, hydra::SeriesProvider* p)
-                   -> std::unique_ptr<hydra::Index> {
-         (void)d;
-         return std::make_unique<hydra::LinearScanIndex>(p);
-       }});
-  methods.push_back(
-      {"dstree", [&](const hydra::Dataset& d, hydra::SeriesProvider* p)
-                     -> std::unique_ptr<hydra::Index> {
-         hydra::DSTreeOptions opts;
-         opts.leaf_capacity = 256;
-         opts.histogram_pairs = 2000;
-         auto built = hydra::DSTreeIndex::Build(d, p, opts);
-         return built.ok() ? std::move(built).value() : nullptr;
-       }});
-  methods.push_back(
-      {"isax", [&](const hydra::Dataset& d, hydra::SeriesProvider* p)
-                   -> std::unique_ptr<hydra::Index> {
-         hydra::IsaxOptions opts;
-         opts.leaf_capacity = 256;
-         opts.histogram_pairs = 2000;
-         auto built = hydra::IsaxIndex::Build(d, p, opts);
-         return built.ok() ? std::move(built).value() : nullptr;
-       }});
-  methods.push_back(
-      {"vafile", [&](const hydra::Dataset& d, hydra::SeriesProvider* p)
-                     -> std::unique_ptr<hydra::Index> {
-         hydra::VaFileOptions opts;
-         opts.histogram_pairs = 2000;
-         auto built = hydra::VaFileIndex::Build(d, p, opts);
-         return built.ok() ? std::move(built).value() : nullptr;
-       }});
+  std::vector<std::string> methods = {"scan", "dstree", "isax", "vafile"};
+  hydra::BuildOptions build_base;
+  build_base.leaf_capacity = 256;
+  build_base.histogram_pairs = 2000;
 
   int status = 0;
+  // Closed-loop QPS at the highest concurrency, per method — the
+  // measured capacity the open-loop section offers load against.
+  std::vector<double> capacity_qps(methods.size(), 0.0);
   for (size_t capacity : capacities) {
-    for (const MethodSweep& method : methods) {
+    for (size_t mi = 0; mi < methods.size(); ++mi) {
+      const std::string& method = methods[mi];
       auto bm = hydra::BufferManager::Open(path, page_series, capacity);
       if (!bm.ok()) {
         std::fprintf(stderr, "open failed: %s\n",
                      bm.status().ToString().c_str());
         return 1;
       }
-      std::unique_ptr<hydra::Index> index =
-          method.build(data, bm.value().get());
-      if (index == nullptr) {
-        std::fprintf(stderr, "%s: build failed\n", method.name.c_str());
+      hydra::BuildOptions build = build_base;
+      build.method = method;
+      auto built = hydra::BuildIndex(data, bm.value().get(), build);
+      if (!built.ok()) {
+        std::fprintf(stderr, "%s: build failed: %s\n", method.c_str(),
+                     built.status().ToString().c_str());
         return 1;
       }
+      std::unique_ptr<hydra::Index> index = std::move(built).value();
       std::vector<hydra::ServingSweepPoint> points = hydra::RunServingSweep(
           *index, queries, ground_truth, params, levels, bm.value().get(),
           batch_window);
       hydra::Table table = hydra::ServingSweepTable(points);
       std::printf("\n## %s, pool %zu pages x %zu series\n%s\n",
-                  method.name.c_str(), capacity, page_series,
+                  method.c_str(), capacity, page_series,
                   table.ToAlignedText().c_str());
       std::printf("# csv\n%s", table.ToCsv().c_str());
       double best_gain = 0.0;
@@ -226,10 +214,11 @@ int main(int argc, char** argv) {
           std::fprintf(stderr,
                        "DETERMINISM VIOLATION: %s capacity=%zu "
                        "concurrency=%zu\n",
-                       method.name.c_str(), capacity, p.concurrency);
+                       method.c_str(), capacity, p.concurrency);
           status = 1;
         }
         best_gain = std::max(best_gain, p.batched_gain);
+        capacity_qps[mi] = std::max(capacity_qps[mi], p.qps);
       }
       if (batch_window > 1) {
         // The batching headline per method: best coalescing QPS gain
@@ -237,10 +226,98 @@ int main(int argc, char** argv) {
         // a slow disk should clear 1.3x on the scan row).
         std::printf("# batched_gain %s capacity=%zu window=%zu "
                     "best=%.2fx\n",
-                    method.name.c_str(), capacity, batch_window, best_gain);
+                    method.c_str(), capacity, batch_window, best_gain);
       }
     }
   }
+
+  // ---- Open-loop offered-load sweep -------------------------------
+  // A fixed arrival schedule (query i due at t0 + i/rate) drives each
+  // method at rates bracketing its measured closed-loop capacity. The
+  // p50/p95/p99 columns are charged from the SCHEDULED arrival, so the
+  // knee past capacity shows up as unbounded queueing delay — the
+  // classic open-loop hockey stick a closed loop can never exhibit.
+  {
+    const size_t openloop_concurrency = levels.back();
+    const size_t openloop_capacity = capacities.back();
+    for (size_t mi = 0; mi < methods.size(); ++mi) {
+      const std::string& method = methods[mi];
+      std::vector<double> rates;
+      const double cap = capacity_qps[mi];
+      if (cap > 0.0) {
+        for (double f : {0.5, 0.8, 1.0, 1.2}) rates.push_back(f * cap);
+      }
+      rates = hydra::ParseRateList(std::getenv("HYDRA_OFFERED_QPS"), rates);
+      if (rates.empty()) continue;
+      auto bm =
+          hydra::BufferManager::Open(path, page_series, openloop_capacity);
+      if (!bm.ok()) return 1;
+      hydra::BuildOptions build = build_base;
+      build.method = method;
+      auto built = hydra::BuildIndex(data, bm.value().get(), build);
+      if (!built.ok()) return 1;
+      std::unique_ptr<hydra::Index> index = std::move(built).value();
+      std::vector<hydra::OpenLoopPoint> points = hydra::RunOpenLoopSweep(
+          *index, queries, params, rates, openloop_concurrency,
+          bm.value().get(), num_queries);
+      hydra::Table table = hydra::OpenLoopTable(points, method);
+      std::printf("\n## open-loop %s, concurrency %zu, pool %zu pages\n%s\n",
+                  method.c_str(), openloop_concurrency, openloop_capacity,
+                  table.ToAlignedText().c_str());
+      std::printf("# csv\n%s", table.ToCsv().c_str());
+      for (const hydra::OpenLoopPoint& p : points) {
+        if (!p.matches_serial) {
+          std::fprintf(stderr, "DETERMINISM VIOLATION: open-loop %s "
+                               "rate=%.1f\n",
+                       method.c_str(), p.offered_qps);
+          status = 1;
+        }
+      }
+    }
+  }
+
+  // ---- Sharded scatter-gather serving -----------------------------
+  // The same workload against S disk-resident shards (each with its own
+  // file + pool), merged answers checked against the SAME unsharded
+  // ground truth: the match_serial/recall columns prove the scatter-
+  // gather merge is bit-identical to one index at every topology.
+  {
+    const std::vector<size_t> shard_counts = hydra::ParseCountList(
+        std::getenv("HYDRA_SHARDS"),
+        smoke ? std::vector<size_t>{1, 4} : std::vector<size_t>{1, 2, 4, 8});
+    for (size_t shards : shard_counts) {
+      hydra::ShardedIndexOptions topo;
+      topo.num_shards = shards;
+      topo.build = build_base;
+      topo.build.method = "scan";
+      topo.build.page_series = page_series;
+      topo.storage_dir = (dir / ("shards-" + std::to_string(shards))).string();
+      fs::create_directories(topo.storage_dir);
+      auto sharded = hydra::ShardedIndex::Build(data, topo);
+      if (!sharded.ok()) {
+        std::fprintf(stderr, "sharded build failed: %s\n",
+                     sharded.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<hydra::ServingSweepPoint> points = hydra::RunServingSweep(
+          *sharded.value(), queries, ground_truth, params, levels, nullptr,
+          batch_window);
+      hydra::Table table = hydra::ServingSweepTable(points);
+      std::printf("\n## %s (disk shards)\n%s\n",
+                  sharded.value()->name().c_str(),
+                  table.ToAlignedText().c_str());
+      std::printf("# csv\n%s", table.ToCsv().c_str());
+      for (const hydra::ServingSweepPoint& p : points) {
+        if (!p.matches_serial || p.result.accuracy.avg_recall < 1.0) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: sharded x%zu concurrency=%zu\n",
+                       shards, p.concurrency);
+          status = 1;
+        }
+      }
+    }
+  }
+
   fs::remove_all(dir);
   return status;
 }

@@ -1,0 +1,168 @@
+#include "common/options.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace hydra {
+namespace {
+
+const char* RawEnv(const char* name) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? v : nullptr;
+}
+
+}  // namespace
+
+uint64_t EnvOrU64(const char* name, uint64_t fallback) {
+  const char* v = RawEnv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end != v && *end == '\0') ? static_cast<uint64_t>(parsed) : fallback;
+}
+
+size_t EnvOrSize(const char* name, size_t fallback) {
+  return static_cast<size_t>(
+      EnvOrU64(name, static_cast<uint64_t>(fallback)));
+}
+
+double EnvOrDouble(const char* name, double fallback) {
+  const char* v = RawEnv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != v && *end == '\0') ? parsed : fallback;
+}
+
+double EnvOrRate(const char* name, double fallback) {
+  double rate = EnvOrDouble(name, fallback);
+  if (rate < 0.0) rate = 0.0;
+  if (rate > 1.0) rate = 1.0;
+  return rate;
+}
+
+const char* EnvOrString(const char* name, const char* fallback) {
+  const char* v = RawEnv(name);
+  return v != nullptr ? v : fallback;
+}
+
+uint64_t ResolveOptionU64(uint64_t explicit_value, const char* env_name,
+                          uint64_t fallback, uint64_t unset) {
+  if (explicit_value != unset) return explicit_value;
+  return EnvOrU64(env_name, fallback);
+}
+
+size_t ResolveOptionSize(size_t explicit_value, const char* env_name,
+                         size_t fallback, size_t unset) {
+  if (explicit_value != unset) return explicit_value;
+  return EnvOrSize(env_name, fallback);
+}
+
+double ResolveOptionDouble(double explicit_value, const char* env_name,
+                           double fallback, double unset) {
+  if (explicit_value != unset) return explicit_value;
+  return EnvOrDouble(env_name, fallback);
+}
+
+const std::vector<KnobInfo>& KnobTable() {
+  // Grouped by scope; ordering is the README presentation order.
+  static const std::vector<KnobInfo> kKnobs = {
+      // Execution.
+      {"HYDRA_THREADS", "hardware_concurrency", "exec",
+       "Worker count of the process-wide work-stealing pool "
+       "(read once at first use)."},
+      {"HYDRA_SIMD", "auto-detect", "distance",
+       "Force the distance-kernel target: scalar | sse2 | avx2."},
+      {"HYDRA_PREFETCH", "0 (off)", "scan",
+       "Default readahead depth in pool pages when "
+       "SearchParams::prefetch_depth is unset (read once)."},
+      {"HYDRA_BATCH_WINDOW", "1 (no coalescing)", "serving",
+       "Default scheduler coalescing window when "
+       "ServingOptions::batch_window is unset."},
+      {"HYDRA_TENANT_QUEUE", "0 (shared cap only)", "serving",
+       "Default per-tenant pending-queue cap when "
+       "ServingOptions::tenant_queue_capacity is unset."},
+      {"HYDRA_SHARDS", "1,2,4,8 (bench) / extra test counts", "sharding",
+       "Shard counts the serving bench and shard suites sweep."},
+      // Storage.
+      {"HYDRA_IO_RETRIES", "3", "storage",
+       "Transient-read retry budget per page load (fixed at pool open)."},
+      {"HYDRA_IO_BACKOFF_US", "100", "storage",
+       "Base microseconds of the exponential retry backoff."},
+      {"HYDRA_SIM_IO_DELAY_US", "0", "storage",
+       "Emulated per-read device latency (re-read at every file open)."},
+      // Fault injection (storage/fault_injector.h).
+      {"HYDRA_FAULT_SEED", "0", "faults",
+       "Seed of the deterministic fault stream; 0 still injects when "
+       "a rate is set."},
+      {"HYDRA_FAULT_TRANSIENT_RATE", "0", "faults",
+       "Probability a read attempt fails with a retryable I/O error."},
+      {"HYDRA_FAULT_SHORT_READ_RATE", "0", "faults",
+       "Probability a read returns fewer bytes than asked."},
+      {"HYDRA_FAULT_PERMANENT_RATE", "0", "faults",
+       "Probability a series becomes permanently unreadable."},
+      {"HYDRA_FAULT_CORRUPT_RATE", "0", "faults",
+       "Probability a read is delivered with flipped bits."},
+      {"HYDRA_FAULT_STICKY_CORRUPTION", "0", "faults",
+       "1 = corruption persists across retries (media damage, not bus "
+       "noise)."},
+      {"HYDRA_FAULT_LATENCY_RATE", "0", "faults",
+       "Probability a read attempt is delayed."},
+      {"HYDRA_FAULT_LATENCY_US", "0", "faults",
+       "Injected delay in microseconds for delayed attempts."},
+      // Harness sweeps.
+      {"HYDRA_CONCURRENCY", "1,2,4,8", "harness",
+       "Concurrency levels of the serving sweep (and extra levels for "
+       "the serving test suites)."},
+      {"HYDRA_PREFETCH_DEPTHS", "4,16", "harness",
+       "Depths of the prefetch sweep (0 is always prepended)."},
+      {"HYDRA_OFFERED_QPS", "from measured throughput", "harness",
+       "Absolute offered-load levels of the open-loop sweep "
+       "(comma-separated queries/s); default derives levels from the "
+       "measured closed-loop throughput."},
+      // Bench sizing (bench/bench_serving.cc, bench/bench_*).
+      {"HYDRA_SMOKE", "unset", "bench",
+       "1 = CI-sized benches (small data, short sweeps)."},
+      {"HYDRA_SERVING_N", "20000 (smoke 4000)", "bench",
+       "Serving-bench collection size."},
+      {"HYDRA_SERVING_LEN", "128 (smoke 64)", "bench",
+       "Serving-bench series length."},
+      {"HYDRA_SERVING_QUERIES", "64 (smoke 24)", "bench",
+       "Serving-bench query count."},
+      {"HYDRA_SERVING_K", "10", "bench", "Serving-bench k."},
+      {"HYDRA_SERVING_THREADS", "1", "bench",
+       "Serving-bench intra-query threads."},
+      {"HYDRA_SERVING_PAGE_SERIES", "64", "bench",
+       "Serving-bench series per buffer-pool page."},
+      {"HYDRA_SERVING_CAPACITIES", "32,128", "bench",
+       "Serving-bench pool capacities (pages) to sweep."},
+      {"HYDRA_SERVING_DISTINCT", "0", "bench",
+       "Distinct queries before the stream repeats (0 = all distinct)."},
+      {"HYDRA_SERVING_POOL_PAGES", "16", "tests",
+       "Pool capacity of the serving/chaos test suites."},
+      {"HYDRA_SWEEP_N", "bench-specific", "bench",
+       "Thread-scaling bench collection size (HYDRA_SWEEP_LEN/QUERIES/"
+       "K/THREADS/PAGE_SERIES/CAPACITY size the same bench)."},
+  };
+  return kKnobs;
+}
+
+std::string KnobTableMarkdown() {
+  std::string out;
+  out += "| knob | default | scope | meaning |\n";
+  out += "| --- | --- | --- | --- |\n";
+  for (const KnobInfo& k : KnobTable()) {
+    out += "| `";
+    out += k.name;
+    out += "` | ";
+    out += k.fallback;
+    out += " | ";
+    out += k.scope;
+    out += " | ";
+    out += k.description;
+    out += " |\n";
+  }
+  return out;
+}
+
+}  // namespace hydra

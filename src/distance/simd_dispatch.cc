@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/options.h"
 #include "distance/kernel_tables.h"
 
 namespace hydra {
@@ -43,8 +44,8 @@ SimdTarget DetectBest() {
 }
 
 SimdTarget SelectOnce() {
-  const char* env = std::getenv("HYDRA_SIMD");
-  if (env != nullptr && env[0] != '\0') {
+  const char* env = EnvOrString("HYDRA_SIMD", nullptr);
+  if (env != nullptr) {
     SimdTarget requested;
     if (!ParseSimdTarget(env, &requested)) {
       std::fprintf(stderr,

@@ -1,21 +1,17 @@
 #include "exec/query_scheduler.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <utility>
 
+#include "common/options.h"
 #include "index/leaf_scanner.h"
 #include "storage/buffer_manager.h"
 
 namespace hydra {
 
 size_t DefaultBatchWindow() {
-  const char* env = std::getenv("HYDRA_BATCH_WINDOW");
-  if (env == nullptr || *env == '\0') return 1;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(env, &end, 10);
-  if (end == env || *end != '\0' || v == 0) return 1;
-  return static_cast<size_t>(v);
+  const size_t v = EnvOrSize("HYDRA_BATCH_WINDOW", 1);
+  return v == 0 ? 1 : v;
 }
 
 QueryScheduler::QueryScheduler(const Index& index,
@@ -39,7 +35,10 @@ QueryScheduler::QueryScheduler(const Index& index,
                         ? std::max<size_t>(1, options.batch_window != 0
                                                   ? options.batch_window
                                                   : DefaultBatchWindow())
-                        : 1) {}
+                        : 1),
+      // Per-tenant cap: explicit option > HYDRA_TENANT_QUEUE > 0 (off).
+      tenant_queue_capacity_(ResolveOptionSize(
+          options.tenant_queue_capacity, "HYDRA_TENANT_QUEUE", 0)) {}
 
 QueryScheduler::~QueryScheduler() {
   std::unique_lock<std::mutex> lock(mu_);
@@ -49,64 +48,101 @@ QueryScheduler::~QueryScheduler() {
   // object, so the destructor must see them out — and so must any
   // producer still inside Submit (woken by the notify below): waiting on
   // submitters_ keeps the mutex/cvs alive until the last one left.
-  pending_.clear();
+  for (auto& q : pending_) q.clear();
+  pending_count_ = 0;
+  tenant_pending_.clear();
   space_cv_.notify_all();
   results_cv_.wait(lock,
                    [this] { return in_flight_ == 0 && submitters_ == 0; });
 }
 
-uint64_t QueryScheduler::Submit(std::span<const float> query,
-                                const SearchParams& params) {
+QueryTicket QueryScheduler::Submit(std::span<const float> query,
+                                   const SearchParams& params,
+                                   const SubmitOptions& submit) {
   std::shared_ptr<Request> req;
-  uint64_t ticket;
+  std::shared_ptr<QueryTicket::State> state;
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++submitters_;
-    if (pending_.size() >= queue_capacity_ && !finished_) {
+    const auto admissible = [this, &submit] {
+      if (pending_count_ >= queue_capacity_) return false;
+      if (tenant_queue_capacity_ == 0) return true;
+      // Tenant-local backpressure: a tenant at its cap parks here while
+      // other tenants' submissions keep flowing past it.
+      const auto it = tenant_pending_.find(submit.tenant);
+      return it == tenant_pending_.end() ||
+             it->second < tenant_queue_capacity_;
+    };
+    if (!admissible() && !finished_) {
       // Count only submitters actually parked on backpressure: tests
       // wait for blocked_submitters() to rise instead of sleeping and
       // hoping the producer thread got there.
       ++blocked_submitters_;
-      space_cv_.wait(lock, [this] {
-        return pending_.size() < queue_capacity_ || finished_;
-      });
+      space_cv_.wait(lock,
+                     [this, &admissible] { return admissible() || finished_; });
       --blocked_submitters_;
     }
     --submitters_;
     if (finished_) {
       // Shutdown (or Finish) raced this submission: the query is
-      // dropped, visibly. A waiting destructor learns the last
-      // submitter is gone.
+      // dropped, visibly — the returned ticket is !valid(). A waiting
+      // destructor learns the last submitter is gone.
       if (submitters_ == 0) results_cv_.notify_all();
-      return kDropped;
+      return QueryTicket();
     }
-    ticket = next_ticket_++;
+    state = std::make_shared<QueryTicket::State>();
+    state->id = next_ticket_++;
+    state->tenant = submit.tenant;
+    state->priority = submit.priority;
+    state->status = Status::Unavailable("query pending");
     req = std::make_shared<Request>();
-    req->ticket = ticket;
+    req->ticket = state;
     req->query.assign(query.begin(), query.end());
     req->params = params;
-    pending_.push_back(req);
+    pending_[static_cast<size_t>(submit.priority)].push_back(req);
+    ++pending_count_;
+    if (tenant_queue_capacity_ != 0) ++tenant_pending_[submit.tenant];
     DispatchLocked();
   }
-  return ticket;
+  return QueryTicket(std::move(state));
 }
 
 void QueryScheduler::DispatchLocked() {
-  while (in_flight_ < max_in_flight_ && !pending_.empty()) {
-    // Opportunistic coalescing: take whatever is ALREADY waiting, up to
-    // the window — never wait for more to arrive. The batch fills ONE
-    // in-flight slot (its execution holds pins like a single query; see
+  while (in_flight_ < max_in_flight_ && pending_count_ > 0) {
+    // Strict-priority admission: always drain the highest non-empty
+    // class (interactive > normal > background), FIFO within the class.
+    // Starvation of lower classes under sustained higher-class load is
+    // the intended policy — the per-tenant caps bound how much any one
+    // tenant can keep stuffing into a class.
+    auto& queue = [this]() -> std::deque<std::shared_ptr<Request>>& {
+      for (size_t c = pending_.size(); c-- > 1;) {
+        if (!pending_[c].empty()) return pending_[c];
+      }
+      return pending_[0];
+    }();
+    // Opportunistic coalescing: take whatever is ALREADY waiting in that
+    // one class, up to the window — never wait for more to arrive, and
+    // never mix classes in a batch. The batch fills ONE in-flight slot
+    // (its execution holds pins like a single query; see
     // ServingOptions::batch_window), which is also what lets batches
     // form at all: completions free slots one at a time, so a window
     // gated on free slots would collapse to solo serving as soon as the
     // session saturates.
-    const size_t take = std::min(batch_window_, pending_.size());
+    const size_t take = std::min(batch_window_, queue.size());
     std::vector<std::shared_ptr<Request>> batch;
     batch.reserve(take);
     for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(pending_.front()));
-      pending_.pop_front();
-      space_cv_.notify_one();
+      std::shared_ptr<Request> req = std::move(queue.front());
+      queue.pop_front();
+      --pending_count_;
+      if (tenant_queue_capacity_ != 0) {
+        const auto it = tenant_pending_.find(req->ticket->tenant);
+        if (it != tenant_pending_.end() && --it->second == 0) {
+          tenant_pending_.erase(it);
+        }
+      }
+      batch.push_back(std::move(req));
+      space_cv_.notify_all();
     }
     ++in_flight_;
     // The pool task holds the requests alive; completion re-enters
@@ -124,9 +160,21 @@ void QueryScheduler::DispatchLocked() {
   }
 }
 
+void QueryScheduler::FileResultLocked(ServedQuery out) {
+  // Publish the terminal status through the ticket handle first: status
+  // is written, then done is released, so any thread that observes
+  // done() == true reads the final status. The handle outlives the
+  // scheduler (shared state), so a front-end can poll tickets after the
+  // stream is gone.
+  QueryTicket::State& state = *out.ticket.state_;
+  state.status = out.answer.ok() ? Status::OK() : out.answer.status();
+  state.done.store(true, std::memory_order_release);
+  done_.emplace(state.id, std::move(out));
+}
+
 void QueryScheduler::Serve(const std::shared_ptr<Request>& req) {
   ServedQuery out;
-  out.ticket = req->ticket;
+  out.ticket = QueryTicket(req->ticket);
   // A deadline bounds the latency a CLIENT observes, so the budget is
   // measured from Submit — queue wait counts against it. Arm the token
   // here with whatever budget is left (not in Search's
@@ -141,7 +189,7 @@ void QueryScheduler::Serve(const std::shared_ptr<Request>& req) {
           "query deadline expired in the submission queue");
       out.seconds = req->submitted.ElapsedSeconds();
       std::lock_guard<std::mutex> lock(mu_);
-      done_.emplace(req->ticket, std::move(out));
+      FileResultLocked(std::move(out));
       --in_flight_;
       DispatchLocked();
       results_cv_.notify_all();
@@ -163,7 +211,7 @@ void QueryScheduler::Serve(const std::shared_ptr<Request>& req) {
   out.seconds = req->submitted.ElapsedSeconds();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    done_.emplace(req->ticket, std::move(out));
+    FileResultLocked(std::move(out));
     --in_flight_;
     DispatchLocked();
     // Notified under the lock on purpose: the destructor destroys the cv
@@ -186,7 +234,7 @@ void QueryScheduler::ServeBatch(
   live.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     Request& req = *reqs[i];
-    outs[i].ticket = req.ticket;
+    outs[i].ticket = QueryTicket(req.ticket);
     if (req.params.deadline_ms > 0 && req.params.cancel == nullptr) {
       const double waited_ms = req.submitted.ElapsedSeconds() * 1000.0;
       const double remaining_ms = req.params.deadline_ms - waited_ms;
@@ -239,7 +287,7 @@ void QueryScheduler::ServeBatch(
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 0; i < n; ++i) {
-      done_.emplace(outs[i].ticket, std::move(outs[i]));
+      FileResultLocked(std::move(outs[i]));
     }
     --in_flight_;  // the whole batch held one slot
     DispatchLocked();
@@ -289,6 +337,39 @@ uint64_t QueryScheduler::coalesced_queries() const {
   return coalesced_queries_;
 }
 
+namespace {
+const std::string& EmptyTenant() {
+  static const std::string empty;
+  return empty;
+}
+}  // namespace
+
+uint64_t QueryTicket::id() const {
+  return state_ != nullptr ? state_->id : QueryScheduler::kDropped;
+}
+
+const std::string& QueryTicket::tenant() const {
+  return state_ != nullptr ? state_->tenant : EmptyTenant();
+}
+
+QueryPriority QueryTicket::priority() const {
+  return state_ != nullptr ? state_->priority : QueryPriority::kNormal;
+}
+
+bool QueryTicket::done() const {
+  return state_ != nullptr && state_->done.load(std::memory_order_acquire);
+}
+
+Status QueryTicket::status() const {
+  if (state_ == nullptr) {
+    return Status::Unavailable("dropped submission: no result will appear");
+  }
+  if (!state_->done.load(std::memory_order_acquire)) {
+    return Status::Unavailable("query pending");
+  }
+  return state_->status;
+}
+
 ServingOptions ServingSession::NegotiateOptions(SeriesProvider* provider,
                                                 ServingOptions options) {
   // (The concurrent_queries capability clamp is QueryScheduler's own
@@ -333,8 +414,9 @@ ServingSession::ServingSession(const Index& index, SeriesProvider* provider,
   }
 }
 
-uint64_t ServingSession::Submit(std::span<const float> query,
-                                SearchParams params) {
+QueryTicket ServingSession::Submit(std::span<const float> query,
+                                   SearchParams params,
+                                   const SubmitOptions& submit) {
   params.concurrency = scheduler_.concurrency();
   if (per_query_pin_budget_ != 0) {
     params.pin_budget = params.pin_budget == 0
@@ -353,7 +435,7 @@ uint64_t ServingSession::Submit(std::span<const float> query,
           resolved, per_query_prefetch_budget_));
     }
   }
-  return scheduler_.Submit(query, params);
+  return scheduler_.Submit(query, params, submit);
 }
 
 }  // namespace hydra

@@ -1,6 +1,8 @@
 #ifndef HYDRA_EXEC_QUERY_SCHEDULER_H_
 #define HYDRA_EXEC_QUERY_SCHEDULER_H_
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -10,6 +12,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/counters.h"
@@ -41,9 +44,74 @@ class SeriesProvider;  // storage/buffer_manager.h
 // timing and cache hit/miss attribution shift. Tests/serving_test.cc
 // asserts exactly this.
 
+// Admission class of a submitted query. Priority orders ADMISSION only:
+// when in-flight slots free up, waiting interactive queries are admitted
+// before normal ones, normal before background. It never preempts running
+// queries and never reorders the completion stream (Next() stays in
+// global submission order — the response protocol is position-free via
+// QueryTicket, so a front-end can interleave tenants however it likes).
+enum class QueryPriority : uint8_t {
+  kBackground = 0,
+  kNormal = 1,
+  kInteractive = 2,
+};
+
+// Per-submission routing: which tenant the query belongs to and how its
+// admission is ranked. Plain Submit(query, params) means the default
+// tenant at normal priority — the historical single-tenant behavior.
+struct SubmitOptions {
+  std::string tenant;  // "" = the default tenant
+  QueryPriority priority = QueryPriority::kNormal;
+};
+
+// Typed handle to one submitted query — the unit a response protocol
+// serializes. Replaces the raw uint64_t position ticket: the id is still
+// the submission position (Next() returns results in id order), but the
+// handle also carries the query's tenant/priority routing and a
+// thread-safe per-query status accessor that becomes meaningful the
+// moment the query completes, independent of who drains the stream.
+// Copyable and cheap (shared state with the scheduler); a
+// default-constructed or dropped-submission ticket is !valid().
+class QueryTicket {
+ public:
+  QueryTicket() = default;
+
+  // False for a default-constructed ticket and for a submission the
+  // scheduler dropped (stream closed while the producer was blocked).
+  bool valid() const { return state_ != nullptr; }
+  // Submission position — Next() hands results back in id order. For an
+  // invalid ticket this is QueryScheduler::kDropped.
+  uint64_t id() const;
+  const std::string& tenant() const;
+  QueryPriority priority() const;
+
+  // True once the query's result has been filed (whether or not it has
+  // been drained from the completion stream yet).
+  bool done() const;
+  // The query's terminal Status once done(): OK for a served answer, the
+  // typed error otherwise (DeadlineExceeded, IoError, ...). Before
+  // completion — and forever for an invalid ticket — a typed Unavailable
+  // placeholder. Safe from any thread.
+  Status status() const;
+
+ private:
+  friend class QueryScheduler;
+  struct State {
+    uint64_t id = 0;
+    std::string tenant;
+    QueryPriority priority = QueryPriority::kNormal;
+    // status is written before done is set (release); readers acquire.
+    std::atomic<bool> done{false};
+    Status status = Status::OK();
+  };
+  explicit QueryTicket(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
 // One completed query as it leaves the completion stream.
 struct ServedQuery {
-  uint64_t ticket = 0;
+  QueryTicket ticket;
   Result<KnnAnswer> answer{Status::Internal("not served")};
   QueryCounters counters;
   // Submission (Submit() return) to completion, queue wait included —
@@ -81,6 +149,13 @@ struct ServingOptions {
   // batch_window) without raising pin demand — that is the throughput
   // win.
   size_t batch_window = 0;
+  // Per-tenant admission isolation: at most this many queries of ONE
+  // tenant may sit in the submission queue; a tenant at its cap blocks in
+  // Submit (tenant-local backpressure) while other tenants keep being
+  // admitted — one flooding tenant can no longer occupy the whole shared
+  // queue. 0 = the HYDRA_TENANT_QUEUE env default (itself 0 = no
+  // per-tenant bound, the shared queue_capacity alone applies).
+  size_t tenant_queue_capacity = 0;
 };
 
 // The HYDRA_BATCH_WINDOW resolution used when ServingOptions::batch_window
@@ -106,18 +181,21 @@ class QueryScheduler {
   QueryScheduler(const QueryScheduler&) = delete;
   QueryScheduler& operator=(const QueryScheduler&) = delete;
 
-  // No-ticket sentinel: Submit's return value when the query was NOT
-  // accepted (Finish() or the destructor raced the submission while it
-  // was blocked on backpressure). Never a valid ticket.
+  // No-ticket id sentinel: QueryTicket::id() of an invalid ticket (the
+  // query was NOT accepted — Finish() or the destructor raced the
+  // submission while it was blocked on backpressure). Never a valid id.
   static constexpr uint64_t kDropped = UINT64_MAX;
 
   // Enqueues one query (the span is copied; the caller's buffer is free
-  // immediately). Blocks while the submission queue is full. Returns the
-  // query's ticket — results come back from Next() in ticket order — or
-  // kDropped when the stream was closed before the query could be
+  // immediately). Blocks while the submission queue is full — and, when a
+  // per-tenant cap is configured, while this submission's tenant is at
+  // its cap. Returns the query's ticket — results come back from Next()
+  // in ticket-id order — or an invalid ticket (!valid(), id() ==
+  // kDropped) when the stream was closed before the query could be
   // accepted (the query is discarded; no result will appear for it).
   // Must not be called after Finish().
-  uint64_t Submit(std::span<const float> query, const SearchParams& params);
+  QueryTicket Submit(std::span<const float> query, const SearchParams& params,
+                     const SubmitOptions& submit = {});
 
   // Blocks for the result of the next ticket in submission order;
   // nullopt once Finish() was called and every submitted query was
@@ -137,6 +215,8 @@ class QueryScheduler {
   size_t blocked_submitters() const;
   size_t concurrency() const { return max_in_flight_; }
   size_t queue_capacity() const { return queue_capacity_; }
+  // Effective per-tenant pending cap (0 = off).
+  size_t tenant_queue_capacity() const { return tenant_queue_capacity_; }
   // Effective coalescing window after the capability clamp (1 = off).
   size_t batch_window() const { return batch_window_; }
   // Coalescing observability: BatchSearch calls issued (size >= 2 only)
@@ -147,17 +227,23 @@ class QueryScheduler {
 
  private:
   struct Request {
-    uint64_t ticket = 0;
+    std::shared_ptr<QueryTicket::State> ticket;
     std::vector<float> query;
     SearchParams params;
     Timer submitted;  // starts at Submit()
   };
 
-  // Admits pending queries while in-flight slots are free, coalescing up
-  // to batch_window_ waiting queries into one pool task. Called with mu_
-  // held, from Submit and from every completion (direct handoff: no
-  // dispatcher thread exists).
+  // Admits pending queries while in-flight slots are free, always from
+  // the highest-priority non-empty class, coalescing up to batch_window_
+  // waiting queries OF THAT CLASS into one pool task (classes never mix
+  // in a batch, so a background flood cannot ride along with an
+  // interactive admission). Called with mu_ held, from Submit and from
+  // every completion (direct handoff: no dispatcher thread exists).
   void DispatchLocked();
+  // Files one completed query under mu_: publishes the terminal status
+  // through the ticket (release-ordered), moves the result into the
+  // completion map and wakes the consumer.
+  void FileResultLocked(ServedQuery out);
   // Runs one query on the pool and files its result.
   void Serve(const std::shared_ptr<Request>& req);
   // Runs a coalesced batch (size >= 2) through Index::BatchSearch and
@@ -173,11 +259,18 @@ class QueryScheduler {
   size_t max_in_flight_;
   size_t queue_capacity_;
   size_t batch_window_;
+  size_t tenant_queue_capacity_;
 
   mutable std::mutex mu_;
   std::condition_variable space_cv_;    // submitters: queue has room
   std::condition_variable results_cv_;  // consumer + dtor: results/idle
-  std::deque<std::shared_ptr<Request>> pending_;
+  // One FIFO per priority class, indexed by QueryPriority; admission
+  // drains the highest non-empty class first, FIFO within a class.
+  std::array<std::deque<std::shared_ptr<Request>>, 3> pending_;
+  size_t pending_count_ = 0;  // sum over the classes
+  // Pending queries per tenant (entries erased at zero), only maintained
+  // when tenant_queue_capacity_ > 0.
+  std::map<std::string, size_t> tenant_pending_;
   std::map<uint64_t, ServedQuery> done_;  // completed, unconsumed
   uint64_t next_ticket_ = 0;
   uint64_t next_result_ = 0;
@@ -216,8 +309,11 @@ class ServingSession {
                  ServingOptions options);
 
   // Applies the session's pin budget (and records the concurrency level
-  // in params for downstream reporting), then submits.
-  uint64_t Submit(std::span<const float> query, SearchParams params);
+  // in params for downstream reporting), then submits. `submit` carries
+  // the tenant/priority routing; the default is the single-tenant,
+  // normal-priority behavior.
+  QueryTicket Submit(std::span<const float> query, SearchParams params,
+                     const SubmitOptions& submit = {});
 
   std::optional<ServedQuery> Next() { return scheduler_.Next(); }
   void Finish() { scheduler_.Finish(); }

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "common/options.h"
+
 namespace hydra {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -125,13 +127,10 @@ void ThreadPool::WorkerLoop(size_t self) {
 
 ThreadPool& ThreadPool::Global() {
   static ThreadPool pool([] {
-    if (const char* env = std::getenv("HYDRA_THREADS")) {
-      char* end = nullptr;
-      long v = std::strtol(env, &end, 10);
-      if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
-    }
-    unsigned hw = std::thread::hardware_concurrency();
-    return static_cast<size_t>(hw == 0 ? 1 : hw);
+    const unsigned hw = std::thread::hardware_concurrency();
+    const size_t v =
+        EnvOrSize("HYDRA_THREADS", static_cast<size_t>(hw == 0 ? 1 : hw));
+    return v == 0 ? size_t{1} : v;
   }());
   return pool;
 }

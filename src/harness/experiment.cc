@@ -1,11 +1,15 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
+#include <thread>
 
+#include "common/options.h"
 #include "common/timer.h"
 #include "exec/query_scheduler.h"
 #include "storage/buffer_manager.h"
@@ -333,6 +337,160 @@ Table ServingSweepTable(const std::vector<ServingSweepPoint>& points) {
 
 namespace {
 
+// One fixed-schedule run (see RunOpenLoopSweep): the submitter thread is
+// the arrival process, the calling thread is the drain.
+OpenLoopPoint RunOpenLoopPoint(const Index& index, const Dataset& queries,
+                               const SearchParams& base, double rate,
+                               size_t concurrency, SeriesProvider* provider,
+                               size_t total,
+                               const std::vector<KnnAnswer>& reference) {
+  using Clock = std::chrono::steady_clock;
+  OpenLoopPoint point;
+  point.offered_qps = rate;
+  point.num_queries = total;
+
+  ServingOptions options;
+  options.concurrency = concurrency;
+  // Open loop: the generator must NEVER block on backpressure (that is
+  // the closed loop again) — size the queue to hold the entire run.
+  options.queue_capacity = total + concurrency;
+  ServingSession session(index, provider, options);
+
+  // Schedule anchored shortly ahead so query 0's arrival is not already
+  // in the past by the time the submitter thread is up.
+  const Clock::time_point t0 = Clock::now() + std::chrono::milliseconds(5);
+  const double interval_s = rate > 0.0 ? 1.0 / rate : 0.0;
+  std::thread submitter([&] {
+    for (size_t i = 0; i < total; ++i) {
+      const Clock::time_point due =
+          t0 + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(interval_s *
+                                                 static_cast<double>(i)));
+      std::this_thread::sleep_until(due);  // past-due wakes immediately
+      session.Submit(queries.series(i % queries.size()), base);
+    }
+  });
+
+  // Drain in ticket (= schedule) order, timestamping each completion
+  // against ITS OWN scheduled arrival — a query stuck behind a backlog
+  // is charged its whole queueing delay even though it was submitted
+  // late, which is the open-loop point.
+  std::vector<double> latencies;
+  latencies.reserve(total);
+  Clock::time_point last_done = t0;
+  for (size_t i = 0; i < total; ++i) {
+    std::optional<ServedQuery> served = session.Next();
+    if (!served.has_value()) break;  // cannot happen before Finish()
+    const Clock::time_point now = Clock::now();
+    last_done = now;
+    const Clock::time_point due =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(interval_s *
+                                               static_cast<double>(i)));
+    latencies.push_back(
+        std::chrono::duration<double>(now - due).count());
+    if (served->answer.ok()) {
+      if (!AnswersIdentical(served->answer.value(),
+                            reference[i % reference.size()])) {
+        point.matches_serial = false;
+      }
+    } else {
+      const StatusCode code = served->answer.status().code();
+      if (code == StatusCode::kDeadlineExceeded ||
+          code == StatusCode::kCancelled) {
+        ++point.timeouts;
+      } else {
+        ++point.errors;
+      }
+    }
+  }
+  submitter.join();
+  session.Finish();
+
+  point.wall_seconds =
+      std::chrono::duration<double>(last_done - t0).count();
+  point.achieved_qps = point.wall_seconds > 0.0
+                           ? static_cast<double>(total) / point.wall_seconds
+                           : 0.0;
+  point.p50_ms = PercentileMs(latencies, 0.50);
+  point.p95_ms = PercentileMs(latencies, 0.95);
+  point.p99_ms = PercentileMs(latencies, 0.99);
+  double sum = 0.0;
+  for (double s : latencies) sum += s;
+  point.mean_ms = latencies.empty()
+                      ? 0.0
+                      : (sum / static_cast<double>(latencies.size())) * 1000.0;
+  return point;
+}
+
+}  // namespace
+
+std::vector<OpenLoopPoint> RunOpenLoopSweep(
+    const Index& index, const Dataset& queries, SearchParams base,
+    const std::vector<double>& offered_qps, size_t concurrency,
+    SeriesProvider* provider, size_t total_queries) {
+  const size_t total = total_queries == 0 ? queries.size() : total_queries;
+  // Serial reference answers (and pool warm-up) once for every rate: the
+  // determinism column compares each successful served answer against
+  // the one-query-at-a-time result for the same query.
+  std::vector<KnnAnswer> reference;
+  reference.reserve(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    QueryCounters scratch;
+    auto answer = index.Search(queries.series(q), base, &scratch);
+    reference.push_back(answer.ok() ? std::move(answer).value()
+                                    : KnnAnswer{});
+  }
+  std::vector<OpenLoopPoint> points;
+  points.reserve(offered_qps.size());
+  for (double rate : offered_qps) {
+    if (rate <= 0.0) continue;
+    points.push_back(RunOpenLoopPoint(index, queries, base, rate,
+                                      concurrency, provider, total,
+                                      reference));
+  }
+  return points;
+}
+
+Table OpenLoopTable(const std::vector<OpenLoopPoint>& points,
+                    const std::string& method) {
+  Table table({"method", "offered_qps", "achieved_qps", "wall_s", "p50_ms",
+               "p95_ms", "p99_ms", "mean_ms", "errors", "timeouts",
+               "match_serial"});
+  for (const OpenLoopPoint& p : points) {
+    table.AddRow({method, FormatDouble(p.offered_qps, 1),
+                  FormatDouble(p.achieved_qps, 1),
+                  FormatDouble(p.wall_seconds, 4), FormatDouble(p.p50_ms, 3),
+                  FormatDouble(p.p95_ms, 3), FormatDouble(p.p99_ms, 3),
+                  FormatDouble(p.mean_ms, 3), std::to_string(p.errors),
+                  std::to_string(p.timeouts),
+                  p.matches_serial ? "yes" : "NO"});
+  }
+  return table;
+}
+
+std::vector<double> ParseRateList(const char* text,
+                                  std::vector<double> fallback) {
+  if (text == nullptr) return fallback;
+  std::vector<double> rates;
+  std::string s(text);
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string token = s.substr(pos, comma - pos);
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() && *end == '\0' && parsed > 0.0) {
+      rates.push_back(parsed);
+    }
+    pos = comma + 1;
+  }
+  return rates.empty() ? fallback : rates;
+}
+
+namespace {
+
 // One temperature-controlled measurement for the prefetch sweep: cold
 // drops (and drains) the pool before every query, warm leaves it as the
 // previous query left it.
@@ -454,7 +612,8 @@ Table PrefetchSweepTable(const std::vector<PrefetchSweepPoint>& points,
 std::vector<size_t> PrefetchDepthsFromEnv() {
   std::vector<size_t> depths = {0};  // the off baseline, always measured
   for (size_t d :
-       ParseCountList(std::getenv("HYDRA_PREFETCH_DEPTHS"), {4, 16})) {
+       ParseCountList(EnvOrString("HYDRA_PREFETCH_DEPTHS", nullptr),
+                      {4, 16})) {
     depths.push_back(d);
   }
   return depths;
@@ -481,17 +640,13 @@ std::vector<size_t> ParseCountList(const char* text,
 }
 
 std::vector<size_t> ConcurrencyLevelsFromEnv() {
-  return ParseCountList(std::getenv("HYDRA_CONCURRENCY"), {1, 2, 4, 8});
+  return ParseCountList(EnvOrString("HYDRA_CONCURRENCY", nullptr),
+                        {1, 2, 4, 8});
 }
 
 size_t EnvCount(const char* name, size_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr) return fallback;
-  char* end = nullptr;
-  unsigned long long parsed = std::strtoull(v, &end, 10);
-  return (end != v && *end == '\0' && parsed > 0)
-             ? static_cast<size_t>(parsed)
-             : fallback;
+  const size_t v = EnvOrSize(name, fallback);
+  return v > 0 ? v : fallback;
 }
 
 std::vector<SweepPoint> NgSweep(size_t k, const std::vector<size_t>& nprobes) {

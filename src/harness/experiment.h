@@ -215,6 +215,60 @@ std::vector<ServingSweepPoint> RunServingSweep(
 // (ServingSweepPoint::batched_*), all 0 when the sweep ran unbatched.
 Table ServingSweepTable(const std::vector<ServingSweepPoint>& points);
 
+// Open-loop (arrival-rate-driven) load generation: where the closed-loop
+// serving sweep submits as fast as backpressure admits — so offered load
+// adapts to the system and queueing delay hides — the open-loop generator
+// submits on a FIXED schedule (query i at t0 + i/rate, like arrivals from
+// independent clients) whether or not earlier queries finished, and
+// measures each query's latency FROM ITS SCHEDULED ARRIVAL TIME. A system
+// that falls behind therefore shows the backlog in its tail latencies
+// instead of silently slowing the generator (the coordinated-omission
+// trap). Sweeping the offered rate produces the tail-latency-vs-offered-
+// load curve a capacity planner actually needs: flat percentiles while
+// the system keeps up, then the hockey stick past saturation.
+struct OpenLoopPoint {
+  double offered_qps = 0.0;  // arrival rate of the schedule
+  size_t num_queries = 0;
+  double achieved_qps = 0.0;  // completions / wall (≈ offered below sat.)
+  double wall_seconds = 0.0;  // first scheduled arrival to last completion
+  // Percentiles of (completion − scheduled arrival), milliseconds.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  size_t errors = 0;
+  size_t timeouts = 0;
+  // Every successful answer identical (ids + bit-identical distances) to
+  // the per-query serial reference — load level must never change what a
+  // query returns.
+  bool matches_serial = true;
+};
+
+// Runs the open-loop generator once per rate in `offered_qps`: a
+// submitter thread releases queries on the fixed schedule into a serving
+// session with `concurrency` in-flight slots and an unbounded-for-the-run
+// queue (arrivals must never block on backpressure — that would re-close
+// the loop), while the caller-side drain timestamps completions. The
+// query stream cycles `queries` until `total_queries` submissions (0 =
+// one pass over `queries`). Serial reference answers are computed once
+// up front for the determinism column.
+std::vector<OpenLoopPoint> RunOpenLoopSweep(
+    const Index& index, const Dataset& queries, SearchParams base,
+    const std::vector<double>& offered_qps, size_t concurrency,
+    SeriesProvider* provider = nullptr, size_t total_queries = 0);
+
+// One row per rate. Columns (also the CSV schema):
+//   method, offered_qps, achieved_qps, wall_s, p50_ms, p95_ms, p99_ms,
+//   mean_ms, errors, timeouts, match_serial
+Table OpenLoopTable(const std::vector<OpenLoopPoint>& points,
+                    const std::string& method);
+
+// Comma-separated rate list ("50,200,800"), e.g. HYDRA_OFFERED_QPS;
+// entries that do not parse to a positive number are skipped, and
+// `fallback` is returned when nothing survives (or text == nullptr).
+std::vector<double> ParseRateList(const char* text,
+                                  std::vector<double> fallback);
+
 // Comma-separated count list ("1,2,8"), e.g. from a sweep environment
 // knob; entries that do not parse to a positive integer are skipped, and
 // `fallback` is returned when nothing survives (or text == nullptr).

@@ -1,0 +1,55 @@
+#ifndef HYDRA_INDEX_FACTORY_H_
+#define HYDRA_INDEX_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "index/index.h"
+
+namespace hydra {
+
+class SeriesProvider;  // storage/buffer_manager.h
+
+// Method-independent construction parameters: the union of the per-method
+// option structs, with 0 meaning "the method's own default". One struct
+// so generic layers — ShardedIndex, the harness, the CLI — can build ANY
+// method without a per-method if/else ladder; a caller that needs the
+// full per-method surface still uses the typed Build() directly.
+struct BuildOptions {
+  std::string method = "scan";
+  // Tree/file shape (dstree, isax, adsplus, sfa, mtree, vafile).
+  size_t leaf_capacity = 0;
+  size_t segments = 0;
+  size_t num_features = 0;
+  size_t histogram_pairs = 0;
+  // Graph/quantization (hnsw, imi, srs, qalsh).
+  size_t hnsw_m = 0;
+  size_t hnsw_ef_construction = 0;
+  size_t imi_coarse_k = 0;
+  size_t srs_projections = 0;
+  size_t qalsh_hashes = 0;
+  // Storage shape used by Index::Open (and the sharded builder) when it
+  // opens a series file: series per buffer-pool page and pool capacity in
+  // pages. 0,0 = serve in memory (the whole file is read into RAM).
+  size_t page_series = 0;
+  size_t capacity_pages = 0;
+};
+
+// The method names BuildIndex accepts, in taxonomy order.
+const std::vector<std::string>& KnownMethods();
+
+// Builds one index of `options.method` over `data`, serving raw series
+// from `provider`. In-memory methods (hnsw, imi, flann) ignore the
+// provider. The returned index references `data`/`provider` per its
+// method's contract — the caller keeps both alive (Index::Open below is
+// the owning variant).
+Result<std::unique_ptr<Index>> BuildIndex(const Dataset& data,
+                                          SeriesProvider* provider,
+                                          const BuildOptions& options);
+
+}  // namespace hydra
+
+#endif  // HYDRA_INDEX_FACTORY_H_

@@ -129,9 +129,21 @@ struct BatchQuery {
 // const so one index can serve different modes without rebuilding (the
 // paper highlights this as a key advantage of the extended data-series
 // methods over accuracy-at-build-time methods like QALSH/HNSW/IMI).
+struct BuildOptions;  // index/factory.h
+
 class Index {
  public:
   virtual ~Index() = default;
+
+  // Method-independent entry point: opens the series file at `path`,
+  // assembles the storage it will be served from (page-pinning pool or
+  // in-memory copy, per BuildOptions), builds the index named by
+  // `options.method` over it, and returns ONE owning object — no caller
+  // juggles {reader, pool, dataset, index} lifetimes or special-cases
+  // construction per method anymore. Implemented in index/factory.cc;
+  // generic layers (ShardedIndex, harness, CLI) build through this.
+  static Result<std::unique_ptr<Index>> Open(const std::string& path,
+                                             const BuildOptions& options);
 
   virtual std::string name() const = 0;
   virtual IndexCapabilities capabilities() const = 0;

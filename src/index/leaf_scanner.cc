@@ -1,27 +1,23 @@
 #include "index/leaf_scanner.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <string>
 
+#include "common/options.h"
 #include "index/index.h"
 
 namespace hydra {
 
 size_t DefaultPrefetchDepth() {
-  static const size_t depth = [] {
-    const char* v = std::getenv("HYDRA_PREFETCH");
-    if (v == nullptr) return size_t{0};
-    char* end = nullptr;
-    unsigned long long parsed = std::strtoull(v, &end, 10);
-    return (end != v && *end == '\0') ? static_cast<size_t>(parsed)
-                                      : size_t{0};
-  }();
+  // Parse-once: the process-wide default may not drift mid-run.
+  static const size_t depth = EnvOrSize("HYDRA_PREFETCH", 0);
   return depth;
 }
 
 size_t ResolvePrefetchDepth(const SearchParams& params) {
   if (params.prefetch_depth == SearchParams::kPrefetchOff) return 0;
+  // explicit param > HYDRA_PREFETCH > 0 (off) — the system-wide
+  // ResolveOption precedence, with the parse-once default above.
   return params.prefetch_depth != 0 ? params.prefetch_depth
                                     : DefaultPrefetchDepth();
 }

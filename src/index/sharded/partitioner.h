@@ -1,0 +1,113 @@
+#ifndef HYDRA_INDEX_SHARDED_PARTITIONER_H_
+#define HYDRA_INDEX_SHARDED_PARTITIONER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace hydra {
+
+// How a collection of N series is split across S shards. Both schemes are
+// pure id arithmetic — no data-dependent placement — so the mapping needs
+// no lookup table, shard files can be rebuilt from the original ids
+// alone, and the global<->local translation is exact in both directions.
+enum class PartitionScheme {
+  // Shard of id g is g % S; balanced to within one series for any input
+  // order. The LSST-style default: consecutive ids (which arrive
+  // together) land on different shards, so a range-local query load
+  // spreads across the fleet.
+  kRoundRobin,
+  // Contiguous ranges: shard i holds [i*N/S, (i+1)*N/S). Preserves the
+  // on-disk locality of the original file — the partitioning a bulk
+  // loader that splits an existing file byte-wise would produce.
+  kRange,
+};
+
+// The id algebra of one (scheme, N, S) partitioning. Local ids are dense
+// [0, ShardSize(s)) per shard — exactly what a per-shard index and a
+// per-shard series file expect — and GlobalId(ShardOf(g), LocalId(g))
+// == g for every g < N.
+class ShardPartitioning {
+ public:
+  ShardPartitioning(PartitionScheme scheme, size_t num_series,
+                    size_t num_shards)
+      : scheme_(scheme),
+        num_series_(num_series),
+        num_shards_(num_shards == 0 ? 1 : num_shards) {}
+
+  PartitionScheme scheme() const { return scheme_; }
+  size_t num_series() const { return num_series_; }
+  size_t num_shards() const { return num_shards_; }
+
+  size_t ShardOf(int64_t global_id) const {
+    const size_t g = static_cast<size_t>(global_id);
+    if (scheme_ == PartitionScheme::kRoundRobin) return g % num_shards_;
+    // Range: the unique i with RangeStart(i) <= g < RangeStart(i+1).
+    // Guess-and-correct around g*S/N handles the uneven tail splits.
+    size_t i = num_series_ == 0 ? 0 : (g * num_shards_) / num_series_;
+    if (i >= num_shards_) i = num_shards_ - 1;
+    while (i > 0 && g < RangeStart(i)) --i;
+    while (i + 1 < num_shards_ && g >= RangeStart(i + 1)) ++i;
+    return i;
+  }
+
+  int64_t LocalId(int64_t global_id) const {
+    const size_t g = static_cast<size_t>(global_id);
+    if (scheme_ == PartitionScheme::kRoundRobin) {
+      return static_cast<int64_t>(g / num_shards_);
+    }
+    return static_cast<int64_t>(g - RangeStart(ShardOf(global_id)));
+  }
+
+  int64_t GlobalId(size_t shard, int64_t local_id) const {
+    const size_t l = static_cast<size_t>(local_id);
+    if (scheme_ == PartitionScheme::kRoundRobin) {
+      return static_cast<int64_t>(l * num_shards_ + shard);
+    }
+    return static_cast<int64_t>(RangeStart(shard) + l);
+  }
+
+  size_t ShardSize(size_t shard) const {
+    if (scheme_ == PartitionScheme::kRoundRobin) {
+      const size_t base = num_series_ / num_shards_;
+      return base + (shard < num_series_ % num_shards_ ? 1 : 0);
+    }
+    return RangeStart(shard + 1) - RangeStart(shard);
+  }
+
+ private:
+  // Balanced range split: start of shard i at i*N/S (computed in exact
+  // integer arithmetic, monotone in i, RangeStart(S) == N).
+  size_t RangeStart(size_t shard) const {
+    return (shard * num_series_) / num_shards_;
+  }
+
+  PartitionScheme scheme_;
+  size_t num_series_;
+  size_t num_shards_;
+};
+
+// Materializes the per-shard datasets: shard s holds the series with
+// ShardOf(g) == s, ordered by local id (so shard_data[s].series(l) IS
+// global series GlobalId(s, l), bit for bit — partitioning copies raw
+// values and never re-normalizes).
+inline std::vector<Dataset> PartitionDataset(const Dataset& data,
+                                             const ShardPartitioning& parts) {
+  std::vector<Dataset> shards;
+  shards.reserve(parts.num_shards());
+  for (size_t s = 0; s < parts.num_shards(); ++s) {
+    shards.emplace_back(0, data.length());
+  }
+  for (size_t g = 0; g < data.size(); ++g) {
+    // Cannot fail: every shard was constructed with the right length.
+    (void)shards[parts.ShardOf(static_cast<int64_t>(g))].Append(
+        data.series(g));
+  }
+  return shards;
+}
+
+}  // namespace hydra
+
+#endif  // HYDRA_INDEX_SHARDED_PARTITIONER_H_

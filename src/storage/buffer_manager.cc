@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/options.h"
+
 namespace hydra {
 
 using internal::PageFrame;
@@ -24,13 +26,6 @@ constexpr int kJoinRetries = 8;
 // while the next one queues without oversubscribing small machines.
 constexpr size_t kPrefetchWorkers = 2;
 
-uint64_t EnvU64(const char* name, uint64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  unsigned long long parsed = std::strtoull(v, &end, 10);
-  return (end != v && *end == '\0') ? static_cast<uint64_t>(parsed) : fallback;
-}
 }  // namespace
 
 Result<std::unique_ptr<BufferManager>> BufferManager::Open(
@@ -40,8 +35,8 @@ Result<std::unique_ptr<BufferManager>> BufferManager::Open(
   }
   HYDRA_ASSIGN_OR_RETURN(auto reader, SeriesFileReader::Open(path));
   // Retry policy knobs, fixed per pool at open (see buffer_manager.h).
-  const uint64_t retries = EnvU64("HYDRA_IO_RETRIES", 3);
-  const uint64_t backoff_us = EnvU64("HYDRA_IO_BACKOFF_US", 100);
+  const uint64_t retries = EnvOrU64("HYDRA_IO_RETRIES", 3);
+  const uint64_t backoff_us = EnvOrU64("HYDRA_IO_BACKOFF_US", 100);
   return std::unique_ptr<BufferManager>(new BufferManager(
       std::move(reader), page_series, capacity_pages, retries, backoff_us));
 }

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/options.h"
+
 namespace hydra {
 namespace {
 
@@ -23,24 +25,6 @@ double Draw(uint64_t seed, uint64_t key, uint64_t salt) {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
-double EnvRate(const char* name) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return 0.0;
-  char* end = nullptr;
-  const double rate = std::strtod(v, &end);
-  if (end == v || rate <= 0.0) return 0.0;
-  return rate < 1.0 ? rate : 1.0;
-}
-
-uint64_t EnvU64(const char* name, uint64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(v, &end, 10);
-  if (end == v) return fallback;
-  return static_cast<uint64_t>(parsed);
-}
-
 // Salts for the independent decision channels.
 constexpr uint64_t kSaltTransient = 0x7472616E73ull;  // "trans"
 constexpr uint64_t kSaltPermanent = 0x7065726Dull;    // "perm"
@@ -54,14 +38,15 @@ constexpr uint64_t kSaltBit = 0x626974ull;            // "bit"
 
 FaultConfig FaultConfig::FromEnv() {
   FaultConfig config;
-  config.seed = EnvU64("HYDRA_FAULT_SEED", 0);
-  config.transient_rate = EnvRate("HYDRA_FAULT_TRANSIENT_RATE");
-  config.short_read_rate = EnvRate("HYDRA_FAULT_SHORT_READ_RATE");
-  config.permanent_rate = EnvRate("HYDRA_FAULT_PERMANENT_RATE");
-  config.corrupt_rate = EnvRate("HYDRA_FAULT_CORRUPT_RATE");
-  config.sticky_corruption = EnvU64("HYDRA_FAULT_STICKY_CORRUPTION", 0) != 0;
-  config.latency_rate = EnvRate("HYDRA_FAULT_LATENCY_RATE");
-  config.latency_us = EnvU64("HYDRA_FAULT_LATENCY_US", 0);
+  config.seed = EnvOrU64("HYDRA_FAULT_SEED", 0);
+  config.transient_rate = EnvOrRate("HYDRA_FAULT_TRANSIENT_RATE", 0.0);
+  config.short_read_rate = EnvOrRate("HYDRA_FAULT_SHORT_READ_RATE", 0.0);
+  config.permanent_rate = EnvOrRate("HYDRA_FAULT_PERMANENT_RATE", 0.0);
+  config.corrupt_rate = EnvOrRate("HYDRA_FAULT_CORRUPT_RATE", 0.0);
+  config.sticky_corruption =
+      EnvOrU64("HYDRA_FAULT_STICKY_CORRUPTION", 0) != 0;
+  config.latency_rate = EnvOrRate("HYDRA_FAULT_LATENCY_RATE", 0.0);
+  config.latency_us = EnvOrU64("HYDRA_FAULT_LATENCY_US", 0);
   return config;
 }
 

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/crc32.h"
+#include "common/options.h"
 
 namespace hydra {
 namespace {
@@ -15,14 +16,7 @@ constexpr size_t kHeaderBytes = 4 * sizeof(uint64_t);  // magic+ver+n+len
 
 // HYDRA_SIM_IO_DELAY_US, parsed at every Open so a bench can flip the
 // knob between sections (see the header comment).
-uint64_t SimIoDelayUs() {
-  const char* v = std::getenv("HYDRA_SIM_IO_DELAY_US");
-  if (v == nullptr) return 0;
-  char* end = nullptr;
-  unsigned long long parsed = std::strtoull(v, &end, 10);
-  return (end != v && *end == '\0') ? static_cast<uint64_t>(parsed)
-                                    : uint64_t{0};
-}
+uint64_t SimIoDelayUs() { return EnvOrU64("HYDRA_SIM_IO_DELAY_US", 0); }
 
 // "path @ offset N" context appended to every I/O status so a failure in
 // a multi-file experiment names the file and byte it died on.

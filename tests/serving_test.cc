@@ -155,7 +155,7 @@ std::vector<KnnAnswer> Serve(const Index& index, SeriesProvider* provider,
   std::vector<KnnAnswer> answers;
   uint64_t expected_ticket = 0;
   while (std::optional<ServedQuery> served = session.Next()) {
-    EXPECT_EQ(served->ticket, expected_ticket++)
+    EXPECT_EQ(served->ticket.id(), expected_ticket++)
         << "completion stream out of submission order";
     EXPECT_TRUE(served->answer.ok())
         << index.name() << ": " << served->answer.status().ToString();
@@ -481,6 +481,7 @@ class GatedIndex : public Index {
       std::unique_lock<std::mutex> lock(mu_);
       ++started_;
       started_cv_.notify_all();
+      started_order_.push_back(id);
       cv_.wait(lock, [&] { return released_.count(id) != 0; });
     }
     KnnAnswer ans;
@@ -514,12 +515,20 @@ class GatedIndex : public Index {
     return started_;
   }
 
+  // The order Search calls began — the scheduler's actual dispatch
+  // order, which the id-ordered completion stream deliberately hides.
+  std::vector<int> started_order() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return started_order_;
+  }
+
  private:
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   mutable std::condition_variable started_cv_;
   mutable std::set<int> released_;
   mutable int started_ = 0;
+  mutable std::vector<int> started_order_;
 };
 
 std::vector<float> Query(int id) { return {static_cast<float>(id)}; }
@@ -546,7 +555,7 @@ TEST(Serving, CompletionStreamPreservesSubmissionOrder) {
   for (int i = 0; i < 3; ++i) {
     std::optional<ServedQuery> served = scheduler.Next();
     ASSERT_TRUE(served.has_value());
-    EXPECT_EQ(served->ticket, static_cast<uint64_t>(i));
+    EXPECT_EQ(served->ticket.id(), static_cast<uint64_t>(i));
     ASSERT_TRUE(served->answer.ok());
     EXPECT_EQ(served->answer.value().ids[0], i);
   }
@@ -643,11 +652,11 @@ TEST(Serving, ShutdownWakesBlockedSubmitter) {
     index.AwaitStarted(1);
     submitter = std::thread([&scheduler] {
       std::vector<float> q = Query(2);
-      uint64_t ticket = scheduler.Submit(q, Exact(1));  // blocks: queue full
+      QueryTicket ticket = scheduler.Submit(q, Exact(1));  // blocks: queue full
       // Either a slot freed before shutdown began (real ticket) or the
       // destructor raced the wait and the drop is explicit — never a
       // fake ticket for a discarded query.
-      EXPECT_TRUE(ticket == QueryScheduler::kDropped || ticket == 2u);
+      EXPECT_TRUE(!ticket.valid() || ticket.id() == 2u);
     });
     // The destructor path under test needs the submitter actually parked
     // in Submit first; wait for that observable state, not a timer.
@@ -753,7 +762,7 @@ std::vector<KnnAnswer> ServeCoalesced(const Index& index,
   std::vector<KnnAnswer> answers;
   uint64_t expected_ticket = 0;
   while (std::optional<ServedQuery> served = session.Next()) {
-    EXPECT_EQ(served->ticket, expected_ticket++)
+    EXPECT_EQ(served->ticket.id(), expected_ticket++)
         << "batched completion stream out of submission order";
     EXPECT_TRUE(served->answer.ok())
         << index.name() << ": " << served->answer.status().ToString();
@@ -1035,7 +1044,7 @@ TEST(ServingBatched, OpportunisticCoalescingFormsBatchesUnderQueueDepth) {
   for (int i = 0; i < 8; ++i) {
     std::optional<ServedQuery> served = scheduler.Next();
     ASSERT_TRUE(served.has_value());
-    EXPECT_EQ(served->ticket, static_cast<uint64_t>(i));
+    EXPECT_EQ(served->ticket.id(), static_cast<uint64_t>(i));
     ASSERT_TRUE(served->answer.ok());
     EXPECT_EQ(served->answer.value().ids[0], i);
   }
@@ -1086,14 +1095,14 @@ TEST(ServingBatched, ExpiredMemberDegradesAloneInBatch) {
 
   std::optional<ServedQuery> expired = scheduler.Next();
   ASSERT_TRUE(expired.has_value());
-  EXPECT_EQ(expired->ticket, 1u);
+  EXPECT_EQ(expired->ticket.id(), 1u);
   ASSERT_FALSE(expired->answer.ok());
   EXPECT_EQ(expired->answer.status().code(), StatusCode::kDeadlineExceeded);
 
   for (int i = 2; i < 4; ++i) {
     std::optional<ServedQuery> served = scheduler.Next();
     ASSERT_TRUE(served.has_value());
-    EXPECT_EQ(served->ticket, static_cast<uint64_t>(i));
+    EXPECT_EQ(served->ticket.id(), static_cast<uint64_t>(i));
     ASSERT_TRUE(served->answer.ok());
     EXPECT_EQ(served->answer.value().ids[0], i);
   }
@@ -1103,6 +1112,168 @@ TEST(ServingBatched, ExpiredMemberDegradesAloneInBatch) {
   // saw carried only the two live members.
   const std::vector<size_t> expected_sizes = {2};
   EXPECT_EQ(index.batch_sizes(), expected_sizes);
+}
+
+// --- Priority classes, per-tenant admission, typed tickets ---
+
+// Queued queries dispatch strictly by priority class (interactive >
+// normal > background), FIFO within a class; the completion stream stays
+// in submission order regardless.
+TEST(ServingTenants, PriorityClassesDispatchInOrder) {
+  GatedIndex index;
+  ThreadPool pool(2);
+  ServingOptions options;
+  options.concurrency = 1;
+  options.queue_capacity = 8;
+  options.pool = &pool;
+  QueryScheduler scheduler(index, options);
+
+  // Query 0 occupies the single slot; 1..3 queue in mixed classes.
+  std::vector<float> q0 = Query(0);
+  scheduler.Submit(q0, Exact(1));
+  index.AwaitStarted(1);
+
+  SubmitOptions background;
+  background.priority = QueryPriority::kBackground;
+  SubmitOptions interactive;
+  interactive.priority = QueryPriority::kInteractive;
+  std::vector<float> q1 = Query(1);
+  scheduler.Submit(q1, Exact(1), background);
+  std::vector<float> q2 = Query(2);
+  scheduler.Submit(q2, Exact(1));  // normal
+  std::vector<float> q3 = Query(3);
+  scheduler.Submit(q3, Exact(1), interactive);
+
+  // Each release frees the slot for the next dispatch decision.
+  index.Release(0);
+  index.AwaitStarted(2);
+  index.Release(3);
+  index.AwaitStarted(3);
+  index.Release(2);
+  index.AwaitStarted(4);
+  index.Release(1);
+  scheduler.Finish();
+
+  // Dispatch order: the interactive latecomer jumped the queue, the
+  // background query ran last.
+  const std::vector<int> expected = {0, 3, 2, 1};
+  EXPECT_EQ(index.started_order(), expected);
+
+  // Completion stream: still submission order, with the ticket carrying
+  // each query's class.
+  for (int i = 0; i < 4; ++i) {
+    std::optional<ServedQuery> served = scheduler.Next();
+    ASSERT_TRUE(served.has_value());
+    EXPECT_EQ(served->ticket.id(), static_cast<uint64_t>(i));
+    ASSERT_TRUE(served->answer.ok());
+    EXPECT_EQ(served->answer.value().ids[0], i);
+  }
+  EXPECT_FALSE(scheduler.Next().has_value());
+  EXPECT_EQ(scheduler.Next(), std::nullopt);
+}
+
+// A tenant at its per-tenant queue cap blocks in Submit while other
+// tenants keep flowing through the shared queue.
+TEST(ServingTenants, TenantCapBlocksOnlyThatTenant) {
+  GatedIndex index;
+  ThreadPool pool(2);
+  ServingOptions options;
+  options.concurrency = 1;
+  options.queue_capacity = 8;
+  options.tenant_queue_capacity = 1;
+  options.pool = &pool;
+  QueryScheduler scheduler(index, options);
+
+  SubmitOptions tenant_a;
+  tenant_a.tenant = "a";
+  SubmitOptions tenant_b;
+  tenant_b.tenant = "b";
+
+  std::vector<float> q0 = Query(0);
+  scheduler.Submit(q0, Exact(1), tenant_a);  // admitted (in flight)
+  index.AwaitStarted(1);
+  std::vector<float> q1 = Query(1);
+  scheduler.Submit(q1, Exact(1), tenant_a);  // fills tenant a's queue slot
+
+  // Tenant a's next submission must park on ITS cap...
+  std::atomic<bool> submitted{false};
+  std::thread submitter([&] {
+    std::vector<float> q = Query(2);
+    scheduler.Submit(q, Exact(1), tenant_a);
+    submitted.store(true);
+  });
+  while (scheduler.blocked_submitters() == 0 && !submitted.load()) {
+    std::this_thread::yield();
+  }
+  EXPECT_FALSE(submitted.load());
+  EXPECT_EQ(scheduler.blocked_submitters(), 1u);
+
+  // ...while tenant b sails through the shared queue unimpeded.
+  std::vector<float> q3 = Query(3);
+  QueryTicket b_ticket = scheduler.Submit(q3, Exact(1), tenant_b);
+  EXPECT_TRUE(b_ticket.valid());
+  EXPECT_EQ(b_ticket.tenant(), "b");
+  EXPECT_EQ(scheduler.blocked_submitters(), 1u);
+
+  // Query 0 completing dispatches query 1, freeing tenant a's slot: the
+  // parked submitter gets through.
+  index.Release(0);
+  submitter.join();
+  EXPECT_TRUE(submitted.load());
+
+  index.ReleaseAll(4);
+  scheduler.Finish();
+  int consumed = 0;
+  while (scheduler.Next().has_value()) ++consumed;
+  EXPECT_EQ(consumed, 4);
+}
+
+// The typed ticket: identity at submit time, a pending placeholder while
+// queued, the query's real terminal Status once served — readable even
+// after the scheduler itself is gone.
+TEST(ServingTenants, TicketCarriesIdentityAndTerminalStatus) {
+  GatedIndex index;
+  ThreadPool pool(2);
+  QueryTicket ok_ticket;
+  QueryTicket doomed_ticket;
+  {
+    ServingOptions options;
+    options.concurrency = 1;
+    options.queue_capacity = 4;
+    options.pool = &pool;
+    QueryScheduler scheduler(index, options);
+
+    SubmitOptions submit;
+    submit.tenant = "alice";
+    submit.priority = QueryPriority::kInteractive;
+    std::vector<float> q0 = Query(0);
+    ok_ticket = scheduler.Submit(q0, Exact(1), submit);
+    ASSERT_TRUE(ok_ticket.valid());
+    EXPECT_EQ(ok_ticket.id(), 0u);
+    EXPECT_EQ(ok_ticket.tenant(), "alice");
+    EXPECT_EQ(ok_ticket.priority(), QueryPriority::kInteractive);
+    index.AwaitStarted(1);
+
+    // Parked behind query 0 with a deadline the queue will consume.
+    SearchParams doomed = Exact(1);
+    doomed.deadline_ms = 1;
+    std::vector<float> q1 = Query(1);
+    doomed_ticket = scheduler.Submit(q1, doomed);
+    ASSERT_TRUE(doomed_ticket.valid());
+    EXPECT_FALSE(doomed_ticket.done());
+    EXPECT_EQ(doomed_ticket.status().code(), StatusCode::kUnavailable);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    index.Release(0);
+    scheduler.Finish();
+    while (scheduler.Next().has_value()) {
+    }
+  }
+  // The scheduler is destroyed; the tickets remain truthful.
+  EXPECT_TRUE(ok_ticket.done());
+  EXPECT_TRUE(ok_ticket.status().ok());
+  EXPECT_TRUE(doomed_ticket.done());
+  EXPECT_EQ(doomed_ticket.status().code(), StatusCode::kDeadlineExceeded);
 }
 
 }  // namespace

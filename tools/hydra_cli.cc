@@ -11,33 +11,36 @@
 //                  --mode ng --nprobe 64
 //   hydra query    --method scan --data d.hsf --queries q.hsf --k 10 \
 //                  --threads 8
+//   hydra query    --method scan --data d.hsf --queries q.hsf --k 10 \
+//                  --shards 4 --partition rr
+//   hydra knobs    # the HYDRA_* environment-knob table, as markdown
 //
 // `query` prints one line per query (ids + distances) and a summary with
-// throughput and, when --ground-truth is on, accuracy metrics.
+// throughput and, when --ground-truth is on, accuracy metrics. With
+// --shards S > 1 the query is served by a scatter-gather ShardedIndex
+// (--partition rr|range picks the id mapping; --shard-dir makes the
+// shards disk-resident with per-shard files and pools). All builds are
+// routed through the one Index factory (index/factory.h) — the CLI holds
+// no per-method construction ladder.
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "common/options.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/generators.h"
 #include "core/ground_truth.h"
 #include "core/metrics.h"
 #include "core/workload.h"
-#include "index/adsplus/adsplus.h"
 #include "index/dstree/dstree.h"
-#include "index/flann/flann.h"
-#include "index/hnsw/hnsw.h"
-#include "index/imi/imi.h"
+#include "index/factory.h"
 #include "index/isax/isax_index.h"
-#include "index/mtree/mtree.h"
-#include "index/qalsh/qalsh.h"
-#include "index/scan/linear_scan.h"
-#include "index/srs/srs.h"
-#include "index/vafile/vafile.h"
+#include "index/sharded/sharded_index.h"
 #include "storage/buffer_manager.h"
 #include "storage/series_file.h"
 
@@ -122,68 +125,70 @@ struct LoadedIndex {
   double build_seconds = 0.0;
 };
 
+// Flag spelling -> factory knobs. The CLI's historical per-method flag
+// names (--leaf, --segments, --M, ...) keep working; the factory decides
+// which knobs a method consumes.
+BuildOptions BuildOptionsFromFlags(const std::string& method,
+                                   const Flags& flags) {
+  BuildOptions o;
+  o.method = method;
+  o.leaf_capacity = GetU64(flags, "leaf", method == "mtree" ? 16 : 100);
+  o.segments = GetU64(flags, "segments", 16);
+  o.num_features = GetU64(flags, "features", 16);
+  o.hnsw_m = GetU64(flags, "M", 16);
+  o.hnsw_ef_construction = GetU64(flags, "efc", 200);
+  o.imi_coarse_k = GetU64(flags, "coarse-k", 64);
+  o.srs_projections = GetU64(flags, "projections", 16);
+  o.qalsh_hashes = GetU64(flags, "hashes", 32);
+  return o;
+}
+
 Result<LoadedIndex> MakeIndex(const std::string& method, const Dataset& data,
                               SeriesProvider* provider, const Flags& flags) {
   LoadedIndex out;
   Timer t;
+
+  // Sharded topology: S > 1 builds a scatter-gather fleet instead of one
+  // index; --shard-dir makes the shards disk-resident (per-shard files
+  // and pools sized by --page-series/--buffer-pages).
+  const size_t shards = GetU64(flags, "shards", 1);
+  if (shards > 1) {
+    ShardedIndexOptions topo;
+    topo.num_shards = shards;
+    topo.scheme = Get(flags, "partition", "rr") == "range"
+                      ? PartitionScheme::kRange
+                      : PartitionScheme::kRoundRobin;
+    topo.build = BuildOptionsFromFlags(method, flags);
+    topo.storage_dir = Get(flags, "shard-dir", "");
+    if (!topo.storage_dir.empty()) {
+      std::filesystem::create_directories(topo.storage_dir);
+      topo.build.page_series = GetU64(flags, "page-series", 0);
+      topo.build.capacity_pages = GetU64(flags, "buffer-pages", 0);
+    }
+    HYDRA_ASSIGN_OR_RETURN(out.index, ShardedIndex::Build(data, topo));
+    out.build_seconds = t.ElapsedSeconds();
+    return out;
+  }
+
+  // Saved-index reload is the one path the factory does not cover.
   std::string index_path = Get(flags, "index", "");
-  if (method == "dstree") {
-    DSTreeOptions o;
-    o.leaf_capacity = GetU64(flags, "leaf", 100);
-    if (!index_path.empty() && Get(flags, "cmd", "") == "query") {
+  if (!index_path.empty() && Get(flags, "cmd", "") == "query") {
+    if (method == "dstree") {
       HYDRA_ASSIGN_OR_RETURN(out.index,
                              DSTreeIndex::Load(index_path, provider));
-    } else {
-      HYDRA_ASSIGN_OR_RETURN(out.index,
-                             DSTreeIndex::Build(data, provider, o));
+      out.build_seconds = t.ElapsedSeconds();
+      return out;
     }
-  } else if (method == "isax") {
-    IsaxOptions o;
-    o.segments = GetU64(flags, "segments", 16);
-    o.leaf_capacity = GetU64(flags, "leaf", 100);
-    if (!index_path.empty() && Get(flags, "cmd", "") == "query") {
+    if (method == "isax") {
       HYDRA_ASSIGN_OR_RETURN(out.index,
                              IsaxIndex::Load(index_path, provider));
-    } else {
-      HYDRA_ASSIGN_OR_RETURN(out.index, IsaxIndex::Build(data, provider, o));
+      out.build_seconds = t.ElapsedSeconds();
+      return out;
     }
-  } else if (method == "adsplus") {
-    AdsPlusOptions o;
-    o.segments = GetU64(flags, "segments", 16);
-    HYDRA_ASSIGN_OR_RETURN(out.index, AdsPlusIndex::Build(data, provider, o));
-  } else if (method == "vafile") {
-    VaFileOptions o;
-    o.num_features = GetU64(flags, "features", 16);
-    HYDRA_ASSIGN_OR_RETURN(out.index, VaFileIndex::Build(data, provider, o));
-  } else if (method == "mtree") {
-    MTreeOptions o;
-    o.node_capacity = GetU64(flags, "leaf", 16);
-    HYDRA_ASSIGN_OR_RETURN(out.index, MTreeIndex::Build(data, provider, o));
-  } else if (method == "hnsw") {
-    HnswOptions o;
-    o.M = GetU64(flags, "M", 16);
-    o.ef_construction = GetU64(flags, "efc", 200);
-    HYDRA_ASSIGN_OR_RETURN(out.index, HnswIndex::Build(data, o));
-  } else if (method == "imi") {
-    ImiOptions o;
-    o.coarse_k = GetU64(flags, "coarse-k", 64);
-    HYDRA_ASSIGN_OR_RETURN(out.index, ImiIndex::Build(data, o));
-  } else if (method == "srs") {
-    SrsOptions o;
-    o.projections = GetU64(flags, "projections", 16);
-    HYDRA_ASSIGN_OR_RETURN(out.index, SrsIndex::Build(data, provider, o));
-  } else if (method == "qalsh") {
-    QalshOptions o;
-    o.num_hashes = GetU64(flags, "hashes", 32);
-    HYDRA_ASSIGN_OR_RETURN(out.index, QalshIndex::Build(data, provider, o));
-  } else if (method == "flann") {
-    FlannOptions o;
-    HYDRA_ASSIGN_OR_RETURN(out.index, FlannIndex::Build(data, o));
-  } else if (method == "scan") {
-    out.index = std::make_unique<LinearScanIndex>(provider);
-  } else {
-    return Status::InvalidArgument("unknown method: " + method);
   }
+
+  HYDRA_ASSIGN_OR_RETURN(
+      out.index, BuildIndex(data, provider, BuildOptionsFromFlags(method, flags)));
   out.build_seconds = t.ElapsedSeconds();
   return out;
 }
@@ -323,10 +328,18 @@ int CmdQuery(Flags flags) {
   return 0;
 }
 
+// Prints the generated HYDRA_* knob table (common/options.h): the one
+// source of truth the README table is regenerated from.
+int CmdKnobs() {
+  std::fputs(KnobTableMarkdown().c_str(), stdout);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: hydra <generate|build|query> [--flag value]...\n");
+                 "usage: hydra <generate|build|query|knobs> "
+                 "[--flag value]...\n");
     return 1;
   }
   std::string cmd = argv[1];
@@ -334,6 +347,7 @@ int Main(int argc, char** argv) {
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "build") return CmdBuild(flags);
   if (cmd == "query") return CmdQuery(flags);
+  if (cmd == "knobs") return CmdKnobs();
   return Fail("unknown command: " + cmd);
 }
 
