@@ -62,7 +62,7 @@
 // until the pool (capacity sweep) or the disk becomes the bottleneck; on
 // a loaded or small machine the answer columns still prove determinism.
 //
-// Three sections per run:
+// Four sections per run:
 //   1. closed-loop concurrency x pool-capacity sweep (as before), with
 //      every build routed through the Index factory (index/factory.h);
 //   2. an OPEN-LOOP offered-load sweep: a fixed arrival schedule drives
@@ -73,7 +73,12 @@
 //   3. a sharded scatter-gather sweep (index/sharded/sharded_index.h):
 //      the same workload against S disk-resident shards, whose answers
 //      must stay bit-identical to the unsharded serial protocol at
-//      every shard count x concurrency.
+//      every shard count x concurrency;
+//   4. a LOOPBACK open-loop sweep: the same generator driving a
+//      HydraClient against a HydraServer on 127.0.0.1 (src/net/) — the
+//      identical measurement code via the ServingBackend seam, so the
+//      delta against section 2 is the wire cost (framing + TCP + one
+//      extra thread hop), tail latencies included.
 
 #include <algorithm>
 #include <cstdio>
@@ -92,6 +97,8 @@
 #include "harness/experiment.h"
 #include "index/factory.h"
 #include "index/sharded/sharded_index.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "storage/buffer_manager.h"
 #include "storage/series_file.h"
 #include "transform/znorm.h"
@@ -315,6 +322,77 @@ int main(int argc, char** argv) {
           status = 1;
         }
       }
+    }
+  }
+
+  // ---- Loopback (wire) open-loop sweep ----------------------------
+  // Section 2 again, but the backend behind the seam is a HydraClient
+  // talking to a HydraServer over 127.0.0.1. Same arrival schedule,
+  // same determinism column (answers are moved, never recomputed, so
+  // they must match the serial reference bit for bit); the latency
+  // columns now include framing, TCP, and the server's reader/pump
+  // threads — the honest cost of putting the scheduler behind a socket.
+  {
+    const size_t loopback_concurrency = levels.back();
+    const size_t loopback_capacity = capacities.back();
+    for (size_t mi = 0; mi < methods.size(); ++mi) {
+      const std::string& method = methods[mi];
+      std::vector<double> rates;
+      const double cap = capacity_qps[mi];
+      if (cap > 0.0) {
+        for (double f : {0.5, 0.8, 1.0, 1.2}) rates.push_back(f * cap);
+      }
+      rates = hydra::ParseRateList(std::getenv("HYDRA_OFFERED_QPS"), rates);
+      if (rates.empty()) continue;
+      auto bm =
+          hydra::BufferManager::Open(path, page_series, loopback_capacity);
+      if (!bm.ok()) return 1;
+      hydra::BuildOptions build = build_base;
+      build.method = method;
+      auto built = hydra::BuildIndex(data, bm.value().get(), build);
+      if (!built.ok()) return 1;
+      std::unique_ptr<hydra::Index> index = std::move(built).value();
+      hydra::ServerOptions server_options;
+      // The per-connection session shape is fixed at Start, so it is
+      // configured here to what the sweep will ask for (the factory's
+      // options cannot reach across the wire).
+      server_options.serving.concurrency = loopback_concurrency;
+      server_options.serving.queue_capacity =
+          num_queries + loopback_concurrency;
+      auto server = hydra::HydraServer::Start(*index, bm.value().get(),
+                                              server_options);
+      if (!server.ok()) {
+        std::fprintf(stderr, "server start failed: %s\n",
+                     server.status().ToString().c_str());
+        return 1;
+      }
+      const uint16_t port = server.value()->port();
+      hydra::ServingBackendFactory loopback =
+          [port](const hydra::ServingOptions&)
+          -> std::unique_ptr<hydra::ServingBackend> {
+        auto client = hydra::HydraClient::Connect("127.0.0.1", port);
+        if (!client.ok()) return nullptr;
+        return std::move(client).value();
+      };
+      std::vector<hydra::OpenLoopPoint> points = hydra::RunOpenLoopSweep(
+          loopback, *index, queries, params, rates, loopback_concurrency,
+          bm.value().get(), num_queries);
+      hydra::Table table = hydra::OpenLoopTable(points, method + "@loopback");
+      std::printf("\n## loopback open-loop %s, concurrency %zu, pool %zu "
+                  "pages\n%s\n",
+                  method.c_str(), loopback_concurrency, loopback_capacity,
+                  table.ToAlignedText().c_str());
+      std::printf("# csv\n%s", table.ToCsv().c_str());
+      for (const hydra::OpenLoopPoint& p : points) {
+        if (!p.matches_serial || p.errors > 0) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: loopback %s rate=%.1f "
+                       "(errors=%zu)\n",
+                       method.c_str(), p.offered_qps, p.errors);
+          status = 1;
+        }
+      }
+      server.value()->Stop();
     }
   }
 

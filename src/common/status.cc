@@ -1,9 +1,10 @@
 #include "common/status.h"
 
-namespace hydra {
-namespace {
+#include <cstring>
 
-const char* CodeName(StatusCode code) {
+namespace hydra {
+
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -33,14 +34,21 @@ const char* CodeName(StatusCode code) {
   return "Unknown";
 }
 
-}  // namespace
-
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   if (!message_.empty()) {
     out += ": ";
     out += message_;
+  }
+  if (io_context_.has_value()) {
+    out += " [path=" + io_context_->path;
+    out += " offset=" + std::to_string(io_context_->offset);
+    if (io_context_->sys_errno != 0) {
+      out += " errno=" + std::to_string(io_context_->sys_errno);
+      out += " (" + std::string(std::strerror(io_context_->sys_errno)) + ")";
+    }
+    out += "]";
   }
   return out;
 }

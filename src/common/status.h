@@ -1,6 +1,8 @@
 #ifndef HYDRA_COMMON_STATUS_H_
 #define HYDRA_COMMON_STATUS_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <variant>
@@ -35,6 +37,33 @@ enum class StatusCode {
   kDeadlineExceeded,
   // The query's CancellationToken was cancelled explicitly.
   kCancelled,
+};
+
+// Canonical name for a StatusCode ("OK", "IoError", ...). This is THE
+// status formatter: harness tables, hydra_cli output, and wire-protocol
+// error frames all render codes through it so a failure reads the same
+// in every surface.
+const char* StatusCodeName(StatusCode code);
+
+// Deadline/cancel classification shared by the harness sweeps and the
+// serving front-ends: these failures are the query's own budget firing,
+// not a fault in the engine, and are tallied as timeouts rather than
+// errors in every results table.
+inline bool IsTimeout(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kCancelled;
+}
+
+// Structured origin of an I/O failure. Attached to a Status by the
+// storage layer so remote clients and tools see the failing file,
+// offset, and OS errno as typed fields instead of parsing them out of
+// the message text. Round-trips the wire losslessly (codec.h).
+struct IoContext {
+  std::string path;
+  uint64_t offset = 0;
+  int32_t sys_errno = 0;
+
+  bool operator==(const IoContext& other) const = default;
 };
 
 // Plain-value error type: no exceptions cross the public API.
@@ -90,12 +119,29 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  // "OK" or "<CodeName>: <message>" for logs and test failures.
+  // Attach the structured origin of an I/O failure. Returns *this so
+  // error sites can chain: `return Status::IoError(msg).WithIoContext(...)`.
+  Status&& WithIoContext(IoContext ctx) && {
+    io_context_ = std::move(ctx);
+    return std::move(*this);
+  }
+  Status& WithIoContext(IoContext ctx) & {
+    io_context_ = std::move(ctx);
+    return *this;
+  }
+  bool has_io_context() const { return io_context_.has_value(); }
+  // Valid only when has_io_context().
+  const IoContext& io_context() const { return *io_context_; }
+
+  // "OK" or "<CodeName>: <message>", with the IoContext rendered as
+  // " [path=<p> offset=<o> errno=<e>]" when present. The single
+  // canonical human-readable form used by logs, tables, and the CLI.
   std::string ToString() const;
 
  private:
   StatusCode code_;
   std::string message_;
+  std::optional<IoContext> io_context_;
 };
 
 // Result<T> is either a value or a Status error. Accessing value() on an

@@ -44,11 +44,22 @@ QueryScheduler::~QueryScheduler() {
   std::unique_lock<std::mutex> lock(mu_);
   finished_ = true;
   // Never-admitted queries are discarded: the consumer of their results
-  // is the thread destroying the stream. Admitted tasks reference this
+  // is the thread destroying the stream. Their tickets outlive the
+  // scheduler (shared state), so each one is resolved to a TERMINAL
+  // typed kUnavailable before being dropped — a front-end polling
+  // ticket.done() must see every accepted query reach a final state, not
+  // hang on "query pending" forever. Admitted tasks reference this
   // object, so the destructor must see them out — and so must any
   // producer still inside Submit (woken by the notify below): waiting on
   // submitters_ keeps the mutex/cvs alive until the last one left.
-  for (auto& q : pending_) q.clear();
+  for (auto& q : pending_) {
+    for (const std::shared_ptr<Request>& req : q) {
+      req->ticket->status = Status::Unavailable(
+          "dropped submission: scheduler destroyed before admission");
+      req->ticket->done.store(true, std::memory_order_release);
+    }
+    q.clear();
+  }
   pending_count_ = 0;
   tenant_pending_.clear();
   space_cv_.notify_all();
@@ -415,8 +426,9 @@ ServingSession::ServingSession(const Index& index, SeriesProvider* provider,
 }
 
 QueryTicket ServingSession::Submit(std::span<const float> query,
-                                   SearchParams params,
+                                   const SearchParams& caller_params,
                                    const SubmitOptions& submit) {
+  SearchParams params = caller_params;
   params.concurrency = scheduler_.concurrency();
   if (per_query_pin_budget_ != 0) {
     params.pin_budget = params.pin_budget == 0
@@ -436,6 +448,19 @@ QueryTicket ServingSession::Submit(std::span<const float> query,
     }
   }
   return scheduler_.Submit(query, params, submit);
+}
+
+ServingStats ServingSession::stats() const {
+  ServingStats s;
+  s.concurrency = scheduler_.concurrency();
+  s.queue_capacity = scheduler_.queue_capacity();
+  s.batch_window = scheduler_.batch_window();
+  s.batches_served = scheduler_.batches_served();
+  s.coalesced_queries = scheduler_.coalesced_queries();
+  s.per_query_pin_budget = per_query_pin_budget_;
+  s.per_query_prefetch_budget = per_query_prefetch_budget_;
+  s.in_flight = scheduler_.in_flight();
+  return s;
 }
 
 }  // namespace hydra

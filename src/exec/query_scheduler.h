@@ -18,6 +18,7 @@
 #include "common/counters.h"
 #include "common/status.h"
 #include "common/timer.h"
+#include "exec/serving_backend.h"
 #include "exec/thread_pool.h"
 #include "index/index.h"
 
@@ -43,81 +44,11 @@ class SeriesProvider;  // storage/buffer_manager.h
 // query is identical at every concurrency level, including 1; only
 // timing and cache hit/miss attribution shift. Tests/serving_test.cc
 // asserts exactly this.
-
-// Admission class of a submitted query. Priority orders ADMISSION only:
-// when in-flight slots free up, waiting interactive queries are admitted
-// before normal ones, normal before background. It never preempts running
-// queries and never reorders the completion stream (Next() stays in
-// global submission order — the response protocol is position-free via
-// QueryTicket, so a front-end can interleave tenants however it likes).
-enum class QueryPriority : uint8_t {
-  kBackground = 0,
-  kNormal = 1,
-  kInteractive = 2,
-};
-
-// Per-submission routing: which tenant the query belongs to and how its
-// admission is ranked. Plain Submit(query, params) means the default
-// tenant at normal priority — the historical single-tenant behavior.
-struct SubmitOptions {
-  std::string tenant;  // "" = the default tenant
-  QueryPriority priority = QueryPriority::kNormal;
-};
-
-// Typed handle to one submitted query — the unit a response protocol
-// serializes. Replaces the raw uint64_t position ticket: the id is still
-// the submission position (Next() returns results in id order), but the
-// handle also carries the query's tenant/priority routing and a
-// thread-safe per-query status accessor that becomes meaningful the
-// moment the query completes, independent of who drains the stream.
-// Copyable and cheap (shared state with the scheduler); a
-// default-constructed or dropped-submission ticket is !valid().
-class QueryTicket {
- public:
-  QueryTicket() = default;
-
-  // False for a default-constructed ticket and for a submission the
-  // scheduler dropped (stream closed while the producer was blocked).
-  bool valid() const { return state_ != nullptr; }
-  // Submission position — Next() hands results back in id order. For an
-  // invalid ticket this is QueryScheduler::kDropped.
-  uint64_t id() const;
-  const std::string& tenant() const;
-  QueryPriority priority() const;
-
-  // True once the query's result has been filed (whether or not it has
-  // been drained from the completion stream yet).
-  bool done() const;
-  // The query's terminal Status once done(): OK for a served answer, the
-  // typed error otherwise (DeadlineExceeded, IoError, ...). Before
-  // completion — and forever for an invalid ticket — a typed Unavailable
-  // placeholder. Safe from any thread.
-  Status status() const;
-
- private:
-  friend class QueryScheduler;
-  struct State {
-    uint64_t id = 0;
-    std::string tenant;
-    QueryPriority priority = QueryPriority::kNormal;
-    // status is written before done is set (release); readers acquire.
-    std::atomic<bool> done{false};
-    Status status = Status::OK();
-  };
-  explicit QueryTicket(std::shared_ptr<State> state)
-      : state_(std::move(state)) {}
-  std::shared_ptr<State> state_;
-};
-
-// One completed query as it leaves the completion stream.
-struct ServedQuery {
-  QueryTicket ticket;
-  Result<KnnAnswer> answer{Status::Internal("not served")};
-  QueryCounters counters;
-  // Submission (Submit() return) to completion, queue wait included —
-  // the latency a serving client observes under load.
-  double seconds = 0.0;
-};
+//
+// The client-facing types (QueryPriority, SubmitOptions, QueryTicket,
+// ServedQuery, ServingStats) and the ServingBackend interface this
+// engine serves live in exec/serving_backend.h — the remote HydraClient
+// (net/client.h) implements the same surface.
 
 struct ServingOptions {
   // Queries admitted onto the pool at once. Clamped to 1 when the index
@@ -193,7 +124,13 @@ class QueryScheduler {
   // in ticket-id order — or an invalid ticket (!valid(), id() ==
   // kDropped) when the stream was closed before the query could be
   // accepted (the query is discarded; no result will appear for it).
-  // Must not be called after Finish().
+  // Calling Submit after — or racing — Finish() is a supported contract:
+  // the submission is refused promptly with the invalid ticket (typed
+  // kUnavailable status), never blocked forever on backpressure; a
+  // producer already parked on a full queue when Finish lands is woken
+  // and refused the same way. A network front-end leans on this: a
+  // disconnecting client's session can be finished while its submitter
+  // thread is still mid-Submit.
   QueryTicket Submit(std::span<const float> query, const SearchParams& params,
                      const SubmitOptions& submit = {});
 
@@ -299,9 +236,10 @@ class QueryScheduler {
 // capacity, concurrency level), never on timing, so answers stay
 // deterministic — and the combined demand of N in-flight queries is
 // N * (capacity / N) <= capacity: overlapping queries can never starve
-// each other of buffer-pool pins. This is the object the harness serving
-// mode (RunServingSweep) and bench_serving drive.
-class ServingSession {
+// each other of buffer-pool pins. This is the in-process ServingBackend
+// — the object the harness serving mode (RunServingSweep),
+// bench_serving, and HydraServer's per-connection sessions drive.
+class ServingSession : public ServingBackend {
  public:
   // `provider` is the storage the index searches over (nullptr for
   // indexes that own their data): only its MaxConcurrentPins() is read.
@@ -312,11 +250,12 @@ class ServingSession {
   // in params for downstream reporting), then submits. `submit` carries
   // the tenant/priority routing; the default is the single-tenant,
   // normal-priority behavior.
-  QueryTicket Submit(std::span<const float> query, SearchParams params,
-                     const SubmitOptions& submit = {});
+  QueryTicket Submit(std::span<const float> query, const SearchParams& params,
+                     const SubmitOptions& submit = {}) override;
 
-  std::optional<ServedQuery> Next() { return scheduler_.Next(); }
-  void Finish() { scheduler_.Finish(); }
+  std::optional<ServedQuery> Next() override { return scheduler_.Next(); }
+  void Finish() override { scheduler_.Finish(); }
+  ServingStats stats() const override;
 
   // Effective values after capability clamping / budget negotiation.
   size_t concurrency() const { return scheduler_.concurrency(); }

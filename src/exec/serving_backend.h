@@ -1,0 +1,149 @@
+#ifndef HYDRA_EXEC_SERVING_BACKEND_H_
+#define HYDRA_EXEC_SERVING_BACKEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "common/counters.h"
+#include "common/status.h"
+#include "index/index.h"
+
+namespace hydra {
+
+class QueryScheduler;  // exec/query_scheduler.h
+class HydraClient;     // net/client.h
+
+// ---------------------------------------------------------------------------
+// The client-facing serving surface. Everything a caller needs to submit
+// queries and drain results lives in this header: the routing options,
+// the typed per-query ticket, the completed-query record, and the
+// ServingBackend interface both the in-process engine (ServingSession)
+// and the remote client (HydraClient) implement. Callers — the harness
+// sweeps, bench_serving, hydra_cli — program against ServingBackend and
+// never name a concrete backend, which is what makes "local" vs
+// "remote" a one-line swap with identical answers (tests/net_serving
+// proves bit-identity).
+// ---------------------------------------------------------------------------
+
+// Admission class of a submitted query. Priority orders ADMISSION only:
+// when in-flight slots free up, waiting interactive queries are admitted
+// before normal ones, normal before background. It never preempts running
+// queries and never reorders the completion stream (Next() stays in
+// global submission order — the response protocol is position-free via
+// QueryTicket, so a front-end can interleave tenants however it likes).
+enum class QueryPriority : uint8_t {
+  kBackground = 0,
+  kNormal = 1,
+  kInteractive = 2,
+};
+
+// Per-submission routing: which tenant the query belongs to and how its
+// admission is ranked. Plain Submit(query, params) means the default
+// tenant at normal priority — the historical single-tenant behavior.
+struct SubmitOptions {
+  std::string tenant;  // "" = the default tenant
+  QueryPriority priority = QueryPriority::kNormal;
+};
+
+// Typed handle to one submitted query — the unit a response protocol
+// serializes. Replaces the raw uint64_t position ticket: the id is still
+// the submission position (Next() returns results in id order), but the
+// handle also carries the query's tenant/priority routing and a
+// thread-safe per-query status accessor that becomes meaningful the
+// moment the query completes, independent of who drains the stream.
+// Copyable and cheap (shared state with the backend); a
+// default-constructed or dropped-submission ticket is !valid().
+class QueryTicket {
+ public:
+  QueryTicket() = default;
+
+  // False for a default-constructed ticket and for a submission the
+  // backend dropped (stream closed while the producer was blocked).
+  bool valid() const { return state_ != nullptr; }
+  // Submission position — Next() hands results back in id order. For an
+  // invalid ticket this is QueryScheduler::kDropped (UINT64_MAX).
+  uint64_t id() const;
+  const std::string& tenant() const;
+  QueryPriority priority() const;
+
+  // True once the query's result has been filed (whether or not it has
+  // been drained from the completion stream yet).
+  bool done() const;
+  // The query's terminal Status once done(): OK for a served answer, the
+  // typed error otherwise (DeadlineExceeded, IoError, ...). Before
+  // completion — and forever for an invalid ticket — a typed Unavailable
+  // placeholder. Safe from any thread.
+  Status status() const;
+
+ private:
+  friend class QueryScheduler;
+  friend class HydraClient;
+  struct State {
+    uint64_t id = 0;
+    std::string tenant;
+    QueryPriority priority = QueryPriority::kNormal;
+    // status is written before done is set (release); readers acquire.
+    std::atomic<bool> done{false};
+    Status status = Status::OK();
+  };
+  explicit QueryTicket(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+// One completed query as it leaves the completion stream.
+struct ServedQuery {
+  QueryTicket ticket;
+  Result<KnnAnswer> answer{Status::Internal("not served")};
+  QueryCounters counters;
+  // Submission (Submit() return) to completion, queue wait included —
+  // the latency a serving client observes under load.
+  double seconds = 0.0;
+};
+
+// Backend observability snapshot: the effective (post-negotiation)
+// serving configuration plus coalescing counters. All-u64 so it encodes
+// to the wire unchanged — a remote client's stats() answers with the
+// SERVER session's numbers, not a local approximation.
+struct ServingStats {
+  uint64_t concurrency = 0;
+  uint64_t queue_capacity = 0;
+  uint64_t batch_window = 0;
+  uint64_t batches_served = 0;
+  uint64_t coalesced_queries = 0;
+  uint64_t per_query_pin_budget = 0;       // 0 = unconstrained provider
+  uint64_t per_query_prefetch_budget = 0;  // 0 = no prefetch support
+  uint64_t in_flight = 0;                  // racy by nature (monitoring)
+};
+
+// The single client-facing serving interface. Contract (both
+// implementations, enforced by the loopback equivalence suite):
+//  - Submit copies the query span before returning; results come back
+//    from Next() in ticket-id (submission) order. After Finish — or
+//    after the backend/stream is torn down — Submit returns an invalid
+//    ticket (!valid(), status kUnavailable) instead of blocking forever.
+//  - Next blocks for the next result in submission order and returns
+//    nullopt once Finish() was called and every accepted query drained.
+//  - Finish is idempotent and only closes the SUBMISSION side; pending
+//    results remain drainable.
+//  - Answers are bit-identical across backends for the same index +
+//    params: the network layer may move bytes, never change them.
+class ServingBackend {
+ public:
+  virtual ~ServingBackend() = default;
+
+  virtual QueryTicket Submit(std::span<const float> query,
+                             const SearchParams& params,
+                             const SubmitOptions& submit = {}) = 0;
+  virtual std::optional<ServedQuery> Next() = 0;
+  virtual void Finish() = 0;
+  virtual ServingStats stats() const = 0;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_EXEC_SERVING_BACKEND_H_

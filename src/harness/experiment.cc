@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -170,13 +171,15 @@ bool AnswersIdentical(const KnnAnswer& a, const KnnAnswer& b) {
   return a.ids == b.ids && a.distances == b.distances;
 }
 
-// Pushes the whole workload through one serving session and collects the
-// ordered completion stream.
-ServingSweepPoint RunServingPoint(const Index& index, const Dataset& queries,
+// Pushes the whole workload through one serving backend and collects the
+// ordered completion stream. The backend comes from `factory` — the
+// measurement code is identical for an in-process session and a
+// loopback client; `index` is only consulted for report metadata.
+ServingSweepPoint RunServingPoint(const ServingBackendFactory& factory,
+                                  const Index& index, const Dataset& queries,
                                   const std::vector<KnnAnswer>& ground_truth,
                                   const SearchParams& base,
                                   size_t concurrency,
-                                  SeriesProvider* provider,
                                   std::vector<KnnAnswer>* answers_out,
                                   size_t batch_window = 1) {
   ServingSweepPoint point;
@@ -198,24 +201,29 @@ ServingSweepPoint RunServingPoint(const Index& index, const Dataset& queries,
   if (batch_window > 1) {
     options.queue_capacity = std::max(queries.size(), size_t{1});
   }
-  ServingSession session(index, provider, options);
+  std::unique_ptr<ServingBackend> session = factory(options);
+  if (session == nullptr) {
+    // A factory that cannot produce a backend (e.g. connect refused) is
+    // reported as an all-errors point rather than a crash.
+    point.errors = queries.size();
+    point.matches_serial = false;
+    return point;
+  }
   Timer wall;
   // Closed-loop load generation: Submit() blocks on the bounded queue, so
   // at most queue_capacity + concurrency queries have their latency clock
   // running — completions need not be consumed for submission to make
   // progress, so one thread drives the whole sweep.
   for (size_t q = 0; q < queries.size(); ++q) {
-    session.Submit(queries.series(q), base);
+    session->Submit(queries.series(q), base);
   }
-  session.Finish();
-  while (std::optional<ServedQuery> served = session.Next()) {
+  session->Finish();
+  while (std::optional<ServedQuery> served = session->Next()) {
     latencies.push_back(served->seconds);
     if (served->answer.ok()) {
       answers.push_back(std::move(served->answer).value());
     } else {
-      const StatusCode code = served->answer.status().code();
-      if (code == StatusCode::kDeadlineExceeded ||
-          code == StatusCode::kCancelled) {
+      if (IsTimeout(served->answer.status().code())) {
         ++point.timeouts;
       } else {
         ++point.errors;
@@ -225,8 +233,9 @@ ServingSweepPoint RunServingPoint(const Index& index, const Dataset& queries,
     point.result.counters += served->counters;
   }
   point.wall_seconds = wall.ElapsedSeconds();
-  point.batches_served = session.batches_served();
-  point.coalesced_queries = session.coalesced_queries();
+  const ServingStats stats = session->stats();
+  point.batches_served = stats.batches_served;
+  point.coalesced_queries = stats.coalesced_queries;
 
   point.qps = point.wall_seconds > 0.0
                   ? static_cast<double>(queries.size()) / point.wall_seconds
@@ -243,11 +252,29 @@ ServingSweepPoint RunServingPoint(const Index& index, const Dataset& queries,
 
 }  // namespace
 
+ServingBackendFactory LocalBackendFactory(const Index& index,
+                                          SeriesProvider* provider) {
+  return [&index, provider](const ServingOptions& options) {
+    return std::make_unique<ServingSession>(index, provider, options);
+  };
+}
+
 std::vector<ServingSweepPoint> RunServingSweep(
     const Index& index, const Dataset& queries,
     const std::vector<KnnAnswer>& ground_truth, SearchParams base,
     const std::vector<size_t>& concurrency_levels,
     SeriesProvider* provider, size_t batch_window) {
+  return RunServingSweep(LocalBackendFactory(index, provider), index, queries,
+                         ground_truth, base, concurrency_levels, provider,
+                         batch_window);
+}
+
+std::vector<ServingSweepPoint> RunServingSweep(
+    const ServingBackendFactory& factory, const Index& index,
+    const Dataset& queries, const std::vector<KnnAnswer>& ground_truth,
+    SearchParams base, const std::vector<size_t>& concurrency_levels,
+    SeriesProvider* provider, size_t batch_window) {
+  (void)provider;  // levels are clamped backend-side against pin capacity
   const bool batching = batch_window > 1 &&
                         index.capabilities().batched_queries &&
                         index.capabilities().concurrent_queries;
@@ -263,8 +290,9 @@ std::vector<ServingSweepPoint> RunServingSweep(
   // Sequential baseline: the reference answers every level must
   // reproduce, and the denominator of the throughput speedup.
   std::vector<KnnAnswer> serial_answers;
-  ServingSweepPoint serial = RunServingPoint(
-      index, queries, ground_truth, base, 1, provider, &serial_answers);
+  ServingSweepPoint serial = RunServingPoint(factory, index, queries,
+                                             ground_truth, base, 1,
+                                             &serial_answers);
 
   std::vector<ServingSweepPoint> points;
   points.reserve(concurrency_levels.size());
@@ -276,8 +304,8 @@ std::vector<ServingSweepPoint> RunServingSweep(
       point = serial;  // reuse the baseline measurement
       point.matches_serial = true;
     } else {
-      point = RunServingPoint(index, queries, ground_truth, base,
-                              concurrency, provider, &answers);
+      point = RunServingPoint(factory, index, queries, ground_truth, base,
+                              concurrency, &answers);
       point.matches_serial =
           answers.size() == serial_answers.size() &&
           std::equal(answers.begin(), answers.end(), serial_answers.begin(),
@@ -292,8 +320,8 @@ std::vector<ServingSweepPoint> RunServingSweep(
       // same bit-identity contract as the unbatched one.
       std::vector<KnnAnswer> batched_answers;
       ServingSweepPoint batched =
-          RunServingPoint(index, queries, ground_truth, base, concurrency,
-                          provider, &batched_answers, batch_window);
+          RunServingPoint(factory, index, queries, ground_truth, base,
+                          concurrency, &batched_answers, batch_window);
       point.batched_qps = batched.qps;
       point.batched_p99_ms = batched.p99_ms;
       point.batched_gain =
@@ -339,10 +367,10 @@ namespace {
 
 // One fixed-schedule run (see RunOpenLoopSweep): the submitter thread is
 // the arrival process, the calling thread is the drain.
-OpenLoopPoint RunOpenLoopPoint(const Index& index, const Dataset& queries,
+OpenLoopPoint RunOpenLoopPoint(const ServingBackendFactory& factory,
+                               const Dataset& queries,
                                const SearchParams& base, double rate,
-                               size_t concurrency, SeriesProvider* provider,
-                               size_t total,
+                               size_t concurrency, size_t total,
                                const std::vector<KnnAnswer>& reference) {
   using Clock = std::chrono::steady_clock;
   OpenLoopPoint point;
@@ -354,7 +382,12 @@ OpenLoopPoint RunOpenLoopPoint(const Index& index, const Dataset& queries,
   // Open loop: the generator must NEVER block on backpressure (that is
   // the closed loop again) — size the queue to hold the entire run.
   options.queue_capacity = total + concurrency;
-  ServingSession session(index, provider, options);
+  std::unique_ptr<ServingBackend> session = factory(options);
+  if (session == nullptr) {  // see RunServingPoint
+    point.errors = total;
+    point.matches_serial = false;
+    return point;
+  }
 
   // Schedule anchored shortly ahead so query 0's arrival is not already
   // in the past by the time the submitter thread is up.
@@ -367,7 +400,7 @@ OpenLoopPoint RunOpenLoopPoint(const Index& index, const Dataset& queries,
                    std::chrono::duration<double>(interval_s *
                                                  static_cast<double>(i)));
       std::this_thread::sleep_until(due);  // past-due wakes immediately
-      session.Submit(queries.series(i % queries.size()), base);
+      session->Submit(queries.series(i % queries.size()), base);
     }
   });
 
@@ -379,7 +412,7 @@ OpenLoopPoint RunOpenLoopPoint(const Index& index, const Dataset& queries,
   latencies.reserve(total);
   Clock::time_point last_done = t0;
   for (size_t i = 0; i < total; ++i) {
-    std::optional<ServedQuery> served = session.Next();
+    std::optional<ServedQuery> served = session->Next();
     if (!served.has_value()) break;  // cannot happen before Finish()
     const Clock::time_point now = Clock::now();
     last_done = now;
@@ -395,9 +428,7 @@ OpenLoopPoint RunOpenLoopPoint(const Index& index, const Dataset& queries,
         point.matches_serial = false;
       }
     } else {
-      const StatusCode code = served->answer.status().code();
-      if (code == StatusCode::kDeadlineExceeded ||
-          code == StatusCode::kCancelled) {
+      if (IsTimeout(served->answer.status().code())) {
         ++point.timeouts;
       } else {
         ++point.errors;
@@ -405,7 +436,7 @@ OpenLoopPoint RunOpenLoopPoint(const Index& index, const Dataset& queries,
     }
   }
   submitter.join();
-  session.Finish();
+  session->Finish();
 
   point.wall_seconds =
       std::chrono::duration<double>(last_done - t0).count();
@@ -429,6 +460,17 @@ std::vector<OpenLoopPoint> RunOpenLoopSweep(
     const Index& index, const Dataset& queries, SearchParams base,
     const std::vector<double>& offered_qps, size_t concurrency,
     SeriesProvider* provider, size_t total_queries) {
+  return RunOpenLoopSweep(LocalBackendFactory(index, provider), index, queries,
+                          base, offered_qps, concurrency, provider,
+                          total_queries);
+}
+
+std::vector<OpenLoopPoint> RunOpenLoopSweep(
+    const ServingBackendFactory& factory, const Index& index,
+    const Dataset& queries, SearchParams base,
+    const std::vector<double>& offered_qps, size_t concurrency,
+    SeriesProvider* provider, size_t total_queries) {
+  (void)provider;  // admission is clamped backend-side against pin capacity
   const size_t total = total_queries == 0 ? queries.size() : total_queries;
   // Serial reference answers (and pool warm-up) once for every rate: the
   // determinism column compares each successful served answer against
@@ -445,9 +487,8 @@ std::vector<OpenLoopPoint> RunOpenLoopSweep(
   points.reserve(offered_qps.size());
   for (double rate : offered_qps) {
     if (rate <= 0.0) continue;
-    points.push_back(RunOpenLoopPoint(index, queries, base, rate,
-                                      concurrency, provider, total,
-                                      reference));
+    points.push_back(RunOpenLoopPoint(factory, queries, base, rate,
+                                      concurrency, total, reference));
   }
   return points;
 }

@@ -2,6 +2,7 @@
 #define HYDRA_HARNESS_EXPERIMENT_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "core/dataset.h"
 #include "core/metrics.h"
 #include "core/workload.h"
+#include "exec/query_scheduler.h"
 #include "harness/table.h"
 #include "index/index.h"
 
@@ -16,6 +18,22 @@ namespace hydra {
 
 class SeriesProvider;  // storage/buffer_manager.h
 class BufferManager;   // storage/buffer_manager.h
+
+// How the serving sweeps obtain the backend they drive: a factory
+// called once per measured point with that point's serving
+// configuration. The default (in-process) factory builds a
+// ServingSession; a network harness hands one out that connects a
+// HydraClient to a running HydraServer instead — the sweeps never name
+// a concrete backend, so the same measurement code produces local and
+// loopback tables. A remote factory may not be able to honor every
+// field (the server fixed its per-connection options at Start); it
+// should be wired against a server configured to match.
+using ServingBackendFactory =
+    std::function<std::unique_ptr<ServingBackend>(const ServingOptions&)>;
+
+// The in-process default: ServingSession over index + provider.
+ServingBackendFactory LocalBackendFactory(const Index& index,
+                                          SeriesProvider* provider);
 
 // One (method, parameter point) measurement over a query workload:
 // timing under the paper's protocol plus accuracy against ground truth
@@ -205,6 +223,18 @@ std::vector<ServingSweepPoint> RunServingSweep(
     const std::vector<size_t>& concurrency_levels,
     SeriesProvider* provider = nullptr, size_t batch_window = 1);
 
+// Backend-generic form: the sweep drives whatever `factory` hands out
+// (in-process session, loopback HydraClient, ...) and never names a
+// concrete backend. `provider` is only consulted for pin-capacity
+// clamping of the requested levels (pass the same provider the backend
+// serves from, or nullptr for in-memory). The convenience overload
+// above delegates here with LocalBackendFactory.
+std::vector<ServingSweepPoint> RunServingSweep(
+    const ServingBackendFactory& factory, const Index& index,
+    const Dataset& queries, const std::vector<KnnAnswer>& ground_truth,
+    SearchParams base, const std::vector<size_t>& concurrency_levels,
+    SeriesProvider* provider = nullptr, size_t batch_window = 1);
+
 // One row per level. Columns (also the CSV schema):
 //   method, concurrency, wall_s, qps, p50_ms, p95_ms, p99_ms, speedup,
 //   b_qps, b_p99_ms, b_gain, batches, avg_recall, hit_rate,
@@ -254,6 +284,15 @@ struct OpenLoopPoint {
 // up front for the determinism column.
 std::vector<OpenLoopPoint> RunOpenLoopSweep(
     const Index& index, const Dataset& queries, SearchParams base,
+    const std::vector<double>& offered_qps, size_t concurrency,
+    SeriesProvider* provider = nullptr, size_t total_queries = 0);
+
+// Backend-generic form (see RunServingSweep): one backend from
+// `factory` per measured rate. The convenience overload above delegates
+// here with LocalBackendFactory.
+std::vector<OpenLoopPoint> RunOpenLoopSweep(
+    const ServingBackendFactory& factory, const Index& index,
+    const Dataset& queries, SearchParams base,
     const std::vector<double>& offered_qps, size_t concurrency,
     SeriesProvider* provider = nullptr, size_t total_queries = 0);
 

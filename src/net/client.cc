@@ -1,0 +1,298 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace hydra {
+namespace {
+
+// Reads one complete frame synchronously (used only during the
+// handshake, before the receive thread exists).
+Status ReadFrame(const TcpSocket& socket, FrameHeader* header,
+                 std::string* payload) {
+  char bytes[kFrameHeaderBytes];
+  HYDRA_RETURN_IF_ERROR(socket.RecvAll(bytes, sizeof(bytes)));
+  HYDRA_RETURN_IF_ERROR(DecodeFrameHeader(
+      std::span<const char>(bytes, sizeof(bytes)), header));
+  payload->resize(static_cast<size_t>(header->length));
+  if (header->length > 0) {
+    HYDRA_RETURN_IF_ERROR(socket.RecvAll(payload->data(), payload->size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HydraClient>> HydraClient::Connect(
+    const std::string& host, uint16_t port) {
+  HYDRA_ASSIGN_OR_RETURN(TcpSocket socket, TcpSocket::Connect(host, port));
+  // Handshake: offer our version range, accept the server's choice — or
+  // surface its typed refusal as our own connect error.
+  HelloFrame hello;
+  std::string frame;
+  EncodeHello(hello, &frame);
+  HYDRA_RETURN_IF_ERROR(socket.SendAll(frame.data(), frame.size()));
+  FrameHeader header;
+  std::string payload;
+  HYDRA_RETURN_IF_ERROR(ReadFrame(socket, &header, &payload));
+  const std::span<const char> body(payload.data(), payload.size());
+  if (header.kind == MessageKind::kStatus) {
+    StatusFrame refused;
+    HYDRA_RETURN_IF_ERROR(DecodeStatusFrame(body, &refused));
+    return refused.status;
+  }
+  if (header.kind != MessageKind::kHelloAck) {
+    return Status::FailedPrecondition(
+        "handshake: expected HelloAck, got kind " +
+        std::to_string(static_cast<uint16_t>(header.kind)));
+  }
+  HelloAckFrame ack;
+  HYDRA_RETURN_IF_ERROR(DecodeHelloAck(body, &ack));
+  if (ack.version < hello.min_version || ack.version > hello.max_version) {
+    return Status::FailedPrecondition(
+        "handshake: server chose unsupported version " +
+        std::to_string(ack.version));
+  }
+  std::unique_ptr<HydraClient> client(new HydraClient());
+  client->socket_ = std::move(socket);
+  client->negotiated_version_ = ack.version;
+  client->recv_thread_ = std::thread([c = client.get()] { c->RecvLoop(); });
+  return client;
+}
+
+HydraClient::~HydraClient() {
+  Finish();
+  // Teardown is the abrupt-disconnect path when the caller did not drain
+  // first: the server cancels whatever is still in flight for us.
+  socket_.ShutdownBoth();
+  if (recv_thread_.joinable()) recv_thread_.join();
+  socket_.Close();
+}
+
+Status HydraClient::SendLocked(const std::string& frame) const {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  return socket_.SendAll(frame.data(), frame.size());
+}
+
+QueryTicket HydraClient::Submit(std::span<const float> query,
+                                const SearchParams& params,
+                                const SubmitOptions& submit) {
+  std::shared_ptr<QueryTicket::State> state;
+  std::string frame;
+  // Holding the send lock across id assignment AND the write keeps
+  // concurrent submitters' frames on the wire in id order — which is
+  // what makes the server's completion stream (submission-ordered) come
+  // back in ticket-id order, matching the in-process contract.
+  std::lock_guard<std::mutex> send_lock(send_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finished_ || broken_) return QueryTicket();
+    state = std::make_shared<QueryTicket::State>();
+    state->id = next_request_id_++;
+    state->tenant = submit.tenant;
+    state->priority = submit.priority;
+    state->status = Status::Unavailable("query pending");
+    pending_.emplace(state->id, state);
+  }
+  SubmitFrame msg;
+  msg.request_id = state->id;
+  msg.tenant = submit.tenant;
+  msg.priority = submit.priority;
+  msg.params = params;
+  msg.params.cancel = nullptr;  // tokens never cross the wire
+  msg.query.assign(query.begin(), query.end());
+  EncodeSubmit(msg, &frame);
+  const Status sent = socket_.SendAll(frame.data(), frame.size());
+  if (!sent.ok()) {
+    // The submission never reached the server: refuse it the way the
+    // scheduler refuses a dropped submission (invalid ticket), with no
+    // phantom result in the stream.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.erase(state->id);
+    }
+    FailConnection(sent);
+    return QueryTicket();
+  }
+  return QueryTicket(state);
+}
+
+std::optional<ServedQuery> HydraClient::Next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  results_cv_.wait(lock, [this] {
+    return !results_.empty() ||
+           ((server_done_ || broken_) && pending_.empty());
+  });
+  if (results_.empty()) return std::nullopt;
+  ServedQuery out = std::move(results_.front());
+  results_.pop_front();
+  return out;
+}
+
+void HydraClient::Finish() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finished_) return;
+    finished_ = true;
+    if (broken_) return;  // nothing to tell a dead connection
+  }
+  std::string frame;
+  EncodeFinish(&frame);
+  // A send failure here feeds the same disconnect path the receive
+  // thread would discover; either way Next() drains to nullopt.
+  const Status sent = SendLocked(frame);
+  if (!sent.ok()) FailConnection(sent);
+}
+
+ServingStats HydraClient::stats() const {
+  std::string frame;
+  EncodeStatsRequest(&frame);
+  // The send lock is held across the round-trip: one stats waiter at a
+  // time, and no interleaved Submit can steal the reply slot.
+  std::lock_guard<std::mutex> send_lock(send_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (broken_) return ServingStats{};
+    stats_ready_ = false;
+  }
+  if (!socket_.SendAll(frame.data(), frame.size()).ok()) {
+    return ServingStats{};
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  stats_cv_.wait(lock, [this] { return stats_ready_ || broken_; });
+  return stats_ready_ ? stats_value_ : ServingStats{};
+}
+
+void HydraClient::Cancel(const QueryTicket& ticket) {
+  if (!ticket.valid()) return;
+  CancelFrame msg;
+  msg.request_id = ticket.id();
+  std::string frame;
+  EncodeCancel(msg, &frame);
+  (void)SendLocked(frame);
+}
+
+void HydraClient::FailConnection(const Status& why) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (broken_) return;
+    broken_ = true;
+    broken_status_ = why;
+    // Accepted queries always resolve: every outstanding request gets a
+    // typed error result, in id order (pending_ is an ordered map), so
+    // a drain loop sees the same number of results it submitted queries.
+    for (auto& [id, state] : pending_) {
+      ServedQuery out;
+      Status lost = Status::Unavailable(
+          "connection lost before result: " + why.ToString());
+      if (why.has_io_context()) lost.WithIoContext(why.io_context());
+      state->status = lost;
+      state->done.store(true, std::memory_order_release);
+      out.ticket = QueryTicket(state);
+      out.answer = Result<KnnAnswer>(std::move(lost));
+      results_.push_back(std::move(out));
+    }
+    pending_.clear();
+    results_cv_.notify_all();
+    stats_cv_.notify_all();
+  }
+  // Wake the receive thread if the failure was discovered by a sender.
+  socket_.ShutdownBoth();
+}
+
+void HydraClient::RecvLoop() {
+  char header_bytes[kFrameHeaderBytes];
+  std::string payload;
+  while (true) {
+    Status st = socket_.RecvAll(header_bytes, sizeof(header_bytes));
+    if (!st.ok()) {
+      FailConnection(st);
+      return;
+    }
+    FrameHeader header;
+    st = DecodeFrameHeader(
+        std::span<const char>(header_bytes, sizeof(header_bytes)), &header);
+    if (!st.ok()) {
+      // A server speaking garbage means the stream is desynced: same
+      // policy as the server side, drop the connection.
+      FailConnection(st);
+      return;
+    }
+    payload.resize(static_cast<size_t>(header.length));
+    if (header.length > 0) {
+      st = socket_.RecvAll(payload.data(), payload.size());
+      if (!st.ok()) {
+        FailConnection(st);
+        return;
+      }
+    }
+    const std::span<const char> body(payload.data(), payload.size());
+    switch (header.kind) {
+      case MessageKind::kResult: {
+        ResultFrame result;
+        st = DecodeResult(body, &result);
+        if (!st.ok()) {
+          FailConnection(st);
+          return;
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = pending_.find(result.request_id);
+        if (it == pending_.end()) break;  // late result after cancel race
+        std::shared_ptr<QueryTicket::State> state = std::move(it->second);
+        pending_.erase(it);
+        ServedQuery out;
+        state->status = result.status;
+        state->done.store(true, std::memory_order_release);
+        out.ticket = QueryTicket(std::move(state));
+        out.answer = result.status.ok()
+                         ? Result<KnnAnswer>(std::move(result.answer))
+                         : Result<KnnAnswer>(result.status);
+        out.counters = result.counters;
+        out.seconds = result.seconds;
+        results_.push_back(std::move(out));
+        results_cv_.notify_all();
+        break;
+      }
+      case MessageKind::kStatus: {
+        StatusFrame status_frame;
+        if (!DecodeStatusFrame(body, &status_frame).ok()) break;
+        if (status_frame.request_id == 0) break;  // connection-level notice
+        // Request-level typed rejection (e.g. the server refused the
+        // submission): resolve that request as an error result.
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = pending_.find(status_frame.request_id);
+        if (it == pending_.end()) break;
+        std::shared_ptr<QueryTicket::State> state = std::move(it->second);
+        pending_.erase(it);
+        ServedQuery out;
+        state->status = status_frame.status;
+        state->done.store(true, std::memory_order_release);
+        out.ticket = QueryTicket(std::move(state));
+        out.answer = Result<KnnAnswer>(status_frame.status);
+        results_.push_back(std::move(out));
+        results_cv_.notify_all();
+        break;
+      }
+      case MessageKind::kStatsReply: {
+        StatsReplyFrame reply;
+        if (!DecodeStatsReply(body, &reply).ok()) break;
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_value_ = reply.stats;
+        stats_ready_ = true;
+        stats_cv_.notify_all();
+        break;
+      }
+      case MessageKind::kFinish: {
+        std::lock_guard<std::mutex> lock(mu_);
+        server_done_ = true;
+        results_cv_.notify_all();
+        break;
+      }
+      default:
+        // Unknown server-bound kinds are ignored: forward compatibility
+        // for chatter a newer server might add.
+        break;
+    }
+  }
+}
+
+}  // namespace hydra

@@ -1,0 +1,109 @@
+#ifndef HYDRA_NET_CLIENT_H_
+#define HYDRA_NET_CLIENT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "exec/serving_backend.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace hydra {
+
+// Remote ServingBackend: the exact Submit/QueryTicket/Next surface of
+// an in-process ServingSession, spoken over one TCP connection to a
+// HydraServer. Callers written against ServingBackend cannot tell the
+// difference — answers are bit-identical (the wire moves bytes, never
+// recomputes them), results come back in submission order, and failures
+// surface as the same typed Status the server saw (IoContext included).
+//
+// Threading: one background receive thread owns the socket's read side
+// and dispatches frames — results into the ordered completion queue,
+// stats replies to their waiter. Submit and Next are safe to call
+// concurrently (the open-loop harness drives exactly that: a submitter
+// thread racing a drain thread); sends are serialized internally.
+//
+// Failure semantics: when the connection drops, every outstanding
+// request is resolved with a typed Unavailable result (the accepted-
+// query-always-yields-a-result contract survives the transport dying),
+// later Submits return invalid tickets, and Next drains to nullopt.
+class HydraClient : public ServingBackend {
+ public:
+  // Connects and performs the version handshake (kHello/kHelloAck).
+  // Fails typed when the server is unreachable or no protocol version
+  // is shared.
+  static Result<std::unique_ptr<HydraClient>> Connect(const std::string& host,
+                                                      uint16_t port);
+
+  // Finishes (if the caller did not), tears the connection down, joins
+  // the receive thread. Outstanding tickets resolve Unavailable.
+  ~HydraClient() override;
+
+  HydraClient(const HydraClient&) = delete;
+  HydraClient& operator=(const HydraClient&) = delete;
+
+  // ServingBackend. Submit serializes the query into a kSubmit frame;
+  // the ticket's id is the wire request_id. An invalid ticket means the
+  // submission was refused locally (after Finish / a dead connection) —
+  // same contract as the in-process scheduler.
+  QueryTicket Submit(std::span<const float> query, const SearchParams& params,
+                     const SubmitOptions& submit = {}) override;
+  std::optional<ServedQuery> Next() override;
+  void Finish() override;
+  // Round-trips a kStatsRequest: the SERVER session's numbers. Returns
+  // a zeroed snapshot when the connection is gone.
+  ServingStats stats() const override;
+
+  // Fires server-side cancellation for one in-flight query (kCancel).
+  // Inherently racy with completion: cancelling a finished query is a
+  // no-op, same as CancellationToken::Cancel after the fact.
+  void Cancel(const QueryTicket& ticket);
+
+  // The version the server chose during the handshake.
+  uint16_t negotiated_version() const { return negotiated_version_; }
+
+ private:
+  HydraClient() = default;
+
+  void RecvLoop();
+  // Marks the connection dead and resolves every outstanding request
+  // with `why` (typed). Idempotent.
+  void FailConnection(const Status& why);
+  Status SendLocked(const std::string& frame) const;
+
+  TcpSocket socket_;
+  uint16_t negotiated_version_ = 0;
+
+  mutable std::mutex send_mu_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable results_cv_;
+  mutable std::condition_variable stats_cv_;
+  // Submission-ordered completion queue the receive thread fills.
+  std::deque<ServedQuery> results_;
+  // request_id → ticket state of requests awaiting their result frame.
+  std::map<uint64_t, std::shared_ptr<QueryTicket::State>> pending_;
+  uint64_t next_request_id_ = 1;  // 0 is the connection-level sentinel
+  bool finished_ = false;     // local Finish() called (submission closed)
+  bool server_done_ = false;  // server's kFinish received
+  bool broken_ = false;       // connection failed (see broken_status_)
+  Status broken_status_;
+  // One stats waiter at a time (stats() holds send_mu_ across the
+  // round-trip, so the reply slot is never contended).
+  mutable bool stats_ready_ = false;
+  mutable ServingStats stats_value_;
+
+  std::thread recv_thread_;
+};
+
+}  // namespace hydra
+
+#endif  // HYDRA_NET_CLIENT_H_

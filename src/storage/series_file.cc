@@ -18,10 +18,20 @@ constexpr size_t kHeaderBytes = 4 * sizeof(uint64_t);  // magic+ver+n+len
 // knob between sections (see the header comment).
 uint64_t SimIoDelayUs() { return EnvOrU64("HYDRA_SIM_IO_DELAY_US", 0); }
 
-// "path @ offset N" context appended to every I/O status so a failure in
-// a multi-file experiment names the file and byte it died on.
-std::string IoContext(const std::string& path, uint64_t offset) {
+// "path @ offset N" context appended to every I/O status message so a
+// failure in a multi-file experiment names the file and byte it died
+// on; the same fields travel as a structured IoContext (see Ctx) so
+// remote clients get them typed, not just as text.
+std::string At(const std::string& path, uint64_t offset) {
   return path + " @ offset " + std::to_string(offset);
+}
+
+IoContext Ctx(const std::string& path, uint64_t offset, int err = 0) {
+  IoContext ctx;
+  ctx.path = path;
+  ctx.offset = offset;
+  ctx.sys_errno = err;
+  return ctx;
 }
 
 std::string ErrnoDetail(int err) {
@@ -35,8 +45,9 @@ std::string ErrnoDetail(int err) {
 Status WriteSeriesFile(const std::string& path, const Dataset& dataset) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
-    return Status::IoError("cannot open for write: " + path +
-                           ErrnoDetail(errno));
+    const int err = errno;
+    return Status::IoError("cannot open for write: " + path + ErrnoDetail(err))
+        .WithIoContext(Ctx(path, 0, err));
   }
   uint64_t head[4] = {SeriesFileHeader::kMagic, SeriesFileHeader::kVersion,
                       dataset.size(), dataset.length()};
@@ -59,7 +70,11 @@ Status WriteSeriesFile(const std::string& path, const Dataset& dataset) {
                      f) == checksums.size();
   }
   std::fclose(f);
-  if (!ok) return Status::IoError("short write: " + path + ErrnoDetail(errno));
+  if (!ok) {
+    const int err = errno;
+    return Status::IoError("short write: " + path + ErrnoDetail(err))
+        .WithIoContext(Ctx(path, 0, err));
+  }
   return Status::OK();
 }
 
@@ -67,22 +82,26 @@ Result<std::unique_ptr<SeriesFileReader>> SeriesFileReader::Open(
     const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    return Status::IoError("cannot open for read: " + path +
-                           ErrnoDetail(errno));
+    const int err = errno;
+    return Status::IoError("cannot open for read: " + path + ErrnoDetail(err))
+        .WithIoContext(Ctx(path, 0, err));
   }
   uint64_t head[4];
   if (std::fread(head, sizeof(head), 1, f) != 1) {
     std::fclose(f);
-    return Status::IoError("short header read: " + path);
+    return Status::IoError("short header read: " + path)
+        .WithIoContext(Ctx(path, 0));
   }
   if (head[0] != SeriesFileHeader::kMagic) {
     std::fclose(f);
-    return Status::InvalidArgument("bad magic in " + path);
+    return Status::InvalidArgument("bad magic in " + path)
+        .WithIoContext(Ctx(path, 0));
   }
   if (head[1] != 1 && head[1] != SeriesFileHeader::kVersion) {
     std::fclose(f);
     return Status::InvalidArgument("unsupported version " +
-                                   std::to_string(head[1]) + " in " + path);
+                                   std::to_string(head[1]) + " in " + path)
+        .WithIoContext(Ctx(path, 0));
   }
   SeriesFileHeader header;
   header.num_series = head[2];
@@ -101,7 +120,8 @@ Result<std::unique_ptr<SeriesFileReader>> SeriesFileReader::Open(
             checksums.size()) {
       std::fclose(f);
       return Status::IoError("short checksum footer read: " +
-                             IoContext(path, footer_at));
+                             At(path, footer_at))
+          .WithIoContext(Ctx(path, footer_at));
     }
   }
   return std::unique_ptr<SeriesFileReader>(new SeriesFileReader(
@@ -133,15 +153,17 @@ Status SeriesFileReader::ReadSeries(uint64_t first, uint64_t count,
     }
     if (fault.permanent_error) {
       return Status::IoError("injected permanent I/O error: " +
-                             IoContext(path_, offset));
+                             At(path_, offset))
+          .WithIoContext(Ctx(path_, offset));
     }
     if (fault.transient_error) {
       return Status::Unavailable("injected transient I/O error: " +
-                                 IoContext(path_, offset));
+                                 At(path_, offset))
+          .WithIoContext(Ctx(path_, offset));
     }
     if (fault.short_read) {
-      return Status::Unavailable("injected short read: " +
-                                 IoContext(path_, offset));
+      return Status::Unavailable("injected short read: " + At(path_, offset))
+          .WithIoContext(Ctx(path_, offset));
     }
   }
   if (sim_delay_us_ > 0) {
@@ -153,8 +175,10 @@ Status SeriesFileReader::ReadSeries(uint64_t first, uint64_t count,
   {
     std::lock_guard<std::mutex> lock(io_mu_);
     if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-      return Status::IoError("seek failed: " + IoContext(path_, offset) +
-                             ErrnoDetail(errno));
+      const int err = errno;
+      return Status::IoError("seek failed: " + At(path_, offset) +
+                             ErrnoDetail(err))
+          .WithIoContext(Ctx(path_, offset, err));
     }
     size_t want = static_cast<size_t>(count * header_.length);
     size_t got = std::fread(out, sizeof(float), want, file_);
@@ -169,9 +193,10 @@ Status SeriesFileReader::ReadSeries(uint64_t first, uint64_t count,
       const std::string detail =
           "short payload read: got " + std::to_string(got) + " of " +
           std::to_string(want) + " floats, series [" + std::to_string(first) +
-          ", " + std::to_string(first + count) + ") in " +
-          IoContext(path_, offset) + ErrnoDetail(err);
-      return at_eof ? Status::IoError(detail) : Status::Unavailable(detail);
+          ", " + std::to_string(first + count) + ") in " + At(path_, offset) +
+          ErrnoDetail(err);
+      return (at_eof ? Status::IoError(detail) : Status::Unavailable(detail))
+          .WithIoContext(Ctx(path_, offset, err));
     }
     if (counters != nullptr) {
       counters->bytes_read += count * stride;
@@ -193,8 +218,9 @@ Status SeriesFileReader::ReadSeries(uint64_t first, uint64_t count,
           Crc32c(out + i * header_.length, stride);
       if (actual != checksums_[first + i]) {
         return Status::DataCorruption(
-            "checksum mismatch on series " + std::to_string(first + i) +
-            ": " + IoContext(path_, offset + i * stride));
+                   "checksum mismatch on series " + std::to_string(first + i) +
+                   ": " + At(path_, offset + i * stride))
+            .WithIoContext(Ctx(path_, offset + i * stride));
       }
     }
   }

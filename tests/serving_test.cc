@@ -1276,5 +1276,95 @@ TEST(ServingTenants, TicketCarriesIdentityAndTerminalStatus) {
   EXPECT_EQ(doomed_ticket.status().code(), StatusCode::kDeadlineExceeded);
 }
 
+// --- Regression (net front-end groundwork): Submit after Finish must
+// return an invalid ticket with a typed kUnavailable immediately — it
+// must never block on the (closed) queue and never hand back a ticket
+// that no result will ever resolve. ---
+
+TEST(Serving, SubmitAfterFinishRefusedTypedNeverBlocks) {
+  Workload w(/*n=*/500, /*len=*/32, /*num_queries=*/4);
+  LinearScanIndex index(&w.provider);
+  ServingOptions options;
+  options.concurrency = 2;
+  QueryScheduler scheduler(index, options);
+  scheduler.Finish();
+  QueryTicket late = scheduler.Submit(w.queries.series(0), Exact(5));
+  EXPECT_FALSE(late.valid());
+  EXPECT_FALSE(late.done());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(scheduler.Next().has_value());
+}
+
+// The racing flavor: submitters hammering a tiny bounded queue while
+// Finish lands. Every Submit returns promptly — either a real ticket
+// whose result is drainable, or an invalid one with the typed refusal.
+// Accepted count must equal drained count exactly: no accepted query
+// vanishes, no refused query produces a result.
+TEST(Serving, FinishRacingSubmittersStayTypedAndAccountable) {
+  Workload w(/*n=*/500, /*len=*/32, /*num_queries=*/8);
+  LinearScanIndex index(&w.provider);
+  ServingOptions options;
+  options.concurrency = 2;
+  options.queue_capacity = 2;
+  QueryScheduler scheduler(index, options);
+  std::atomic<size_t> accepted{0};
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < 4; ++t) {
+    submitters.emplace_back([&, t] {
+      for (size_t i = 0; i < 8; ++i) {
+        QueryTicket ticket = scheduler.Submit(
+            w.queries.series((t + i) % w.queries.size()), Exact(5));
+        if (ticket.valid()) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          EXPECT_EQ(ticket.status().code(), StatusCode::kUnavailable);
+        }
+      }
+    });
+  }
+  scheduler.Finish();  // races the submitters
+  for (std::thread& th : submitters) th.join();
+  size_t drained = 0;
+  while (scheduler.Next().has_value()) ++drained;
+  EXPECT_EQ(drained, accepted.load());
+}
+
+// Destroying the scheduler with queries still parked in the admission
+// queue resolves their tickets to a TERMINAL typed kUnavailable — a
+// front-end polling ticket.done() sees every accepted query reach a
+// final state even when the stream dies under it.
+TEST(Serving, DestructorResolvesUndrainedTicketsTyped) {
+  GatedIndex index;
+  ThreadPool pool(2);
+  QueryTicket queued;
+  std::thread releaser;
+  {
+    ServingOptions options;
+    options.concurrency = 1;
+    options.queue_capacity = 2;
+    options.pool = &pool;
+    QueryScheduler scheduler(index, options);
+    std::vector<float> q0 = Query(0);
+    std::vector<float> q1 = Query(1);
+    scheduler.Submit(q0, Exact(1));  // admitted, parked in the gate
+    queued = scheduler.Submit(q1, Exact(1));  // waiting for admission
+    ASSERT_TRUE(queued.valid());
+    EXPECT_FALSE(queued.done());
+    index.AwaitStarted(1);
+    // The gate stays closed until well after the destructor has entered
+    // and discarded the queued submission; only then does query 0 get to
+    // finish and let the destructor's in-flight wait return.
+    releaser = std::thread([&index] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      index.ReleaseAll(2);
+    });
+    // Destructor: discards the never-admitted query, resolves its
+    // ticket terminal-typed, sees the in-flight one out.
+  }
+  releaser.join();
+  EXPECT_TRUE(queued.done());
+  EXPECT_EQ(queued.status().code(), StatusCode::kUnavailable);
+}
+
 }  // namespace
 }  // namespace hydra

@@ -13,6 +13,10 @@
 //                  --threads 8
 //   hydra query    --method scan --data d.hsf --queries q.hsf --k 10 \
 //                  --shards 4 --partition rr
+//   hydra serve    --method dstree --data d.hsf --port 7700 \
+//                  --concurrency 8
+//   hydra remote-query --host 127.0.0.1 --port 7700 --queries q.hsf \
+//                  --k 10 --deadline-ms 500
 //   hydra knobs    # the HYDRA_* environment-knob table, as markdown
 //
 // `query` prints one line per query (ids + distances) and a summary with
@@ -41,6 +45,8 @@
 #include "index/factory.h"
 #include "index/isax/isax_index.h"
 #include "index/sharded/sharded_index.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "storage/buffer_manager.h"
 #include "storage/series_file.h"
 
@@ -229,6 +235,32 @@ int CmdBuild(Flags flags) {
   return 0;
 }
 
+// --k/--threads/--mode/--nprobe/--efs/--epsilon/--delta/--deadline-ms →
+// SearchParams, shared by the local and the remote query paths. Returns
+// false on an unknown --mode.
+bool SearchParamsFromFlags(const Flags& flags, SearchParams* params) {
+  params->k = GetU64(flags, "k", 10);
+  // Intra-query parallelism (src/exec/); answers are identical at any
+  // value for exact search, so the knob is orthogonal to --mode.
+  params->num_threads = GetU64(flags, "threads", 1);
+  params->deadline_ms = GetDouble(flags, "deadline-ms", 0.0);
+  std::string mode = Get(flags, "mode", "exact");
+  if (mode == "exact") {
+    params->mode = SearchMode::kExact;
+  } else if (mode == "ng") {
+    params->mode = SearchMode::kNgApproximate;
+    params->nprobe = GetU64(flags, "nprobe", 10);
+    params->efs = GetU64(flags, "efs", params->nprobe);
+  } else if (mode == "de") {
+    params->mode = SearchMode::kDeltaEpsilon;
+    params->epsilon = GetDouble(flags, "epsilon", 0.0);
+    params->delta = GetDouble(flags, "delta", 1.0);
+  } else {
+    return false;
+  }
+  return true;
+}
+
 int CmdQuery(Flags flags) {
   flags["cmd"] = "query";
   std::string data_path = Get(flags, "data", "");
@@ -264,23 +296,8 @@ int CmdQuery(Flags flags) {
   if (!made.ok()) return Fail(made.status().ToString());
 
   SearchParams params;
-  params.k = GetU64(flags, "k", 10);
-  // Intra-query parallelism (src/exec/); answers are identical at any
-  // value for exact search, so the knob is orthogonal to --mode.
-  params.num_threads = GetU64(flags, "threads", 1);
-  std::string mode = Get(flags, "mode", "exact");
-  if (mode == "exact") {
-    params.mode = SearchMode::kExact;
-  } else if (mode == "ng") {
-    params.mode = SearchMode::kNgApproximate;
-    params.nprobe = GetU64(flags, "nprobe", 10);
-    params.efs = GetU64(flags, "efs", params.nprobe);
-  } else if (mode == "de") {
-    params.mode = SearchMode::kDeltaEpsilon;
-    params.epsilon = GetDouble(flags, "epsilon", 0.0);
-    params.delta = GetDouble(flags, "delta", 1.0);
-  } else {
-    return Fail("unknown --mode (exact|ng|de): " + mode);
+  if (!SearchParamsFromFlags(flags, &params)) {
+    return Fail("unknown --mode (exact|ng|de): " + Get(flags, "mode", ""));
   }
 
   bool ground_truth = Get(flags, "ground-truth", "on") != "off";
@@ -328,6 +345,121 @@ int CmdQuery(Flags flags) {
   return 0;
 }
 
+// Builds the index exactly like `query` would, then serves it over the
+// versioned wire protocol (src/net/) until stdin closes. Port 0 asks the
+// kernel for an ephemeral port; the chosen one is printed either way, so
+// scripts can scrape it.
+int CmdServe(Flags flags) {
+  flags["cmd"] = "query";  // reuse the saved-index reload path
+  std::string data_path = Get(flags, "data", "");
+  std::string method = Get(flags, "method", "dstree");
+  if (data_path.empty()) return Fail("--data is required");
+
+  auto data_reader = SeriesFileReader::Open(data_path);
+  if (!data_reader.ok()) return Fail(data_reader.status().ToString());
+  auto data = data_reader.value()->ReadAll(nullptr);
+  if (!data.ok()) return Fail(data.status().ToString());
+
+  InMemoryProvider mem_provider(&data.value());
+  std::unique_ptr<BufferManager> bm;
+  SeriesProvider* provider = &mem_provider;
+  uint64_t budget_pages = GetU64(flags, "buffer-pages", 0);
+  if (budget_pages > 0) {
+    auto opened = BufferManager::Open(
+        data_path, GetU64(flags, "page-series", 64), budget_pages);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    bm = std::move(opened).value();
+    provider = bm.get();
+  }
+
+  auto made = MakeIndex(method, data.value(), provider, flags);
+  if (!made.ok()) return Fail(made.status().ToString());
+
+  ServerOptions options;
+  options.port = static_cast<uint16_t>(GetU64(flags, "port", 0));
+  options.serving.concurrency = GetU64(flags, "concurrency", 4);
+  options.serving.batch_window = GetU64(flags, "batch-window", 1);
+  uint64_t queue = GetU64(flags, "queue", 0);
+  if (queue > 0) options.serving.queue_capacity = queue;
+
+  auto server =
+      HydraServer::Start(*made.value().index, provider, options);
+  if (!server.ok()) return Fail(server.status().ToString());
+  std::printf("serving %s over %zu series on 127.0.0.1:%u "
+              "(concurrency %zu); close stdin to stop\n",
+              method.c_str(), data.value().size(), server.value()->port(),
+              options.serving.concurrency);
+  std::fflush(stdout);
+  while (std::getchar() != EOF) {
+  }
+  server.value()->Stop();
+  std::printf("served %llu connections, rejected %llu malformed frames\n",
+              static_cast<unsigned long long>(
+                  server.value()->connections_accepted()),
+              static_cast<unsigned long long>(
+                  server.value()->frames_rejected()));
+  return 0;
+}
+
+// Speaks to a running `hydra serve` over TCP: submits the workload
+// through a HydraClient — the same ServingBackend surface the local
+// serving session implements — and prints answers in submission order.
+int CmdRemoteQuery(Flags flags) {
+  std::string queries_path = Get(flags, "queries", "");
+  if (queries_path.empty()) return Fail("--queries is required");
+  std::string host = Get(flags, "host", "127.0.0.1");
+  uint16_t port = static_cast<uint16_t>(GetU64(flags, "port", 0));
+  if (port == 0) return Fail("--port is required");
+
+  auto query_reader = SeriesFileReader::Open(queries_path);
+  if (!query_reader.ok()) return Fail(query_reader.status().ToString());
+  auto queries = query_reader.value()->ReadAll(nullptr);
+  if (!queries.ok()) return Fail(queries.status().ToString());
+
+  SearchParams params;
+  if (!SearchParamsFromFlags(flags, &params)) {
+    return Fail("unknown --mode (exact|ng|de): " + Get(flags, "mode", ""));
+  }
+
+  auto connected = HydraClient::Connect(host, port);
+  if (!connected.ok()) return Fail(connected.status().ToString());
+  std::unique_ptr<HydraClient> client = std::move(connected).value();
+  std::printf("connected to %s:%u (protocol v%u)\n", host.c_str(), port,
+              client->negotiated_version());
+
+  Timer wall;
+  for (size_t q = 0; q < queries.value().size(); ++q) {
+    client->Submit(queries.value().series(q), params);
+  }
+  client->Finish();
+  size_t q = 0;
+  size_t failures = 0;
+  while (std::optional<ServedQuery> served = client->Next()) {
+    if (served->answer.ok()) {
+      const KnnAnswer& ans = served->answer.value();
+      std::printf("query %zu:", q);
+      for (size_t r = 0; r < ans.size(); ++r) {
+        std::printf(" %lld(%.3f)", static_cast<long long>(ans.ids[r]),
+                    ans.distances[r]);
+      }
+      std::printf("\n");
+    } else {
+      // Typed failure, canonical rendering: code name + message (+ the
+      // structured I/O context when the server attached one).
+      ++failures;
+      std::printf("query %zu: FAILED %s\n", q,
+                  served->answer.status().ToString().c_str());
+    }
+    ++q;
+  }
+  const double seconds = wall.ElapsedSeconds();
+  std::printf("\n%zu queries in %.3fs (%.1f queries/min), %zu failed\n", q,
+              seconds, seconds > 0.0 ? 60.0 * static_cast<double>(q) / seconds
+                                     : 0.0,
+              failures);
+  return failures == 0 && q == queries.value().size() ? 0 : 1;
+}
+
 // Prints the generated HYDRA_* knob table (common/options.h): the one
 // source of truth the README table is regenerated from.
 int CmdKnobs() {
@@ -338,8 +470,8 @@ int CmdKnobs() {
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: hydra <generate|build|query|knobs> "
-                 "[--flag value]...\n");
+                 "usage: hydra <generate|build|query|serve|remote-query|"
+                 "knobs> [--flag value]...\n");
     return 1;
   }
   std::string cmd = argv[1];
@@ -347,6 +479,8 @@ int Main(int argc, char** argv) {
   if (cmd == "generate") return CmdGenerate(flags);
   if (cmd == "build") return CmdBuild(flags);
   if (cmd == "query") return CmdQuery(flags);
+  if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "remote-query") return CmdRemoteQuery(flags);
   if (cmd == "knobs") return CmdKnobs();
   return Fail("unknown command: " + cmd);
 }
