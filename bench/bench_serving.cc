@@ -78,9 +78,18 @@
 //      HydraClient against a HydraServer on 127.0.0.1 (src/net/) — the
 //      identical measurement code via the ServingBackend seam, so the
 //      delta against section 2 is the wire cost (framing + TCP + one
-//      extra thread hop), tail latencies included.
+//      extra thread hop), tail latencies included;
+//   5. a REPLICATED availability sweep: HYDRA_REPLICAS servers over the
+//      same collection (each with its own buffer pool) behind a
+//      ReplicaSetBackend. Three scenarios — healthy baseline, one
+//      replica's storage degraded via HYDRA_FAULT_LATENCY_* (hedging
+//      masks the slow replica), and a replica killed + restarted
+//      mid-load (failover masks the dead one) — reporting the
+//      answered-OK-within-deadline fraction and tail latency, with
+//      every OK answer still bit-identical to the serial reference.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -89,8 +98,10 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/options.h"
 #include "common/rng.h"
 #include "core/generators.h"
 #include "core/ground_truth.h"
@@ -98,6 +109,7 @@
 #include "index/factory.h"
 #include "index/sharded/sharded_index.h"
 #include "net/client.h"
+#include "net/replica_set.h"
 #include "net/server.h"
 #include "storage/buffer_manager.h"
 #include "storage/series_file.h"
@@ -394,6 +406,149 @@ int main(int argc, char** argv) {
       }
       server.value()->Stop();
     }
+  }
+
+  // ---- Replicated availability sweep ------------------------------
+  // HYDRA_REPLICAS servers over the same collection, each with its own
+  // buffer pool, behind a ReplicaSetBackend. Three scenarios at one
+  // below-saturation rate: healthy baseline, one replica's storage
+  // degraded (HYDRA_FAULT_LATENCY_* on that replica's pool only —
+  // hedging masks the slow replica), and one replica killed + restarted
+  // mid-load (failover + reconnect mask the dead one). The headline is
+  // the answered-OK-within-deadline fraction; determinism still holds:
+  // whichever replica answers, the bytes must match the serial
+  // reference.
+  {
+    const size_t replicas = std::max<size_t>(2, EnvCount("HYDRA_REPLICAS", 2));
+    const size_t concurrency = levels.back();
+    const size_t capacity = capacities.back();
+    const std::string method = "dstree";
+    double cap = 0.0;
+    for (size_t mi = 0; mi < methods.size(); ++mi) {
+      if (methods[mi] == method) cap = capacity_qps[mi];
+    }
+    double rate = cap > 0.0 ? 0.6 * cap : 50.0;
+    rate = std::min(rate, 200.0);
+    // Long enough for a kill + restart to land mid-run.
+    const size_t total = std::max<size_t>(
+        32, std::min<size_t>(400, static_cast<size_t>(rate * 2.0)));
+    const double run_seconds = static_cast<double>(total) / rate;
+
+    auto bm_build = hydra::BufferManager::Open(path, page_series, capacity);
+    if (!bm_build.ok()) return 1;
+    hydra::BuildOptions build = build_base;
+    build.method = method;
+    auto built = hydra::BuildIndex(data, bm_build.value().get(), build);
+    if (!built.ok()) return 1;
+    std::unique_ptr<hydra::Index> index = std::move(built).value();
+
+    hydra::SearchParams avail_params = params;
+    avail_params.deadline_ms = 2000.0;
+    // Serial reference under the same params (the determinism column).
+    std::vector<hydra::KnnAnswer> reference;
+    reference.reserve(queries.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      hydra::QueryCounters scratch;
+      auto answer =
+          index->Search(queries.series(q), avail_params, &scratch);
+      reference.push_back(answer.ok() ? std::move(answer).value()
+                                      : hydra::KnnAnswer{});
+    }
+
+    std::vector<std::unique_ptr<hydra::BufferManager>> pools;
+    std::vector<std::unique_ptr<hydra::HydraServer>> servers;
+    std::vector<hydra::Endpoint> endpoints;
+    hydra::ServerOptions server_options;
+    server_options.serving.concurrency = concurrency;
+    server_options.serving.queue_capacity = total + concurrency;
+    for (size_t r = 0; r < replicas; ++r) {
+      auto pool = hydra::BufferManager::Open(path, page_series, capacity);
+      if (!pool.ok()) return 1;
+      pools.push_back(std::move(pool).value());
+      auto server = hydra::HydraServer::Start(*index, pools.back().get(),
+                                              server_options);
+      if (!server.ok()) {
+        std::fprintf(stderr, "replica start failed: %s\n",
+                     server.status().ToString().c_str());
+        return 1;
+      }
+      servers.push_back(std::move(server).value());
+      endpoints.push_back(
+          hydra::Endpoint{"127.0.0.1", servers.back()->port()});
+    }
+
+    auto factory = [&endpoints](hydra::ReplicaPolicy policy, double hedge_ms)
+        -> hydra::ServingBackendFactory {
+      return [&endpoints, policy,
+              hedge_ms](const hydra::ServingOptions&)
+                 -> std::unique_ptr<hydra::ServingBackend> {
+        hydra::ReplicaSetOptions options;
+        options.policy = policy;
+        options.hedge_ms = hedge_ms;
+        auto set = hydra::ReplicaSetBackend::Connect(endpoints, options);
+        if (!set.ok()) return nullptr;
+        if (!set.value()->WaitAnyHealthy(std::chrono::milliseconds(5000))) {
+          return nullptr;
+        }
+        return std::move(set).value();
+      };
+    };
+
+    auto report = [&](const char* scenario,
+                      const hydra::AvailabilityPoint& point) {
+      hydra::Table table = hydra::AvailabilityTable(
+          {point}, std::string(scenario) + "@" + method);
+      std::printf("\n## replica availability (%zu replicas): %s\n%s\n",
+                  replicas, scenario, table.ToAlignedText().c_str());
+      std::printf("# csv\n%s", table.ToCsv().c_str());
+      if (!point.matches_serial || point.completions != point.num_queries) {
+        std::fprintf(stderr,
+                     "REPLICA VIOLATION: %s done=%zu/%zu match=%d\n",
+                     scenario, point.completions, point.num_queries,
+                     point.matches_serial ? 1 : 0);
+        status = 1;
+      }
+    };
+
+    report("healthy",
+           hydra::RunAvailabilityPoint(
+               factory(hydra::ReplicaPolicy::kRoundRobin, 0), queries,
+               avail_params, rate, concurrency, total, reference));
+
+    // One replica degraded: latency faults on ITS pool only. The hedged
+    // policy races a backup on the healthy replica after hedge_ms.
+    hydra::FaultConfig slow;
+    slow.latency_rate = hydra::EnvOrRate("HYDRA_FAULT_LATENCY_RATE", 1.0);
+    slow.latency_us = hydra::EnvOrU64("HYDRA_FAULT_LATENCY_US", 5000);
+    pools[1]->set_fault_config(slow);
+    report("degraded-hedged",
+           hydra::RunAvailabilityPoint(
+               factory(hydra::ReplicaPolicy::kHedged, smoke ? 10.0 : 25.0),
+               queries, avail_params, rate, concurrency, total, reference));
+    pools[1]->set_fault_config(hydra::FaultConfig{});
+
+    // Kill replica 1 a quarter into the run, restart it (same port)
+    // after another third: in-flight queries fail over, the pool
+    // reconnects, and the tail of the run is two-replica again.
+    const uint16_t victim_port = servers[1]->port();
+    auto chaos = [&] {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(run_seconds * 0.25));
+      servers[1]->Stop();
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(run_seconds * 0.35));
+      hydra::ServerOptions restart = server_options;
+      restart.port = victim_port;
+      auto restarted =
+          hydra::HydraServer::Start(*index, pools[1].get(), restart);
+      if (restarted.ok()) servers[1] = std::move(restarted).value();
+    };
+    report("replica-kill",
+           hydra::RunAvailabilityPoint(
+               factory(hydra::ReplicaPolicy::kPrimaryFailover, 0), queries,
+               avail_params, rate, concurrency, total, reference, chaos));
+
+    for (auto& server : servers) server->Stop();
   }
 
   fs::remove_all(dir);

@@ -110,6 +110,18 @@ const std::vector<KnobInfo>& KnobTable() {
        "Probability a read attempt is delayed."},
       {"HYDRA_FAULT_LATENCY_US", "0", "faults",
        "Injected delay in microseconds for delayed attempts."},
+      // Replicated serving (net/replica_set.h, net/conn_pool.h).
+      {"HYDRA_REPLICAS", "2", "replication",
+       "Replica count of the bench/CLI replica-set sections."},
+      {"HYDRA_HEDGE_MS", "20", "replication",
+       "Hedged-request delay before a backup attempt launches when "
+       "ReplicaSetOptions::hedge_ms is unset (kHedged policy only)."},
+      {"HYDRA_PROBE_MS", "100", "replication",
+       "Connection-pool health probe period (StatsRequest ping) when "
+       "ConnPoolOptions::probe_ms is unset."},
+      {"HYDRA_REPLICA_RETRIES", "2", "replication",
+       "Per-query re-submission budget after retry-safe typed failures "
+       "when ReplicaSetOptions::retry_budget is unset."},
       // Harness sweeps.
       {"HYDRA_CONCURRENCY", "1,2,4,8", "harness",
        "Concurrency levels of the serving sweep (and extra levels for "

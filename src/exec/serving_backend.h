@@ -14,8 +14,9 @@
 
 namespace hydra {
 
-class QueryScheduler;  // exec/query_scheduler.h
-class HydraClient;     // net/client.h
+class QueryScheduler;     // exec/query_scheduler.h
+class HydraClient;        // net/client.h
+class ReplicaSetBackend;  // net/replica_set.h
 
 // ---------------------------------------------------------------------------
 // The client-facing serving surface. Everything a caller needs to submit
@@ -82,6 +83,7 @@ class QueryTicket {
  private:
   friend class QueryScheduler;
   friend class HydraClient;
+  friend class ReplicaSetBackend;
   struct State {
     uint64_t id = 0;
     std::string tenant;
@@ -118,6 +120,17 @@ struct ServingStats {
   uint64_t per_query_pin_budget = 0;       // 0 = unconstrained provider
   uint64_t per_query_prefetch_budget = 0;  // 0 = no prefetch support
   uint64_t in_flight = 0;                  // racy by nature (monitoring)
+  // Server-level policing counters (zero for an in-process session; a
+  // HydraServer fills them into its kStatsReply so operators can see
+  // how many connections it accepted and how many malformed/oversized/
+  // unknown frames it rejected).
+  uint64_t connections_accepted = 0;
+  uint64_t frames_rejected = 0;
+  // Replica-routing counters (zero for single-endpoint backends; a
+  // ReplicaSetBackend fills them with its own fan-out activity).
+  uint64_t retries = 0;    // re-submissions after a retry-safe failure
+  uint64_t failovers = 0;  // queries answered by a non-primary replica
+  uint64_t hedges = 0;     // backup attempts launched by the hedger
 };
 
 // The single client-facing serving interface. Contract (both

@@ -510,6 +510,103 @@ Table OpenLoopTable(const std::vector<OpenLoopPoint>& points,
   return table;
 }
 
+AvailabilityPoint RunAvailabilityPoint(
+    const ServingBackendFactory& factory, const Dataset& queries,
+    const SearchParams& base, double rate, size_t concurrency, size_t total,
+    const std::vector<KnnAnswer>& reference,
+    const std::function<void()>& chaos) {
+  using Clock = std::chrono::steady_clock;
+  AvailabilityPoint point;
+  point.offered_qps = rate;
+  point.num_queries = total;
+
+  ServingOptions options;
+  options.concurrency = concurrency;
+  options.queue_capacity = total + concurrency;  // open loop: never block
+  std::unique_ptr<ServingBackend> session = factory(options);
+  if (session == nullptr) {
+    point.typed_errors = total;
+    point.matches_serial = false;
+    return point;
+  }
+
+  // The chaos action runs on its own thread with its own internal
+  // timing (sleep → kill → sleep → restart): the load keeps arriving on
+  // schedule while it happens, which is the whole measurement.
+  std::thread chaos_thread;
+  if (chaos) chaos_thread = std::thread(chaos);
+
+  const Clock::time_point t0 = Clock::now() + std::chrono::milliseconds(5);
+  const double interval_s = rate > 0.0 ? 1.0 / rate : 0.0;
+  std::thread submitter([&] {
+    for (size_t i = 0; i < total; ++i) {
+      const Clock::time_point due =
+          t0 + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(interval_s *
+                                                 static_cast<double>(i)));
+      std::this_thread::sleep_until(due);
+      session->Submit(queries.series(i % queries.size()), base);
+    }
+  });
+
+  std::vector<double> latencies;
+  latencies.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    std::optional<ServedQuery> served = session->Next();
+    if (!served.has_value()) break;
+    ++point.completions;
+    const Clock::time_point due =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(interval_s *
+                                               static_cast<double>(i)));
+    const double latency_s =
+        std::chrono::duration<double>(Clock::now() - due).count();
+    latencies.push_back(latency_s);
+    if (served->answer.ok()) {
+      ++point.ok;
+      if (base.deadline_ms <= 0 || latency_s * 1000.0 <= base.deadline_ms) {
+        ++point.ok_within_deadline;
+      }
+      if (!AnswersIdentical(served->answer.value(),
+                            reference[i % reference.size()])) {
+        point.matches_serial = false;
+      }
+    } else if (IsTimeout(served->answer.status().code())) {
+      ++point.timeouts;
+    } else {
+      ++point.typed_errors;
+    }
+  }
+  submitter.join();
+  session->Finish();
+  if (chaos_thread.joinable()) chaos_thread.join();
+
+  point.availability =
+      total > 0 ? static_cast<double>(point.ok_within_deadline) /
+                      static_cast<double>(total)
+                : 0.0;
+  point.p50_ms = PercentileMs(latencies, 0.50);
+  point.p99_ms = PercentileMs(latencies, 0.99);
+  return point;
+}
+
+Table AvailabilityTable(const std::vector<AvailabilityPoint>& points,
+                        const std::string& scenario) {
+  Table table({"scenario", "offered_qps", "n", "done", "ok", "ok_in_ddl",
+               "avail", "errors", "timeouts", "p50_ms", "p99_ms",
+               "match_serial"});
+  for (const AvailabilityPoint& p : points) {
+    table.AddRow({scenario, FormatDouble(p.offered_qps, 1),
+                  std::to_string(p.num_queries), std::to_string(p.completions),
+                  std::to_string(p.ok), std::to_string(p.ok_within_deadline),
+                  FormatDouble(p.availability, 4),
+                  std::to_string(p.typed_errors), std::to_string(p.timeouts),
+                  FormatDouble(p.p50_ms, 3), FormatDouble(p.p99_ms, 3),
+                  p.matches_serial ? "yes" : "NO"});
+  }
+  return table;
+}
+
 std::vector<double> ParseRateList(const char* text,
                                   std::vector<double> fallback) {
   if (text == nullptr) return fallback;

@@ -302,6 +302,49 @@ std::vector<OpenLoopPoint> RunOpenLoopSweep(
 Table OpenLoopTable(const std::vector<OpenLoopPoint>& points,
                     const std::string& method);
 
+// ---------------------------------------------------------------------------
+// Availability under replica chaos (the replica-kill sweep). One
+// open-loop run at a fixed arrival rate while a caller-supplied chaos
+// action (kill a replica, restart it, degrade its storage, ...) runs on
+// a side thread mid-load. Every query carries base.deadline_ms; the
+// headline number is the fraction answered OK within that deadline,
+// with latency charged from the SCHEDULED arrival (open-loop
+// accounting, so a backlog behind a dead replica is not hidden).
+// ---------------------------------------------------------------------------
+struct AvailabilityPoint {
+  double offered_qps = 0.0;
+  size_t num_queries = 0;
+  size_t completions = 0;  // results drained — right-or-typed demands ==n
+  size_t ok = 0;
+  size_t ok_within_deadline = 0;
+  size_t typed_errors = 0;  // non-timeout typed failures
+  size_t timeouts = 0;      // DeadlineExceeded / Cancelled
+  double availability = 0.0;  // ok_within_deadline / num_queries
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  // Every OK answer identical (ids + bit-identical distances) to the
+  // serial reference — failover must never change what a query returns.
+  bool matches_serial = true;
+};
+
+// Runs one availability point: a submitter thread releases `total`
+// queries on the fixed `rate` schedule into a backend from `factory`,
+// the calling thread drains, and `chaos` (when set) runs once on its
+// own thread — it controls its own timing internally (sleep, kill,
+// restart). The backend must resolve every accepted query right-or-
+// typed for completions to reach `total`.
+AvailabilityPoint RunAvailabilityPoint(
+    const ServingBackendFactory& factory, const Dataset& queries,
+    const SearchParams& base, double rate, size_t concurrency, size_t total,
+    const std::vector<KnnAnswer>& reference,
+    const std::function<void()>& chaos = nullptr);
+
+// One row per point. Columns (also the CSV schema):
+//   scenario, offered_qps, n, done, ok, ok_in_ddl, avail, errors,
+//   timeouts, p50_ms, p99_ms, match_serial
+Table AvailabilityTable(const std::vector<AvailabilityPoint>& points,
+                        const std::string& scenario);
+
 // Comma-separated rate list ("50,200,800"), e.g. HYDRA_OFFERED_QPS;
 // entries that do not parse to a positive number are skipped, and
 // `fallback` is returned when nothing survives (or text == nullptr).

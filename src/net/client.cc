@@ -1,5 +1,6 @@
 #include "net/client.h"
 
+#include <cassert>
 #include <utility>
 
 namespace hydra {
@@ -61,11 +62,32 @@ Result<std::unique_ptr<HydraClient>> HydraClient::Connect(
 
 HydraClient::~HydraClient() {
   Finish();
-  // Teardown is the abrupt-disconnect path when the caller did not drain
-  // first: the server cancels whatever is still in flight for us.
+  {
+    // Drain-or-resolve: destruction used to shut the socket down with
+    // tickets still racing in RecvLoop, which could strand a caller
+    // holding a never-done ticket. Wait instead until pending_ empties —
+    // the server keeps serving after kFinish, so every outstanding
+    // request either comes back as a result frame or is resolved typed
+    // by FailConnection when the transport dies. Both paths notify
+    // results_cv_ as pending_ shrinks.
+    std::unique_lock<std::mutex> lock(mu_);
+    results_cv_.wait(lock, [this] { return pending_.empty(); });
+    assert(pending_.empty() && "HydraClient left a ticket unresolved");
+  }
   socket_.ShutdownBoth();
   if (recv_thread_.joinable()) recv_thread_.join();
   socket_.Close();
+}
+
+Status HydraClient::connection_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return broken_ ? broken_status_ : Status::OK();
+}
+
+Status HydraClient::Ping() const {
+  HYDRA_ASSIGN_OR_RETURN(ServingStats ignored, TryStats());
+  (void)ignored;
+  return Status::OK();
 }
 
 Status HydraClient::SendLocked(const std::string& frame) const {
@@ -143,7 +165,7 @@ void HydraClient::Finish() {
   if (!sent.ok()) FailConnection(sent);
 }
 
-ServingStats HydraClient::stats() const {
+Result<ServingStats> HydraClient::TryStats() const {
   std::string frame;
   EncodeStatsRequest(&frame);
   // The send lock is held across the round-trip: one stats waiter at a
@@ -151,15 +173,20 @@ ServingStats HydraClient::stats() const {
   std::lock_guard<std::mutex> send_lock(send_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (broken_) return ServingStats{};
+    if (broken_) return broken_status_;
     stats_ready_ = false;
   }
-  if (!socket_.SendAll(frame.data(), frame.size()).ok()) {
-    return ServingStats{};
-  }
+  const Status sent = socket_.SendAll(frame.data(), frame.size());
+  if (!sent.ok()) return sent;  // RecvLoop will discover and fail typed
   std::unique_lock<std::mutex> lock(mu_);
   stats_cv_.wait(lock, [this] { return stats_ready_ || broken_; });
-  return stats_ready_ ? stats_value_ : ServingStats{};
+  if (!stats_ready_) return broken_status_;
+  return stats_value_;
+}
+
+ServingStats HydraClient::stats() const {
+  Result<ServingStats> snapshot = TryStats();
+  return snapshot.ok() ? snapshot.value() : ServingStats{};
 }
 
 void HydraClient::Cancel(const QueryTicket& ticket) {

@@ -43,8 +43,12 @@ class HydraClient : public ServingBackend {
   static Result<std::unique_ptr<HydraClient>> Connect(const std::string& host,
                                                       uint16_t port);
 
-  // Finishes (if the caller did not), tears the connection down, joins
-  // the receive thread. Outstanding tickets resolve Unavailable.
+  // Finishes (if the caller did not), then waits until every accepted
+  // ticket has resolved — served by the still-running server or failed
+  // typed by the disconnect path — before tearing the connection down
+  // and joining the receive thread. Drain-or-resolve: destruction never
+  // races a pending ticket out of existence, and no ticket is ever left
+  // unresolved (asserted).
   ~HydraClient() override;
 
   HydraClient(const HydraClient&) = delete;
@@ -69,6 +73,16 @@ class HydraClient : public ServingBackend {
 
   // The version the server chose during the handshake.
   uint16_t negotiated_version() const { return negotiated_version_; }
+
+  // Health introspection for the connection pool. connection_status()
+  // is OK while the transport is believed live and the typed failure
+  // that killed it afterwards; Ping() proves liveness with a stats
+  // round-trip (kStatsRequest is the protocol's ping).
+  Status connection_status() const;
+  Status Ping() const;
+  // stats() with the failure kept typed instead of flattened to a
+  // zeroed snapshot.
+  Result<ServingStats> TryStats() const;
 
  private:
   HydraClient() = default;

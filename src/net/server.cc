@@ -301,6 +301,13 @@ void HydraServer::ReaderLoop(Connection* conn) {
       case MessageKind::kStatsRequest: {
         StatsReplyFrame reply;
         reply.stats = conn->session->stats();
+        // Server-level policing counters ride along with the session
+        // snapshot: one round-trip tells an operator both how the
+        // session is configured and what the listener has been doing.
+        reply.stats.connections_accepted =
+            connections_accepted_.load(std::memory_order_relaxed);
+        reply.stats.frames_rejected =
+            frames_rejected_.load(std::memory_order_relaxed);
         std::string frame;
         EncodeStatsReply(reply, &frame);
         SendFrame(conn, frame);

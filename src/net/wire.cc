@@ -262,6 +262,11 @@ void EncodeStatsReply(const StatsReplyFrame& msg, std::string* out) {
   w.U64(msg.stats.per_query_pin_budget);
   w.U64(msg.stats.per_query_prefetch_budget);
   w.U64(msg.stats.in_flight);
+  w.U64(msg.stats.connections_accepted);
+  w.U64(msg.stats.frames_rejected);
+  w.U64(msg.stats.retries);
+  w.U64(msg.stats.failovers);
+  w.U64(msg.stats.hedges);
   AppendFrame(MessageKind::kStatsReply, payload, out);
 }
 
@@ -275,6 +280,11 @@ Status DecodeStatsReply(std::span<const char> payload, StatsReplyFrame* out) {
   HYDRA_RETURN_IF_ERROR(r.U64(&out->stats.per_query_pin_budget));
   HYDRA_RETURN_IF_ERROR(r.U64(&out->stats.per_query_prefetch_budget));
   HYDRA_RETURN_IF_ERROR(r.U64(&out->stats.in_flight));
+  HYDRA_RETURN_IF_ERROR(r.U64(&out->stats.connections_accepted));
+  HYDRA_RETURN_IF_ERROR(r.U64(&out->stats.frames_rejected));
+  HYDRA_RETURN_IF_ERROR(r.U64(&out->stats.retries));
+  HYDRA_RETURN_IF_ERROR(r.U64(&out->stats.failovers));
+  HYDRA_RETURN_IF_ERROR(r.U64(&out->stats.hedges));
   return ExpectExhausted(r, "stats-reply");
 }
 

@@ -326,6 +326,11 @@ TEST(NetWireTest, CancelStatsFinishRoundTrip) {
   stats.stats.per_query_pin_budget = 6;
   stats.stats.per_query_prefetch_budget = 7;
   stats.stats.in_flight = 8;
+  stats.stats.connections_accepted = 9;
+  stats.stats.frames_rejected = 10;
+  stats.stats.retries = 11;
+  stats.stats.failovers = 12;
+  stats.stats.hedges = 13;
   std::string stats_frame;
   EncodeStatsReply(stats, &stats_frame);
   EXPECT_EQ(HeaderOf(stats_frame).kind, MessageKind::kStatsReply);
@@ -339,6 +344,11 @@ TEST(NetWireTest, CancelStatsFinishRoundTrip) {
   EXPECT_EQ(stats_back.stats.per_query_pin_budget, 6u);
   EXPECT_EQ(stats_back.stats.per_query_prefetch_budget, 7u);
   EXPECT_EQ(stats_back.stats.in_flight, 8u);
+  EXPECT_EQ(stats_back.stats.connections_accepted, 9u);
+  EXPECT_EQ(stats_back.stats.frames_rejected, 10u);
+  EXPECT_EQ(stats_back.stats.retries, 11u);
+  EXPECT_EQ(stats_back.stats.failovers, 12u);
+  EXPECT_EQ(stats_back.stats.hedges, 13u);
 
   std::string request_frame;
   EncodeStatsRequest(&request_frame);

@@ -17,6 +17,8 @@
 //                  --concurrency 8
 //   hydra remote-query --host 127.0.0.1 --port 7700 --queries q.hsf \
 //                  --k 10 --deadline-ms 500
+//   hydra remote-query --endpoints 127.0.0.1:7700,127.0.0.1:7701 \
+//                  --queries q.hsf --k 10 --hedge-ms 5 --retries 2
 //   hydra knobs    # the HYDRA_* environment-knob table, as markdown
 //
 // `query` prints one line per query (ids + distances) and a summary with
@@ -27,6 +29,7 @@
 // routed through the one Index factory (index/factory.h) — the CLI holds
 // no per-method construction ladder.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -46,6 +49,7 @@
 #include "index/isax/isax_index.h"
 #include "index/sharded/sharded_index.h"
 #include "net/client.h"
+#include "net/replica_set.h"
 #include "net/server.h"
 #include "storage/buffer_manager.h"
 #include "storage/series_file.h"
@@ -404,12 +408,14 @@ int CmdServe(Flags flags) {
 // Speaks to a running `hydra serve` over TCP: submits the workload
 // through a HydraClient — the same ServingBackend surface the local
 // serving session implements — and prints answers in submission order.
+// With --endpoints host:port[,host:port...] the workload goes through a
+// ReplicaSetBackend instead: one connection pool per endpoint, typed
+// failures retried on another replica, and (with --hedge-ms) a hedged
+// backup attempt against tail latency.
 int CmdRemoteQuery(Flags flags) {
   std::string queries_path = Get(flags, "queries", "");
   if (queries_path.empty()) return Fail("--queries is required");
-  std::string host = Get(flags, "host", "127.0.0.1");
-  uint16_t port = static_cast<uint16_t>(GetU64(flags, "port", 0));
-  if (port == 0) return Fail("--port is required");
+  const std::string endpoints_csv = Get(flags, "endpoints", "");
 
   auto query_reader = SeriesFileReader::Open(queries_path);
   if (!query_reader.ok()) return Fail(query_reader.status().ToString());
@@ -421,20 +427,52 @@ int CmdRemoteQuery(Flags flags) {
     return Fail("unknown --mode (exact|ng|de): " + Get(flags, "mode", ""));
   }
 
-  auto connected = HydraClient::Connect(host, port);
-  if (!connected.ok()) return Fail(connected.status().ToString());
-  std::unique_ptr<HydraClient> client = std::move(connected).value();
-  std::printf("connected to %s:%u (protocol v%u)\n", host.c_str(), port,
-              client->negotiated_version());
+  std::unique_ptr<HydraClient> client;
+  std::unique_ptr<ReplicaSetBackend> replica_set;
+  ServingBackend* backend = nullptr;
+  if (!endpoints_csv.empty()) {
+    auto endpoints = ParseEndpoints(endpoints_csv);
+    if (!endpoints.ok()) return Fail(endpoints.status().ToString());
+    ReplicaSetOptions options;
+    const double hedge_ms = GetDouble(flags, "hedge-ms", 0.0);
+    if (hedge_ms > 0) {
+      options.policy = ReplicaPolicy::kHedged;
+      options.hedge_ms = hedge_ms;
+    }
+    const std::string policy = Get(flags, "policy", "");
+    if (policy == "round-robin") options.policy = ReplicaPolicy::kRoundRobin;
+    options.retry_budget = GetU64(flags, "retries", 0);
+    auto connected =
+        ReplicaSetBackend::Connect(std::move(endpoints).value(), options);
+    if (!connected.ok()) return Fail(connected.status().ToString());
+    replica_set = std::move(connected).value();
+    if (!replica_set->WaitAnyHealthy(std::chrono::milliseconds(5000))) {
+      return Fail("no replica reachable within 5s: " + endpoints_csv);
+    }
+    std::printf("replica set of %zu (%s policy): %s\n",
+                replica_set->replicas(), ReplicaPolicyName(options.policy),
+                endpoints_csv.c_str());
+    backend = replica_set.get();
+  } else {
+    std::string host = Get(flags, "host", "127.0.0.1");
+    uint16_t port = static_cast<uint16_t>(GetU64(flags, "port", 0));
+    if (port == 0) return Fail("--port or --endpoints is required");
+    auto connected = HydraClient::Connect(host, port);
+    if (!connected.ok()) return Fail(connected.status().ToString());
+    client = std::move(connected).value();
+    std::printf("connected to %s:%u (protocol v%u)\n", host.c_str(), port,
+                client->negotiated_version());
+    backend = client.get();
+  }
 
   Timer wall;
   for (size_t q = 0; q < queries.value().size(); ++q) {
-    client->Submit(queries.value().series(q), params);
+    backend->Submit(queries.value().series(q), params);
   }
-  client->Finish();
+  backend->Finish();
   size_t q = 0;
   size_t failures = 0;
-  while (std::optional<ServedQuery> served = client->Next()) {
+  while (std::optional<ServedQuery> served = backend->Next()) {
     if (served->answer.ok()) {
       const KnnAnswer& ans = served->answer.value();
       std::printf("query %zu:", q);
@@ -457,6 +495,12 @@ int CmdRemoteQuery(Flags flags) {
               seconds, seconds > 0.0 ? 60.0 * static_cast<double>(q) / seconds
                                      : 0.0,
               failures);
+  if (replica_set != nullptr) {
+    std::printf("replica routing: %llu retries, %llu failovers, %llu hedges\n",
+                static_cast<unsigned long long>(replica_set->retries()),
+                static_cast<unsigned long long>(replica_set->failovers()),
+                static_cast<unsigned long long>(replica_set->hedges()));
+  }
   return failures == 0 && q == queries.value().size() ? 0 : 1;
 }
 
